@@ -1,0 +1,102 @@
+"""E5 -- the Sec. 4.2 case study, end to end.
+
+Both complete schemes run against the [16] benchmark memory (512 x 100,
+t = 10 ns) with a seeded 1 %-defect population; k emerges from the
+baseline's iterate-repair loop and the measured times reproduce R >= 84
+(no DRF) and R ~ 145 (with DRF).
+"""
+
+import pytest
+
+from repro.baseline.scheme import HuangJoneScheme
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.memory.bank import MemoryBank
+from repro.memory.sram import SRAM
+from repro.soc.case_study import (
+    CASE_STUDY_PERIOD_NS,
+    PAPER_REDUCTION_NO_DRF,
+    PAPER_REDUCTION_WITH_DRF,
+    case_study_geometry,
+    case_study_population,
+)
+from repro.util.records import format_table
+from repro.util.units import format_duration_ns
+
+from conftest import emit
+
+
+def _full_case_study(seed: int):
+    geometry = case_study_geometry("e5")
+
+    baseline_memory = SRAM(geometry, period_ns=CASE_STUDY_PERIOD_NS)
+    baseline_injector = FaultInjector()
+    baseline_injector.inject(
+        baseline_memory, case_study_population(rng=seed).faults
+    )
+    baseline = HuangJoneScheme(
+        MemoryBank([baseline_memory]), period_ns=CASE_STUDY_PERIOD_NS
+    ).diagnose(baseline_injector, include_drf=True)
+
+    proposed_memory = SRAM(geometry, period_ns=CASE_STUDY_PERIOD_NS)
+    proposed_injector = FaultInjector()
+    proposed_injector.inject(
+        proposed_memory, case_study_population(rng=seed).faults
+    )
+    proposed = FastDiagnosisScheme(
+        MemoryBank([proposed_memory]), period_ns=CASE_STUDY_PERIOD_NS
+    ).diagnose()
+
+    return baseline, proposed, proposed_injector
+
+
+@pytest.mark.benchmark(group="E5-case-study")
+def test_e5_case_study(benchmark):
+    baseline, proposed, injector = benchmark(_full_case_study, 42)
+
+    drf_sweeps_ns = (
+        8 * baseline.iterations * 512 * 100 * CASE_STUDY_PERIOD_NS
+    )
+    baseline_no_drf_ns = baseline.time_ns - baseline.pause_ns - drf_sweeps_ns
+    measured_r = baseline_no_drf_ns / proposed.time_ns
+    measured_r_drf = baseline.time_ns / proposed.time_ns
+
+    rows = [
+        {"quantity": "faults injected", "paper": 256, "measured": 256},
+        {
+            "quantity": "k (emergent)",
+            "paper": 96,
+            "measured": baseline.iterations,
+        },
+        {
+            "quantity": "baseline time (with DRF)",
+            "paper": "~1.43 s",
+            "measured": format_duration_ns(baseline.time_ns),
+        },
+        {
+            "quantity": "proposed time",
+            "paper": "~10 ms",
+            "measured": format_duration_ns(proposed.time_ns),
+        },
+        {
+            "quantity": "R (no DRF)",
+            "paper": f">= {PAPER_REDUCTION_NO_DRF:.0f}",
+            "measured": f"{measured_r:.1f}",
+        },
+        {
+            "quantity": "R (with DRF)",
+            "paper": f">= {PAPER_REDUCTION_WITH_DRF:.0f}",
+            "measured": f"{measured_r_drf:.1f}",
+        },
+        {
+            "quantity": "proposed localization",
+            "paper": "all faults, one run",
+            "measured": f"{proposed.localization_rate(injector):.3f}",
+        },
+    ]
+    emit("E5  Case study (Sec. 4.2): n=512, c=100, t=10ns, 1% defects",
+         format_table(rows))
+
+    assert measured_r >= PAPER_REDUCTION_NO_DRF
+    assert measured_r_drf == pytest.approx(PAPER_REDUCTION_WITH_DRF, rel=0.05)
+    assert proposed.localization_rate(injector) == 1.0

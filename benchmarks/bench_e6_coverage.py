@@ -1,0 +1,40 @@
+"""E6 -- Sec. 4.1: diagnosis-coverage comparison across the fault taxonomy.
+
+Both complete schemes run end to end against single-fault memories for
+every class in the standard suite.  Expected shape: equal logical coverage;
+DRFs and weak cells only on the proposed side.
+"""
+
+import pytest
+
+from repro.analysis.coverage import compare_scheme_coverage
+from repro.memory.geometry import MemoryGeometry
+from repro.util.records import format_table
+
+from conftest import emit
+
+
+def _coverage():
+    return compare_scheme_coverage(MemoryGeometry(8, 4, "e6"))
+
+
+@pytest.mark.benchmark(group="E6-coverage")
+def test_e6_scheme_coverage(benchmark):
+    rows = benchmark(_coverage)
+    emit(
+        "E6  Coverage (Sec. 4.1): proposed vs baseline, end-to-end",
+        format_table([row.as_percentages() for row in rows]),
+    )
+
+    by_label = {row.label: row for row in rows}
+    # The proposed scheme detects every class, including DRFs + weak cells.
+    for label, row in by_label.items():
+        assert row.proposed_detected == row.instances, label
+    # The baseline cannot see the time-dependent classes.
+    assert by_label["DRF0 (cannot hold 0)"].baseline_detected == 0
+    assert by_label["DRF1 (cannot hold 1)"].baseline_detected == 0
+    assert by_label["Weak cell (reliability-only)"].baseline_detected == 0
+    # Equal logical coverage on the bread-and-butter classes.
+    for label in ("SAF0", "SAF1", "TF-up", "TF-down"):
+        row = by_label[label]
+        assert row.baseline_localized == row.instances, label

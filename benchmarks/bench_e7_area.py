@@ -1,0 +1,71 @@
+"""E7 -- Sec. 4.3: area overhead and global-wire accounting.
+
+Paper claims: proposed - baseline = three 6T cells per interface bit;
+~1.8 % total overhead for the benchmark e-SRAM; exactly +1 global wire
+(the PSC scan_en).
+"""
+
+import pytest
+
+from repro.analysis.area import AreaModel, TransistorBudget, wire_comparison
+from repro.memory.geometry import MemoryGeometry
+from repro.soc.case_study import PAPER_AREA_OVERHEAD
+from repro.util.records import format_table
+
+from conftest import emit
+
+
+def _area_numbers():
+    geometry = MemoryGeometry(512, 100)
+    paper_model = AreaModel(TransistorBudget.paper())
+    conservative = AreaModel(TransistorBudget.conservative())
+    return {
+        "extra_cells_per_bit": paper_model.extra_per_bit_cells(),
+        "overhead_paper_budget": paper_model.overhead_fraction(geometry, "proposed"),
+        "overhead_conservative": conservative.overhead_fraction(geometry, "proposed"),
+        "overhead_baseline": paper_model.overhead_fraction(geometry, "baseline"),
+        "wires": wire_comparison(),
+    }
+
+
+@pytest.mark.benchmark(group="E7-area")
+def test_e7_area_overhead(benchmark):
+    numbers = benchmark(_area_numbers)
+
+    rows = [
+        {
+            "quantity": "extra cells / interface bit",
+            "paper": "3",
+            "measured": f"{numbers['extra_cells_per_bit']:.1f}",
+        },
+        {
+            "quantity": "overhead, paper budget",
+            "paper": "~1.8%",
+            "measured": f"{numbers['overhead_paper_budget']:.2%}",
+        },
+        {
+            "quantity": "overhead, std-cell budget",
+            "paper": "~1.8%",
+            "measured": f"{numbers['overhead_conservative']:.2%}",
+        },
+        {
+            "quantity": "extra global wires",
+            "paper": "+1 (scan_en)",
+            "measured": f"+{numbers['wires']['extra_without_drf']} (scan_en)",
+        },
+        {
+            "quantity": "NWRTM wire (DRF screening)",
+            "paper": "1 routed signal",
+            "measured": "+1 when enabled",
+        },
+    ]
+    emit("E7  Area & wires (Sec. 4.3)", format_table(rows))
+
+    assert numbers["extra_cells_per_bit"] == 3.0
+    assert (
+        numbers["overhead_paper_budget"]
+        <= PAPER_AREA_OVERHEAD
+        <= numbers["overhead_conservative"]
+    )
+    assert numbers["wires"]["extra_without_drf"] == 1
+    assert numbers["wires"]["scan_en_is_the_plus_one"]

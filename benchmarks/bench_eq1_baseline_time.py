@@ -1,0 +1,54 @@
+"""E1 -- Eq. (1): baseline diagnosis time T[7,8] = (17k + 9) n c t.
+
+Checks that the *simulated* baseline session (iterate-repair loop over a
+seeded fault population) lands on the closed form, and benchmarks the
+effective-mode session.
+"""
+
+import pytest
+
+from repro.baseline.scheme import HuangJoneScheme
+from repro.baseline.timing import baseline_diagnosis_time_ns
+from repro.faults.injector import FaultInjector
+from repro.faults.population import sample_population
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.records import format_table
+from repro.util.units import format_duration_ns
+
+from conftest import emit
+
+
+def _run_baseline(words: int, bits: int, defect_rate: float, seed: int):
+    geometry = MemoryGeometry(words, bits, "e1")
+    memory = SRAM(geometry)
+    injector = FaultInjector()
+    injector.inject(memory, sample_population(geometry, defect_rate, rng=seed).faults)
+    scheme = HuangJoneScheme(MemoryBank([memory]))
+    return scheme.diagnose(injector)
+
+
+@pytest.mark.benchmark(group="E1-eq1")
+def test_eq1_baseline_time(benchmark):
+    report = benchmark(_run_baseline, 512, 100, 0.01, 42)
+
+    closed_form = baseline_diagnosis_time_ns(512, 100, 10.0, report.iterations)
+    rows = [
+        {
+            "quantity": "k (iterations)",
+            "paper": "96 (min, 75% x 256 / 2)",
+            "measured": report.iterations,
+        },
+        {
+            "quantity": "T[7,8] (no DRF)",
+            "paper": format_duration_ns(baseline_diagnosis_time_ns(512, 100, 10.0, 96)),
+            "measured": format_duration_ns(report.time_ns),
+        },
+    ]
+    emit("E1  Eq. (1): T[7,8] = (17k + 9) n c t", format_table(rows))
+
+    # The simulated session time IS the closed form at the emergent k.
+    assert report.time_ns == closed_form
+    # The emergent k tracks the paper's arithmetic (class mix is sampled).
+    assert abs(report.iterations - 96) <= 5

@@ -1,0 +1,52 @@
+"""E2 -- Eq. (2): proposed diagnosis time.
+
+The cycle-accurate session over the 512x100 case-study memory must equal
+the closed form {(5n+5c+5n(c+1)) + (3n+3c+2n(c+1)) ceil(log2 c)} t exactly.
+"""
+
+import pytest
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.core.timing import proposed_diagnosis_time_ns, proposed_operation_cycles
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.records import format_table
+from repro.util.units import format_duration_ns
+
+from conftest import emit
+
+
+def _run_proposed(words: int, bits: int):
+    memory = SRAM(MemoryGeometry(words, bits, "e2"))
+    return FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+
+
+@pytest.mark.benchmark(group="E2-eq2")
+def test_eq2_proposed_time(benchmark):
+    report = benchmark(_run_proposed, 512, 100)
+
+    rows = [
+        {
+            "quantity": "operation cycles",
+            "paper (eq 2)": proposed_operation_cycles(512, 100),
+            "measured (session)": report.cycles,
+        },
+        {
+            "quantity": "T_proposed",
+            "paper (eq 2)": format_duration_ns(
+                proposed_diagnosis_time_ns(512, 100, 10.0)
+            ),
+            "measured (session)": format_duration_ns(report.time_ns),
+        },
+        {
+            "quantity": "retention pauses",
+            "paper (eq 2)": "0 (NWRTM)",
+            "measured (session)": format_duration_ns(report.pause_ns),
+        },
+    ]
+    emit("E2  Eq. (2): T_proposed (March CW through SPC/PSC)", format_table(rows))
+
+    assert report.cycles == proposed_operation_cycles(512, 100)
+    assert report.time_ns == proposed_diagnosis_time_ns(512, 100, 10.0)
+    assert report.pause_ns == 0.0

@@ -1,0 +1,33 @@
+"""E3 -- Eq. (3): reduction factor R without DRF diagnosis.
+
+R = T[7,8] / T_proposed.  The paper argues R always exceeds one in practice
+because k >> 1; the case study gives "at least 84".  We sweep k to show the
+linear growth and pin the case-study value.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_iterations
+from repro.core.timing import reduction_factor
+from repro.util.records import format_table
+
+from conftest import emit
+
+
+def _sweep():
+    return sweep_iterations([1, 2, 4, 8, 16, 32, 64, 96, 128], 512, 100, 10.0)
+
+
+@pytest.mark.benchmark(group="E3-eq3")
+def test_eq3_reduction_sweep(benchmark):
+    rows = benchmark(_sweep)
+    emit("E3  Eq. (3): R = T[7,8] / T_proposed vs k (n=512, c=100, t=10ns)",
+         format_table(rows))
+
+    case_study = reduction_factor(512, 100, 10.0, 96)
+    assert case_study >= 84.0  # the paper's "at least 84"
+    assert case_study == pytest.approx(84.15, abs=0.01)
+    # R grows monotonically with k and exceeds 1 for any k >= 1.
+    reductions = [float(r["R"]) for r in rows]
+    assert reductions == sorted(reductions)
+    assert all(r > 1.0 for r in reductions)

@@ -1,0 +1,75 @@
+"""F2 -- Fig. 2: serial fault masking, uni- vs bi-directional interfaces.
+
+Quantifies, over random multi-fault words, how many cells receive clean
+test data under each interface, and verifies the bidirectional
+localization limit (at most the two extremal faults per element pair).
+"""
+
+import pytest
+
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.serial.masking import (
+    clean_write_cells_bidirectional,
+    clean_write_cells_unidirectional,
+    localizable_bits_bidirectional,
+)
+from repro.serial.unidirectional import UnidirectionalSerialInterface
+from repro.util.bitops import mask
+from repro.util.records import format_table
+from repro.util.rng import make_rng
+
+from conftest import emit
+
+BITS = 32
+
+
+def _masking_stats(fault_counts, trials=50):
+    rng = make_rng(7)
+    rows = []
+    for count in fault_counts:
+        uni_total = 0
+        bi_total = 0
+        localizable_total = 0
+        for _ in range(trials):
+            faulty = sorted(
+                int(b) for b in rng.choice(BITS, size=count, replace=False)
+            )
+            uni_total += len(clean_write_cells_unidirectional(faulty, BITS))
+            bi_total += len(clean_write_cells_bidirectional(faulty, BITS))
+            localizable_total += len(localizable_bits_bidirectional(faulty, BITS))
+        rows.append(
+            {
+                "faults/word": count,
+                "clean cells (uni)": f"{uni_total / trials:.1f}",
+                "clean cells (bi)": f"{bi_total / trials:.1f}",
+                "localizable/element (bi)": f"{localizable_total / trials:.1f}",
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="F2-masking")
+def test_f2_serial_masking(benchmark):
+    rows = benchmark(_masking_stats, [1, 2, 4, 8])
+    emit(
+        f"F2  Serial fault masking over {BITS}-bit words "
+        "(mean over 50 random fault sets)",
+        format_table(rows),
+    )
+
+    # Bidirectional always reaches at least as many cells...
+    for row in rows:
+        assert float(row["clean cells (bi)"]) >= float(row["clean cells (uni)"])
+    # ...but never localizes more than 2 faults per element pair.
+    assert all(float(r["localizable/element (bi)"]) <= 2.0 for r in rows)
+
+    # Bit-accurate spot check: a stuck cell starves everything behind it.
+    memory = SRAM(MemoryGeometry(1, BITS, "f2"))
+    StuckAtFault(CellRef(0, 10), 0).attach(memory)
+    interface = UnidirectionalSerialInterface(memory)
+    interface.fill_word(0, mask(BITS))
+    word = memory.read(0)
+    assert word & mask(10) == mask(10)  # below the fault
+    assert word >> 10 == 0  # at and above the fault

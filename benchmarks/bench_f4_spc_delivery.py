@@ -1,0 +1,73 @@
+"""F4 -- Fig. 4: SPC pattern delivery, MSB-first vs the flawed LSB-first.
+
+Two measurable consequences of Sec. 3.2's design choice:
+
+1. pattern fidelity: over all widths, MSB-first delivers DP[c'-1:0] while
+   LSB-first delivers DP[c-1:c-c'];
+2. diagnosis fidelity: a fault-free heterogeneous bank produces *false
+   failures* on the narrow memories under LSB-first delivery.
+"""
+
+import pytest
+
+from repro.core.background_gen import DataBackgroundGenerator
+from repro.core.scheme import FastDiagnosisScheme
+from repro.core.spc import SerialToParallelConverter
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.bitops import mask
+from repro.util.records import format_table
+from repro.util.rng import make_rng
+
+from conftest import emit
+
+CONTROLLER_BITS = 24
+
+
+def _delivery_fidelity(trials=200):
+    rng = make_rng(3)
+    correct = {True: 0, False: 0}
+    for _ in range(trials):
+        word = int(rng.integers(0, mask(CONTROLLER_BITS), endpoint=True))
+        width = int(rng.integers(1, CONTROLLER_BITS, endpoint=True))
+        for msb_first in (True, False):
+            generator = DataBackgroundGenerator(CONTROLLER_BITS, msb_first)
+            spc = SerialToParallelConverter(width, msb_first)
+            spc.load_stream(generator.stream(word))
+            if spc.parallel_out == word & mask(width):
+                correct[msb_first] += 1
+    return correct, trials
+
+
+@pytest.mark.benchmark(group="F4-spc")
+def test_f4_spc_delivery(benchmark):
+    correct, trials = benchmark(_delivery_fidelity)
+
+    bank = MemoryBank(
+        [SRAM(MemoryGeometry(16, 8, "wide")), SRAM(MemoryGeometry(8, 5, "narrow"))]
+    )
+    msb_report = FastDiagnosisScheme(bank, msb_first=True).diagnose()
+    bank2 = MemoryBank(
+        [SRAM(MemoryGeometry(16, 8, "wide")), SRAM(MemoryGeometry(8, 5, "narrow"))]
+    )
+    lsb_report = FastDiagnosisScheme(bank2, msb_first=False).diagnose()
+
+    rows = [
+        {
+            "delivery": "MSB-first (paper)",
+            "correct patterns": f"{correct[True]}/{trials}",
+            "false failures (fault-free bank)": msb_report.total_failures,
+        },
+        {
+            "delivery": "LSB-first (flawed)",
+            "correct patterns": f"{correct[False]}/{trials}",
+            "false failures (fault-free bank)": lsb_report.total_failures,
+        },
+    ]
+    emit("F4  SPC delivery order (Sec. 3.2 / Fig. 4)", format_table(rows))
+
+    assert correct[True] == trials  # MSB-first is always right
+    assert correct[False] < trials  # LSB-first mangles narrower widths
+    assert msb_report.passed
+    assert lsb_report.failures["narrow"] and not lsb_report.failures["wide"]

@@ -1,0 +1,67 @@
+"""F6 -- Fig. 6: the switch-level NWRC experiment.
+
+A column mixing good, open-pull-up (DRF) and resistive-pull-up (weak)
+cells goes through a normal write, an NWRC, and a retention pause; the
+outcome table is the paper's Sec. 3.4 argument, executed.
+"""
+
+import pytest
+
+from repro.electrical.column import CellColumn
+from repro.electrical.write_cycle import WriteKind
+from repro.util.records import format_table
+
+from conftest import emit
+
+ROWS = 64
+OPEN_ROW = 10
+WEAK_ROW = 40
+
+
+def _column_experiment():
+    results = {}
+
+    # Normal write followed by immediate read: everything looks good.
+    column = CellColumn.build(
+        ROWS, open_pullup_rows={OPEN_ROW: "a"}, resistive_pullup_rows={WEAK_ROW: "a"},
+        retention_ns=1_000.0,
+    )
+    column.write_all(0)
+    column.write_all(1)
+    results["normal write, immediate read"] = column.rows_not_storing(1)
+
+    # Normal write + 100 ms pause: only the open pull-up decays.
+    column.elapse(100e6)
+    results["normal write, 100 ms pause"] = column.rows_not_storing(1)
+
+    # NWRC: both defect classes fail instantly, zero pause.
+    column2 = CellColumn.build(
+        ROWS, open_pullup_rows={OPEN_ROW: "a"}, resistive_pullup_rows={WEAK_ROW: "a"},
+    )
+    column2.write_all(0)
+    column2.write_all(1, WriteKind.NWRC)
+    results["NWRC, immediate read"] = column2.rows_not_storing(1)
+    return results
+
+
+@pytest.mark.benchmark(group="F6-nwrtm")
+def test_f6_nwrtm_cell(benchmark):
+    results = benchmark(_column_experiment)
+
+    rows = [
+        {
+            "experiment": name,
+            "failing rows": failing,
+            "pause needed": "100 ms" if "pause" in name else "none",
+        }
+        for name, failing in results.items()
+    ]
+    emit(
+        f"F6  NWRC at switch level (Fig. 6): open pull-up @ row {OPEN_ROW}, "
+        f"resistive @ row {WEAK_ROW}",
+        format_table(rows),
+    )
+
+    assert results["normal write, immediate read"] == []
+    assert results["normal write, 100 ms pause"] == [OPEN_ROW]
+    assert results["NWRC, immediate read"] == [OPEN_ROW, WEAK_ROW]

@@ -1,0 +1,60 @@
+"""PERF -- throughput of the reproduction's own substrate.
+
+Not a paper experiment: documents the harness performance so users can
+size their sweeps.  Measures March-operations-per-second of the fault
+simulator on the case-study memory, with and without faults attached, and
+the full proposed-scheme session rate.
+"""
+
+import pytest
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.population import sample_population
+from repro.march.complexity import operation_counts
+from repro.march.library import march_cw_nw
+from repro.march.simulator import MarchSimulator
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+
+GEOMETRY = MemoryGeometry(512, 100, "perf")
+
+
+@pytest.mark.benchmark(group="PERF-simulator")
+def test_perf_march_simulator_clean(benchmark):
+    algorithm = march_cw_nw(GEOMETRY.bits)
+    operations = operation_counts(algorithm, GEOMETRY.words).operations
+
+    def run():
+        memory = SRAM(GEOMETRY)
+        return MarchSimulator().run(memory, algorithm)
+
+    result = benchmark(run)
+    assert result.passed
+    benchmark.extra_info["march_ops_per_round"] = operations
+
+
+@pytest.mark.benchmark(group="PERF-simulator")
+def test_perf_march_simulator_faulty(benchmark):
+    algorithm = march_cw_nw(GEOMETRY.bits)
+
+    def run():
+        memory = SRAM(GEOMETRY)
+        FaultInjector().inject(
+            memory, sample_population(GEOMETRY, 0.01, rng=1).faults
+        )
+        return MarchSimulator().run(memory, algorithm)
+
+    result = benchmark(run)
+    assert not result.passed
+
+
+@pytest.mark.benchmark(group="PERF-simulator")
+def test_perf_full_proposed_session(benchmark):
+    def run():
+        memory = SRAM(GEOMETRY)
+        return FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+
+    report = benchmark(run)
+    assert report.cycles == 998_440

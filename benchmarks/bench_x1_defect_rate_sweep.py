@@ -1,0 +1,32 @@
+"""X1 -- extension: reduction factor vs defect rate.
+
+The paper's qualitative claim ("the memory diagnosis capability is
+dependent on the defect rate ... long diagnosis time even under a
+reasonable defect rate") quantified: the baseline's k grows linearly with
+the fault count while the proposed scheme's time is constant.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_defect_rate
+from repro.util.records import format_table
+
+from conftest import emit
+
+RATES = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05]
+
+
+@pytest.mark.benchmark(group="X1-defect-rate")
+def test_x1_defect_rate_sweep(benchmark):
+    rows = benchmark(sweep_defect_rate, RATES)
+    emit("X1  R vs defect rate (512 x 100, t = 10 ns)", format_table(rows))
+
+    reductions = [float(r["R"]) for r in rows]
+    iterations = [r["k"] for r in rows]
+    proposed_times = {r["T_proposed"] for r in rows}
+    assert reductions == sorted(reductions)  # R grows with defect rate
+    assert iterations == sorted(iterations)  # because k does
+    assert len(proposed_times) == 1  # proposed time is rate-independent
+    # The paper's case-study point sits on this curve.
+    case_study = [r for r in rows if r["k"] == 96]
+    assert case_study and float(case_study[0]["R"]) >= 84.0

@@ -1,0 +1,56 @@
+"""X4 -- Monte-Carlo: how tightly the emergent k concentrates.
+
+The paper's k = 96 comes from the *expected* defect-class mix.  Over many
+sampled populations the emergent iterate-repair count distributes tightly
+around faults x share / 2, so the headline R is robust to sampling noise.
+"""
+
+import pytest
+
+from repro.analysis.montecarlo import emergent_k_distribution, reduction_distribution
+from repro.memory.geometry import MemoryGeometry
+from repro.util.records import format_table
+
+from conftest import emit
+
+GEOMETRY = MemoryGeometry(256, 64, "x4")  # 16,384 cells; fast per-seed runs
+SEEDS = range(32)
+
+
+def _distributions():
+    k_dist = emergent_k_distribution(SEEDS, GEOMETRY, defect_rate=0.01)
+    r_dist = reduction_distribution(SEEDS, GEOMETRY, defect_rate=0.01)
+    return k_dist, r_dist
+
+
+@pytest.mark.benchmark(group="X4-montecarlo")
+def test_x4_montecarlo(benchmark):
+    k_dist, r_dist = benchmark(_distributions)
+
+    faults = round(GEOMETRY.cells * 0.01 / 2)
+    expected_k = faults * 0.75 / 2
+    rows = [
+        {
+            "quantity": "emergent k",
+            "expected (paper arithmetic)": f"{expected_k:.1f}",
+            "mean": f"{k_dist.mean:.1f}",
+            "std": f"{k_dist.std:.2f}",
+            "range": f"[{k_dist.minimum:.0f}, {k_dist.maximum:.0f}]",
+        },
+        {
+            "quantity": "R (no DRF)",
+            "expected (paper arithmetic)": "-",
+            "mean": f"{r_dist.mean:.1f}",
+            "std": f"{r_dist.std:.2f}",
+            "range": f"[{r_dist.minimum:.1f}, {r_dist.maximum:.1f}]",
+        },
+    ]
+    emit(
+        f"X4  Monte-Carlo over {k_dist.samples} seeded populations "
+        f"({GEOMETRY.words}x{GEOMETRY.bits} @ 1%)",
+        format_table(rows),
+    )
+
+    assert k_dist.mean == pytest.approx(expected_k, rel=0.15)
+    assert k_dist.std < expected_k * 0.25
+    assert r_dist.minimum > 1.0

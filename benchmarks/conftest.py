@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one experiment from the paper's
+evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+recorded results).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the paper-vs-measured tables each benchmark prints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print one experiment's table with a banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(body)
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture handing benches the banner printer."""
+    return emit

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Serial fault masking: why the paper replaces serial interfaces entirely.
+
+Walks one defective word through the three data-path generations:
+
+1. the [9, 10] single-directional serial interface -- an upstream stuck
+   cell starves every cell behind it of test data (masking);
+2. the [7, 8] bi-directional interface -- both sides become reachable,
+   but the observation stream still pinpoints at most one fault per
+   direction, forcing the iterate-repair loop;
+3. the paper's SPC/PSC pair -- responses never travel through memory
+   cells, so every fault in the word is localized in a single session.
+
+Run:  python examples/interface_masking_demo.py
+"""
+
+from repro import FastDiagnosisScheme, FaultInjector, MemoryBank, StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.serial.bidirectional import BidirectionalSerialInterface
+from repro.serial.shift_register import ShiftDirection
+from repro.serial.unidirectional import UnidirectionalSerialInterface
+from repro.util.bitops import int_to_bits, mask
+
+BITS = 16
+FAULTY_BITS = (4, 9, 13)  # three stuck-at-0 cells in one word
+
+
+def faulty_memory() -> SRAM:
+    memory = SRAM(MemoryGeometry(2, BITS, "word"))
+    for bit in FAULTY_BITS:
+        StuckAtFault(CellRef(0, bit), 0).attach(memory)
+    return memory
+
+
+def show_word(label: str, word: int) -> None:
+    bits = "".join(str(b) for b in reversed(int_to_bits(word, BITS)))
+    print(f"  {label:34s} {bits}   (MSB..LSB)")
+
+
+def main() -> None:
+    print(f"one {BITS}-bit word, stuck-at-0 cells at bits {FAULTY_BITS}\n")
+
+    print("1) single-directional serial write of all-ones [9, 10]:")
+    memory = faulty_memory()
+    UnidirectionalSerialInterface(memory).fill_word(0, mask(BITS))
+    show_word("stored after right-shift fill:", memory.read(0))
+    print("   -> every cell above bit 4 was starved of ones (masking)\n")
+
+    print("2) bi-directional serial writes [7, 8]:")
+    memory = faulty_memory()
+    interface = BidirectionalSerialInterface(memory)
+    interface.fill_word(0, mask(BITS), ShiftDirection.RIGHT)
+    show_word("after right fill:", memory.read(0))
+    interface.fill_word(0, mask(BITS), ShiftDirection.LEFT)
+    show_word("after an additional left fill:", memory.read(0))
+    print("   -> cells outside the faulty span now reachable; cells between")
+    print("      bits 4 and 13 need repair-and-iterate (k iterations)\n")
+
+    print("3) the proposed SPC/PSC scheme:")
+    memory = faulty_memory()
+    injector = FaultInjector()
+    report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+    cells = sorted(report.detected_cells("word"))
+    print(f"   one session localized: {', '.join(str(c) for c in cells)}")
+    print("   -> all three faults pinpointed in a single March run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Dump a diagnosis session's control signals as a VCD waveform.
+
+The scheme's global control wires (`scan_en`, `NWRTM`, write strobes,
+capture strobes) are exactly what a designer would probe on silicon; this
+example traces a session and writes a standard VCD file viewable in
+GTKWave or any waveform viewer.
+
+Run:  python examples/session_waveform.py [output.vcd]
+"""
+
+import sys
+
+from repro import FastDiagnosisScheme, FaultInjector, MemoryBank, SRAM, StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.util.vcd import TracingMonitor
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "diagnosis_session.vcd"
+
+    memory = SRAM(MemoryGeometry(8, 4, "dut"))
+    injector = FaultInjector()
+    injector.inject(memory, StuckAtFault(CellRef(3, 1), 1))
+
+    tracer = TracingMonitor()
+    scheme = FastDiagnosisScheme(MemoryBank([memory]), monitor=tracer)
+    report = scheme.diagnose()
+
+    document = tracer.render()
+    with open(output, "w", encoding="ascii") as handle:
+        handle.write(document)
+
+    changes = sum(1 for line in document.splitlines() if line.startswith("#"))
+    print(f"session: {report.cycles} cycles, "
+          f"{report.total_failures} failing reads")
+    print(f"wrote {output}: {len(document.splitlines())} lines, "
+          f"{changes} time points")
+    print("signals: scan_en (PSC shifting), nwrtm (NWRC windows), "
+          "write, capture")
+    print(f"view with: gtkwave {output}")
+
+
+if __name__ == "__main__":
+    main()

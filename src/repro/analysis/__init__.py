@@ -1,0 +1,48 @@
+"""Evaluation layer: the analyses of Section 4 of the paper.
+
+* :mod:`repro.analysis.timing_model` -- Eqs. (1)-(4), the case-study
+  arithmetic, and rounding-sensitivity variants (Sec. 4.2);
+* :mod:`repro.analysis.area` -- transistor/cell-equivalent area model and
+  the global-wire inventory (Sec. 4.3);
+* :mod:`repro.analysis.coverage` -- scheme-level diagnosis-coverage
+  comparison over the full fault taxonomy (Sec. 4.1);
+* :mod:`repro.analysis.resolution` -- syndrome -> fault-class diagnosis
+  dictionary (the "off-line analysis" consumer of scanned-out records);
+* :mod:`repro.analysis.sweeps` -- parameter sweeps for the extension
+  benchmarks (defect rate, geometry, clock).
+"""
+
+from repro.analysis.area import (
+    AreaModel,
+    TransistorBudget,
+    wire_comparison,
+)
+from repro.analysis.coverage import SchemeCoverageRow, compare_scheme_coverage
+from repro.analysis.resolution import DiagnosisDictionary
+from repro.analysis.sweeps import (
+    sweep_defect_rate,
+    sweep_geometry,
+    sweep_iterations,
+)
+from repro.analysis.timing_model import (
+    TimingComparison,
+    case_study_comparison,
+    compare_timing,
+    paper_read_cost_variant,
+)
+
+__all__ = [
+    "AreaModel",
+    "DiagnosisDictionary",
+    "SchemeCoverageRow",
+    "TimingComparison",
+    "TransistorBudget",
+    "case_study_comparison",
+    "compare_scheme_coverage",
+    "compare_timing",
+    "paper_read_cost_variant",
+    "sweep_defect_rate",
+    "sweep_geometry",
+    "sweep_iterations",
+    "wire_comparison",
+]

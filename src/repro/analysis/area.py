@@ -1,0 +1,171 @@
+"""Area-overhead model (Sec. 4.3 of the paper).
+
+The paper evaluates area as transistor counts normalized to 6T-cell
+equivalents: "a D-flip-flop is equivalent to two 6T SRAM cells while a
+latch is equivalent to one".  Under that budget:
+
+* the [7, 8] bi-directional serial interface costs one latch + one 4:1 mux
+  per IO bit;
+* the proposed SPC + PSC pair costs two DFFs + two 2:1 muxes per IO bit
+  (one mux selecting normal/test input, one inside each scan DFF);
+* the difference is **three 6T cells per bit**, the paper's headline;
+* the per-memory total -- interface + local address generator + control
+  glue -- lands near the paper's "around 1.8 %" for the 512x100 benchmark
+  (the exact figure depends on the mux/flop equivalences; a conservative
+  standard-cell budget is provided to bracket it).
+
+Wires: the proposed scheme adds exactly one global wire (PSC ``scan_en``)
+over [7, 8], plus the NWRTM wire when DRF screening is enabled -- a
+capability the baseline lacks altogether.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.control_gen import ControlGenerator, GlobalWire
+from repro.memory.geometry import MemoryGeometry
+from repro.util.records import Record
+from repro.util.validation import require_positive
+
+#: Transistors in one 6T SRAM cell (the normalization unit).
+CELL_TRANSISTORS = 6
+
+
+@dataclass(frozen=True)
+class TransistorBudget(Record):
+    """Transistor counts for the primitives of the diagnosis circuitry."""
+
+    dff: int = 12  # two 6T cells -- the paper's equivalence
+    latch: int = 6  # one 6T cell
+    mux2: int = 6  # transmission-gate 2:1 mux + select inverter
+    mux4: int = 12  # tree of 2:1 muxes sharing selects
+    gate: int = 4  # generic control gate (NAND/NOR)
+    counter_bit: int = 16  # DFF + increment logic per address-counter bit
+
+    @classmethod
+    def paper(cls) -> "TransistorBudget":
+        """The equivalences stated in Sec. 4.3."""
+        return cls()
+
+    @classmethod
+    def conservative(cls) -> "TransistorBudget":
+        """Standard-cell-library counts (upper bracket for the overhead)."""
+        return cls(dff=26, latch=12, mux2=10, mux4=22, gate=4, counter_bit=32)
+
+    def cells(self, transistors: int) -> float:
+        """Convert transistors to 6T-cell equivalents."""
+        return transistors / CELL_TRANSISTORS
+
+
+@dataclass(frozen=True)
+class AreaBreakdown(Record):
+    """Per-memory area numbers for one scheme."""
+
+    scheme: str
+    interface_per_bit_transistors: int
+    interface_transistors: int
+    address_generator_transistors: int
+    glue_transistors: int
+
+    @property
+    def total_transistors(self) -> int:
+        """Everything local to one memory."""
+        return (
+            self.interface_transistors
+            + self.address_generator_transistors
+            + self.glue_transistors
+        )
+
+
+class AreaModel:
+    """Transistor-count area model for both schemes."""
+
+    def __init__(self, budget: TransistorBudget | None = None) -> None:
+        self.budget = budget or TransistorBudget.paper()
+
+    # ------------------------------------------------------------------ #
+    # Per-bit interface costs                                            #
+    # ------------------------------------------------------------------ #
+    def baseline_interface_per_bit(self) -> int:
+        """[7, 8]: one latch + one 4:1 mux per IO bit (Fig. 2)."""
+        return self.budget.latch + self.budget.mux4
+
+    def proposed_interface_per_bit(self) -> int:
+        """SPC DFF + input 2:1 mux, plus PSC scan DFF (DFF + scan mux)."""
+        spc = self.budget.dff + self.budget.mux2
+        psc = self.budget.dff + self.budget.mux2
+        return spc + psc
+
+    def extra_per_bit_cells(self) -> float:
+        """The paper's headline: proposed minus baseline, in cell equivalents.
+
+        >>> AreaModel().extra_per_bit_cells()
+        3.0
+        """
+        extra = self.proposed_interface_per_bit() - self.baseline_interface_per_bit()
+        return self.budget.cells(extra)
+
+    # ------------------------------------------------------------------ #
+    # Per-memory totals                                                  #
+    # ------------------------------------------------------------------ #
+    def _address_generator(self, geometry: MemoryGeometry) -> int:
+        counter_bits = max(1, math.ceil(math.log2(geometry.words)))
+        return counter_bits * self.budget.counter_bit
+
+    def breakdown(self, geometry: MemoryGeometry, scheme: str) -> AreaBreakdown:
+        """Itemized per-memory diagnosis area for ``scheme``.
+
+        ``scheme`` is ``"baseline"`` or ``"proposed"``.  Glue logic: the
+        element trigger latch and done flag for both schemes, plus the
+        NWRTM precharge gate for the proposed scheme.
+        """
+        if scheme == "baseline":
+            per_bit = self.baseline_interface_per_bit()
+            glue = 2 * self.budget.latch + self.budget.gate
+        elif scheme == "proposed":
+            per_bit = self.proposed_interface_per_bit()
+            glue = 2 * self.budget.latch + 2 * self.budget.gate
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        return AreaBreakdown(
+            scheme=scheme,
+            interface_per_bit_transistors=per_bit,
+            interface_transistors=per_bit * geometry.bits,
+            address_generator_transistors=self._address_generator(geometry),
+            glue_transistors=glue,
+        )
+
+    def overhead_fraction(self, geometry: MemoryGeometry, scheme: str) -> float:
+        """Diagnosis-circuitry area as a fraction of the cell-array area.
+
+        >>> round(AreaModel().overhead_fraction(MemoryGeometry(512, 100), "proposed"), 4)
+        0.0123
+        """
+        require_positive(geometry.cells, "geometry.cells")
+        breakdown = self.breakdown(geometry, scheme)
+        array_transistors = geometry.cells * CELL_TRANSISTORS
+        return breakdown.total_transistors / array_transistors
+
+
+def wire_comparison() -> dict[str, object]:
+    """Global-wire inventory: baseline vs proposed (Sec. 4.3).
+
+    >>> wire_comparison()["extra_without_drf"]
+    1
+    """
+    baseline = ControlGenerator.baseline_wires()
+    proposed_no_drf = ControlGenerator(drf_screening=False).wires()
+    proposed_drf = ControlGenerator(drf_screening=True).wires()
+    return {
+        "baseline_count": baseline.count,
+        "proposed_count": proposed_no_drf.count,
+        "proposed_with_nwrtm_count": proposed_drf.count,
+        "extra_without_drf": proposed_no_drf.count - baseline.count,
+        "extra_wires": sorted(
+            w.value for w in proposed_drf.extra_over(baseline)
+        ),
+        "scan_en_is_the_plus_one": GlobalWire.SCAN_EN
+        in proposed_no_drf.extra_over(baseline),
+    }

@@ -1,0 +1,101 @@
+"""Scheme-level diagnosis-coverage comparison (Sec. 4.1 of the paper).
+
+Section 4.1 argues qualitatively; this module quantifies it.  For every
+fault class in the standard suite, both complete schemes run end to end
+against single-fault memories:
+
+* the **proposed** scheme (March CW + NWRTM through SPC/PSC),
+* the **baseline** [7, 8] (bit-accurate serial DiagRSMarch kernel with
+  iterate-repair localization; no DRF capability).
+
+The output table is the paper's coverage claim made measurable: equal
+logical coverage, plus DRFs and weak cells only on the proposed side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.scheme import HuangJoneScheme
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.march.coverage import FaultFactory, standard_fault_suite
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.records import Record
+
+
+@dataclass
+class SchemeCoverageRow(Record):
+    """Detection/localization for one fault class under both schemes."""
+
+    label: str
+    instances: int
+    proposed_detected: int
+    proposed_localized: int
+    baseline_detected: int
+    baseline_localized: int
+
+    def as_percentages(self) -> dict[str, str]:
+        """Rendering helper for the benchmark table."""
+
+        def pct(x: int) -> str:
+            return f"{100.0 * x / self.instances:5.1f}%" if self.instances else "n/a"
+
+        return {
+            "fault class": self.label,
+            "proposed det": pct(self.proposed_detected),
+            "proposed loc": pct(self.proposed_localized),
+            "baseline det": pct(self.baseline_detected),
+            "baseline loc": pct(self.baseline_localized),
+        }
+
+
+def _run_proposed(geometry: MemoryGeometry, factory: FaultFactory):
+    memory = SRAM(geometry)
+    fault = factory()
+    fault.attach(memory)
+    scheme = FastDiagnosisScheme(MemoryBank([memory]))
+    report = scheme.diagnose()
+    return fault, report.detected_cells(memory.name)
+
+
+def _run_baseline(geometry: MemoryGeometry, factory: FaultFactory):
+    memory = SRAM(geometry)
+    fault = factory()
+    injector = FaultInjector()
+    injector.inject(memory, fault)
+    scheme = HuangJoneScheme(MemoryBank([memory]))
+    report = scheme.diagnose(injector, bit_accurate=True, max_iterations=64)
+    return fault, report.localized_cells(memory.name)
+
+
+def compare_scheme_coverage(
+    geometry: MemoryGeometry | None = None,
+    suite=None,
+) -> list[SchemeCoverageRow]:
+    """Run both schemes over the standard single-fault suite.
+
+    Uses a small geometry by default (bit-accurate baseline sweeps are
+    O(n * c) serial cycles per probe).
+    """
+    geometry = geometry or MemoryGeometry(8, 4, "cov")
+    if suite is None:
+        suite = standard_fault_suite(geometry)
+    rows = []
+    for label, factories in suite:
+        row = SchemeCoverageRow(label, len(factories), 0, 0, 0, 0)
+        for factory in factories:
+            fault, proposed_cells = _run_proposed(geometry, factory)
+            if proposed_cells:
+                row.proposed_detected += 1
+                if proposed_cells & set(fault.victims):
+                    row.proposed_localized += 1
+            fault_b, baseline_cells = _run_baseline(geometry, factory)
+            if baseline_cells:
+                row.baseline_detected += 1
+                if baseline_cells & set(fault_b.victims):
+                    row.baseline_localized += 1
+        rows.append(row)
+    return rows

@@ -1,0 +1,83 @@
+"""Dependency-free ASCII figures for sweeps and distributions.
+
+The examples and benchmarks print these instead of requiring a plotting
+stack; the *shape* of each curve (linear growth of R with defect rate,
+flat proposed time, and so on) is readable directly in a terminal or log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util.validation import require
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Scatter/line plot of ``ys`` vs ``xs`` on a character grid."""
+    require(len(xs) == len(ys), "xs and ys must have equal length")
+    require(len(xs) >= 2, "need at least two points")
+    require(width >= 10 and height >= 4, "plot area too small")
+
+    values = [math.log10(y) for y in ys] if log_y else list(ys)
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(values), max(values)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, values):
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+
+    y_top = f"{10 ** y_max:.3g}" if log_y else f"{y_max:.3g}"
+    y_bottom = f"{10 ** y_min:.3g}" if log_y else f"{y_min:.3g}"
+    label_width = max(len(y_top), len(y_bottom))
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = y_top.rjust(label_width)
+        elif index == height - 1:
+            label = y_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_min:.3g}"
+    x_right = f"{x_max:.3g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_width + 2) + x_left + " " * max(1, padding) + x_right
+    )
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with one row per label."""
+    require(len(labels) == len(values), "labels and values must match")
+    require(len(labels) > 0, "need at least one bar")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:.3g}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Diagnosis resolution: classifying fault types from failure syndromes.
+
+The scheme's failure records (address, bit, March element, operation,
+background) are exactly what gets "scanned out for off-line analysis"
+(Sec. 3.1).  This module implements that off-line analysis: a dictionary
+built from single-fault simulations maps failure *signatures* to candidate
+fault classes, giving the diagnosis resolution beyond raw localization.
+
+A signature abstracts a failure set into:
+
+* which (element label, operation) pairs failed,
+* the spatial footprint: single cell, single row, single column, or
+  scattered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.march.coverage import standard_fault_suite
+from repro.march.simulator import FailureRecord
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.records import Record
+
+
+@dataclass(frozen=True)
+class Signature(Record):
+    """Canonical failure signature used as the dictionary key."""
+
+    failing_ops: frozenset[tuple[str, str]]
+    footprint: str  # "cell" | "row" | "column" | "scattered"
+
+    @classmethod
+    def from_failures(cls, failures: Iterable[FailureRecord]) -> "Signature":
+        """Abstract a failure list into a signature."""
+        failures = list(failures)
+        ops = frozenset((f.step_label, f.operation) for f in failures)
+        cells = {(f.address, bit) for f in failures for bit in f.failing_bits()}
+        addresses = {a for a, _ in cells}
+        bits = {b for _, b in cells}
+        if len(cells) <= 1:
+            footprint = "cell"
+        elif len(addresses) == 1:
+            footprint = "row"
+        elif len(bits) == 1:
+            footprint = "column"
+        else:
+            footprint = "scattered"
+        return cls(failing_ops=ops, footprint=footprint)
+
+
+def _dense_single_cell_suite(geometry: MemoryGeometry):
+    """Single-cell fault instances at every column (middle word)."""
+    from repro.faults.retention_fault import DataRetentionFault
+    from repro.faults.stuck_at import StuckAtFault
+    from repro.faults.transition import TransitionFault
+    from repro.faults.weak_cell import WeakCellDefect
+
+    word = geometry.words // 2
+    cells = [CellRef(word, bit) for bit in range(geometry.bits)]
+    return [
+        ("SAF0", [lambda c=c: StuckAtFault(c, 0) for c in cells]),
+        ("SAF1", [lambda c=c: StuckAtFault(c, 1) for c in cells]),
+        ("TF-up", [lambda c=c: TransitionFault(c, True) for c in cells]),
+        ("TF-down", [lambda c=c: TransitionFault(c, False) for c in cells]),
+        ("DRF0 (cannot hold 0)", [lambda c=c: DataRetentionFault(c, 0) for c in cells]),
+        ("DRF1 (cannot hold 1)", [lambda c=c: DataRetentionFault(c, 1) for c in cells]),
+        (
+            "Weak cell (reliability-only)",
+            [lambda c=c, v=v: WeakCellDefect(c, v) for c in cells for v in (0, 1)],
+        ),
+    ]
+
+
+class DiagnosisDictionary:
+    """Signature -> candidate-fault-class dictionary.
+
+    Built by simulating every fault class of the standard suite at several
+    positions through the full proposed scheme, then queried with observed
+    failure sets.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[Signature, set[str]] = {}
+        self._footprint_table: dict[str, set[str]] = {}
+
+    @classmethod
+    def build(
+        cls, geometry: MemoryGeometry | None = None, dense: bool = True
+    ) -> "DiagnosisDictionary":
+        """Populate the dictionary from single-fault simulations.
+
+        With ``dense=True`` (the default) the single-cell classes are also
+        simulated at *every column*: the March CW stripe backgrounds make
+        failure signatures column-dependent, so per-column entries keep
+        classification sharp across the whole word.
+        """
+        geometry = geometry or MemoryGeometry(8, 4, "dict")
+        dictionary = cls()
+        suite = list(standard_fault_suite(geometry))
+        if dense:
+            suite.extend(_dense_single_cell_suite(geometry))
+        for label, factories in suite:
+            for factory in factories:
+                memory = SRAM(geometry)
+                fault = factory()
+                fault.attach(memory)
+                scheme = FastDiagnosisScheme(MemoryBank([memory]))
+                report = scheme.diagnose()
+                failures = report.failures[memory.name]
+                if not failures:
+                    continue
+                signature = Signature.from_failures(failures)
+                dictionary._table.setdefault(signature, set()).add(label)
+                dictionary._footprint_table.setdefault(
+                    signature.footprint, set()
+                ).add(label)
+        return dictionary
+
+    @property
+    def size(self) -> int:
+        """Number of distinct signatures learned."""
+        return len(self._table)
+
+    def classify(self, failures: Iterable[FailureRecord]) -> set[str]:
+        """Candidate fault classes for an observed failure set.
+
+        Falls back to footprint-level candidates for signatures never seen
+        during dictionary construction; returns an empty set for a clean
+        run.
+        """
+        failures = list(failures)
+        if not failures:
+            return set()
+        signature = Signature.from_failures(failures)
+        if signature in self._table:
+            return set(self._table[signature])
+        return set(self._footprint_table.get(signature.footprint, set()))
+
+    def resolution_histogram(self) -> dict[int, int]:
+        """How many signatures map to 1, 2, ... candidate classes."""
+        histogram: dict[int, int] = {}
+        for candidates in self._table.values():
+            histogram[len(candidates)] = histogram.get(len(candidates), 0) + 1
+        return histogram

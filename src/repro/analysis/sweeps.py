@@ -1,0 +1,94 @@
+"""Parameter sweeps for the extension/ablation experiments (X1-X3).
+
+Every sweep emits plain dict rows so benchmarks can feed them straight to
+:func:`repro.util.records.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.timing_model import compare_timing
+from repro.baseline.diag_rsmarch import min_iterations
+from repro.faults.population import expected_fault_count
+from repro.memory.geometry import MemoryGeometry
+from repro.util.units import format_duration_ns
+
+
+def sweep_defect_rate(
+    rates: Iterable[float],
+    geometry: MemoryGeometry | None = None,
+    period_ns: float = 10.0,
+) -> list[dict[str, object]]:
+    """R vs defect rate: quantifies "defect-rate-dependent diagnosis".
+
+    The baseline's k grows linearly with the fault count while the
+    proposed scheme's time is constant, so R grows linearly with the
+    defect rate.
+    """
+    geometry = geometry or MemoryGeometry(512, 100, "case-study")
+    rows = []
+    for rate in rates:
+        faults = expected_fault_count(geometry, rate)
+        iterations = max(1, min_iterations(faults))
+        row = compare_timing(geometry.words, geometry.bits, period_ns, iterations)
+        rows.append(
+            {
+                "defect rate": f"{rate:.4%}",
+                "faults": faults,
+                "k": iterations,
+                "T[7,8]": format_duration_ns(row.baseline_ns),
+                "T_proposed": format_duration_ns(row.proposed_ns),
+                "R": f"{row.reduction:.1f}",
+                "R (DRF)": f"{row.reduction_with_drf:.1f}",
+            }
+        )
+    return rows
+
+
+def sweep_geometry(
+    shapes: Iterable[tuple[int, int]],
+    defect_rate: float = 0.01,
+    period_ns: float = 10.0,
+) -> list[dict[str, object]]:
+    """R vs memory geometry at a fixed defect rate."""
+    rows = []
+    for words, bits in shapes:
+        geometry = MemoryGeometry(words, bits)
+        faults = expected_fault_count(geometry, defect_rate)
+        iterations = max(1, min_iterations(faults))
+        row = compare_timing(words, bits, period_ns, iterations)
+        rows.append(
+            {
+                "n x c": f"{words} x {bits}",
+                "faults": faults,
+                "k": iterations,
+                "T[7,8]": format_duration_ns(row.baseline_ns),
+                "T_proposed": format_duration_ns(row.proposed_ns),
+                "R": f"{row.reduction:.1f}",
+                "R (DRF)": f"{row.reduction_with_drf:.1f}",
+            }
+        )
+    return rows
+
+
+def sweep_iterations(
+    iteration_counts: Iterable[int],
+    words: int = 512,
+    bits: int = 100,
+    period_ns: float = 10.0,
+) -> list[dict[str, object]]:
+    """R vs k directly (Eq. (3): R > 1 for any practical k)."""
+    rows = []
+    for iterations in iteration_counts:
+        row = compare_timing(words, bits, period_ns, iterations)
+        rows.append(
+            {
+                "k": iterations,
+                "T[7,8]": format_duration_ns(row.baseline_ns),
+                "T_proposed": format_duration_ns(row.proposed_ns),
+                "R": f"{row.reduction:.2f}",
+                "R (DRF)": f"{row.reduction_with_drf:.2f}",
+            }
+        )
+    return rows

@@ -1,0 +1,133 @@
+"""Closed-form timing comparison: Eqs. (1)-(4) side by side (Sec. 4.2).
+
+The paper's headline numbers for the [16] case study (n = 512, c = 100,
+t = 10 ns, 1 % defects -> 256 faults -> k = 96):
+
+* R >= 84 without DRF diagnosis (Eq. (3)),
+* R >= 145 with DRF diagnosis (Eq. (4)).
+
+Evaluating the paper's own equations literally gives 84.15 and 143.4; the
+remaining ~1 % gap to "145" disappears if reads are charged ``c`` instead
+of ``c + 1`` cycles (the :func:`paper_read_cost_variant`), so we report
+both and record the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baseline.diag_rsmarch import min_iterations
+from repro.baseline.timing import baseline_diagnosis_time_ns, baseline_drf_extra_ns
+from repro.core.timing import (
+    proposed_diagnosis_time_ns,
+    proposed_drf_extra_ns,
+)
+from repro.util.records import Record
+from repro.util.units import format_duration_ns
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class TimingComparison(Record):
+    """One row of the diagnosis-time comparison."""
+
+    words: int
+    bits: int
+    period_ns: float
+    iterations: int
+    baseline_ns: float
+    proposed_ns: float
+    baseline_drf_ns: float
+    proposed_drf_ns: float
+
+    @property
+    def reduction(self) -> float:
+        """Eq. (3): R without DRF diagnosis."""
+        return self.baseline_ns / self.proposed_ns
+
+    @property
+    def reduction_with_drf(self) -> float:
+        """Eq. (4): R with DRF diagnosis."""
+        return self.baseline_drf_ns / self.proposed_drf_ns
+
+    def pretty(self) -> str:
+        """Multi-line human-readable rendering."""
+        return "\n".join(
+            [
+                f"n={self.words} c={self.bits} t={self.period_ns} ns k={self.iterations}",
+                f"  T[7,8]            = {format_duration_ns(self.baseline_ns)}",
+                f"  T_proposed        = {format_duration_ns(self.proposed_ns)}",
+                f"  R (no DRF)        = {self.reduction:.2f}",
+                f"  T[7,8] + DRF      = {format_duration_ns(self.baseline_drf_ns)}",
+                f"  T_proposed + NWRTM= {format_duration_ns(self.proposed_drf_ns)}",
+                f"  R (with DRF)      = {self.reduction_with_drf:.2f}",
+            ]
+        )
+
+
+def compare_timing(
+    words: int, bits: int, period_ns: float, iterations: int
+) -> TimingComparison:
+    """Evaluate all four equations for one configuration."""
+    baseline = baseline_diagnosis_time_ns(words, bits, period_ns, iterations)
+    proposed = proposed_diagnosis_time_ns(words, bits, period_ns)
+    return TimingComparison(
+        words=words,
+        bits=bits,
+        period_ns=period_ns,
+        iterations=iterations,
+        baseline_ns=baseline,
+        proposed_ns=proposed,
+        baseline_drf_ns=baseline
+        + baseline_drf_extra_ns(words, bits, period_ns, iterations),
+        proposed_drf_ns=proposed + proposed_drf_extra_ns(words, bits, period_ns),
+    )
+
+
+def case_study_comparison(
+    words: int = 512,
+    bits: int = 100,
+    period_ns: float = 10.0,
+    fault_count: int = 256,
+) -> TimingComparison:
+    """The Sec. 4.2 case study with the paper's own k arithmetic.
+
+    >>> row = case_study_comparison()
+    >>> row.iterations
+    96
+    >>> round(row.reduction, 2)
+    84.15
+    >>> round(row.reduction_with_drf, 1)
+    143.4
+    """
+    iterations = min_iterations(fault_count)
+    return compare_timing(words, bits, period_ns, iterations)
+
+
+def paper_read_cost_variant(
+    words: int, bits: int, period_ns: float, iterations: int
+) -> TimingComparison:
+    """Eq. (2) with reads charged ``c`` cycles instead of ``c + 1``.
+
+    This is the rounding the paper most plausibly applied to land on
+    "R >= 145"; with it the case study yields R = 84.98 / 144.8.
+    """
+    require_positive(period_ns, "period_ns")
+    n, c = words, bits
+    backgrounds = math.ceil(math.log2(c)) if c > 1 else 0
+    march_c_part = 5 * n + 5 * c + 5 * n * c
+    extension_part = (3 * n + 3 * c + 2 * n * c) * backgrounds
+    proposed = (march_c_part + extension_part) * period_ns
+    baseline = baseline_diagnosis_time_ns(words, bits, period_ns, iterations)
+    return TimingComparison(
+        words=words,
+        bits=bits,
+        period_ns=period_ns,
+        iterations=iterations,
+        baseline_ns=baseline,
+        proposed_ns=proposed,
+        baseline_drf_ns=baseline
+        + baseline_drf_extra_ns(words, bits, period_ns, iterations),
+        proposed_drf_ns=proposed + proposed_drf_extra_ns(words, bits, period_ns),
+    )

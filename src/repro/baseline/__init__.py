@@ -1,0 +1,37 @@
+"""The [7, 8] baseline: Huang-Jone parallel BISD with a bi-directional
+serial interface and the DiagRSMarch algorithm.
+
+This is the comparator system the paper improves on.  Its defining
+behaviours, all reproduced here:
+
+* one shared BISD controller, local address generators, serial data paths;
+* DiagRSMarch: 9 auxiliary serial sweeps plus a 17-sweep diagnosis kernel
+  (M1) iterated ``k`` times (Eq. (1): ``T = (17k + 9) n c t``);
+* at most **two** faults localized per M1 iteration (the extremal
+  defective bits, one per shift direction), each repaired with a spare
+  cell before the next iteration -- diagnosis time grows with defect rate;
+* **no** data-retention-fault coverage; bolting DRF testing on costs
+  ``8k`` extra sweeps plus 200 ms of retention pauses (Eq. (4) numerator).
+"""
+
+from repro.baseline.diag_rsmarch import (
+    AUX_SWEEPS,
+    DIAG_KERNEL_SWEEPS,
+    DRF_SWEEPS_PER_ITERATION,
+    DiagRSMarch,
+    min_iterations,
+)
+from repro.baseline.scheme import BaselineReport, HuangJoneScheme
+from repro.baseline.timing import baseline_diagnosis_time_ns, baseline_drf_extra_ns
+
+__all__ = [
+    "AUX_SWEEPS",
+    "BaselineReport",
+    "DIAG_KERNEL_SWEEPS",
+    "DRF_SWEEPS_PER_ITERATION",
+    "DiagRSMarch",
+    "HuangJoneScheme",
+    "baseline_diagnosis_time_ns",
+    "baseline_drf_extra_ns",
+    "min_iterations",
+]

@@ -1,0 +1,122 @@
+"""Executable models of the other related-work architectures.
+
+Section 1 of the paper dismisses two alternatives before building on
+[7, 8]; modelling them makes the architecture comparison quantitative
+(benchmark X5):
+
+* **Per-memory BISD** [5, 6]: every memory gets its own controller --
+  pattern generator, comparator, sequencer.  Diagnosis is fully parallel
+  (wall-clock time = the slowest memory's standalone March) and
+  full-bandwidth (writes and reads cost one cycle each: no serialization),
+  but the controller area is replicated per memory, which is what makes
+  the scheme "generally not feasible" for many small memories.
+
+* **Same-size shared-parallel** [4]: one controller drives all memories
+  over parallel buses.  Fast and cheap in control logic, but it only
+  supports banks of *identical* memories (the paper: "usually impractical
+  in a real SoC") and pays wide global routing per memory.
+
+Both run genuine March simulations against the faulty memories; their
+diagnosis quality matches the algorithm they run (March CW here, like the
+proposed scheme), so the comparison isolates time / area / routing /
+deployability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.area import AreaModel
+from repro.march.library import march_cw
+from repro.march.simulator import MarchResult, MarchSimulator
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef
+from repro.soc.routing import PER_MEMORY_CONTROLLER_TRANSISTORS
+from repro.util.records import Record
+from repro.util.validation import require
+
+
+@dataclass
+class AlternativeReport(Record):
+    """Outcome of one alternative-architecture diagnosis session."""
+
+    architecture: str
+    time_ns: float
+    results: dict[str, MarchResult] = field(default_factory=dict)
+    extra_controller_transistors: int = 0
+    wires_per_memory: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """True when no memory failed."""
+        return all(result.passed for result in self.results.values())
+
+    def detected_cells(self, memory_name: str) -> set[CellRef]:
+        """Cells implicated in one memory."""
+        return self.results[memory_name].detected_cells()
+
+
+class PerMemoryBisdScheme:
+    """[5, 6]: a replicated BISD controller at every memory."""
+
+    def __init__(self, bank: MemoryBank, period_ns: float = 10.0) -> None:
+        self.bank = bank
+        self.period_ns = period_ns
+
+    def diagnose(self, algorithm_factory=march_cw) -> AlternativeReport:
+        """Run every memory's own March in parallel (full bandwidth)."""
+        simulator = MarchSimulator()
+        results = {}
+        worst_cycles = 0
+        for memory in self.bank:
+            result = simulator.run(memory, algorithm_factory(memory.bits))
+            results[memory.name] = result
+            worst_cycles = max(worst_cycles, result.cycles)
+        return AlternativeReport(
+            architecture="per-memory BISD [5,6]",
+            time_ns=worst_cycles * self.period_ns,
+            results=results,
+            extra_controller_transistors=(
+                PER_MEMORY_CONTROLLER_TRANSISTORS * len(self.bank)
+            ),
+            wires_per_memory=2.0,  # start/done daisy chain only
+        )
+
+
+class SameSizeParallelScheme:
+    """[4]: one shared controller over parallel buses, identical memories only."""
+
+    def __init__(self, bank: MemoryBank, period_ns: float = 10.0) -> None:
+        require(
+            bank.is_homogeneous(),
+            "the [4] architecture only supports memories of identical size",
+        )
+        self.bank = bank
+        self.period_ns = period_ns
+
+    def diagnose(self, algorithm_factory=march_cw) -> AlternativeReport:
+        """One March drives all (identical) memories in lock-step."""
+        simulator = MarchSimulator()
+        results = {}
+        cycles = 0
+        for memory in self.bank:
+            result = simulator.run(memory, algorithm_factory(memory.bits))
+            results[memory.name] = result
+            cycles = result.cycles  # identical for every memory
+        sample = self.bank[0]
+        bus_width = sample.bits + sample.geometry.address_bits + 3
+        return AlternativeReport(
+            architecture="shared parallel [4]",
+            time_ns=cycles * self.period_ns,
+            results=results,
+            extra_controller_transistors=0,
+            wires_per_memory=float(bus_width),
+        )
+
+
+def per_memory_area_penalty(bank: MemoryBank, model: AreaModel | None = None) -> float:
+    """Replicated-controller area as a fraction of the bank's cell area."""
+    model = model or AreaModel()
+    array_transistors = bank.total_cells * 6
+    controllers = PER_MEMORY_CONTROLLER_TRANSISTORS * len(bank)
+    return controllers / array_transistors

@@ -1,0 +1,142 @@
+"""DiagRSMarch: the serialized diagnosis March of [7, 8] (reconstruction).
+
+The original papers are not reproduced here; the DATE'05 paper fixes the
+algorithm's *cost* -- Eq. (1): ``T = (17k + 9) n c t`` -- and its
+*behaviour* (based on a right-shift RSMarch with extra left-shift and
+checkerboard elements; at most one fault localized per element direction).
+We reconstruct a concrete sweep list with exactly those properties:
+
+* one *sweep* serially refills every word (``n * c`` cycles);
+* 9 auxiliary sweeps form the initial detection March;
+* the 17-sweep diagnosis kernel **M1** mixes right/left shifts over solid
+  and checkerboard patterns and is iterated ``k`` times, localizing the
+  extremal defective bits (at most two) per iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.serial.shift_register import ShiftDirection
+from repro.util.bitops import checkerboard, mask
+from repro.util.validation import require, require_positive
+
+#: Serial sweeps in the auxiliary (detection) part of DiagRSMarch.
+AUX_SWEEPS = 9
+#: Serial sweeps in one iteration of the M1 diagnosis kernel.
+DIAG_KERNEL_SWEEPS = 17
+#: Extra serial sweeps per iteration for DRF testing ((w0/r0)R+L,
+#: (w1/r1)R+L), as charged by Eq. (4).
+DRF_SWEEPS_PER_ITERATION = 8
+#: Faults localizable per M1 iteration (one per shift direction).
+FAULTS_PER_ITERATION = 2
+#: Share of the fault population the M1 kernel can localize (the three
+#: logical defect classes out of four equally likely ones).
+M1_COVERAGE_SHARE = 0.75
+
+
+@dataclass(frozen=True)
+class SerialSweep:
+    """One full serial refill of the memory: direction + target pattern."""
+
+    direction: ShiftDirection
+    pattern_kind: str  # "solid0" | "solid1" | "checker" | "checker_inv"
+    ascending: bool = True
+
+    def pattern(self, bits: int) -> int:
+        """Concrete pattern word for a ``bits``-wide memory."""
+        if self.pattern_kind == "solid0":
+            return 0
+        if self.pattern_kind == "solid1":
+            return mask(bits)
+        if self.pattern_kind == "checker":
+            return checkerboard(bits, phase=1)
+        if self.pattern_kind == "checker_inv":
+            return checkerboard(bits, phase=0)
+        raise ValueError(f"unknown pattern kind {self.pattern_kind!r}")
+
+
+_R = ShiftDirection.RIGHT
+_L = ShiftDirection.LEFT
+
+
+class DiagRSMarch:
+    """Sweep-level description of the reconstructed DiagRSMarch."""
+
+    #: The auxiliary detection March (9 sweeps): a serialized March C- core
+    #: plus one checkerboard pass, right-shift operational.
+    AUX: tuple[SerialSweep, ...] = (
+        SerialSweep(_R, "solid0"),
+        SerialSweep(_R, "solid1"),
+        SerialSweep(_R, "solid0"),
+        SerialSweep(_R, "solid1", ascending=False),
+        SerialSweep(_R, "solid0", ascending=False),
+        SerialSweep(_R, "checker"),
+        SerialSweep(_R, "checker_inv"),
+        SerialSweep(_R, "solid0"),
+        SerialSweep(_R, "solid0", ascending=False),
+    )
+
+    #: One M1 iteration (17 sweeps): solid and checkerboard patterns in
+    #: both shift directions and both address orders.  The direction pairs
+    #: (write one way, observe while rewriting the other way) are what let
+    #: the controller pinpoint the extremal defective bit per direction.
+    KERNEL: tuple[SerialSweep, ...] = (
+        SerialSweep(_R, "solid0"),
+        SerialSweep(_L, "solid1"),
+        SerialSweep(_R, "solid0"),
+        SerialSweep(_R, "solid1"),
+        SerialSweep(_L, "solid0"),
+        SerialSweep(_L, "solid1", ascending=False),
+        SerialSweep(_R, "solid0", ascending=False),
+        SerialSweep(_R, "solid1", ascending=False),
+        SerialSweep(_L, "solid0", ascending=False),
+        SerialSweep(_R, "checker"),
+        SerialSweep(_L, "checker_inv"),
+        SerialSweep(_R, "checker"),
+        SerialSweep(_L, "checker_inv", ascending=False),
+        SerialSweep(_R, "checker", ascending=False),
+        SerialSweep(_L, "solid0"),
+        SerialSweep(_R, "solid1"),
+        SerialSweep(_L, "solid0"),
+    )
+
+    def __init__(self) -> None:
+        require(len(self.AUX) == AUX_SWEEPS, "aux sweep count drifted")
+        require(len(self.KERNEL) == DIAG_KERNEL_SWEEPS, "kernel sweep count drifted")
+
+    def cycles_per_iteration(self, words: int, bits: int) -> int:
+        """Serial cycles for one M1 iteration (17 n c)."""
+        return DIAG_KERNEL_SWEEPS * words * bits
+
+    def aux_cycles(self, words: int, bits: int) -> int:
+        """Serial cycles for the auxiliary detection March (9 n c)."""
+        return AUX_SWEEPS * words * bits
+
+    def total_cycles(self, words: int, bits: int, iterations: int) -> int:
+        """Eq. (1) in cycles: ``(17 k + 9) n c``."""
+        require(iterations >= 0, "iterations must be non-negative")
+        return (
+            DIAG_KERNEL_SWEEPS * iterations + AUX_SWEEPS
+        ) * words * bits
+
+
+def min_iterations(
+    fault_count: int,
+    kernel_share: float = M1_COVERAGE_SHARE,
+    faults_per_iteration: int = FAULTS_PER_ITERATION,
+) -> int:
+    """The paper's minimum-k arithmetic (Sec. 4.2).
+
+    With ``F`` faults of which the kernel localizes a ``kernel_share``
+    fraction at ``faults_per_iteration`` per iteration:
+    ``k = ceil(F * share / per_iteration)`` -- 96 for the case study's 256.
+
+    >>> min_iterations(256)
+    96
+    """
+    require(fault_count >= 0, "fault_count must be non-negative")
+    require_positive(faults_per_iteration, "faults_per_iteration")
+    require(0.0 <= kernel_share <= 1.0, "kernel_share must be in [0, 1]")
+    return math.ceil(fault_count * kernel_share / faults_per_iteration)

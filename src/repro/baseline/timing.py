@@ -1,0 +1,87 @@
+"""Closed-form diagnosis-time model for the [7, 8] baseline.
+
+Equation (1) of the paper, plus the DRF surcharge used in Eq. (4):
+
+* ``T[7,8] = (17 k + 9) n c t``  (no DRF coverage),
+* DRF extra = ``8 k n c t + 200 ms``  (the ``(w0/r0)R+L, (w1/r1)R+L``
+  sweeps per iteration plus two 100 ms retention pauses).
+
+All times are in nanoseconds; ``t`` is the diagnosis clock period in ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.diag_rsmarch import (
+    AUX_SWEEPS,
+    DIAG_KERNEL_SWEEPS,
+    DRF_SWEEPS_PER_ITERATION,
+)
+from repro.util.records import Record
+from repro.util.units import NS_PER_MS
+from repro.util.validation import require, require_positive
+
+#: Total retention pause budget for delay-based DRF testing: 100 ms per
+#: data polarity (Sec. 1 and Sec. 4.2 of the paper).
+DRF_PAUSE_TOTAL_NS = 200.0 * NS_PER_MS
+
+
+def baseline_diagnosis_time_ns(
+    words: int, bits: int, period_ns: float, iterations: int
+) -> float:
+    """Eq. (1): ``T[7,8] = (17 k + 9) n c t`` in nanoseconds.
+
+    >>> baseline_diagnosis_time_ns(512, 100, 10.0, 96)
+    840192000.0
+    """
+    require_positive(words, "words")
+    require_positive(bits, "bits")
+    require_positive(period_ns, "period_ns")
+    require(iterations >= 0, "iterations must be non-negative")
+    sweeps = DIAG_KERNEL_SWEEPS * iterations + AUX_SWEEPS
+    return sweeps * words * bits * period_ns
+
+
+def baseline_drf_extra_ns(
+    words: int, bits: int, period_ns: float, iterations: int
+) -> float:
+    """DRF surcharge for the baseline: ``8 k n c t + 200 ms`` (Eq. (4))."""
+    require_positive(words, "words")
+    require_positive(bits, "bits")
+    require_positive(period_ns, "period_ns")
+    require(iterations >= 0, "iterations must be non-negative")
+    sweeps = DRF_SWEEPS_PER_ITERATION * iterations
+    return sweeps * words * bits * period_ns + DRF_PAUSE_TOTAL_NS
+
+
+@dataclass(frozen=True)
+class BaselineTimingBreakdown(Record):
+    """Itemized baseline diagnosis time."""
+
+    words: int
+    bits: int
+    period_ns: float
+    iterations: int
+    include_drf: bool
+
+    @property
+    def base_ns(self) -> float:
+        """Eq. (1) component."""
+        return baseline_diagnosis_time_ns(
+            self.words, self.bits, self.period_ns, self.iterations
+        )
+
+    @property
+    def drf_extra_ns(self) -> float:
+        """DRF surcharge (zero when DRFs are not diagnosed)."""
+        if not self.include_drf:
+            return 0.0
+        return baseline_drf_extra_ns(
+            self.words, self.bits, self.period_ns, self.iterations
+        )
+
+    @property
+    def total_ns(self) -> float:
+        """Total baseline diagnosis time."""
+        return self.base_ns + self.drf_extra_ns

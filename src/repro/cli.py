@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro case-study            # the Sec. 4.2 headline numbers
+    python -m repro diagnose ...          # run a scheme on a faulty memory
+    python -m repro coverage ...          # algorithm coverage matrix
+    python -m repro sweep ...             # R vs defect rate
+    python -m repro area                  # Sec. 4.3 area/wire table
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.area import AreaModel, TransistorBudget, wire_comparison
+from repro.analysis.sweeps import sweep_defect_rate
+from repro.analysis.timing_model import case_study_comparison
+from repro.baseline.scheme import HuangJoneScheme
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.population import sample_population
+from repro.march.coverage import algorithm_runner, evaluate_coverage
+from repro.march.library import march_c_minus, march_cw, march_cw_nw
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.records import format_table
+from repro.util.units import format_duration_ns
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    row = case_study_comparison()
+    print(row.pretty())
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    geometry = MemoryGeometry(args.words, args.bits, "esram")
+    memory = SRAM(geometry, period_ns=args.period_ns)
+    injector = FaultInjector()
+    population = sample_population(geometry, args.defect_rate, rng=args.seed)
+    injector.inject(memory, population.faults)
+    print(
+        f"injected {population.size} faults at a "
+        f"{args.defect_rate:.2%} defect rate (seed {args.seed})"
+    )
+    bank = MemoryBank([memory])
+    if args.scheme == "proposed":
+        report = FastDiagnosisScheme(bank, period_ns=args.period_ns).diagnose()
+        print("\n".join(report.summary_lines()))
+        print(f"localization rate : {report.localization_rate(injector):.3f}")
+    else:
+        report = HuangJoneScheme(bank, period_ns=args.period_ns).diagnose(
+            injector, include_drf=args.include_drf
+        )
+        print(f"iterations (k)    : {report.iterations}")
+        print(f"diagnosis time    : {format_duration_ns(report.time_ns)}")
+        print(f"localized faults  : {len(report.localized)}")
+        print(f"missed faults     : {len(report.missed)}")
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    geometry = MemoryGeometry(args.words, args.bits, "cov")
+    algorithms = {
+        "March C-": march_c_minus,
+        "March CW": march_cw,
+        "March CW-NW": march_cw_nw,
+    }
+    merged: dict[str, dict[str, str]] = {}
+    for name, factory in algorithms.items():
+        for row in evaluate_coverage(algorithm_runner(factory), geometry):
+            merged.setdefault(row.label, {"fault class": row.label})[name] = (
+                f"{row.detected}/{row.instances}"
+            )
+    print(format_table(list(merged.values())))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rates = [float(r) for r in args.rates.split(",")]
+    rows = sweep_defect_rate(rates, MemoryGeometry(args.words, args.bits))
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.campaign import DiagnosisCampaign
+    from repro.soc.case_study import case_study_soc
+    from repro.soc.chip import SoCConfig
+
+    if args.soc == "buffer-cluster":
+        soc = SoCConfig.buffer_cluster()
+    else:
+        soc = case_study_soc(memories=args.memories)
+    campaign = DiagnosisCampaign(
+        soc,
+        defect_rate=args.defect_rate,
+        seed=args.seed,
+        spares_per_memory=args.spares,
+    )
+    report = campaign.run(include_baseline=not args.no_baseline)
+    print("\n".join(report.summary_lines()))
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    geometry = MemoryGeometry(args.words, args.bits)
+    paper = AreaModel(TransistorBudget.paper())
+    conservative = AreaModel(TransistorBudget.conservative())
+    wires = wire_comparison()
+    rows = [
+        {
+            "quantity": "extra cells per interface bit",
+            "value": f"{paper.extra_per_bit_cells():.1f}",
+        },
+        {
+            "quantity": "overhead (paper equivalences)",
+            "value": f"{paper.overhead_fraction(geometry, 'proposed'):.2%}",
+        },
+        {
+            "quantity": "overhead (std-cell counts)",
+            "value": f"{conservative.overhead_fraction(geometry, 'proposed'):.2%}",
+        },
+        {
+            "quantity": "extra global wires",
+            "value": f"+{wires['extra_without_drf']} (scan_en)"
+            + " [+1 NWRTM when DRF screening]",
+        },
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast diagnosis of distributed small embedded SRAMs "
+        "(DATE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    case = sub.add_parser("case-study", help="Sec. 4.2 headline numbers")
+    case.set_defaults(func=_cmd_case_study)
+
+    diag = sub.add_parser("diagnose", help="diagnose one faulty memory")
+    diag.add_argument("--words", type=int, default=512)
+    diag.add_argument("--bits", type=int, default=100)
+    diag.add_argument("--defect-rate", type=float, default=0.01)
+    diag.add_argument("--seed", type=int, default=0)
+    diag.add_argument("--period-ns", type=float, default=10.0)
+    diag.add_argument(
+        "--scheme", choices=("proposed", "baseline"), default="proposed"
+    )
+    diag.add_argument("--include-drf", action="store_true")
+    diag.set_defaults(func=_cmd_diagnose)
+
+    cov = sub.add_parser("coverage", help="algorithm coverage matrix")
+    cov.add_argument("--words", type=int, default=16)
+    cov.add_argument("--bits", type=int, default=4)
+    cov.set_defaults(func=_cmd_coverage)
+
+    sweep = sub.add_parser("sweep", help="reduction factor vs defect rate")
+    sweep.add_argument("--rates", default="0.001,0.005,0.01,0.02,0.05")
+    sweep.add_argument("--words", type=int, default=512)
+    sweep.add_argument("--bits", type=int, default=100)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    area = sub.add_parser("area", help="Sec. 4.3 area/wire table")
+    area.add_argument("--words", type=int, default=512)
+    area.add_argument("--bits", type=int, default=100)
+    area.set_defaults(func=_cmd_area)
+
+    campaign = sub.add_parser(
+        "campaign", help="full SoC campaign: diagnose, repair, verify"
+    )
+    campaign.add_argument(
+        "--soc", choices=("buffer-cluster", "case-study"), default="buffer-cluster"
+    )
+    campaign.add_argument("--memories", type=int, default=4)
+    campaign.add_argument("--defect-rate", type=float, default=0.005)
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--spares", type=int, default=32)
+    campaign.add_argument("--no-baseline", action="store_true")
+    campaign.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The paper's contribution: the fast diagnosis scheme (Fig. 3).
+
+A single BISD controller serves many distributed small e-SRAMs:
+
+* patterns are *serially delivered* (MSB first) and *applied in parallel*
+  through a per-memory Serial-to-Parallel Converter (SPC, Sec. 3.2);
+* responses are captured in parallel and *serially analyzed* through a
+  per-memory Parallel-to-Serial Converter (PSC, Sec. 3.3) while the memory
+  idles -- no data ever travels through memory cells, so there is no serial
+  fault masking and every fault is localizable in a single March run;
+* data-retention faults are screened by NWRTM (Sec. 3.4) with zero pause
+  time, via the No-Write-Recovery elements merged into March CW;
+* a comparator array checks responses bit by bit, tolerating the
+  address-wrap-around of smaller memories using stored size information.
+"""
+
+from repro.core.address_gen import LocalAddressGenerator
+from repro.core.address_trigger import AddressTrigger
+from repro.core.background_gen import DataBackgroundGenerator
+from repro.core.comparator import ComparatorArray
+from repro.core.control_gen import ControlGenerator, GlobalWire
+from repro.core.nwrtm import NwrtmController
+from repro.core.protocol import ProtocolMonitor, ProtocolViolation
+from repro.core.psc import ParallelToSerialConverter
+from repro.core.repair import RepairController, RepairResult
+from repro.core.report import ProposedReport
+from repro.core.scanout import DiagnosisScanChain, ScanFrame
+from repro.core.scheme import FastDiagnosisScheme
+from repro.core.spc import SerialToParallelConverter
+from repro.core.timing import (
+    proposed_cycles,
+    proposed_diagnosis_time_ns,
+    proposed_drf_extra_ns,
+    proposed_operation_cycles,
+    reduction_factor,
+    reduction_factor_with_drf,
+)
+
+__all__ = [
+    "AddressTrigger",
+    "ComparatorArray",
+    "ControlGenerator",
+    "DataBackgroundGenerator",
+    "DiagnosisScanChain",
+    "FastDiagnosisScheme",
+    "GlobalWire",
+    "LocalAddressGenerator",
+    "NwrtmController",
+    "ParallelToSerialConverter",
+    "ProposedReport",
+    "ProtocolMonitor",
+    "ProtocolViolation",
+    "ScanFrame",
+    "RepairController",
+    "RepairResult",
+    "SerialToParallelConverter",
+    "proposed_cycles",
+    "proposed_diagnosis_time_ns",
+    "proposed_drf_extra_ns",
+    "proposed_operation_cycles",
+    "reduction_factor",
+    "reduction_factor_with_drf",
+]

@@ -1,0 +1,71 @@
+"""Local address generators with wrap-around for smaller memories.
+
+Each e-SRAM keeps its own address generator (Sec. 3.1, inherited from
+[7, 8]) to avoid routing wide address buses.  The shared controller steps
+through the address space of the *largest* memory; a smaller memory's
+generator wraps around, so the same pattern is applied to its addresses
+multiple times.  The comparator must know the memory's size to tolerate the
+resulting redundant read-modify-write operations (see
+:mod:`repro.core.comparator`).
+"""
+
+from __future__ import annotations
+
+from repro.march.element import AddressOrder
+from repro.util.validation import require, require_positive
+
+
+class LocalAddressGenerator:
+    """Wrap-around address counter local to one memory."""
+
+    def __init__(self, words: int, controller_words: int) -> None:
+        require_positive(words, "words")
+        require(
+            controller_words >= words,
+            "the controller spans at least the largest memory",
+        )
+        self.words = words
+        self.controller_words = controller_words
+
+    @property
+    def wraps(self) -> bool:
+        """Whether this memory is smaller than the controller's span."""
+        return self.controller_words > self.words
+
+    def local_address(self, controller_address: int) -> int:
+        """Map one controller step to this memory's address."""
+        require(
+            0 <= controller_address < self.controller_words,
+            f"controller address {controller_address} out of range",
+        )
+        return controller_address % self.words
+
+    def has_wrapped(self, step_index: int) -> bool:
+        """Whether the element sweep has revisited addresses by ``step_index``.
+
+        ``step_index`` counts controller steps *within one March element*
+        (0-based).  Any ``words`` consecutive controller addresses cover
+        ``words`` distinct local addresses, so the first revisit happens
+        exactly at step ``words`` -- in either sweep direction.
+        """
+        require(step_index >= 0, "step_index must be non-negative")
+        return step_index >= self.words
+
+    def sweep(self, order: AddressOrder) -> list[tuple[int, int, bool]]:
+        """Full element sweep: (controller address, local address, wrapped)."""
+        result = []
+        for step, controller_address in enumerate(order.addresses(self.controller_words)):
+            result.append(
+                (
+                    controller_address,
+                    self.local_address(controller_address),
+                    self.has_wrapped(step),
+                )
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalAddressGenerator(words={self.words}, "
+            f"controller_words={self.controller_words})"
+        )

@@ -1,0 +1,40 @@
+"""Address trigger: the controller-side start pulse for March elements.
+
+The shared controller does not route addresses to the memories; it routes a
+single *trigger* that tells every local address generator to run one full
+March element (Sec. 3.1: "the controller triggers the local address
+generator to conduct a full March element before providing a new test
+pattern").  This module is a small bookkeeping model of that handshake,
+used for wire counting and sequencing assertions.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require
+
+
+class AddressTrigger:
+    """One-wire element-start handshake between controller and memories."""
+
+    def __init__(self) -> None:
+        self.triggers_issued = 0
+        self._element_open = False
+
+    def fire(self) -> None:
+        """Start a March element across all local address generators."""
+        require(not self._element_open, "previous element still running")
+        self._element_open = True
+        self.triggers_issued += 1
+
+    def element_done(self) -> None:
+        """All local generators completed the element (``bisddone`` edge)."""
+        require(self._element_open, "no element in flight")
+        self._element_open = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether an element is currently in flight."""
+        return self._element_open
+
+    def __repr__(self) -> str:
+        return f"AddressTrigger(issued={self.triggers_issued}, busy={self.busy})"

@@ -1,0 +1,54 @@
+"""Data Background Generator: serializes patterns for SPC delivery.
+
+Sized for the *widest* memory in the bank (Sec. 3.1: "the global BISD
+controller is designed based on the largest and the widest e-SRAM").  The
+paper's key detail is the delivery order: the generator shifts patterns out
+MSB-first so that every narrower SPC retains the correct low bits.
+"""
+
+from __future__ import annotations
+
+from repro.util.bitops import bit_of, mask
+from repro.util.validation import require, require_positive
+
+
+class DataBackgroundGenerator:
+    """Controller-side pattern serializer."""
+
+    def __init__(self, controller_bits: int, msb_first: bool = True) -> None:
+        require_positive(controller_bits, "controller_bits")
+        self.controller_bits = controller_bits
+        self.msb_first = msb_first
+        #: Total serial delivery cycles issued (c per delivered pattern).
+        self.cycles = 0
+        #: Number of patterns delivered (one per writing March element).
+        self.deliveries = 0
+
+    def stream(self, pattern: int) -> list[int]:
+        """The bit sequence a delivery of ``pattern`` puts on the wire."""
+        require(
+            0 <= pattern <= mask(self.controller_bits),
+            f"pattern {pattern:#x} too wide for {self.controller_bits} bits",
+        )
+        if self.msb_first:
+            order = range(self.controller_bits - 1, -1, -1)
+        else:
+            order = range(self.controller_bits)
+        return [bit_of(pattern, i) for i in order]
+
+    def deliver(self, pattern: int, converters) -> None:
+        """Broadcast ``pattern`` serially to every SPC (one shared wire).
+
+        All SPCs shift simultaneously, so one delivery costs
+        ``controller_bits`` cycles regardless of how many memories listen.
+        """
+        bits = self.stream(pattern)
+        for bit in bits:
+            for converter in converters:
+                converter.shift_in(bit)
+        self.cycles += len(bits)
+        self.deliveries += 1
+
+    def __repr__(self) -> str:
+        order = "msb-first" if self.msb_first else "lsb-first"
+        return f"DataBackgroundGenerator(bits={self.controller_bits}, {order})"

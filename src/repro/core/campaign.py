@@ -1,0 +1,125 @@
+"""One-call diagnosis campaigns: inject -> diagnose -> repair -> verify.
+
+The examples and CLI all follow the same outer loop; this module is that
+loop as a library object, producing a single report with every artefact
+(injection ground truth, proposed-scheme session, optional baseline
+session, repair outcome, verification verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.scheme import BaselineReport, HuangJoneScheme
+from repro.core.repair import RepairController, RepairResult
+from repro.core.report import ProposedReport
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.population import sample_population
+from repro.soc.chip import SoCConfig
+from repro.util.records import Record
+from repro.util.units import format_duration_ns
+from repro.util.validation import require
+
+
+@dataclass
+class CampaignReport(Record):
+    """Everything one campaign produced."""
+
+    soc_name: str
+    injected_faults: int
+    proposed: ProposedReport | None = None
+    baseline: BaselineReport | None = None
+    repair: RepairResult | None = None
+    verification_passed: bool | None = None
+    localization_rate: float = 0.0
+
+    @property
+    def reduction_factor(self) -> float | None:
+        """Measured baseline/proposed time ratio (None without baseline)."""
+        if self.baseline is None or self.proposed is None:
+            return None
+        return self.baseline.time_ns / self.proposed.time_ns
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable campaign summary."""
+        lines = [
+            f"campaign on {self.soc_name}: {self.injected_faults} faults injected",
+        ]
+        if self.proposed is not None:
+            lines.append(
+                f"  proposed : {format_duration_ns(self.proposed.time_ns)}, "
+                f"localization {self.localization_rate:.1%}"
+            )
+        if self.baseline is not None:
+            lines.append(
+                f"  baseline : {format_duration_ns(self.baseline.time_ns)} "
+                f"(k={self.baseline.iterations}, "
+                f"{len(self.baseline.missed)} faults missed)"
+            )
+        if self.reduction_factor is not None:
+            lines.append(f"  reduction: {self.reduction_factor:.1f}x")
+        if self.repair is not None:
+            lines.append(
+                f"  repair   : {self.repair.total_repaired_words} words, "
+                f"fully repaired: {self.repair.fully_repaired}"
+            )
+        if self.verification_passed is not None:
+            verdict = "PASS" if self.verification_passed else "FAIL"
+            lines.append(f"  verify   : {verdict}")
+        return lines
+
+
+class DiagnosisCampaign:
+    """Orchestrates a complete campaign over one SoC configuration."""
+
+    def __init__(
+        self,
+        soc: SoCConfig,
+        defect_rate: float = 0.005,
+        seed: int = 0,
+        spares_per_memory: int = 32,
+    ) -> None:
+        require(0.0 <= defect_rate <= 1.0, "defect_rate must be in [0, 1]")
+        self.soc = soc
+        self.defect_rate = defect_rate
+        self.seed = seed
+        self.spares_per_memory = spares_per_memory
+
+    def _faulty_bank(self):
+        bank = self.soc.build_bank()
+        injector = FaultInjector()
+        for index, memory in enumerate(bank):
+            population = sample_population(
+                memory.geometry, self.defect_rate, rng=self.seed + index
+            )
+            injector.inject(memory, population.faults)
+        return bank, injector
+
+    def run(
+        self,
+        include_baseline: bool = True,
+        repair: bool = True,
+    ) -> CampaignReport:
+        """Execute the campaign and return the combined report."""
+        bank, injector = self._faulty_bank()
+        scheme = FastDiagnosisScheme(bank, period_ns=self.soc.period_ns)
+        proposed = scheme.diagnose()
+        report = CampaignReport(
+            soc_name=self.soc.name,
+            injected_faults=injector.total,
+            proposed=proposed,
+            localization_rate=proposed.localization_rate(injector),
+        )
+
+        if include_baseline:
+            baseline_bank, baseline_injector = self._faulty_bank()
+            report.baseline = HuangJoneScheme(
+                baseline_bank, period_ns=self.soc.period_ns
+            ).diagnose(baseline_injector, include_drf=True)
+
+        if repair:
+            controller = RepairController(bank, self.spares_per_memory)
+            report.repair = controller.apply(proposed)
+            report.verification_passed = scheme.diagnose().passed
+        return report

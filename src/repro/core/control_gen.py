@@ -1,0 +1,96 @@
+"""Control generator and the global-wire inventory.
+
+Besides sequencing reads/writes, the control generator is where the
+paper's *wire accounting* lives (Sec. 4.3): relative to [7, 8], the
+proposed scheme adds exactly **one** global wire -- the PSC ``scan_en`` --
+plus the ``NWRTM`` wire when DRF screening is enabled (a capability the
+baseline lacks altogether, so the paper counts it separately).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.records import Record
+
+
+class GlobalWire(enum.Enum):
+    """Named global diagnosis wires routed from the controller."""
+
+    CLOCK = "clock"
+    RESET = "reset"
+    SERIAL_PATTERN = "serial_pattern"  # background delivery (shared bus)
+    SERIAL_RESPONSE = "serial_response"  # PSC return stream (one per memory)
+    ADDRESS_TRIGGER = "address_trigger"
+    CONTROL_BUS = "control_bus"  # read/write enable sequencing
+    BISD_DONE = "bisddone"
+    SCAN_EN = "scan_en"  # the +1 wire of the proposed scheme
+    NWRTM = "nwrtm"  # DRF screening (absent from the baseline)
+
+
+#: Wires present in the [7, 8] baseline architecture.
+BASELINE_WIRES = frozenset(
+    {
+        GlobalWire.CLOCK,
+        GlobalWire.RESET,
+        GlobalWire.SERIAL_PATTERN,
+        GlobalWire.SERIAL_RESPONSE,
+        GlobalWire.ADDRESS_TRIGGER,
+        GlobalWire.CONTROL_BUS,
+        GlobalWire.BISD_DONE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class WireInventory(Record):
+    """Wire sets for one scheme configuration."""
+
+    wires: frozenset[GlobalWire]
+
+    @property
+    def count(self) -> int:
+        """Number of distinct global wires."""
+        return len(self.wires)
+
+    def extra_over(self, other: "WireInventory") -> set[GlobalWire]:
+        """Wires present here but not in ``other``."""
+        return set(self.wires - other.wires)
+
+
+class ControlGenerator:
+    """Controller-side sequencing signals plus the wire inventory."""
+
+    def __init__(self, drf_screening: bool = True) -> None:
+        self.drf_screening = drf_screening
+        self.scan_en = False
+        self.nwrtm = False
+
+    def wires(self) -> WireInventory:
+        """Global wires the proposed scheme routes."""
+        wires = set(BASELINE_WIRES) | {GlobalWire.SCAN_EN}
+        if self.drf_screening:
+            wires.add(GlobalWire.NWRTM)
+        return WireInventory(frozenset(wires))
+
+    @staticmethod
+    def baseline_wires() -> WireInventory:
+        """Global wires the [7, 8] baseline routes."""
+        return WireInventory(BASELINE_WIRES)
+
+    def set_scan_en(self, value: bool) -> None:
+        """Drive the PSC scan-enable (the +1 global wire)."""
+        self.scan_en = value
+
+    def set_nwrtm(self, value: bool) -> None:
+        """Drive the NWRTM precharge-gate signal for all memories."""
+        if value and not self.drf_screening:
+            raise ValueError("NWRTM is not routed in this configuration")
+        self.nwrtm = value
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlGenerator(scan_en={self.scan_en}, nwrtm={self.nwrtm}, "
+            f"drf_screening={self.drf_screening})"
+        )

@@ -1,0 +1,67 @@
+"""Parallel-to-Serial Converter (PSC), Sec. 3.3 / Fig. 5 of the paper.
+
+Scan-type flip-flops capture the memory's read data in parallel
+(``scan_en = 0``) and then serialize it back to the BISD controller LSB
+first (``scan_en = 1``) while the memory sits in an idle -- or
+read-with-data-ignored -- mode.  Because the shift path contains only the
+PSC's own flops, never memory cells, a defective cell cannot corrupt
+another cell's response: no serial fault masking.
+
+The paper's at-speed argument is also modelled: between the read and the
+last shift, the memory's write-enable and data inputs must be *held*, so
+the WEN decoding and input circuitry still see at-speed transitions.  The
+scheme asserts that hold via :meth:`begin_shift`/:meth:`end_shift`.
+"""
+
+from __future__ import annotations
+
+from repro.serial.shift_register import ShiftDirection, ShiftRegister
+from repro.util.bitops import mask
+from repro.util.validation import require, require_positive
+
+
+class ParallelToSerialConverter:
+    """Per-memory PSC built from scan DFFs."""
+
+    def __init__(self, width: int) -> None:
+        require_positive(width, "width")
+        self.width = width
+        self._register = ShiftRegister(width)
+        self.scan_en = False
+        #: Serial cycles consumed by this PSC.
+        self.cycles = 0
+        #: Captures performed (one per March read).
+        self.captures = 0
+
+    def capture(self, response: int) -> None:
+        """Latch the memory's read data in parallel (``scan_en`` low)."""
+        require(not self.scan_en, "cannot capture while scan_en is asserted")
+        require(0 <= response <= mask(self.width), f"response {response:#x} too wide")
+        self._register.load(response)
+        self.captures += 1
+
+    def begin_shift(self) -> None:
+        """Assert ``scan_en``; the memory enters idle/read-ignored mode."""
+        self.scan_en = True
+
+    def shift_out(self) -> int:
+        """Emit one bit toward the controller (LSB first)."""
+        require(self.scan_en, "assert scan_en before shifting")
+        out = self._register.shift(0, ShiftDirection.LEFT)
+        self.cycles += 1
+        return out
+
+    def end_shift(self) -> None:
+        """Deassert ``scan_en``; the memory may resume March operations."""
+        self.scan_en = False
+
+    def serialize(self, response: int) -> list[int]:
+        """Capture and fully serialize one response (LSB..MSB bit list)."""
+        self.capture(response)
+        self.begin_shift()
+        bits = [self.shift_out() for _ in range(self.width)]
+        self.end_shift()
+        return bits
+
+    def __repr__(self) -> str:
+        return f"ParallelToSerialConverter(width={self.width}, scan_en={self.scan_en})"

@@ -1,0 +1,163 @@
+"""Two-dimensional redundancy allocation (spare rows + spare columns).
+
+The paper's motivation for diagnosis is repair: "locating the faulty cells
+such that repair can be done to improve the production yield".  Word-level
+spares (:mod:`repro.core.repair`) handle scattered single cells; real
+macros ship *row and column* redundancy, and deciding which failing cells
+get a spare row vs a spare column is the classical repair-allocation
+problem (NP-complete in general, Kuo & Fuchs).
+
+The allocator implements the standard two phases:
+
+1. **must-repair**: a row containing more distinct failing columns than
+   the remaining column spares *must* take a spare row (and symmetrically
+   for columns) -- iterated to a fixed point;
+2. **final-repair**: the sparse residue is solved exactly by
+   branch-and-bound over (repair-row vs repair-column) choices per
+   remaining failing cell.
+
+Inputs are exactly what the diagnosis session produces: the set of
+localized failing cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.geometry import CellRef
+from repro.util.records import Record
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class RedundancyBudget(Record):
+    """Available spare resources for one memory."""
+
+    spare_rows: int
+    spare_cols: int
+
+    def __post_init__(self) -> None:
+        require(self.spare_rows >= 0, "spare_rows must be >= 0")
+        require(self.spare_cols >= 0, "spare_cols must be >= 0")
+
+
+@dataclass
+class RedundancyPlan(Record):
+    """Allocation result: which rows/columns to replace."""
+
+    repair_rows: set[int] = field(default_factory=set)
+    repair_cols: set[int] = field(default_factory=set)
+    feasible: bool = True
+    #: Failing cells no allocation could cover (only when infeasible).
+    uncovered: set[CellRef] = field(default_factory=set)
+
+    def covers(self, cell: CellRef) -> bool:
+        """Whether the plan repairs ``cell``."""
+        return cell.word in self.repair_rows or cell.bit in self.repair_cols
+
+    @property
+    def spares_used(self) -> tuple[int, int]:
+        """(rows, columns) consumed."""
+        return len(self.repair_rows), len(self.repair_cols)
+
+
+def _must_repair(
+    cells: set[CellRef], budget: RedundancyBudget
+) -> tuple[set[int], set[int], set[CellRef], bool]:
+    """Iterate the must-repair rules to a fixed point, one spare at a time."""
+    rows: set[int] = set()
+    cols: set[int] = set()
+    while True:
+        remaining = {
+            c for c in cells if c.word not in rows and c.bit not in cols
+        }
+        cols_left = budget.spare_cols - len(cols)
+        rows_left = budget.spare_rows - len(rows)
+
+        by_row: dict[int, set[int]] = {}
+        by_col: dict[int, set[int]] = {}
+        for cell in remaining:
+            by_row.setdefault(cell.word, set()).add(cell.bit)
+            by_col.setdefault(cell.bit, set()).add(cell.word)
+
+        forced_row = next(
+            (row for row, columns in sorted(by_row.items()) if len(columns) > cols_left),
+            None,
+        )
+        if forced_row is not None:
+            if rows_left == 0:
+                return rows, cols, remaining, False
+            rows.add(forced_row)
+            continue
+        forced_col = next(
+            (col for col, words in sorted(by_col.items()) if len(words) > rows_left),
+            None,
+        )
+        if forced_col is not None:
+            if cols_left == 0:
+                return rows, cols, remaining, False
+            cols.add(forced_col)
+            continue
+        return rows, cols, remaining, True
+
+
+def _branch(
+    cells: list[CellRef],
+    rows: set[int],
+    cols: set[int],
+    rows_left: int,
+    cols_left: int,
+) -> tuple[set[int], set[int]] | None:
+    """Exact branch-and-bound over the sparse residue."""
+    cells = [c for c in cells if c.word not in rows and c.bit not in cols]
+    if not cells:
+        return rows, cols
+    if rows_left == 0 and cols_left == 0:
+        return None
+    cell = cells[0]
+    if rows_left > 0:
+        solution = _branch(
+            cells[1:], rows | {cell.word}, cols, rows_left - 1, cols_left
+        )
+        if solution is not None:
+            return solution
+    if cols_left > 0:
+        solution = _branch(
+            cells[1:], rows, cols | {cell.bit}, rows_left, cols_left - 1
+        )
+        if solution is not None:
+            return solution
+    return None
+
+
+def allocate_redundancy(
+    failing_cells: set[CellRef] | list[CellRef],
+    budget: RedundancyBudget,
+) -> RedundancyPlan:
+    """Allocate spare rows/columns to cover every failing cell.
+
+    Returns an infeasible plan (with the uncovered residue) when the
+    budget cannot cover the failure pattern.
+    """
+    cells = set(failing_cells)
+    if not cells:
+        return RedundancyPlan()
+
+    rows, cols, remaining, ok = _must_repair(cells, budget)
+    if not ok:
+        return RedundancyPlan(
+            repair_rows=rows, repair_cols=cols, feasible=False, uncovered=remaining
+        )
+    solution = _branch(
+        sorted(remaining),
+        rows,
+        cols,
+        budget.spare_rows - len(rows),
+        budget.spare_cols - len(cols),
+    )
+    if solution is None:
+        return RedundancyPlan(
+            repair_rows=rows, repair_cols=cols, feasible=False, uncovered=remaining
+        )
+    final_rows, final_cols = solution
+    return RedundancyPlan(repair_rows=final_rows, repair_cols=final_cols)

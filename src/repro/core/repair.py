@@ -1,0 +1,92 @@
+"""Built-in self-repair (BISR) hook: spare allocation from diagnosis.
+
+Figure 1/3 of the paper: "once a defective cell is found, the diagnosis
+information ... will be either registered for on-chip repair or scanned out
+for off-line analysis".  This module implements the on-chip path at word
+granularity: failing addresses are remapped onto each memory's backup
+(spare) words, and the faults touching a repaired word are detached from
+the access path -- after which a verification re-run must come back clean
+(unless the spare pool ran dry or the defect sits in the periphery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import ProposedReport
+from repro.memory.bank import MemoryBank
+from repro.memory.spare import SpareBank
+from repro.util.records import Record
+from repro.util.validation import require
+
+
+@dataclass
+class RepairResult(Record):
+    """Outcome of one repair pass."""
+
+    repaired: dict[str, set[int]] = field(default_factory=dict)
+    out_of_spares: dict[str, set[int]] = field(default_factory=dict)
+    detached_faults: int = 0
+
+    @property
+    def fully_repaired(self) -> bool:
+        """True when every failing address got a spare."""
+        return not any(self.out_of_spares.values())
+
+    @property
+    def total_repaired_words(self) -> int:
+        """Number of words remapped onto spares."""
+        return sum(len(v) for v in self.repaired.values())
+
+
+class RepairController:
+    """Allocates backup-memory spares based on a diagnosis report."""
+
+    def __init__(self, bank: MemoryBank, spares_per_memory: int = 8) -> None:
+        require(spares_per_memory >= 0, "spares_per_memory must be >= 0")
+        self.bank = bank
+        self.spares = {
+            m.name: SpareBank(spares_per_memory, m.bits) for m in bank
+        }
+
+    def apply(self, report: ProposedReport) -> RepairResult:
+        """Remap every failing address onto a spare word where possible.
+
+        Repairing a word detaches all cell faults whose victims *or*
+        aggressors live in it (replacing the row breaks bridges too).
+        Address-decoder and column faults are peripheral and cannot be
+        repaired by word spares; they remain and will fail verification.
+        """
+        result = RepairResult()
+        for memory in self.bank:
+            failing = {f.address for f in report.failures.get(memory.name, [])}
+            spare_bank = self.spares[memory.name]
+            repaired: set[int] = set()
+            exhausted: set[int] = set()
+            for address in sorted(failing):
+                if spare_bank.allocate(address):
+                    repaired.add(address)
+                else:
+                    exhausted.add(address)
+            if repaired:
+                result.detached_faults += self._detach_word_faults(memory, repaired)
+            result.repaired[memory.name] = repaired
+            result.out_of_spares[memory.name] = exhausted
+        return result
+
+    def _detach_word_faults(self, memory, repaired_words: set[int]) -> int:
+        detached = 0
+        for fault in memory.cell_faults:
+            involved = {cell.word for cell in fault.victims}
+            involved.update(cell.word for cell in fault.aggressors)
+            if involved & repaired_words:
+                memory.remove_cell_fault(fault)
+                detached += 1
+        return detached
+
+    def spare_usage(self) -> dict[str, tuple[int, int]]:
+        """Per-memory (used, total) spare counts."""
+        return {
+            name: (bank.used, bank.spare_words)
+            for name, bank in self.spares.items()
+        }

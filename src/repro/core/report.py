@@ -1,0 +1,156 @@
+"""Diagnosis reports for the proposed scheme.
+
+A report collects every failure the comparator array registered, exposes
+the localized cells, and -- given the ground-truth injector -- scores
+detection and localization per fault, which is what the evaluation
+experiments (E5, E6) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.injector import FaultInjector
+from repro.march.simulator import FailureRecord
+from repro.memory.geometry import CellRef
+from repro.util.records import Record
+from repro.util.units import format_duration_ns
+
+
+@dataclass(frozen=True)
+class FaultScore(Record):
+    """Ground-truth outcome for one injected fault."""
+
+    memory_name: str
+    description: str
+    fault_class: str
+    detected: bool
+    localized: bool
+
+
+@dataclass
+class ProposedReport(Record):
+    """Outcome of one proposed-scheme diagnosis session."""
+
+    algorithm_name: str
+    controller_words: int
+    controller_bits: int
+    period_ns: float
+    cycles: int = 0
+    pause_ns: float = 0.0
+    failures: dict[str, list[FailureRecord]] = field(default_factory=dict)
+    deliveries: int = 0
+    nwrc_ops: int = 0
+    #: True when a go/no-go session stopped before running every element.
+    aborted_early: bool = False
+
+    @property
+    def time_ns(self) -> float:
+        """Total diagnosis time (cycles x period + pauses)."""
+        return self.cycles * self.period_ns + self.pause_ns
+
+    @property
+    def total_failures(self) -> int:
+        """Mismatching reads across all memories."""
+        return sum(len(f) for f in self.failures.values())
+
+    @property
+    def passed(self) -> bool:
+        """True when no memory produced a mismatch."""
+        return self.total_failures == 0
+
+    def detected_cells(self, memory_name: str) -> set[CellRef]:
+        """Cells implicated by failures in one memory."""
+        cells: set[CellRef] = set()
+        for failure in self.failures.get(memory_name, []):
+            cells.update(failure.failing_cells())
+        return cells
+
+    def failing_memories(self) -> list[str]:
+        """Names of memories with at least one failure."""
+        return sorted(name for name, f in self.failures.items() if f)
+
+    def score_against(self, injector: FaultInjector) -> list[FaultScore]:
+        """Score every injected fault: detected? victim localized?
+
+        A fault is *detected* when its memory produced any failure
+        involving one of its victim cells, and *localized* under the same
+        condition -- the proposed scheme's failure records carry exact
+        (address, bit) coordinates, so detection and localization coincide
+        (unlike the serial baselines).
+        """
+        scores = []
+        for name in injector.memories():
+            reported = self.detected_cells(name)
+            for fault in injector.faults_for(name):
+                hit = bool(reported & set(fault.victims))
+                scores.append(
+                    FaultScore(
+                        memory_name=name,
+                        description=fault.describe(),
+                        fault_class=fault.fault_class.value,
+                        detected=hit,
+                        localized=hit,
+                    )
+                )
+        return scores
+
+    def localization_rate(self, injector: FaultInjector, fault_filter=None) -> float:
+        """Fraction of injected faults whose victims were localized."""
+        scores = self.score_against(injector)
+        if fault_filter is not None:
+            scores = [s for s in scores if fault_filter(s)]
+        if not scores:
+            return 1.0
+        return sum(1 for s in scores if s.localized) / len(scores)
+
+    def localized_cells(self, memory_name: str) -> list["LocalizedCell"]:
+        """Per-cell localization evidence, strongest first.
+
+        Aggregates the failure records of one memory into one entry per
+        implicated cell with the count of failing reads and the first March
+        element that exposed it -- the per-cell view repair and off-line
+        analysis consume.
+        """
+        evidence: dict[CellRef, list[FailureRecord]] = {}
+        for failure in self.failures.get(memory_name, []):
+            for cell in failure.failing_cells():
+                evidence.setdefault(cell, []).append(failure)
+        cells = [
+            LocalizedCell(
+                memory_name=memory_name,
+                cell=cell,
+                failing_reads=len(records),
+                first_step=records[0].step_label,
+            )
+            for cell, records in evidence.items()
+        ]
+        return sorted(cells, key=lambda c: (-c.failing_reads, c.cell))
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable session summary for examples and logs."""
+        lines = [
+            f"algorithm        : {self.algorithm_name}",
+            f"controller       : {self.controller_words} words x "
+            f"{self.controller_bits} bits @ {self.period_ns} ns",
+            f"cycles           : {self.cycles}",
+            f"diagnosis time   : {format_duration_ns(self.time_ns)}",
+            f"pattern deliveries: {self.deliveries}",
+            f"NWRC operations  : {self.nwrc_ops}",
+            f"total failures   : {self.total_failures}",
+        ]
+        for name in sorted(self.failures):
+            cells = self.detected_cells(name)
+            lines.append(f"  {name}: {len(self.failures[name])} failing reads, "
+                         f"{len(cells)} distinct cells")
+        return lines
+
+
+@dataclass(frozen=True)
+class LocalizedCell(Record):
+    """One cell pinpointed by diagnosis, with its failing evidence."""
+
+    memory_name: str
+    cell: CellRef
+    failing_reads: int
+    first_step: str

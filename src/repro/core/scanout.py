@@ -1,0 +1,129 @@
+"""Diagnosis scan-out: serializing failure records for off-line analysis.
+
+Section 3.1: "once a defective cell is found, the diagnosis information,
+e.g., failure addresses, data background, etc., will be either registered
+for on-chip repair or scanned out for off-line analysis."  This module
+implements the scan path: failure records are packed into fixed-width
+frames and shifted out as a bitstream; the off-line side parses the stream
+back into records (and typically feeds them to the diagnosis dictionary in
+:mod:`repro.analysis.resolution`).
+
+Frame layout (LSB first on the wire), all widths fixed per memory:
+
+====================  ==========================================
+field                 width
+====================  ==========================================
+address               ``geometry.address_bits``
+syndrome              ``geometry.bits`` (failing-bit mask)
+step index            ``STEP_FIELD_BITS``
+op index              ``OP_FIELD_BITS``
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.march.simulator import FailureRecord
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.util.bitops import bits_to_int, int_to_bits, mask
+from repro.util.records import Record
+from repro.util.validation import require
+
+#: Field widths for the frame header (generous for any realistic March).
+STEP_FIELD_BITS = 8
+OP_FIELD_BITS = 4
+
+
+@dataclass(frozen=True)
+class ScanFrame(Record):
+    """One decoded diagnosis frame."""
+
+    address: int
+    syndrome: int
+    step_index: int
+    op_index: int
+
+    def failing_cells(self) -> list[CellRef]:
+        """Cells implicated by the frame."""
+        return [
+            CellRef(self.address, bit)
+            for bit in range(self.syndrome.bit_length())
+            if (self.syndrome >> bit) & 1
+        ]
+
+
+class DiagnosisScanChain:
+    """Packs failure records into a serial bitstream and back."""
+
+    def __init__(self, geometry: MemoryGeometry) -> None:
+        self.geometry = geometry
+
+    @property
+    def frame_bits(self) -> int:
+        """Bits per frame for this memory."""
+        return (
+            self.geometry.address_bits
+            + self.geometry.bits
+            + STEP_FIELD_BITS
+            + OP_FIELD_BITS
+        )
+
+    def encode_frame(self, failure: FailureRecord) -> list[int]:
+        """Pack one failure record into a frame (LSB-first bit list)."""
+        require(
+            failure.step_index < (1 << STEP_FIELD_BITS),
+            f"step index {failure.step_index} exceeds the frame field",
+        )
+        require(
+            failure.op_index < (1 << OP_FIELD_BITS),
+            f"op index {failure.op_index} exceeds the frame field",
+        )
+        self.geometry.check_address(failure.address)
+        syndrome = failure.syndrome & mask(self.geometry.bits)
+        bits: list[int] = []
+        bits.extend(int_to_bits(failure.address, self.geometry.address_bits))
+        bits.extend(int_to_bits(syndrome, self.geometry.bits))
+        bits.extend(int_to_bits(failure.step_index, STEP_FIELD_BITS))
+        bits.extend(int_to_bits(failure.op_index, OP_FIELD_BITS))
+        return bits
+
+    def encode(self, failures: list[FailureRecord]) -> list[int]:
+        """Serialize a full failure list into one bitstream."""
+        stream: list[int] = []
+        for failure in failures:
+            stream.extend(self.encode_frame(failure))
+        return stream
+
+    def decode(self, stream: list[int]) -> list[ScanFrame]:
+        """Parse a bitstream back into frames."""
+        require(
+            len(stream) % self.frame_bits == 0,
+            f"stream length {len(stream)} is not a multiple of "
+            f"{self.frame_bits}-bit frames",
+        )
+        frames = []
+        for start in range(0, len(stream), self.frame_bits):
+            chunk = stream[start : start + self.frame_bits]
+            cursor = 0
+
+            def take(width: int) -> int:
+                nonlocal cursor
+                value = bits_to_int(chunk[cursor : cursor + width])
+                cursor += width
+                return value
+
+            frames.append(
+                ScanFrame(
+                    address=take(self.geometry.address_bits),
+                    syndrome=take(self.geometry.bits),
+                    step_index=take(STEP_FIELD_BITS),
+                    op_index=take(OP_FIELD_BITS),
+                )
+            )
+        return frames
+
+    def scan_out_cycles(self, failure_count: int) -> int:
+        """Shift cycles needed to scan out ``failure_count`` records."""
+        require(failure_count >= 0, "failure_count must be non-negative")
+        return failure_count * self.frame_bits

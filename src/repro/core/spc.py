@@ -1,0 +1,79 @@
+"""Serial-to-Parallel Converter (SPC), Sec. 3.2 / Fig. 4 of the paper.
+
+The controller's Data Background Generator serializes each pattern and
+broadcasts it to every memory's SPC.  The *order* of serialization decides
+whether heterogeneous widths work:
+
+* **MSB-first** (the paper's design): the stream is ``DP[c-1], ..., DP[0]``
+  and each SPC shifts bits in at stage 0, pushing earlier bits up.  A
+  narrower SPC of width ``c' < c`` simply lets the ``c - c'`` leading bits
+  fall off the far end, retaining exactly ``DP[c'-1:0]`` -- the correct
+  pattern for a ``c'``-wide memory.
+* **LSB-first** (the flawed alternative the paper analyzes): the narrower
+  SPC ends up holding ``DP[c-1:c-c']`` -- the *top* of the pattern -- and
+  diagnosis coverage is lost.
+
+Both variants are implemented so the coverage-loss experiment (F4) can
+demonstrate the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.serial.shift_register import ShiftDirection, ShiftRegister
+from repro.util.validation import require, require_positive
+
+
+class SerialToParallelConverter:
+    """Per-memory SPC: serial pattern in, parallel pattern out."""
+
+    def __init__(self, width: int, msb_first: bool = True) -> None:
+        require_positive(width, "width")
+        self.width = width
+        self.msb_first = msb_first
+        self._register = ShiftRegister(width)
+        #: Serial cycles consumed by this SPC.
+        self.cycles = 0
+
+    @property
+    def parallel_out(self) -> int:
+        """The pattern currently presented to the memory's data inputs."""
+        return self._register.value
+
+    def shift_in(self, bit: int) -> None:
+        """Accept one serial bit from the background generator.
+
+        MSB-first SPCs take new bits at stage 0 (pushing old bits toward
+        the MSB end); LSB-first SPCs mirror that.
+        """
+        direction = ShiftDirection.RIGHT if self.msb_first else ShiftDirection.LEFT
+        self._register.shift(bit, direction)
+        self.cycles += 1
+
+    def load_stream(self, stream: Iterable[int]) -> None:
+        """Shift a complete delivery stream through the converter."""
+        for bit in stream:
+            self.shift_in(bit)
+
+    def expected_pattern(self, controller_word: int, controller_bits: int) -> int:
+        """The pattern this SPC holds after a full delivery of ``controller_word``.
+
+        Closed form of the shift behaviour, used by tests and by the
+        comparator's expected-value generator:
+
+        * MSB-first: the low ``width`` bits, ``DP[width-1:0]``;
+        * LSB-first: the high bits ``DP[c-1:c-width]``, bit-reversed into
+          place by the converter's opposite shift direction.
+        """
+        require(
+            controller_bits >= self.width,
+            "controller must be at least as wide as the memory",
+        )
+        if self.msb_first:
+            return controller_word & ((1 << self.width) - 1)
+        return controller_word >> (controller_bits - self.width)
+
+    def __repr__(self) -> str:
+        order = "msb-first" if self.msb_first else "lsb-first"
+        return f"SerialToParallelConverter(width={self.width}, {order})"

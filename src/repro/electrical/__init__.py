@@ -1,0 +1,39 @@
+"""Switch-level model of the 6T SRAM cell and the NWRTM precharge circuit.
+
+This subpackage executes the electrical argument of Sec. 3.4 / Fig. 6 of the
+paper at the level of abstraction the paper itself uses: node potentials in
+{driven high, driven low, floating} and devices in {ok, open, resistive}.
+
+* a **normal write** drives one bitline to VCC and the other to true GND;
+  the high storage node is charged through the access transistor, so even a
+  cell with an *open pull-up PMOS* flips -- it just cannot retain the value
+  (a data-retention fault, detectable only after a long pause);
+* a **No-Write-Recovery Cycle (NWRC)** leaves the high-side bitline at
+  *floating* GND, so the pull-up PMOS is the only path that can raise the
+  node: a good cell flips, an open-pull-up cell fails immediately, and a
+  resistive (weak) pull-up fails within the cycle -- making both defect
+  classes observable by the very next read with zero pause time.
+
+The functional fault models (:class:`repro.faults.DataRetentionFault`,
+:class:`repro.faults.WeakCellDefect`) are behavioural summaries of exactly
+these outcomes; the tests cross-validate the two abstraction levels.
+"""
+
+from repro.electrical.cell6t import CellNodes, SixTransistorCell
+from repro.electrical.column import CellColumn
+from repro.electrical.devices import DeviceHealth
+from repro.electrical.levels import Level
+from repro.electrical.precharge import PrechargeCircuit
+from repro.electrical.write_cycle import WriteKind, WriteOutcome, simulate_write
+
+__all__ = [
+    "CellColumn",
+    "CellNodes",
+    "DeviceHealth",
+    "Level",
+    "PrechargeCircuit",
+    "SixTransistorCell",
+    "WriteKind",
+    "WriteOutcome",
+    "simulate_write",
+]

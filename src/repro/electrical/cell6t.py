@@ -1,0 +1,121 @@
+"""The 6T SRAM cell at switch level.
+
+The cell of Fig. 6: storage node A and complementary node B, each with a
+pull-up PMOS to VCC and a pull-down NMOS to GND (the cross-coupled
+inverters), plus one access NMOS per side connecting A to bitline BL and B
+to bitline BLb when the wordline rises.
+
+State is kept as the pair of node logic values plus a *retention health*
+flag per node: a node holding 1 without a conducting pull-up has nothing to
+replenish its charge and decays after the cell's retention time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.electrical.devices import DeviceHealth
+from repro.util.validation import require
+
+
+@dataclass
+class CellNodes:
+    """Logic values of the two storage nodes."""
+
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        require(self.a in (0, 1), "node A must be 0 or 1")
+        require(self.b in (0, 1), "node B must be 0 or 1")
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether the nodes are complementary (a legal latch state)."""
+        return self.a != self.b
+
+
+class SixTransistorCell:
+    """One 6T cell with configurable pull-up health on either side.
+
+    ``pullup_a`` guards node A's ability to *hold* a 1 (stored value 1);
+    ``pullup_b`` guards node B's, i.e. the cell's ability to hold a 0.
+    Pull-downs and access transistors are assumed good -- their defects
+    produce ordinary stuck-at/transition faults already covered by the
+    functional models.
+    """
+
+    def __init__(
+        self,
+        pullup_a: DeviceHealth = DeviceHealth.OK,
+        pullup_b: DeviceHealth = DeviceHealth.OK,
+        retention_ns: float = 1_000_000.0,
+        initial_value: int = 0,
+    ) -> None:
+        require(initial_value in (0, 1), "initial_value must be 0 or 1")
+        self.pullup_a = pullup_a
+        self.pullup_b = pullup_b
+        self.retention_ns = retention_ns
+        self.nodes = CellNodes(a=initial_value, b=1 - initial_value)
+        self._stored_at_ns = 0.0
+        self._now_ns = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Observation                                                        #
+    # ------------------------------------------------------------------ #
+    @property
+    def value(self) -> int:
+        """Stored logic value (node A)."""
+        return self.nodes.a
+
+    def high_node_pullup(self) -> DeviceHealth:
+        """Health of the pull-up behind the currently-high node."""
+        return self.pullup_a if self.nodes.a == 1 else self.pullup_b
+
+    @property
+    def retention_compromised(self) -> bool:
+        """True when nothing replenishes the charge of the high node."""
+        return not self.high_node_pullup().conducts
+
+    def read(self) -> int:
+        """Sense the stored value (applies any pending retention decay)."""
+        self._apply_decay()
+        return self.value
+
+    # ------------------------------------------------------------------ #
+    # Time                                                               #
+    # ------------------------------------------------------------------ #
+    def elapse(self, duration_ns: float) -> None:
+        """Let time pass (retention decay applies on the next read)."""
+        require(duration_ns >= 0, "duration_ns must be non-negative")
+        self._now_ns += duration_ns
+
+    def _apply_decay(self) -> None:
+        if not self.retention_compromised:
+            return
+        if self._now_ns - self._stored_at_ns >= self.retention_ns:
+            decayed = 1 - self.value
+            self._set_value(decayed)
+
+    # ------------------------------------------------------------------ #
+    # Node forcing (used by the write engine)                            #
+    # ------------------------------------------------------------------ #
+    def _set_value(self, value: int) -> None:
+        self.nodes = CellNodes(a=value, b=1 - value)
+        self._stored_at_ns = self._now_ns
+
+    def force(self, value: int) -> None:
+        """Set the latch state directly (test setup helper)."""
+        require(value in (0, 1), "value must be 0 or 1")
+        self._set_value(value)
+
+    def pullup_for_node(self, node: str) -> DeviceHealth:
+        """Health of the pull-up PMOS behind node ``'a'`` or ``'b'``."""
+        require(node in ("a", "b"), f"node must be 'a' or 'b', got {node!r}")
+        return self.pullup_a if node == "a" else self.pullup_b
+
+    def __repr__(self) -> str:
+        return (
+            f"SixTransistorCell(value={self.value}, pullup_a={self.pullup_a.value}, "
+            f"pullup_b={self.pullup_b.value})"
+        )

@@ -1,0 +1,76 @@
+"""A column of 6T cells sharing bitlines and one precharge circuit.
+
+Used by the Figure 6 benchmark and the NWRTM example to exercise a
+realistic mix of good, open-pull-up (DRF) and resistive-pull-up (weak)
+cells through normal writes, NWRCs, reads and retention pauses -- and to
+cross-check the functional fault models against the switch-level outcomes.
+"""
+
+from __future__ import annotations
+
+from repro.electrical.cell6t import SixTransistorCell
+from repro.electrical.devices import DeviceHealth
+from repro.electrical.write_cycle import WriteKind, WriteOutcome, simulate_write
+from repro.util.validation import require
+
+
+class CellColumn:
+    """A vertical slice of cells behind one bitline pair."""
+
+    def __init__(self, cells: list[SixTransistorCell]) -> None:
+        require(len(cells) > 0, "a column needs at least one cell")
+        self.cells = list(cells)
+
+    @classmethod
+    def build(
+        cls,
+        rows: int,
+        open_pullup_rows: dict[int, str] | None = None,
+        resistive_pullup_rows: dict[int, str] | None = None,
+        retention_ns: float = 1_000_000.0,
+    ) -> "CellColumn":
+        """Build a column with defects injected at chosen rows.
+
+        ``open_pullup_rows``/``resistive_pullup_rows`` map row index to the
+        affected node ('a' or 'b').
+        """
+        open_pullup_rows = open_pullup_rows or {}
+        resistive_pullup_rows = resistive_pullup_rows or {}
+        cells = []
+        for row in range(rows):
+            pullup_a = DeviceHealth.OK
+            pullup_b = DeviceHealth.OK
+            if open_pullup_rows.get(row) == "a":
+                pullup_a = DeviceHealth.OPEN
+            elif open_pullup_rows.get(row) == "b":
+                pullup_b = DeviceHealth.OPEN
+            if resistive_pullup_rows.get(row) == "a":
+                pullup_a = DeviceHealth.RESISTIVE
+            elif resistive_pullup_rows.get(row) == "b":
+                pullup_b = DeviceHealth.RESISTIVE
+            cells.append(
+                SixTransistorCell(
+                    pullup_a=pullup_a, pullup_b=pullup_b, retention_ns=retention_ns
+                )
+            )
+        return cls(cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def write_all(self, value: int, kind: WriteKind = WriteKind.NORMAL) -> list[WriteOutcome]:
+        """Apply one write cycle per row and return the outcomes."""
+        return [simulate_write(cell, value, kind) for cell in self.cells]
+
+    def read_all(self) -> list[int]:
+        """Sense every row."""
+        return [cell.read() for cell in self.cells]
+
+    def elapse(self, duration_ns: float) -> None:
+        """Let retention time pass for every cell."""
+        for cell in self.cells:
+            cell.elapse(duration_ns)
+
+    def rows_not_storing(self, value: int) -> list[int]:
+        """Rows whose sensed value differs from ``value`` (failing rows)."""
+        return [row for row, cell in enumerate(self.cells) if cell.read() != value]

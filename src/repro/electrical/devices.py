@@ -1,0 +1,28 @@
+"""Device-health states for the transistors of a 6T cell."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DeviceHealth(enum.Enum):
+    """Manufacturing state of one transistor."""
+
+    OK = "ok"
+    #: Fully open (disconnected) device: conducts nothing, ever.
+    OPEN = "open"
+    #: Resistive device: conducts, but too slowly to win a ratioed fight
+    #: within one clock cycle.  Retention is preserved (leakage is slower
+    #: still), which is what makes resistive pull-ups *weak cells* rather
+    #: than data-retention faults.
+    RESISTIVE = "resistive"
+
+    @property
+    def conducts(self) -> bool:
+        """Whether the device conducts at all."""
+        return self is not DeviceHealth.OPEN
+
+    @property
+    def conducts_at_speed(self) -> bool:
+        """Whether the device can flip a node within one write cycle."""
+        return self is DeviceHealth.OK

@@ -1,0 +1,52 @@
+"""Node and bitline voltage levels at switch-level abstraction.
+
+The paper's NWRTM argument distinguishes "true GND" (driven low by an
+active device) from "float GND" (at ground potential but undriven): a
+floating-GND bitline cannot pull a storage node up *and* contributes no
+charge sharing, which is what makes the NWRC discriminate good cells from
+open-pull-up cells.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Level(enum.Enum):
+    """Voltage level of a node or bitline."""
+
+    VCC = "vcc"  # driven to the supply rail
+    GND = "gnd"  # driven to ground ("true GND")
+    FLOAT_VCC = "float-vcc"  # precharged high, currently undriven
+    FLOAT_GND = "float-gnd"  # at ground potential, currently undriven
+    WEAK_VCC = "weak-vcc"  # degraded high (e.g. through an NMOS pass gate)
+
+    @property
+    def is_driven(self) -> bool:
+        """Whether an active device holds this level."""
+        return self in (Level.VCC, Level.GND)
+
+    @property
+    def logic_value(self) -> int:
+        """Logic interpretation of the level (weak/floating kept as-is)."""
+        if self in (Level.VCC, Level.FLOAT_VCC, Level.WEAK_VCC):
+            return 1
+        return 0
+
+    @property
+    def can_charge_node(self) -> bool:
+        """Whether a bitline at this level can raise a storage node.
+
+        Only a level at or near VCC can charge a node through the access
+        transistor; any flavour of GND (driven or floating) cannot.
+        """
+        return self in (Level.VCC, Level.FLOAT_VCC, Level.WEAK_VCC)
+
+    @property
+    def can_discharge_node(self) -> bool:
+        """Whether a bitline at this level can pull a storage node low.
+
+        Discharging requires a *driven* ground: a floating-GND bitline would
+        simply charge up from the node (charge sharing) without flipping it.
+        """
+        return self is Level.GND

@@ -1,0 +1,62 @@
+"""Bitline precharge circuit with the NWRTM control gate (Fig. 6).
+
+In normal operation the precharge devices pull both bitlines high between
+accesses and the write drivers then force them to the write data.  With the
+``NWRTM`` signal asserted, the precharge of the *high-side* bitline is
+gated off and its write driver is disabled, leaving it at floating GND
+(it was discharged by the previous cycle and nothing drives it).  The
+low-side bitline is driven to true GND exactly as in a normal write.
+
+The paper stresses that a single control gate per memory suffices, so the
+area cost of NWRTM is one gate plus one routed global signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.electrical.levels import Level
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class BitlineDrive:
+    """The (BL, BLb) levels a write cycle presents to the cell."""
+
+    bl: Level
+    blb: Level
+
+
+class PrechargeCircuit:
+    """Generates bitline conditioning for normal writes and NWRCs."""
+
+    def __init__(self) -> None:
+        self.nwrtm_enabled = False
+
+    def set_nwrtm(self, enabled: bool) -> None:
+        """Assert or deassert the global NWRTM signal."""
+        self.nwrtm_enabled = enabled
+
+    def drive_for_write(self, value: int) -> BitlineDrive:
+        """Bitline levels for writing ``value`` into the cell.
+
+        Normal mode: the value side is driven to VCC, the other side to
+        true GND.  NWRTM mode: the value side is left at floating GND (its
+        precharge is gated off and its driver disabled), the other side is
+        driven to true GND -- the No Write Recovery Cycle.
+        """
+        require(value in (0, 1), f"value must be 0 or 1, got {value!r}")
+        if self.nwrtm_enabled:
+            high_side = Level.FLOAT_GND
+        else:
+            high_side = Level.VCC
+        if value == 1:
+            return BitlineDrive(bl=high_side, blb=Level.GND)
+        return BitlineDrive(bl=Level.GND, blb=high_side)
+
+    def drive_for_read(self) -> BitlineDrive:
+        """Bitline levels at the start of a read (both precharged high)."""
+        return BitlineDrive(bl=Level.FLOAT_VCC, blb=Level.FLOAT_VCC)
+
+    def __repr__(self) -> str:
+        return f"PrechargeCircuit(nwrtm={self.nwrtm_enabled})"

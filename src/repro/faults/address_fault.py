@@ -1,0 +1,140 @@
+"""Address-decoder faults (AF types A-D) and column-decoder faults (CDF).
+
+Unlike cell faults, these attach by *mutating* the memory's address decoder
+or column mux.  The ``victims`` tuples list the cells whose observable
+behaviour changes, which diagnosis bookkeeping uses to decide whether a
+fault has been localized.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Fault, FaultClass
+from repro.memory.geometry import CellRef
+from repro.util.validation import require
+
+
+class AddressOpenFault(Fault):
+    """AF type A: ``address`` accesses no word at all."""
+
+    def __init__(self, address: int, bits: int) -> None:
+        require(address >= 0, "address must be non-negative")
+        self.fault_class = FaultClass.AF
+        self.address = address
+        self.victims = tuple(CellRef(address, b) for b in range(bits))
+
+    def attach(self, memory) -> None:
+        memory.decoder.break_address(self.address)
+
+    def describe(self) -> str:
+        return f"{self.fault_class.value} type-A: address {self.address} open"
+
+
+class AddressRemapFault(Fault):
+    """AF types B+D: ``address`` accesses ``target``'s word instead of its own.
+
+    Word ``address`` becomes unreachable (type B); word ``target`` is reached
+    by two addresses (type D).
+    """
+
+    def __init__(self, address: int, target: int, bits: int) -> None:
+        require(address != target, "remap target must differ")
+        self.fault_class = FaultClass.AF
+        self.address = address
+        self.target = target
+        self.victims = tuple(CellRef(address, b) for b in range(bits)) + tuple(
+            CellRef(target, b) for b in range(bits)
+        )
+
+    def attach(self, memory) -> None:
+        memory.decoder.remap_address(self.address, self.target)
+
+    def describe(self) -> str:
+        return (
+            f"{self.fault_class.value} type-B/D: address {self.address} "
+            f"-> word {self.target}"
+        )
+
+
+class AddressMultiFault(Fault):
+    """AF types C+D: ``address`` accesses its own word *and* ``extra``."""
+
+    def __init__(self, address: int, extra: int, bits: int) -> None:
+        require(address != extra, "extra word must differ")
+        self.fault_class = FaultClass.AF
+        self.address = address
+        self.extra = extra
+        self.victims = tuple(CellRef(address, b) for b in range(bits)) + tuple(
+            CellRef(extra, b) for b in range(bits)
+        )
+
+    def attach(self, memory) -> None:
+        memory.decoder.add_extra_target(self.address, self.extra)
+
+    def describe(self) -> str:
+        return (
+            f"{self.fault_class.value} type-C/D: address {self.address} "
+            f"also hits word {self.extra}"
+        )
+
+
+class ColumnSwapFault(Fault):
+    """CDF: two IO bits exchange physical columns on one mux path.
+
+    The default (``path="write"``) models a write-driver select swap: data
+    is stored swapped but read back straight.  Invisible under solid
+    backgrounds; exposed by any background on which the two columns differ
+    (the March CW log2-c backgrounds guarantee one).  A ``path="both"`` swap
+    is functionally transparent -- see :mod:`repro.memory.column_mux` -- and
+    is provided only so tests can demonstrate that transparency.
+    """
+
+    def __init__(self, bit_a: int, bit_b: int, words: int, path: str = "write") -> None:
+        require(bit_a != bit_b, "swapped bits must differ")
+        self.fault_class = FaultClass.CDF
+        self.bit_a = bit_a
+        self.bit_b = bit_b
+        self.path = path
+        self.victims = tuple(CellRef(w, self.bit_a) for w in range(words)) + tuple(
+            CellRef(w, self.bit_b) for w in range(words)
+        )
+
+    def attach(self, memory) -> None:
+        memory.column_mux.swap_bits(self.bit_a, self.bit_b, self.path)
+
+    def describe(self) -> str:
+        return (
+            f"{self.fault_class.value}: columns {self.bit_a} <-> {self.bit_b} "
+            f"swapped ({self.path} path)"
+        )
+
+
+class ColumnBridgeFault(Fault):
+    """CDF: one IO bit drives/observes an extra physical column (bridge)."""
+
+    def __init__(self, bit: int, extra: int, words: int) -> None:
+        require(bit != extra, "bridged columns must differ")
+        self.fault_class = FaultClass.CDF
+        self.bit = bit
+        self.extra = extra
+        self.victims = tuple(CellRef(w, extra) for w in range(words))
+
+    def attach(self, memory) -> None:
+        memory.column_mux.add_extra_column(self.bit, self.extra)
+
+    def describe(self) -> str:
+        return f"{self.fault_class.value}: column {self.bit} bridges {self.extra}"
+
+
+class ColumnOpenFault(Fault):
+    """CDF: an IO bit connects to no column (reads float, writes lost)."""
+
+    def __init__(self, bit: int, words: int) -> None:
+        self.fault_class = FaultClass.CDF
+        self.bit = bit
+        self.victims = tuple(CellRef(w, bit) for w in range(words))
+
+    def attach(self, memory) -> None:
+        memory.column_mux.break_bit(self.bit)
+
+    def describe(self) -> str:
+        return f"{self.fault_class.value}: column {self.bit} open"

@@ -1,0 +1,123 @@
+"""Fault base classes and the fault-class taxonomy."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.memory.geometry import CellRef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.sram import SRAM
+
+
+class FaultClass(enum.Enum):
+    """Functional fault classes in the classical memory-test taxonomy."""
+
+    SAF0 = "stuck-at-0"
+    SAF1 = "stuck-at-1"
+    TF_UP = "transition-up"
+    TF_DOWN = "transition-down"
+    CF_IN = "coupling-inversion"
+    CF_ID = "coupling-idempotent"
+    CF_ST = "coupling-state"
+    AF = "address-decoder"
+    CDF = "column-decoder"
+    DRF0 = "data-retention-0"
+    DRF1 = "data-retention-1"
+    WEAK = "weak-cell"
+    IRF = "incorrect-read"
+    RDF = "read-destructive"
+    DRDF = "deceptive-read-destructive"
+    WDF = "write-disturb"
+
+    @property
+    def is_retention(self) -> bool:
+        """Whether this class needs retention pauses or NWRTM to detect."""
+        return self in (FaultClass.DRF0, FaultClass.DRF1)
+
+    @property
+    def is_reliability_only(self) -> bool:
+        """Whether this class never misbehaves logically (NWRTM-only)."""
+        return self is FaultClass.WEAK
+
+
+#: Fault classes the baseline's M1 diagnosis kernel can localize.  The paper
+#: assumes four equally likely defect classes of which M1 covers 75 %: the
+#: three logical classes (stuck-at, transition, coupling) are localizable,
+#: the retention class is not (the [7, 8] scheme neglects DRFs entirely).
+M1_LOCALIZABLE_CLASSES = frozenset(
+    {
+        FaultClass.SAF0,
+        FaultClass.SAF1,
+        FaultClass.TF_UP,
+        FaultClass.TF_DOWN,
+        FaultClass.CF_IN,
+        FaultClass.CF_ID,
+        FaultClass.CF_ST,
+    }
+)
+
+
+class Fault:
+    """Common base for every injectable fault.
+
+    Subclasses define ``fault_class`` and implement :meth:`attach`.  The
+    ``victims``/``aggressors`` tuples drive both the SRAM's sparse fault
+    indexes and diagnosis bookkeeping (a diagnosis is *complete* when every
+    victim cell of every detectable fault has been localized).
+    """
+
+    fault_class: FaultClass
+    victims: tuple[CellRef, ...] = ()
+    aggressors: tuple[CellRef, ...] = ()
+
+    def attach(self, memory: "SRAM") -> None:
+        """Install this fault into ``memory``."""
+        raise NotImplementedError
+
+    @property
+    def cells(self) -> tuple[CellRef, ...]:
+        """All cells involved in the fault (victims then aggressors)."""
+        return self.victims + self.aggressors
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by reports."""
+        involved = ", ".join(str(c) for c in self.cells)
+        return f"{self.fault_class.value} @ {involved}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class CellFault(Fault):
+    """Base for faults that hook the per-cell access path.
+
+    The :class:`repro.memory.SRAM` calls the ``on_read`` / ``on_write`` /
+    ``on_nwrc_write`` / ``on_aggressor_transition`` hooks; the defaults here
+    are transparent so subclasses override only what their fault perturbs.
+    """
+
+    def attach(self, memory: "SRAM") -> None:
+        memory.add_cell_fault(self)
+
+    def on_read(self, memory: "SRAM", word: int, bit: int, stored_bit: int) -> int:
+        """Value observed when reading the victim cell."""
+        return stored_bit
+
+    def on_write(
+        self, memory: "SRAM", word: int, bit: int, old_bit: int, new_bit: int
+    ) -> int:
+        """Value actually stored by a normal write to the victim cell."""
+        return new_bit
+
+    def on_nwrc_write(
+        self, memory: "SRAM", word: int, bit: int, old_bit: int, new_bit: int
+    ) -> int:
+        """Value actually stored by an NWRC write (defaults to normal write)."""
+        return self.on_write(memory, word, bit, old_bit, new_bit)
+
+    def on_aggressor_transition(
+        self, memory: "SRAM", word: int, bit: int, old_bit: int, new_bit: int
+    ) -> None:
+        """React to a transition of a watched aggressor cell."""

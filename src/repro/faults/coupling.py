@@ -1,0 +1,115 @@
+"""Coupling faults between an aggressor cell and a victim cell.
+
+All three classical two-cell coupling fault models are provided; aggressor
+and victim may live in different words (inter-word, the common March C-
+target) or in the *same* word (intra-word), which solid backgrounds cannot
+expose -- the reason March CW adds its extra data backgrounds (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import CellFault, FaultClass
+from repro.memory.geometry import CellRef
+from repro.util.validation import require
+
+
+def _check_distinct(aggressor: CellRef, victim: CellRef) -> None:
+    require(aggressor != victim, "aggressor and victim must be distinct cells")
+
+
+class InversionCouplingFault(CellFault):
+    """CFin: a matching transition of the aggressor *inverts* the victim.
+
+    ``trigger_rising`` selects which aggressor transition (0->1 or 1->0)
+    activates the fault.
+    """
+
+    def __init__(self, aggressor: CellRef, victim: CellRef, trigger_rising: bool = True) -> None:
+        _check_distinct(aggressor, victim)
+        self.fault_class = FaultClass.CF_IN
+        self.trigger_rising = trigger_rising
+        self.victims = (victim,)
+        self.aggressors = (aggressor,)
+
+    def on_aggressor_transition(self, memory, word, bit, old_bit, new_bit):
+        rising = old_bit == 0 and new_bit == 1
+        if rising != self.trigger_rising:
+            return
+        victim = self.victims[0]
+        current = memory.stored_bit(victim.word, victim.bit)
+        memory.force_stored_bit(victim.word, victim.bit, 1 - current)
+
+
+class IdempotentCouplingFault(CellFault):
+    """CFid: a matching aggressor transition *forces* the victim to a value."""
+
+    def __init__(
+        self,
+        aggressor: CellRef,
+        victim: CellRef,
+        trigger_rising: bool = True,
+        forced_value: int = 1,
+    ) -> None:
+        _check_distinct(aggressor, victim)
+        require(forced_value in (0, 1), f"forced_value must be 0 or 1, got {forced_value!r}")
+        self.fault_class = FaultClass.CF_ID
+        self.trigger_rising = trigger_rising
+        self.forced_value = forced_value
+        self.victims = (victim,)
+        self.aggressors = (aggressor,)
+
+    def on_aggressor_transition(self, memory, word, bit, old_bit, new_bit):
+        rising = old_bit == 0 and new_bit == 1
+        if rising != self.trigger_rising:
+            return
+        victim = self.victims[0]
+        memory.force_stored_bit(victim.word, victim.bit, self.forced_value)
+
+
+class StateCouplingFault(CellFault):
+    """CFst: the victim is forced to a value while the aggressor holds a state.
+
+    While the aggressor cell stores ``aggressor_state``, the victim reads as
+    ``forced_value`` and -- when ``affects_write`` is true (the default,
+    modelling a bridge strong enough to hold the victim node) -- cannot be
+    written away from it either.
+
+    ``affects_write=False`` models a weaker *read-disturb* bridge: writes
+    land correctly but the sensed value is corrupted while the aggressor
+    holds the state.  In the intra-word arrangement with
+    ``aggressor_state == forced_value`` this variant is invisible under any
+    solid background (aggressor and victim always agree there) and is only
+    exposed by the March CW stripe backgrounds.
+    """
+
+    def __init__(
+        self,
+        aggressor: CellRef,
+        victim: CellRef,
+        aggressor_state: int = 1,
+        forced_value: int = 0,
+        affects_write: bool = True,
+    ) -> None:
+        _check_distinct(aggressor, victim)
+        require(aggressor_state in (0, 1), "aggressor_state must be 0 or 1")
+        require(forced_value in (0, 1), "forced_value must be 0 or 1")
+        self.fault_class = FaultClass.CF_ST
+        self.aggressor_state = aggressor_state
+        self.forced_value = forced_value
+        self.affects_write = affects_write
+        self.victims = (victim,)
+        self.aggressors = (aggressor,)
+
+    def _active(self, memory) -> bool:
+        aggressor = self.aggressors[0]
+        return memory.stored_bit(aggressor.word, aggressor.bit) == self.aggressor_state
+
+    def on_read(self, memory, word, bit, stored_bit):
+        if self._active(memory):
+            return self.forced_value
+        return stored_bit
+
+    def on_write(self, memory, word, bit, old_bit, new_bit):
+        if self.affects_write and self._active(memory):
+            return self.forced_value
+        return new_bit

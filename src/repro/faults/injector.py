@@ -1,0 +1,51 @@
+"""Fault injection bookkeeping across a bank of memories."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.faults.base import Fault, FaultClass
+from repro.memory.sram import SRAM
+
+
+class FaultInjector:
+    """Attaches faults to memories and remembers what went where.
+
+    Diagnosis experiments need the ground truth ("which faults exist in
+    which memory?") to score detection and localization; the injector is
+    that ground-truth registry.
+    """
+
+    def __init__(self) -> None:
+        self._by_memory: dict[str, list[Fault]] = {}
+
+    def inject(self, memory: SRAM, faults: list[Fault] | Fault) -> None:
+        """Attach ``faults`` to ``memory`` and record them."""
+        if isinstance(faults, Fault):
+            faults = [faults]
+        for fault in faults:
+            fault.attach(memory)
+        self._by_memory.setdefault(memory.name, []).extend(faults)
+
+    def faults_for(self, memory_name: str) -> list[Fault]:
+        """Ground-truth faults injected into ``memory_name``."""
+        return list(self._by_memory.get(memory_name, []))
+
+    @property
+    def total(self) -> int:
+        """Total number of injected faults across all memories."""
+        return sum(len(v) for v in self._by_memory.values())
+
+    def class_histogram(self) -> dict[FaultClass, int]:
+        """Counts per fault class across all memories."""
+        counter: Counter[FaultClass] = Counter()
+        for faults in self._by_memory.values():
+            counter.update(f.fault_class for f in faults)
+        return dict(counter)
+
+    def memories(self) -> list[str]:
+        """Names of memories that received at least one fault."""
+        return sorted(self._by_memory)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(total={self.total}, memories={self.memories()})"

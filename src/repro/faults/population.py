@@ -1,0 +1,139 @@
+"""Random fault populations for a given defect rate.
+
+``sample_population`` converts a manufacturing defect rate into a concrete,
+seeded set of functional faults following the defect statistics of [8] as
+used by the paper's case study: ``faults = cells * rate / cells_per_fault``
+distinguishable faults, classes drawn from a :class:`DefectProfile`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.base import Fault, FaultClass, M1_LOCALIZABLE_CLASSES
+from repro.faults.defects import DefectProfile, fault_for_defect
+from repro.memory.geometry import MemoryGeometry
+from repro.util.records import Record
+from repro.util.rng import make_rng
+from repro.util.validation import require, require_in_range
+
+
+@dataclass
+class FaultPopulation(Record):
+    """A sampled set of faults for one memory, plus its provenance."""
+
+    geometry: MemoryGeometry
+    defect_rate: float
+    faults: list[Fault] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of distinguishable faults."""
+        return len(self.faults)
+
+    def class_histogram(self) -> dict[FaultClass, int]:
+        """Count of faults per fault class."""
+        return dict(Counter(f.fault_class for f in self.faults))
+
+    @property
+    def m1_localizable(self) -> int:
+        """Faults the baseline M1 kernel can localize (its 75 % share)."""
+        return sum(1 for f in self.faults if f.fault_class in M1_LOCALIZABLE_CLASSES)
+
+    @property
+    def retention_faults(self) -> int:
+        """Number of DRFs (the class [7, 8] neglects)."""
+        return sum(1 for f in self.faults if f.fault_class.is_retention)
+
+    def attach_all(self, memory) -> None:
+        """Install every fault into ``memory``."""
+        for fault in self.faults:
+            fault.attach(memory)
+
+
+def expected_fault_count(
+    geometry: MemoryGeometry,
+    defect_rate: float,
+    cells_per_fault: float = 2.0,
+) -> int:
+    """Closed-form fault count for a defect rate (case study: 256).
+
+    >>> from repro.memory.geometry import MemoryGeometry
+    >>> expected_fault_count(MemoryGeometry(512, 100), 0.01)
+    256
+    """
+    require_in_range(defect_rate, 0.0, 1.0, "defect_rate")
+    return round(geometry.cells * defect_rate / cells_per_fault)
+
+
+def sample_population(
+    geometry: MemoryGeometry,
+    defect_rate: float,
+    profile: DefectProfile | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> FaultPopulation:
+    """Sample a seeded fault population for one memory.
+
+    Victim cells are drawn without replacement so the faults are independent
+    (no cell carries two defects); coupling aggressors are drawn from the
+    victim's physical neighbours, preferring cells not already defective.
+    """
+    require_in_range(defect_rate, 0.0, 1.0, "defect_rate")
+    profile = profile or DefectProfile()
+    generator = make_rng(rng)
+    count = expected_fault_count(geometry, defect_rate, profile.cells_per_fault)
+    require(
+        count <= geometry.cells,
+        f"defect rate {defect_rate} implies more faults than cells",
+    )
+    if count == 0:
+        return FaultPopulation(geometry, defect_rate, [])
+
+    victim_indices = generator.choice(geometry.cells, size=count, replace=False)
+    used = {int(i) for i in victim_indices}
+    faults: list[Fault] = []
+    for index in victim_indices:
+        cell = geometry.cell_at(int(index))
+        defect = profile.sample_type(generator)
+        fault = fault_for_defect(defect, cell, geometry, generator)
+        # Prefer an aggressor that is not itself defective so fault effects
+        # do not overlap; fall back to whatever neighbour was drawn.
+        if fault.aggressors:
+            aggressor = fault.aggressors[0]
+            if geometry.cell_index(aggressor) in used:
+                free = [
+                    n
+                    for n in geometry.neighbors(cell)
+                    if geometry.cell_index(n) not in used
+                ]
+                if free:
+                    replacement = free[int(generator.integers(len(free)))]
+                    fault = _retarget_aggressor(fault, replacement)
+            used.add(geometry.cell_index(fault.aggressors[0]))
+        faults.append(fault)
+    return FaultPopulation(geometry, defect_rate, faults)
+
+
+def _retarget_aggressor(fault: Fault, aggressor) -> Fault:
+    """Rebuild a coupling fault with a different aggressor cell."""
+    from repro.faults.coupling import (
+        IdempotentCouplingFault,
+        InversionCouplingFault,
+        StateCouplingFault,
+    )
+
+    victim = fault.victims[0]
+    if isinstance(fault, InversionCouplingFault):
+        return InversionCouplingFault(aggressor, victim, fault.trigger_rising)
+    if isinstance(fault, IdempotentCouplingFault):
+        return IdempotentCouplingFault(
+            aggressor, victim, fault.trigger_rising, fault.forced_value
+        )
+    if isinstance(fault, StateCouplingFault):
+        return StateCouplingFault(
+            aggressor, victim, fault.aggressor_state, fault.forced_value
+        )
+    raise TypeError(f"cannot retarget {type(fault).__name__}")

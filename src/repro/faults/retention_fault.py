@@ -1,0 +1,80 @@
+"""Data-retention faults (DRFs) caused by an open pull-up PMOS.
+
+A 6T cell holds its state with two cross-coupled inverters.  When the
+pull-up PMOS on one storage node is open (Fig. 6 of the paper), the cell can
+still be *written* to the affected value -- the bitline charges the node
+through the access transistor -- but nothing replenishes the leaking charge,
+so after the retention time the value silently decays.
+
+Two detection mechanisms exist, and this model reproduces both:
+
+* **delay testing**: write the fragile value, pause >= retention time, read
+  back (the classical, slow method -- ~100 ms per polarity);
+* **NWRTM** (Sec. 3.4): an NWRC write leaves the fragile-side bitline at
+  *floating* GND, so only the defective pull-up could raise the node -- the
+  faulty cell fails to flip immediately, and the very next read catches it
+  with zero pause time.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import CellFault, FaultClass
+from repro.memory.geometry import CellRef
+from repro.util.units import NS_PER_MS
+from repro.util.validation import require, require_positive
+
+#: Retention time of a defective cell.  Good cells retain indefinitely; a
+#: DRF cell loses its charge after roughly a millisecond, far below the
+#: 100 ms screening pause used in production test [3].
+DEFAULT_RETENTION_NS = 1.0 * NS_PER_MS
+
+
+class DataRetentionFault(CellFault):
+    """A cell that cannot *hold* ``fragile_value`` (0 or 1).
+
+    ``fragile_value = 1`` models an open pull-up on the true storage node
+    (the cell cannot retain a 1, class DRF1); ``fragile_value = 0`` models
+    the complementary node (class DRF0).
+    """
+
+    def __init__(
+        self,
+        cell: CellRef,
+        fragile_value: int,
+        retention_ns: float = DEFAULT_RETENTION_NS,
+    ) -> None:
+        require(fragile_value in (0, 1), "fragile_value must be 0 or 1")
+        require_positive(retention_ns, "retention_ns")
+        self.fragile_value = fragile_value
+        self.retention_ns = retention_ns
+        self.fault_class = FaultClass.DRF1 if fragile_value else FaultClass.DRF0
+        self.victims = (cell,)
+        self._written_at_ns: float | None = None
+
+    def _decayed(self, memory) -> bool:
+        if self._written_at_ns is None:
+            return False
+        return memory.now_ns - self._written_at_ns >= self.retention_ns
+
+    def on_write(self, memory, word, bit, old_bit, new_bit):
+        if new_bit == self.fragile_value:
+            # The bitline charges the node; the clock for decay starts now.
+            self._written_at_ns = memory.now_ns
+        else:
+            self._written_at_ns = None
+        return new_bit
+
+    def on_nwrc_write(self, memory, word, bit, old_bit, new_bit):
+        if new_bit == self.fragile_value and old_bit != new_bit:
+            # Floating-GND bitline cannot pull the node up and the pull-up
+            # is open: the cell fails to flip (the NWRTM detection event).
+            return old_bit
+        return self.on_write(memory, word, bit, old_bit, new_bit)
+
+    def on_read(self, memory, word, bit, stored_bit):
+        if stored_bit == self.fragile_value and self._decayed(memory):
+            decayed_value = 1 - self.fragile_value
+            memory.force_stored_bit(word, bit, decayed_value)
+            self._written_at_ns = None
+            return decayed_value
+        return stored_bit

@@ -1,0 +1,105 @@
+"""March algorithms: ordered steps of (element, background) plus pauses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.march.element import MarchElement
+from repro.util.units import format_duration_ns
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class MarchStep:
+    """One element applied under one concrete data background."""
+
+    element: MarchElement
+    background: int
+    label: str = ""
+
+    def notation(self) -> str:
+        """Element notation annotated with its background."""
+        tag = self.label or f"bg={self.background:x}"
+        return f"{self.element.notation()}[{tag}]"
+
+
+@dataclass(frozen=True)
+class PauseStep:
+    """A retention pause (unclocked wait), used by delay-based DRF testing."""
+
+    duration_ns: float
+    label: str = "retention-pause"
+
+    def __post_init__(self) -> None:
+        require_positive(self.duration_ns, "duration_ns")
+
+    def notation(self) -> str:
+        """Pause rendered with a human-readable duration."""
+        return f"pause({format_duration_ns(self.duration_ns)})"
+
+
+@dataclass
+class MarchAlgorithm:
+    """A complete March algorithm bound to a concrete word width.
+
+    Algorithms are generated *for* a word width (see
+    :mod:`repro.march.library`) because multi-background Marches need
+    concrete background words.
+    """
+
+    name: str
+    bits: int
+    steps: list[MarchStep | PauseStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.bits, "bits")
+        require(len(self.steps) > 0, f"{self.name}: an algorithm needs steps")
+
+    @property
+    def march_steps(self) -> list[MarchStep]:
+        """Only the element steps (pauses filtered out)."""
+        return [s for s in self.steps if isinstance(s, MarchStep)]
+
+    @property
+    def pause_steps(self) -> list[PauseStep]:
+        """Only the retention pauses."""
+        return [s for s in self.steps if isinstance(s, PauseStep)]
+
+    @property
+    def total_pause_ns(self) -> float:
+        """Sum of all retention pauses."""
+        return sum(p.duration_ns for p in self.pause_steps)
+
+    def operations_per_word(self) -> int:
+        """Total March operations applied to each address (the "10n" count)."""
+        return sum(step.element.op_count for step in self.march_steps)
+
+    def reads_per_word(self) -> int:
+        """Read operations applied to each address."""
+        return sum(step.element.read_count for step in self.march_steps)
+
+    def writes_per_word(self) -> int:
+        """Write operations (normal + NWRC) applied to each address."""
+        return sum(step.element.write_count for step in self.march_steps)
+
+    def writing_elements(self) -> int:
+        """Number of elements that need a background loaded into the SPC."""
+        return sum(1 for step in self.march_steps if step.element.writes_anything)
+
+    def backgrounds_used(self) -> list[int]:
+        """Distinct background words in first-use order."""
+        seen: list[int] = []
+        for step in self.march_steps:
+            if step.background not in seen:
+                seen.append(step.background)
+        return seen
+
+    def notation(self) -> str:
+        """Full algorithm in classical notation, one step per line."""
+        return "\n".join(step.notation() for step in self.steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"MarchAlgorithm(name={self.name!r}, bits={self.bits}, "
+            f"steps={len(self.steps)}, ops/word={self.operations_per_word()})"
+        )

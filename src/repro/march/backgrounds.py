@@ -1,0 +1,55 @@
+"""Data-background generation.
+
+March C- uses a single solid background.  March CW [13] adds
+``ceil(log2 c)`` *column-stripe* backgrounds: background ``i`` sets bit ``j``
+to bit ``i`` of the binary representation of ``j``.  Any two distinct
+columns differ in at least one of those backgrounds, which is exactly the
+property needed to expose intra-word coupling and column-decoder faults
+(two shorted or swapped columns are indistinguishable whenever they carry
+equal data).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.bitops import checkerboard, mask
+from repro.util.validation import require_positive
+
+
+def solid_background(bits: int) -> int:
+    """The all-ones background (logical 1 = 11...1, logical 0 = 00...0)."""
+    require_positive(bits, "bits")
+    return mask(bits)
+
+
+def checkerboard_background(bits: int, phase: int = 1) -> int:
+    """The alternating 1010.../0101... background."""
+    require_positive(bits, "bits")
+    return checkerboard(bits, phase)
+
+
+def log2_backgrounds(bits: int) -> list[int]:
+    """The ``ceil(log2 c)`` column-stripe backgrounds of March CW.
+
+    >>> [f"{b:04b}" for b in log2_backgrounds(4)]
+    ['1010', '1100']
+
+    Background ``i`` has bit ``j`` equal to ``(j >> i) & 1``, so columns with
+    different indices differ in at least one background.
+    """
+    require_positive(bits, "bits")
+    count = max(1, math.ceil(math.log2(bits))) if bits > 1 else 0
+    backgrounds = []
+    for i in range(count):
+        word = 0
+        for j in range(bits):
+            if (j >> i) & 1:
+                word |= 1 << j
+        backgrounds.append(word)
+    return backgrounds
+
+
+def all_backgrounds_cw(bits: int) -> list[int]:
+    """Solid background followed by the March CW extension backgrounds."""
+    return [solid_background(bits)] + log2_backgrounds(bits)

@@ -1,0 +1,62 @@
+"""Operation-count accounting for March algorithms.
+
+These counts are the raw material of the paper's diagnosis-time equations:
+Eq. (2) charges one cycle per (parallel) write, ``c + 1`` cycles per read
+(capture plus PSC shift-out) and ``c`` cycles per background delivery.  The
+cycle mapping itself lives in :mod:`repro.core.timing`; this module only
+counts operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.march.algorithm import MarchAlgorithm
+from repro.march.ops import OpKind
+from repro.util.records import Record
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class OperationCounts(Record):
+    """Totals for one algorithm over a memory of ``words`` words."""
+
+    algorithm: str
+    words: int
+    reads: int
+    writes: int
+    nwrc_writes: int
+    elements: int
+    writing_elements: int
+    pauses_ns: float
+
+    @property
+    def operations(self) -> int:
+        """All March operations (reads + writes + NWRC writes)."""
+        return self.reads + self.writes + self.nwrc_writes
+
+
+def operation_counts(algorithm: MarchAlgorithm, words: int) -> OperationCounts:
+    """Count reads/writes/NWRC writes of ``algorithm`` over ``words`` words."""
+    require_positive(words, "words")
+    reads = 0
+    writes = 0
+    nwrc = 0
+    for step in algorithm.march_steps:
+        for op in step.element.operations:
+            if op.kind is OpKind.READ:
+                reads += words
+            elif op.kind is OpKind.WRITE:
+                writes += words
+            else:
+                nwrc += words
+    return OperationCounts(
+        algorithm=algorithm.name,
+        words=words,
+        reads=reads,
+        writes=writes,
+        nwrc_writes=nwrc,
+        elements=len(algorithm.march_steps),
+        writing_elements=algorithm.writing_elements(),
+        pauses_ns=algorithm.total_pause_ns,
+    )

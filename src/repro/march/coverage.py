@@ -1,0 +1,300 @@
+"""Exhaustive single-fault coverage evaluation (Sec. 4.1 substrate).
+
+For every fault class we instantiate representative single faults at
+several positions, run a *runner* (a raw March algorithm or a complete
+diagnosis scheme) against a fresh memory containing exactly that fault, and
+score two outcomes:
+
+* **detected** -- the runner reported at least one failing cell;
+* **localized** -- at least one of the fault's victim cells was reported
+  (the paper's diagnosis goal: knowing *which* cell to repair).
+
+The suite includes the background-sensitive classes (intra-word state
+coupling, column-decoder faults) that separate March CW from March C-, and
+the time-dependent classes (DRFs, weak cells) that separate NWRTM-equipped
+schemes from everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.faults.address_fault import (
+    AddressMultiFault,
+    AddressOpenFault,
+    AddressRemapFault,
+    ColumnBridgeFault,
+    ColumnSwapFault,
+)
+from repro.faults.base import Fault
+from repro.faults.coupling import (
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.faults.weak_cell import WeakCellDefect
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.records import Record
+
+#: A runner executes a diagnosis against one memory and reports the cells it
+#: identified as faulty.
+Runner = Callable[[SRAM], set[CellRef]]
+
+#: A factory builds one fresh fault instance (faults carry state, so each
+#: trial needs its own instance).
+FaultFactory = Callable[[], Fault]
+
+
+@dataclass
+class CoverageRow(Record):
+    """Detection/localization scores for one fault class."""
+
+    label: str
+    instances: int
+    detected: int
+    localized: int
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of instances that produced any failure."""
+        return self.detected / self.instances if self.instances else 0.0
+
+    @property
+    def localization_rate(self) -> float:
+        """Fraction of instances whose victim cells were identified."""
+        return self.localized / self.instances if self.instances else 0.0
+
+
+def _sample_cells(geometry: MemoryGeometry) -> list[CellRef]:
+    """Deterministic probe cells: corners plus interior points."""
+    last_word = geometry.words - 1
+    last_bit = geometry.bits - 1
+    candidates = [
+        CellRef(0, 0),
+        CellRef(0, last_bit),
+        CellRef(last_word, 0),
+        CellRef(last_word, last_bit),
+        CellRef(geometry.words // 2, geometry.bits // 2),
+    ]
+    unique: list[CellRef] = []
+    for cell in candidates:
+        if cell not in unique:
+            unique.append(cell)
+    return unique
+
+
+def _inter_word_aggressor(geometry: MemoryGeometry, victim: CellRef) -> CellRef:
+    """A neighbouring-word aggressor for inter-word coupling faults."""
+    if victim.word + 1 < geometry.words:
+        return CellRef(victim.word + 1, victim.bit)
+    return CellRef(victim.word - 1, victim.bit)
+
+
+def _intra_word_aggressor(geometry: MemoryGeometry, victim: CellRef) -> CellRef:
+    """A same-word adjacent-bit aggressor for intra-word coupling faults."""
+    if victim.bit + 1 < geometry.bits:
+        return CellRef(victim.word, victim.bit + 1)
+    return CellRef(victim.word, victim.bit - 1)
+
+
+def standard_fault_suite(
+    geometry: MemoryGeometry,
+) -> list[tuple[str, list[FaultFactory]]]:
+    """Representative single-fault instances for every class in the taxonomy."""
+    cells = _sample_cells(geometry)
+    suite: list[tuple[str, list[FaultFactory]]] = []
+
+    suite.append(("SAF0", [lambda c=c: StuckAtFault(c, 0) for c in cells]))
+    suite.append(("SAF1", [lambda c=c: StuckAtFault(c, 1) for c in cells]))
+    suite.append(("TF-up", [lambda c=c: TransitionFault(c, rising=True) for c in cells]))
+    suite.append(
+        ("TF-down", [lambda c=c: TransitionFault(c, rising=False) for c in cells])
+    )
+
+    def cfin(victim: CellRef, rising: bool) -> Fault:
+        return InversionCouplingFault(
+            _inter_word_aggressor(geometry, victim), victim, trigger_rising=rising
+        )
+
+    suite.append(
+        (
+            "CFin (inter-word)",
+            [lambda c=c, r=r: cfin(c, r) for c in cells for r in (True, False)],
+        )
+    )
+
+    def cfid(victim: CellRef, rising: bool, forced: int) -> Fault:
+        return IdempotentCouplingFault(
+            _inter_word_aggressor(geometry, victim),
+            victim,
+            trigger_rising=rising,
+            forced_value=forced,
+        )
+
+    suite.append(
+        (
+            "CFid (inter-word)",
+            [
+                lambda c=c, r=r, f=f: cfid(c, r, f)
+                for c in cells
+                for r, f in ((True, 0), (False, 1))
+            ],
+        )
+    )
+
+    def cfst(victim: CellRef) -> Fault:
+        return StateCouplingFault(
+            _inter_word_aggressor(geometry, victim),
+            victim,
+            aggressor_state=1,
+            forced_value=0,
+        )
+
+    suite.append(("CFst (inter-word)", [lambda c=c: cfst(c) for c in cells]))
+
+    def cfst_intra_hold(victim: CellRef) -> Fault:
+        # A strong intra-word bridge that also holds the victim during
+        # writes; the held value survives into a complementary read, so
+        # March C- already detects it.
+        return StateCouplingFault(
+            _intra_word_aggressor(geometry, victim),
+            victim,
+            aggressor_state=1,
+            forced_value=1,
+            affects_write=True,
+        )
+
+    suite.append(
+        ("CFst (intra-word, write-hold)", [lambda c=c: cfst_intra_hold(c) for c in cells])
+    )
+
+    def cfst_intra_read(victim: CellRef) -> Fault:
+        # Read-disturb bridge with forced value equal to the aggressor
+        # state: under any *solid* background aggressor and victim always
+        # agree, so the fault is silent -- only the stripe backgrounds of
+        # March CW expose it.
+        return StateCouplingFault(
+            _intra_word_aggressor(geometry, victim),
+            victim,
+            aggressor_state=1,
+            forced_value=1,
+            affects_write=False,
+        )
+
+    suite.append(
+        (
+            "CFst (intra-word, bg-sensitive)",
+            [lambda c=c: cfst_intra_read(c) for c in cells],
+        )
+    )
+
+    bits = geometry.bits
+    words = geometry.words
+    suite.append(
+        (
+            "AF type-A (open address)",
+            [
+                lambda a=a: AddressOpenFault(a, bits)
+                for a in sorted({0, words // 2, words - 1})
+            ],
+        )
+    )
+    suite.append(
+        (
+            "AF type-B/D (remapped address)",
+            [
+                lambda a=a: AddressRemapFault(a, (a + 1) % words, bits)
+                for a in sorted({0, words // 2, words - 1})
+            ],
+        )
+    )
+    suite.append(
+        (
+            "AF type-C/D (multi-access)",
+            [
+                lambda a=a: AddressMultiFault(a, (a + 1) % words, bits)
+                for a in sorted({0, words // 2, words - 1})
+            ],
+        )
+    )
+
+    if bits >= 2:
+        pairs = sorted({(0, 1), (bits // 2, bits // 2 + 1 if bits // 2 + 1 < bits else 0), (bits - 2, bits - 1)})
+        suite.append(
+            (
+                "CDF (column swap, bg-sensitive)",
+                [lambda p=p: ColumnSwapFault(p[0], p[1], words) for p in pairs if p[0] != p[1]],
+            )
+        )
+        suite.append(
+            (
+                "CDF (column bridge, bg-sensitive)",
+                [lambda p=p: ColumnBridgeFault(p[0], p[1], words) for p in pairs if p[0] != p[1]],
+            )
+        )
+
+    suite.append(
+        ("DRF0 (cannot hold 0)", [lambda c=c: DataRetentionFault(c, 0) for c in cells])
+    )
+    suite.append(
+        ("DRF1 (cannot hold 1)", [lambda c=c: DataRetentionFault(c, 1) for c in cells])
+    )
+    suite.append(
+        (
+            "Weak cell (reliability-only)",
+            [lambda c=c, v=v: WeakCellDefect(c, v) for c in cells for v in (0, 1)],
+        )
+    )
+    return suite
+
+
+def evaluate_coverage(
+    runner: Runner,
+    geometry: MemoryGeometry,
+    suite: Iterable[tuple[str, list[FaultFactory]]] | None = None,
+    period_ns: float = 10.0,
+    has_idle_mode: bool = True,
+) -> list[CoverageRow]:
+    """Score ``runner`` against every fault class in ``suite``.
+
+    Each instance runs in a brand-new memory so trials are independent.
+    """
+    if suite is None:
+        suite = standard_fault_suite(geometry)
+    rows: list[CoverageRow] = []
+    for label, factories in suite:
+        detected = 0
+        localized = 0
+        for factory in factories:
+            memory = SRAM(geometry, period_ns=period_ns, has_idle_mode=has_idle_mode)
+            fault = factory()
+            fault.attach(memory)
+            reported = runner(memory)
+            if reported:
+                detected += 1
+                if reported & set(fault.victims):
+                    localized += 1
+        rows.append(CoverageRow(label, len(factories), detected, localized))
+    return rows
+
+
+def algorithm_runner(algorithm_factory: Callable[[int], object]) -> Runner:
+    """Build a runner that executes a raw March algorithm via the simulator.
+
+    ``algorithm_factory`` maps a word width to a :class:`MarchAlgorithm`
+    (e.g. ``march_cw``); the runner reports the simulator's detected cells.
+    """
+    from repro.march.simulator import MarchSimulator
+
+    simulator = MarchSimulator()
+
+    def run(memory: SRAM) -> set[CellRef]:
+        algorithm = algorithm_factory(memory.bits)
+        return simulator.run(memory, algorithm).detected_cells()
+
+    return run

@@ -1,0 +1,77 @@
+"""March elements: an address order plus a sequence of operations."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.march.ops import Operation
+from repro.util.validation import require
+
+
+class AddressOrder(enum.Enum):
+    """Address sweep direction of a March element."""
+
+    UP = "up"
+    DOWN = "down"
+    ANY = "any"  # either direction is permitted; we sweep up
+
+    def addresses(self, words: int) -> range:
+        """The address sequence over a memory of ``words`` words."""
+        if self is AddressOrder.DOWN:
+            return range(words - 1, -1, -1)
+        return range(words)
+
+    def symbol(self) -> str:
+        """Classical arrow notation."""
+        if self is AddressOrder.UP:
+            return "up"
+        if self is AddressOrder.DOWN:
+            return "down"
+        return "any"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One March element, e.g. ``up(r0, w1)``."""
+
+    order: AddressOrder
+    operations: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.operations) > 0, "a March element needs operations")
+
+    @property
+    def op_count(self) -> int:
+        """Operations applied per address."""
+        return len(self.operations)
+
+    @property
+    def read_count(self) -> int:
+        """Reads applied per address."""
+        return sum(1 for op in self.operations if op.is_read)
+
+    @property
+    def write_count(self) -> int:
+        """Writes (normal + NWRC) applied per address."""
+        return sum(1 for op in self.operations if op.is_write)
+
+    @property
+    def writes_anything(self) -> bool:
+        """Whether the element needs a pattern in the SPC (i.e. writes)."""
+        return self.write_count > 0
+
+    def final_data(self) -> int | None:
+        """Logical data left in every visited cell, or None for read-only."""
+        for op in reversed(self.operations):
+            if op.is_write:
+                return op.data
+        return None
+
+    def notation(self) -> str:
+        """Classical notation, e.g. ``up(r0,w1)``."""
+        ops = ",".join(op.notation() for op in self.operations)
+        return f"{self.order.symbol()}({ops})"
+
+    def __str__(self) -> str:
+        return self.notation()

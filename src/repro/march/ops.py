@@ -1,0 +1,97 @@
+"""March operations.
+
+An operation carries a *logical* data value (0 or 1) that is expanded
+against the element's data background when applied: logical 1 means "the
+background word", logical 0 means "its complement".  Under the solid
+background this reduces to the classical ``w0/w1/r0/r1`` notation; under a
+checkerboard background ``w1`` writes ``0101...`` and ``w0`` writes
+``1010...``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.bitops import complement
+from repro.util.validation import require
+
+
+class OpKind(enum.Enum):
+    """Kinds of March operations."""
+
+    READ = "r"
+    WRITE = "w"
+    NWRC_WRITE = "Nw"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One March operation: a read, write, or NWRC write of logical data."""
+
+    kind: OpKind
+    data: int
+
+    def __post_init__(self) -> None:
+        require(self.data in (0, 1), f"data must be 0 or 1, got {self.data!r}")
+
+    @property
+    def is_read(self) -> bool:
+        """Whether the operation observes the memory."""
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """Whether the operation modifies the memory (normal or NWRC)."""
+        return self.kind in (OpKind.WRITE, OpKind.NWRC_WRITE)
+
+    @property
+    def is_nwrc(self) -> bool:
+        """Whether this is a No-Write-Recovery cycle."""
+        return self.kind is OpKind.NWRC_WRITE
+
+    def word_for(self, background: int, bits: int) -> int:
+        """Expand the logical data against ``background``.
+
+        Logical 1 -> the background word; logical 0 -> its complement.
+        """
+        if self.data == 1:
+            return background
+        return complement(background, bits)
+
+    def notation(self) -> str:
+        """Classical notation, e.g. ``r0``, ``w1``, ``Nw1``."""
+        return f"{self.kind.value}{self.data}"
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+def r0() -> Operation:
+    """Read expecting logical 0."""
+    return Operation(OpKind.READ, 0)
+
+
+def r1() -> Operation:
+    """Read expecting logical 1."""
+    return Operation(OpKind.READ, 1)
+
+
+def w0() -> Operation:
+    """Write logical 0."""
+    return Operation(OpKind.WRITE, 0)
+
+
+def w1() -> Operation:
+    """Write logical 1."""
+    return Operation(OpKind.WRITE, 1)
+
+
+def nw0() -> Operation:
+    """No-Write-Recovery write of logical 0 (NWRTM)."""
+    return Operation(OpKind.NWRC_WRITE, 0)
+
+
+def nw1() -> Operation:
+    """No-Write-Recovery write of logical 1 (NWRTM)."""
+    return Operation(OpKind.NWRC_WRITE, 1)

@@ -1,0 +1,169 @@
+"""Generic March serialization for bit-serial interfaces.
+
+The [9, 10] architecture runs ordinary March algorithms *serially*: every
+element becomes one full serial sweep in which the old contents stream out
+(the element's reads) while the new pattern streams in (the element's
+write).  This module converts any :class:`MarchAlgorithm` into such sweeps
+and executes them bit-accurately against a memory, with a fault-free twin
+supplying expected streams.
+
+Two faithful degradations of serialization are modelled:
+
+* **NWRC degradation** -- serial-interface baselines have no NWRTM gate, so
+  No-Write-Recovery writes degrade to normal writes (and DRFs escape);
+* **attribution ambiguity** -- a mismatch at stream cycle ``s`` is
+  attributed to the cell nearest the output end, which is only correct for
+  the extremal defective cell (the masking limit of Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.march.algorithm import MarchAlgorithm, PauseStep
+from repro.march.element import AddressOrder
+from repro.memory.sram import SRAM
+from repro.serial.bidirectional import BidirectionalSerialInterface
+from repro.serial.shift_register import ShiftDirection
+from repro.util.records import Record
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class SerializedSweep(Record):
+    """One serial sweep: observe ``expected`` while shifting in ``pattern``."""
+
+    label: str
+    pattern: int
+    expected: int | None  # None for elements with no read
+    ascending: bool
+    degraded_nwrc: bool = False
+
+
+@dataclass(frozen=True)
+class SerialMismatch(Record):
+    """One mismatching stream bit, with its (naive) cell attribution."""
+
+    sweep_label: str
+    address: int
+    cycle: int
+    attributed_bit: int
+
+
+@dataclass
+class SerialMarchResult(Record):
+    """Outcome of a serialized March run."""
+
+    algorithm_name: str
+    memory_name: str
+    mismatches: list[SerialMismatch] = field(default_factory=list)
+    cycles: int = 0
+    pause_ns: float = 0.0
+    nwrc_degraded: bool = False
+
+    @property
+    def passed(self) -> bool:
+        """True when every observed stream matched the good machine."""
+        return not self.mismatches
+
+    def failing_addresses(self) -> set[int]:
+        """Addresses whose streams mismatched."""
+        return {m.address for m in self.mismatches}
+
+
+def serialize_algorithm(algorithm: MarchAlgorithm) -> list[SerializedSweep | PauseStep]:
+    """Convert a March algorithm into serial sweeps.
+
+    Each element maps to one read-modify-write sweep: the expected stream
+    is the element's first read data (if any) and the injected pattern is
+    its final write data (read-only elements re-write what they expect).
+    """
+    sweeps: list[SerializedSweep | PauseStep] = []
+    for step in algorithm.steps:
+        if isinstance(step, PauseStep):
+            sweeps.append(step)
+            continue
+        element = step.element
+        first_read = next((op for op in element.operations if op.is_read), None)
+        expected = (
+            first_read.word_for(step.background, algorithm.bits)
+            if first_read is not None
+            else None
+        )
+        final = element.final_data()
+        degraded = any(op.is_nwrc for op in element.operations)
+        if final is not None:
+            if final == 1:
+                pattern = step.background
+            else:
+                pattern = step.background ^ ((1 << algorithm.bits) - 1)
+        else:
+            require(expected is not None, "element with neither read nor write")
+            pattern = expected
+        sweeps.append(
+            SerializedSweep(
+                label=step.label or element.notation(),
+                pattern=pattern,
+                expected=expected,
+                ascending=element.order is not AddressOrder.DOWN,
+                degraded_nwrc=degraded,
+            )
+        )
+    return sweeps
+
+
+class SerialMarchRunner:
+    """Executes serialized Marches bit-accurately with a good-machine twin."""
+
+    def __init__(
+        self,
+        memory: SRAM,
+        direction: ShiftDirection = ShiftDirection.RIGHT,
+    ) -> None:
+        self.memory = memory
+        self.direction = direction
+
+    def run(self, algorithm: MarchAlgorithm) -> SerialMarchResult:
+        """Serialize and execute ``algorithm`` against the memory."""
+        require(
+            algorithm.bits == self.memory.bits,
+            f"algorithm width {algorithm.bits} != memory width {self.memory.bits}",
+        )
+        twin = SRAM(self.memory.geometry, period_ns=self.memory.timebase.period_ns)
+        snapshot = self.memory.dump()
+        for address, value in enumerate(snapshot):
+            twin.write(address, value)
+
+        interface = BidirectionalSerialInterface(self.memory)
+        good = BidirectionalSerialInterface(twin)
+        result = SerialMarchResult(algorithm.name, self.memory.name)
+        bits = self.memory.bits
+
+        for sweep in serialize_algorithm(algorithm):
+            if isinstance(sweep, PauseStep):
+                self.memory.pause(sweep.duration_ns)
+                twin.pause(sweep.duration_ns)
+                result.pause_ns += sweep.duration_ns
+                continue
+            result.nwrc_degraded = result.nwrc_degraded or sweep.degraded_nwrc
+            addresses = (
+                range(self.memory.words)
+                if sweep.ascending
+                else range(self.memory.words - 1, -1, -1)
+            )
+            for address in addresses:
+                observed = interface.fill_word(address, sweep.pattern, self.direction)
+                reference = good.fill_word(address, sweep.pattern, self.direction)
+                result.cycles += bits
+                if sweep.expected is None:
+                    continue
+                for cycle, (got, want) in enumerate(zip(observed, reference)):
+                    if got != want:
+                        if self.direction is ShiftDirection.RIGHT:
+                            attributed = bits - 1 - cycle
+                        else:
+                            attributed = cycle
+                        result.mismatches.append(
+                            SerialMismatch(sweep.label, address, cycle, attributed)
+                        )
+        return result

@@ -1,0 +1,30 @@
+"""Behavioural model of small embedded SRAMs (the devices under diagnosis).
+
+The model is *functional*: a memory is an array of ``words`` integers of
+``bits`` bits each, with hook points where fault models (``repro.faults``)
+intercept reads, writes, NWRC writes and address decoding.  The fast path
+(no fault on the accessed word) is a plain list access, which keeps full
+March simulations of the paper's 512x100 case-study memory cheap.
+"""
+
+from repro.memory.bank import MemoryBank
+from repro.memory.column_mux import ColumnMux
+from repro.memory.decoder import AddressDecoder
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.ports import AccessKind, AccessRecord
+from repro.memory.spare import SpareBank
+from repro.memory.sram import SRAM
+from repro.memory.timebase import TimeBase
+
+__all__ = [
+    "AddressDecoder",
+    "AccessKind",
+    "AccessRecord",
+    "CellRef",
+    "ColumnMux",
+    "MemoryBank",
+    "MemoryGeometry",
+    "SRAM",
+    "SpareBank",
+    "TimeBase",
+]

@@ -1,0 +1,72 @@
+"""A bank of distributed e-SRAMs diagnosed by one shared controller.
+
+The paper's architecture shares a single BISD controller across many small
+memories of *heterogeneous* sizes; the controller is dimensioned by the
+largest (capacity) and widest (IO count) memory (Sec. 3.1).  ``MemoryBank``
+holds the instances and answers those sizing queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.memory.sram import SRAM
+from repro.util.validation import require
+
+
+class MemoryBank:
+    """Ordered collection of the SRAM instances under shared diagnosis."""
+
+    def __init__(self, memories: list[SRAM]) -> None:
+        require(len(memories) > 0, "a memory bank needs at least one memory")
+        names = [m.name for m in memories]
+        require(
+            len(set(names)) == len(names),
+            f"memory names must be unique, got {names}",
+        )
+        self.memories = list(memories)
+
+    def __iter__(self) -> Iterator[SRAM]:
+        return iter(self.memories)
+
+    def __len__(self) -> int:
+        return len(self.memories)
+
+    def __getitem__(self, index: int) -> SRAM:
+        return self.memories[index]
+
+    def by_name(self, name: str) -> SRAM:
+        """Look up a memory by instance name."""
+        for memory in self.memories:
+            if memory.name == name:
+                return memory
+        raise KeyError(f"no memory named {name!r}")
+
+    @property
+    def max_words(self) -> int:
+        """Capacity of the largest memory (sizes the address generator)."""
+        return max(m.words for m in self.memories)
+
+    @property
+    def max_bits(self) -> int:
+        """Width of the widest memory (sizes the background generator)."""
+        return max(m.bits for m in self.memories)
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of cells across the bank."""
+        return sum(m.geometry.cells for m in self.memories)
+
+    def is_homogeneous(self) -> bool:
+        """Whether all memories share one geometry (the [4] restriction)."""
+        shapes = {(m.words, m.bits) for m in self.memories}
+        return len(shapes) == 1
+
+    def clear_faults(self) -> None:
+        """Detach faults from every memory."""
+        for memory in self.memories:
+            memory.clear_faults()
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(f"{m.name}:{m.words}x{m.bits}" for m in self.memories)
+        return f"MemoryBank([{shapes}])"

@@ -1,0 +1,144 @@
+"""Column decoder / IO multiplexer with column-fault injection.
+
+Column-decoder faults connect a logical IO bit to the wrong physical column,
+to several columns, or to none.  They are logically invisible under solid
+data backgrounds (every column holds the same value) which is why March CW
+adds ``ceil(log2 c)`` extra backgrounds: the log2-c background set gives every
+pair of columns at least one background on which they differ, exposing
+shorted, open or mis-selected columns (Sec. 3.1 / Eq. (2) of the paper).
+
+The write path (write-driver column selects) and the read path (sense-amp
+column selects) are distinct circuits, so faults can be injected on either
+path or both.  Note that a select *swap* applied consistently to both paths
+is functionally transparent -- writing through the swap and reading back
+through the same swap cancels out, exactly like address scrambling -- so the
+detectable real-world defect is a swap on one path only (the default for
+:class:`repro.faults.ColumnSwapFault`).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require
+
+#: Which mux path a fault affects.
+PATHS = ("write", "read", "both")
+
+
+class ColumnMux:
+    """Logical IO bit -> physical column mapping with fault mutators."""
+
+    def __init__(self, bits: int, wired_or: bool = True) -> None:
+        require(bits > 0, f"bits must be positive, got {bits}")
+        self.bits = bits
+        #: When several physical columns feed one IO bit (or several bits
+        #: drive one column), values combine wired-OR (default) or wired-AND.
+        self.wired_or = wired_or
+        self._write_map: dict[int, tuple[int, ...]] = {}
+        self._read_map: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def is_faulty(self) -> bool:
+        """True once any fault mutator has been applied."""
+        return bool(self._write_map) or bool(self._read_map)
+
+    def _maps_for(self, path: str) -> list[dict[int, tuple[int, ...]]]:
+        require(path in PATHS, f"path must be one of {PATHS}, got {path!r}")
+        if path == "write":
+            return [self._write_map]
+        if path == "read":
+            return [self._read_map]
+        return [self._write_map, self._read_map]
+
+    def write_targets(self, bit: int) -> tuple[int, ...]:
+        """Physical columns driven by logical IO ``bit`` on writes."""
+        require(0 <= bit < self.bits, f"bit {bit} out of range")
+        return self._write_map.get(bit, (bit,))
+
+    def read_targets(self, bit: int) -> tuple[int, ...]:
+        """Physical columns observed by logical IO ``bit`` on reads."""
+        require(0 <= bit < self.bits, f"bit {bit} out of range")
+        return self._read_map.get(bit, (bit,))
+
+    # ------------------------------------------------------------------ #
+    # Fault mutators                                                     #
+    # ------------------------------------------------------------------ #
+    def break_bit(self, bit: int, path: str = "both") -> None:
+        """Logical bit connects to no column (reads float to 0, writes lost)."""
+        require(0 <= bit < self.bits, f"bit {bit} out of range")
+        for mapping in self._maps_for(path):
+            mapping[bit] = ()
+
+    def remap_bit(self, bit: int, column: int, path: str = "both") -> None:
+        """Logical bit connects to the wrong physical ``column``."""
+        require(0 <= bit < self.bits, f"bit {bit} out of range")
+        require(0 <= column < self.bits, f"column {column} out of range")
+        for mapping in self._maps_for(path):
+            mapping[bit] = (column,)
+
+    def swap_bits(self, first: int, second: int, path: str = "write") -> None:
+        """Two logical bits exchange physical columns on ``path``.
+
+        A both-path swap is functionally transparent (see module docstring);
+        the default models a write-driver select swap, which stripe
+        backgrounds expose.
+        """
+        require(first != second, "swapped bits must differ")
+        self.remap_bit(first, second, path)
+        self.remap_bit(second, first, path)
+
+    def add_extra_column(self, bit: int, extra: int, path: str = "both") -> None:
+        """Logical bit drives/observes its own column *and* ``extra``."""
+        require(0 <= bit < self.bits, f"bit {bit} out of range")
+        require(0 <= extra < self.bits, f"extra column {extra} out of range")
+        require(extra != bit, "extra column must differ from the bit")
+        for mapping in self._maps_for(path):
+            current = mapping.get(bit, (bit,))
+            if extra not in current:
+                mapping[bit] = current + (extra,)
+
+    # ------------------------------------------------------------------ #
+    # Datapath                                                           #
+    # ------------------------------------------------------------------ #
+    def write_columns(self, old_physical: int, logical_value: int) -> int:
+        """Physical word stored when ``logical_value`` is written.
+
+        Columns driven by no logical bit keep their old contents; columns
+        driven by several logical bits resolve by the wired-OR/AND policy.
+        """
+        if not self._write_map:
+            return logical_value
+        drivers: dict[int, list[int]] = {}
+        for bit in range(self.bits):
+            value = (logical_value >> bit) & 1
+            for column in self.write_targets(bit):
+                drivers.setdefault(column, []).append(value)
+        physical = old_physical
+        for column, values in drivers.items():
+            resolved = max(values) if self.wired_or else min(values)
+            if resolved:
+                physical |= 1 << column
+            else:
+                physical &= ~(1 << column)
+        return physical
+
+    def read_columns(self, physical: int) -> int:
+        """Logical word observed when ``physical`` is stored."""
+        if not self._read_map:
+            return physical
+        logical = 0
+        for bit in range(self.bits):
+            columns = self.read_targets(bit)
+            if not columns:
+                continue  # floating IO line reads as 0
+            values = [(physical >> column) & 1 for column in columns]
+            resolved = max(values) if self.wired_or else min(values)
+            logical |= resolved << bit
+        return logical
+
+    def reset(self) -> None:
+        """Remove all injected faults."""
+        self._write_map.clear()
+        self._read_map.clear()
+
+    def __repr__(self) -> str:
+        return f"ColumnMux(bits={self.bits}, faulty={self.is_faulty})"

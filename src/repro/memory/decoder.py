@@ -1,0 +1,77 @@
+"""Row address decoder with address-fault (AF) injection.
+
+A fault-free decoder maps logical address ``a`` to exactly physical word
+``a``.  The four classical address-decoder fault types are modelled as
+mutations of that map:
+
+* **Type A** -- an address accesses *no* word: reads return the (constant)
+  floating-bus value and writes are dropped.
+* **Type B** -- a word is *never* accessed: its address is remapped to some
+  other word.
+* **Type C** -- an address accesses *multiple* words.
+* **Type D** -- a word is accessed by *multiple* addresses.
+
+Types B/D arise as the dual side effects of remapping/aliasing, exactly as in
+the classical taxonomy (types never occur alone).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require
+
+
+class AddressDecoder:
+    """Logical-address -> physical-word mapping with fault mutators."""
+
+    #: Value returned bit-wise when a read accesses no word (floating bus).
+    FLOATING_BUS_VALUE = 0
+
+    def __init__(self, words: int) -> None:
+        require(words > 0, f"words must be positive, got {words}")
+        self.words = words
+        self._map: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def is_faulty(self) -> bool:
+        """True once any fault mutator has been applied."""
+        return bool(self._map)
+
+    def targets(self, address: int) -> tuple[int, ...]:
+        """Physical word indices accessed by ``address`` (may be empty)."""
+        require(0 <= address < self.words, f"address {address} out of range")
+        return self._map.get(address, (address,))
+
+    def break_address(self, address: int) -> None:
+        """Type A: ``address`` no longer accesses any word."""
+        require(0 <= address < self.words, f"address {address} out of range")
+        self._map[address] = ()
+
+    def remap_address(self, address: int, target: int) -> None:
+        """Type B/D pair: ``address`` accesses ``target`` instead of itself."""
+        require(0 <= address < self.words, f"address {address} out of range")
+        require(0 <= target < self.words, f"target {target} out of range")
+        require(target != address, "remapping an address to itself is not a fault")
+        self._map[address] = (target,)
+
+    def add_extra_target(self, address: int, extra: int) -> None:
+        """Type C/D pair: ``address`` accesses its own word *and* ``extra``."""
+        require(0 <= address < self.words, f"address {address} out of range")
+        require(0 <= extra < self.words, f"extra target {extra} out of range")
+        require(extra != address, "extra target must differ from the address")
+        current = self._map.get(address, (address,))
+        if extra not in current:
+            self._map[address] = current + (extra,)
+
+    def unreachable_words(self) -> set[int]:
+        """Physical words that no address can reach (type B victims)."""
+        reached: set[int] = set()
+        for address in range(self.words):
+            reached.update(self.targets(address))
+        return set(range(self.words)) - reached
+
+    def reset(self) -> None:
+        """Remove all injected faults."""
+        self._map.clear()
+
+    def __repr__(self) -> str:
+        return f"AddressDecoder(words={self.words}, faulty={self.is_faulty})"

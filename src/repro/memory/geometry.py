@@ -1,0 +1,108 @@
+"""Memory geometry: word/bit organization and cell addressing.
+
+The paper's benchmark e-SRAM (case study from [16]) has ``n = 512`` words and
+``c = 100`` IO bits.  Geometry objects carry that shape plus derived
+quantities (cell count, address width) and the physical-adjacency relation
+used when sampling coupling faults between neighbouring cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.records import Record
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True, order=True)
+class CellRef:
+    """A single SRAM cell, identified by word (row) and bit (column)."""
+
+    word: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        require(self.word >= 0, f"word must be non-negative, got {self.word}")
+        require(self.bit >= 0, f"bit must be non-negative, got {self.bit}")
+
+    def __str__(self) -> str:
+        return f"[w{self.word}.b{self.bit}]"
+
+
+@dataclass(frozen=True)
+class MemoryGeometry(Record):
+    """Logical organization of one embedded SRAM.
+
+    Parameters
+    ----------
+    words:
+        Number of addressable words (``n`` in the paper).
+    bits:
+        Word width / number of IO pins (``c`` in the paper).
+    name:
+        Optional instance name used in reports.
+    """
+
+    words: int
+    bits: int
+    name: str = "esram"
+
+    def __post_init__(self) -> None:
+        require_positive(self.words, "words")
+        require_positive(self.bits, "bits")
+
+    @property
+    def cells(self) -> int:
+        """Total number of storage cells (n * c)."""
+        return self.words * self.bits
+
+    @property
+    def address_bits(self) -> int:
+        """Width of the address bus (1 for a single-word memory)."""
+        return max(1, math.ceil(math.log2(self.words)))
+
+    def cell_index(self, cell: CellRef) -> int:
+        """Linear index of ``cell`` in word-major order."""
+        self.check_cell(cell)
+        return cell.word * self.bits + cell.bit
+
+    def cell_at(self, index: int) -> CellRef:
+        """Inverse of :meth:`cell_index`."""
+        require(0 <= index < self.cells, f"cell index {index} out of range")
+        return CellRef(index // self.bits, index % self.bits)
+
+    def check_address(self, address: int) -> None:
+        """Raise if ``address`` is outside this memory."""
+        require(
+            0 <= address < self.words,
+            f"{self.name}: address {address} out of range [0, {self.words})",
+        )
+
+    def check_cell(self, cell: CellRef) -> None:
+        """Raise if ``cell`` is outside this memory."""
+        require(
+            cell.word < self.words and cell.bit < self.bits,
+            f"{self.name}: cell {cell} outside {self.words}x{self.bits}",
+        )
+
+    def all_cells(self):
+        """Iterate every cell in word-major order."""
+        for word in range(self.words):
+            for bit in range(self.bits):
+                yield CellRef(word, bit)
+
+    def neighbors(self, cell: CellRef) -> list[CellRef]:
+        """Physically adjacent cells (same column +/-1 word, same word +/-1 bit).
+
+        Coupling-fault populations sample aggressor/victim pairs from this
+        relation because real bridging defects join neighbouring cells.
+        """
+        self.check_cell(cell)
+        candidates = [
+            CellRef(cell.word - 1, cell.bit) if cell.word > 0 else None,
+            CellRef(cell.word + 1, cell.bit) if cell.word + 1 < self.words else None,
+            CellRef(cell.word, cell.bit - 1) if cell.bit > 0 else None,
+            CellRef(cell.word, cell.bit + 1) if cell.bit + 1 < self.bits else None,
+        ]
+        return [c for c in candidates if c is not None]

@@ -1,0 +1,34 @@
+"""Access kinds and trace records for memory operations."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.records import Record
+
+
+class AccessKind(enum.Enum):
+    """Kinds of cycles a memory can execute.
+
+    ``NWRC_WRITE`` is the No-Write-Recovery write cycle of the NWRTM DFT
+    (Sec. 3.4 of the paper).  ``NOOP_READ`` is a read whose data is ignored,
+    used in place of ``IDLE`` while the PSC shifts when a memory has no idle
+    mode (Sec. 3.3).
+    """
+
+    READ = "read"
+    WRITE = "write"
+    NWRC_WRITE = "nwrc_write"
+    IDLE = "idle"
+    NOOP_READ = "noop_read"
+
+
+@dataclass(frozen=True)
+class AccessRecord(Record):
+    """One traced memory access (used by tests and the masking analysis)."""
+
+    kind: AccessKind
+    address: int
+    data: int | None
+    at_ns: float

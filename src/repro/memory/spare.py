@@ -1,0 +1,74 @@
+"""Backup (spare) memory used for repair after diagnosis.
+
+Figure 1 of the paper attaches a small backup memory to every e-SRAM: once
+the diagnosis identifies a defective cell, it "can be replaced with a spare
+cell if it is available".  We model word-granularity spares: a faulty word is
+remapped to a spare word, after which accesses to that address bypass the
+defective row entirely.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require, require_positive
+
+
+class SpareBank:
+    """A pool of spare words with an address-remap table."""
+
+    def __init__(self, spare_words: int, bits: int) -> None:
+        require(spare_words >= 0, f"spare_words must be >= 0, got {spare_words}")
+        require_positive(bits, "bits")
+        self.spare_words = spare_words
+        self.bits = bits
+        self._storage: list[int] = [0] * spare_words
+        self._remap: dict[int, int] = {}
+
+    @property
+    def used(self) -> int:
+        """Number of spares already allocated."""
+        return len(self._remap)
+
+    @property
+    def available(self) -> int:
+        """Number of spares still free."""
+        return self.spare_words - self.used
+
+    def is_remapped(self, address: int) -> bool:
+        """Whether ``address`` has been repaired onto a spare."""
+        return address in self._remap
+
+    def allocate(self, address: int) -> bool:
+        """Repair ``address`` onto a fresh spare word.
+
+        Returns ``True`` on success, ``False`` when the pool is exhausted.
+        Allocating an already-repaired address is a no-op success.
+        """
+        if address in self._remap:
+            return True
+        if self.available == 0:
+            return False
+        self._remap[address] = self.used
+        return True
+
+    def read(self, address: int) -> int:
+        """Read the spare word backing ``address``."""
+        require(address in self._remap, f"address {address} is not remapped")
+        return self._storage[self._remap[address]]
+
+    def write(self, address: int, value: int) -> None:
+        """Write the spare word backing ``address``."""
+        require(address in self._remap, f"address {address} is not remapped")
+        require(0 <= value < (1 << self.bits), f"value {value:#x} too wide")
+        self._storage[self._remap[address]] = value
+
+    def remapped_addresses(self) -> set[int]:
+        """Addresses currently served by spares."""
+        return set(self._remap)
+
+    def reset(self) -> None:
+        """Release all spares."""
+        self._storage = [0] * self.spare_words
+        self._remap.clear()
+
+    def __repr__(self) -> str:
+        return f"SpareBank(spares={self.spare_words}, used={self.used})"

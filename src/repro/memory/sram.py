@@ -1,0 +1,333 @@
+"""Behavioural SRAM with fault hooks.
+
+The memory stores each word as a Python integer, so the fault-free access
+path is a single list operation regardless of word width.  Faults attach
+sparsely: only accesses that touch a word containing a faulty cell (or a
+coupling aggressor) take the per-bit slow path.
+
+Fault objects are duck-typed (see :class:`repro.faults.base.CellFault`); the
+memory calls, when present:
+
+* ``on_write(memory, word, bit, old_bit, new_bit) -> int`` -- effective bit
+  stored by a normal write,
+* ``on_nwrc_write(memory, word, bit, old_bit, new_bit) -> int`` -- effective
+  bit stored by a No-Write-Recovery cycle (NWRTM, Sec. 3.4),
+* ``on_read(memory, word, bit, stored_bit) -> int`` -- value observed by a
+  read,
+* ``on_aggressor_transition(memory, word, bit, old_bit, new_bit)`` -- called
+  when a watched aggressor cell transitions (coupling faults).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.memory.column_mux import ColumnMux
+from repro.memory.decoder import AddressDecoder
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.ports import AccessKind, AccessRecord
+from repro.memory.timebase import TimeBase
+from repro.util.bitops import mask
+from repro.util.validation import require
+
+
+class SRAM:
+    """One embedded SRAM under diagnosis.
+
+    Parameters
+    ----------
+    geometry:
+        Word/bit organization.
+    period_ns:
+        Clock period of the shared time base (only relevant for DRFs).
+    has_idle_mode:
+        Whether the memory supports an idle/no-op cycle.  When absent, the
+        PSC keeps the memory in a read-with-data-ignored mode during shifts
+        (Sec. 3.3 of the paper).
+    trace:
+        When true, every access is appended to :attr:`accesses` (used by
+        interface tests; disabled by default for speed).
+    """
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry,
+        period_ns: float = 10.0,
+        has_idle_mode: bool = True,
+        trace: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.timebase = TimeBase(period_ns)
+        self.has_idle_mode = has_idle_mode
+        self.decoder = AddressDecoder(geometry.words)
+        self.column_mux = ColumnMux(geometry.bits)
+        self.trace = trace
+        self.accesses: list[AccessRecord] = []
+        self._state: list[int] = [0] * geometry.words
+        self._word_mask = mask(geometry.bits)
+        # Sparse fault indexes.
+        self._victim_faults: dict[tuple[int, int], list[Any]] = {}
+        self._aggressor_faults: dict[tuple[int, int], list[Any]] = {}
+        self._faulty_bits_by_word: dict[int, set[int]] = {}
+        self._watched_bits_by_word: dict[int, set[int]] = {}
+        self._cell_faults: list[Any] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Instance name from the geometry."""
+        return self.geometry.name
+
+    @property
+    def words(self) -> int:
+        """Number of addressable words (n)."""
+        return self.geometry.words
+
+    @property
+    def bits(self) -> int:
+        """Word width in bits (c)."""
+        return self.geometry.bits
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time."""
+        return self.timebase.now_ns
+
+    @property
+    def cell_faults(self) -> list[Any]:
+        """All attached cell-level fault objects."""
+        return list(self._cell_faults)
+
+    def dump(self) -> list[int]:
+        """Snapshot of the raw stored words (fault-model free)."""
+        return list(self._state)
+
+    # ------------------------------------------------------------------ #
+    # Fault attachment                                                   #
+    # ------------------------------------------------------------------ #
+    def add_cell_fault(self, fault: Any) -> None:
+        """Attach a cell-level fault.
+
+        The fault exposes ``victims`` (cells whose read/write behaviour it
+        alters) and ``aggressors`` (cells whose transitions it watches);
+        either may be empty.
+        """
+        for cell in getattr(fault, "victims", ()):
+            self.geometry.check_cell(cell)
+            key = (cell.word, cell.bit)
+            self._victim_faults.setdefault(key, []).append(fault)
+            self._faulty_bits_by_word.setdefault(cell.word, set()).add(cell.bit)
+        for cell in getattr(fault, "aggressors", ()):
+            self.geometry.check_cell(cell)
+            key = (cell.word, cell.bit)
+            self._aggressor_faults.setdefault(key, []).append(fault)
+            self._watched_bits_by_word.setdefault(cell.word, set()).add(cell.bit)
+        self._cell_faults.append(fault)
+
+    def remove_cell_fault(self, fault: Any) -> None:
+        """Detach one cell-level fault (models a perfect spare-cell repair).
+
+        The [7, 8] baseline replaces each localized defective cell with a
+        spare before the next diagnosis iteration; removing the fault from
+        the access path is the behavioural equivalent.
+        """
+        if fault not in self._cell_faults:
+            return
+        self._cell_faults.remove(fault)
+        for cell in getattr(fault, "victims", ()):
+            key = (cell.word, cell.bit)
+            if key in self._victim_faults:
+                self._victim_faults[key] = [
+                    f for f in self._victim_faults[key] if f is not fault
+                ]
+                if not self._victim_faults[key]:
+                    del self._victim_faults[key]
+                    bits = self._faulty_bits_by_word.get(cell.word)
+                    if bits is not None:
+                        bits.discard(cell.bit)
+                        if not bits:
+                            del self._faulty_bits_by_word[cell.word]
+        for cell in getattr(fault, "aggressors", ()):
+            key = (cell.word, cell.bit)
+            if key in self._aggressor_faults:
+                self._aggressor_faults[key] = [
+                    f for f in self._aggressor_faults[key] if f is not fault
+                ]
+                if not self._aggressor_faults[key]:
+                    del self._aggressor_faults[key]
+                    bits = self._watched_bits_by_word.get(cell.word)
+                    if bits is not None:
+                        bits.discard(cell.bit)
+                        if not bits:
+                            del self._watched_bits_by_word[cell.word]
+
+    def clear_faults(self) -> None:
+        """Detach all faults (cell, decoder and column faults)."""
+        self._victim_faults.clear()
+        self._aggressor_faults.clear()
+        self._faulty_bits_by_word.clear()
+        self._watched_bits_by_word.clear()
+        self._cell_faults.clear()
+        self.decoder.reset()
+        self.column_mux.reset()
+
+    # ------------------------------------------------------------------ #
+    # Raw cell access (bypasses fault hooks; used by fault models/tests) #
+    # ------------------------------------------------------------------ #
+    def stored_bit(self, word: int, bit: int) -> int:
+        """Raw stored value of one cell, without read-fault effects."""
+        self.geometry.check_cell(CellRef(word, bit))
+        return (self._state[word] >> bit) & 1
+
+    def force_stored_bit(self, word: int, bit: int, value: int) -> None:
+        """Overwrite one cell's stored value, bypassing write-fault hooks.
+
+        Coupling faults use this to flip their victim cell; tests use it to
+        set up scenarios.
+        """
+        self.geometry.check_cell(CellRef(word, bit))
+        require(value in (0, 1), f"value must be 0 or 1, got {value!r}")
+        if value:
+            self._state[word] |= 1 << bit
+        else:
+            self._state[word] &= ~(1 << bit)
+
+    def fill(self, value: int) -> None:
+        """Directly initialize every word to ``value`` (test helper)."""
+        require(0 <= value <= self._word_mask, f"value {value:#x} too wide")
+        self._state = [value] * self.geometry.words
+
+    # ------------------------------------------------------------------ #
+    # Functional access path                                             #
+    # ------------------------------------------------------------------ #
+    def read(self, address: int) -> int:
+        """Execute one read cycle and return the observed word."""
+        self.geometry.check_address(address)
+        self.timebase.tick()
+        observed = self._read_bus(address)
+        if self.trace:
+            self.accesses.append(
+                AccessRecord(AccessKind.READ, address, observed, self.now_ns)
+            )
+        return observed
+
+    def write(self, address: int, value: int) -> None:
+        """Execute one normal write cycle."""
+        self._write_common(address, value, nwrc=False)
+        if self.trace:
+            self.accesses.append(
+                AccessRecord(AccessKind.WRITE, address, value, self.now_ns)
+            )
+
+    def nwrc_write(self, address: int, value: int) -> None:
+        """Execute one No-Write-Recovery write cycle (NWRTM, Sec. 3.4).
+
+        On a good cell this behaves exactly like a normal write; cells with
+        open pull-up defects (DRFs, weak cells) fail to flip because the
+        floating-GND bitline cannot pull the storage node up.
+        """
+        self._write_common(address, value, nwrc=True)
+        if self.trace:
+            self.accesses.append(
+                AccessRecord(AccessKind.NWRC_WRITE, address, value, self.now_ns)
+            )
+
+    def idle(self) -> None:
+        """Execute one idle/no-op cycle (or a read-ignored cycle).
+
+        Used while the PSC serializes captured responses.  Memories without
+        an idle mode burn a read cycle whose data is discarded; either way
+        the stored contents are untouched.
+        """
+        self.timebase.tick()
+        if self.trace:
+            kind = AccessKind.IDLE if self.has_idle_mode else AccessKind.NOOP_READ
+            self.accesses.append(AccessRecord(kind, 0, None, self.now_ns))
+
+    def pause(self, duration_ns: float) -> None:
+        """Let simulated time pass without clocking (retention pause)."""
+        self.timebase.pause(duration_ns)
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                          #
+    # ------------------------------------------------------------------ #
+    def _read_bus(self, address: int) -> int:
+        targets = self.decoder.targets(address)
+        if not targets:
+            return AddressDecoder.FLOATING_BUS_VALUE
+        values = [self._read_word(word) for word in targets]
+        combined = values[0]
+        for value in values[1:]:
+            combined |= value  # multi-select reads resolve wired-OR
+        return combined
+
+    def _read_word(self, word: int) -> int:
+        physical = self._state[word]
+        faulty_bits = self._faulty_bits_by_word.get(word)
+        if faulty_bits:
+            for bit in faulty_bits:
+                stored = (physical >> bit) & 1
+                observed = stored
+                for fault in self._victim_faults[(word, bit)]:
+                    handler = getattr(fault, "on_read", None)
+                    if handler is not None:
+                        observed = handler(self, word, bit, observed)
+                if observed != stored:
+                    physical = (physical & ~(1 << bit)) | (observed << bit)
+        return self.column_mux.read_columns(physical)
+
+    def _write_common(self, address: int, value: int, nwrc: bool) -> None:
+        self.geometry.check_address(address)
+        require(0 <= value <= self._word_mask, f"value {value:#x} too wide")
+        self.timebase.tick()
+        for word in self.decoder.targets(address):
+            self._write_word(word, value, nwrc)
+
+    def _write_word(self, word: int, value: int, nwrc: bool) -> None:
+        old_physical = self._state[word]
+        new_physical = self.column_mux.write_columns(old_physical, value)
+        faulty_bits = self._faulty_bits_by_word.get(word)
+        watched_bits = self._watched_bits_by_word.get(word)
+        if not faulty_bits and not watched_bits:
+            self._state[word] = new_physical
+            return
+
+        hook_name = "on_nwrc_write" if nwrc else "on_write"
+        effective = new_physical
+        if faulty_bits:
+            for bit in faulty_bits:
+                old_bit = (old_physical >> bit) & 1
+                new_bit = (new_physical >> bit) & 1
+                for fault in self._victim_faults[(word, bit)]:
+                    handler = getattr(fault, hook_name, None)
+                    if handler is not None:
+                        new_bit = handler(self, word, bit, old_bit, new_bit)
+                effective = (effective & ~(1 << bit)) | (new_bit << bit)
+        self._state[word] = effective
+
+        if watched_bits:
+            for bit in watched_bits:
+                old_bit = (old_physical >> bit) & 1
+                new_bit = (effective >> bit) & 1
+                if old_bit == new_bit:
+                    continue
+                for fault in self._aggressor_faults[(word, bit)]:
+                    handler = getattr(fault, "on_aggressor_transition", None)
+                    if handler is not None:
+                        handler(self, word, bit, old_bit, new_bit)
+
+    def faulty_cells(self) -> set[CellRef]:
+        """All cells that appear as a victim of some attached fault."""
+        return {CellRef(w, b) for (w, b) in self._victim_faults}
+
+    def words_with_faults(self) -> Iterable[int]:
+        """Word indices containing at least one faulty (victim) cell."""
+        return sorted(self._faulty_bits_by_word)
+
+    def __repr__(self) -> str:
+        return (
+            f"SRAM(name={self.name!r}, words={self.words}, bits={self.bits}, "
+            f"faults={len(self._cell_faults)})"
+        )

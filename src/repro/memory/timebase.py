@@ -1,0 +1,54 @@
+"""Simulation time base shared by a memory and its diagnosis controller.
+
+Data-retention faults are *time* faults: a defective cell holds a value for
+less than the specified retention time.  Every memory therefore carries a
+``TimeBase`` that the March simulator advances by one clock period per
+operation and by the full pause duration during retention pauses.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require, require_positive
+
+
+class TimeBase:
+    """Monotonic simulated clock measured in nanoseconds."""
+
+    def __init__(self, period_ns: float = 10.0) -> None:
+        require_positive(period_ns, "period_ns")
+        self.period_ns = float(period_ns)
+        self._now_ns = 0.0
+        self._cycles = 0
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time."""
+        return self._now_ns
+
+    @property
+    def cycles(self) -> int:
+        """Number of clock cycles consumed so far (pauses excluded)."""
+        return self._cycles
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance by ``cycles`` clock periods."""
+        require(cycles >= 0, f"cycles must be non-negative, got {cycles}")
+        self._cycles += cycles
+        self._now_ns += cycles * self.period_ns
+
+    def pause(self, duration_ns: float) -> None:
+        """Advance wall-clock time without consuming clock cycles.
+
+        Models the retention pauses (e.g. 100 ms) used by delay-based DRF
+        testing; the memory sits unclocked while stored charge leaks away.
+        """
+        require(duration_ns >= 0, f"duration_ns must be non-negative, got {duration_ns}")
+        self._now_ns += duration_ns
+
+    def reset(self) -> None:
+        """Return to time zero (used between diagnosis sessions)."""
+        self._now_ns = 0.0
+        self._cycles = 0
+
+    def __repr__(self) -> str:
+        return f"TimeBase(now={self._now_ns:.1f} ns, cycles={self._cycles})"

@@ -1,0 +1,99 @@
+"""Physical array topology: column multiplexing and cell adjacency.
+
+A real SRAM macro folds its address space: with a column-mux factor ``m``,
+each physical row holds ``m`` consecutive words bit-interleaved across the
+columns -- logical bit ``b`` of word ``a`` sits at physical column
+``b * m + (a % m)``, row ``a // m``.
+
+Two consequences matter for fault modelling (and are asserted in tests):
+
+* logically adjacent bits of the *same word* are ``m`` physical columns
+  apart -- bridges between them are rare, which is why random bridge
+  populations couple inter-word neighbours instead
+  (:mod:`repro.faults.defects`);
+* horizontally adjacent *cells* belong to consecutive words (same bit), so
+  the inter-word aggressor choice matches the physical bridge geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """A cell's position in the physical array."""
+
+    row: int
+    col: int
+
+
+class ArrayTopology:
+    """Maps logical (word, bit) coordinates to the physical array."""
+
+    def __init__(self, geometry: MemoryGeometry, mux_factor: int = 4) -> None:
+        require_positive(mux_factor, "mux_factor")
+        require(
+            geometry.words % mux_factor == 0,
+            f"words ({geometry.words}) must be a multiple of the mux factor "
+            f"({mux_factor})",
+        )
+        self.geometry = geometry
+        self.mux_factor = mux_factor
+
+    @property
+    def rows(self) -> int:
+        """Physical word-line count."""
+        return self.geometry.words // self.mux_factor
+
+    @property
+    def cols(self) -> int:
+        """Physical bit-line-pair count."""
+        return self.geometry.bits * self.mux_factor
+
+    def location(self, cell: CellRef) -> PhysicalLocation:
+        """Physical (row, col) of a logical cell."""
+        self.geometry.check_cell(cell)
+        select = cell.word % self.mux_factor
+        return PhysicalLocation(
+            row=cell.word // self.mux_factor,
+            col=cell.bit * self.mux_factor + select,
+        )
+
+    def cell_at(self, location: PhysicalLocation) -> CellRef:
+        """Logical cell at a physical location (inverse of :meth:`location`)."""
+        require(0 <= location.row < self.rows, f"row {location.row} out of range")
+        require(0 <= location.col < self.cols, f"col {location.col} out of range")
+        bit = location.col // self.mux_factor
+        select = location.col % self.mux_factor
+        return CellRef(location.row * self.mux_factor + select, bit)
+
+    def physical_neighbors(self, cell: CellRef) -> list[CellRef]:
+        """Cells physically adjacent to ``cell`` (row +/-1, col +/-1)."""
+        home = self.location(cell)
+        neighbors = []
+        for row, col in (
+            (home.row - 1, home.col),
+            (home.row + 1, home.col),
+            (home.row, home.col - 1),
+            (home.row, home.col + 1),
+        ):
+            if 0 <= row < self.rows and 0 <= col < self.cols:
+                neighbors.append(self.cell_at(PhysicalLocation(row, col)))
+        return neighbors
+
+    def logical_bit_distance(self, first: CellRef, second: CellRef) -> int:
+        """Physical column distance between two cells (bridge likelihood proxy)."""
+        return abs(self.location(first).col - self.location(second).col)
+
+    def bridge_pairs(self):
+        """All horizontally adjacent cell pairs (candidate bridge defects)."""
+        for row in range(self.rows):
+            for col in range(self.cols - 1):
+                yield (
+                    self.cell_at(PhysicalLocation(row, col)),
+                    self.cell_at(PhysicalLocation(row, col + 1)),
+                )

@@ -1,0 +1,38 @@
+"""Bit-serial memory access interfaces (the baselines' data path).
+
+The schemes of [9, 10] and [7, 8] thread the test data path *through* the
+memory cells: every serial cycle is a read-modify-write in which each cell
+passes its (possibly faulty) value to its neighbour.  This is what makes
+the interfaces cheap to route -- and what creates the serial fault-masking
+and one-fault-per-element-localization limits the paper's SPC/PSC pair
+removes.
+
+* :class:`UnidirectionalSerialInterface` -- the [9, 10] scheme (right shift
+  only; upstream faults mask downstream cells),
+* :class:`BidirectionalSerialInterface` -- the [7, 8] scheme (Fig. 2 of the
+  paper; both directions; extremal faults localizable, at most one per
+  direction per element),
+* :mod:`repro.serial.masking` -- closed-form reachability/masking analysis
+  cross-validated against the bit-accurate interfaces.
+"""
+
+from repro.serial.bidirectional import BidirectionalSerialInterface
+from repro.serial.masking import (
+    clean_write_cells_bidirectional,
+    clean_write_cells_unidirectional,
+    localizable_bits_bidirectional,
+    localizable_bit_unidirectional,
+)
+from repro.serial.shift_register import ShiftDirection, ShiftRegister
+from repro.serial.unidirectional import UnidirectionalSerialInterface
+
+__all__ = [
+    "BidirectionalSerialInterface",
+    "ShiftDirection",
+    "ShiftRegister",
+    "UnidirectionalSerialInterface",
+    "clean_write_cells_bidirectional",
+    "clean_write_cells_unidirectional",
+    "localizable_bit_unidirectional",
+    "localizable_bits_bidirectional",
+]

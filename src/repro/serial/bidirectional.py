@@ -1,0 +1,106 @@
+"""The bi-directional serial interface of [7, 8] (Fig. 2 of the paper).
+
+Each memory word can shift either left or right: multiplexers select, per
+cell, whether the test data input comes from the left neighbour, the right
+neighbour, or the normal data input.  Shifting in both directions gives
+every cell (outside the span between the extremal defective cells) a clean
+data path, which removes the *detection* masking of the single-directional
+interface -- but the serial observation stream still only pinpoints the
+first mismatch per direction, so one March element localizes at most one
+fault, and an iterate-repair loop (k iterations) is needed to walk the
+fault list two at a time.
+"""
+
+from __future__ import annotations
+
+from repro.memory.sram import SRAM
+from repro.serial.shift_register import ShiftDirection
+from repro.util.bitops import bit_of, mask
+from repro.util.validation import require
+
+
+class BidirectionalSerialInterface:
+    """Left- or right-shift serial access to one memory."""
+
+    def __init__(self, memory: SRAM) -> None:
+        self.memory = memory
+        #: Serial cycles consumed (one per read-modify-write).
+        self.cycles = 0
+
+    @property
+    def bits(self) -> int:
+        """Word width of the underlying memory."""
+        return self.memory.bits
+
+    def serial_cycle(
+        self,
+        address: int,
+        serial_in: int,
+        direction: ShiftDirection = ShiftDirection.RIGHT,
+    ) -> int:
+        """One shift cycle in either direction; returns the output bit."""
+        require(serial_in in (0, 1), f"serial_in must be 0 or 1, got {serial_in!r}")
+        word = self.memory.read(address)
+        if direction is ShiftDirection.RIGHT:
+            out = bit_of(word, self.bits - 1)
+            shifted = ((word << 1) | serial_in) & mask(self.bits)
+        else:
+            out = bit_of(word, 0)
+            shifted = (word >> 1) | (serial_in << (self.bits - 1))
+        self.memory.write(address, shifted)
+        self.cycles += 1
+        return out
+
+    def fill_word(
+        self,
+        address: int,
+        pattern: int,
+        direction: ShiftDirection = ShiftDirection.RIGHT,
+    ) -> list[int]:
+        """Shift ``pattern`` into one word; returns the emitted bits.
+
+        Right shifts deliver the pattern MSB-first (data enters at bit 0
+        and migrates upward); left shifts deliver it LSB-first.  Either
+        way a fault-free word ends up storing exactly ``pattern``.
+        """
+        if direction is ShiftDirection.RIGHT:
+            bit_order = range(self.bits - 1, -1, -1)
+        else:
+            bit_order = range(self.bits)
+        return [
+            self.serial_cycle(address, bit_of(pattern, i), direction)
+            for i in bit_order
+        ]
+
+    def fill_all(
+        self,
+        pattern: int,
+        direction: ShiftDirection = ShiftDirection.RIGHT,
+        ascending: bool = True,
+    ) -> list[list[int]]:
+        """Serially write ``pattern`` into every word (one nc-cycle sweep)."""
+        addresses = range(self.memory.words) if ascending else range(
+            self.memory.words - 1, -1, -1
+        )
+        return [self.fill_word(address, pattern, direction) for address in addresses]
+
+    def read_sweep(
+        self,
+        pattern: int,
+        direction: ShiftDirection = ShiftDirection.RIGHT,
+        ascending: bool = True,
+    ) -> dict[int, list[int]]:
+        """Observe every word while refilling it with ``pattern``.
+
+        Returns the per-address output streams.  The caller compares them
+        against a good-machine model; the first mismatch in stream order is
+        the only trustworthy localization (everything later may have been
+        corrupted in flight).
+        """
+        addresses = range(self.memory.words) if ascending else range(
+            self.memory.words - 1, -1, -1
+        )
+        return {
+            address: self.fill_word(address, pattern, direction)
+            for address in addresses
+        }

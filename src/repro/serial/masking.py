@@ -1,0 +1,84 @@
+"""Closed-form masking/reachability analysis for serial interfaces.
+
+For a word whose defective cells sit at bit positions ``faulty_bits``:
+
+* a **right** shift delivers clean data only to bits strictly below the
+  lowest defective cell (data entering at bit 0 crosses every cell below
+  its destination);
+* a **left** shift delivers clean data only to bits strictly above the
+  highest defective cell;
+* the observation stream of a right shift pinpoints the *highest*
+  defective bit (its corrupted value is the first to emerge at the MSB
+  end), a left shift pinpoints the *lowest*.
+
+These closed forms are cross-validated against the bit-accurate interfaces
+in the test suite; the baseline scheme's "at most two faults localized per
+M1 iteration" behaviour (Sec. 2 of the paper) is their direct consequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.serial.shift_register import ShiftDirection
+from repro.util.validation import require
+
+
+def _checked(faulty_bits: Iterable[int], bits: int) -> list[int]:
+    positions = sorted(set(faulty_bits))
+    for position in positions:
+        require(0 <= position < bits, f"faulty bit {position} out of range")
+    return positions
+
+
+def clean_write_cells_unidirectional(faulty_bits: Iterable[int], bits: int) -> set[int]:
+    """Cells that receive uncorrupted data from a right-shift-only write."""
+    positions = _checked(faulty_bits, bits)
+    if not positions:
+        return set(range(bits))
+    return set(range(positions[0]))
+
+
+def clean_write_cells_bidirectional(faulty_bits: Iterable[int], bits: int) -> set[int]:
+    """Cells that receive uncorrupted data from at least one direction.
+
+    Everything below the lowest fault (right shift) or above the highest
+    fault (left shift); cells strictly *between* two defective cells remain
+    unreachable until the extremal faults are repaired -- which is why the
+    [7, 8] scheme must iterate and repair.
+    """
+    positions = _checked(faulty_bits, bits)
+    if not positions:
+        return set(range(bits))
+    return set(range(positions[0])) | set(range(positions[-1] + 1, bits))
+
+
+def localizable_bit_unidirectional(faulty_bits: Iterable[int], bits: int) -> int | None:
+    """The single bit a right-shift observation stream can pinpoint."""
+    positions = _checked(faulty_bits, bits)
+    return positions[-1] if positions else None
+
+
+def localizable_bits_bidirectional(faulty_bits: Iterable[int], bits: int) -> set[int]:
+    """The (at most two) bits the paired shift directions can pinpoint."""
+    positions = _checked(faulty_bits, bits)
+    if not positions:
+        return set()
+    return {positions[0], positions[-1]}
+
+
+def first_mismatch_bit(
+    observed: list[int], expected: list[int], direction: ShiftDirection, bits: int
+) -> int | None:
+    """Map the first mismatching stream cycle back to a cell bit position.
+
+    In a right shift, the value emitted at cycle ``s`` left cell
+    ``bits - 1 - s``; in a left shift it left cell ``s``.
+    """
+    require(len(observed) == len(expected), "stream lengths differ")
+    for cycle, (got, want) in enumerate(zip(observed, expected)):
+        if got != want:
+            if direction is ShiftDirection.RIGHT:
+                return bits - 1 - cycle
+            return cycle
+    return None

@@ -1,0 +1,76 @@
+"""Generic shift-register primitive used by scan paths, SPCs and PSCs."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.util.bitops import bit_of, mask
+from repro.util.validation import require, require_positive
+
+
+class ShiftDirection(enum.Enum):
+    """Direction of a serial shift.
+
+    ``RIGHT`` moves data from bit 0 toward bit ``length - 1`` (serial input
+    enters at bit 0, serial output leaves from the MSB end); ``LEFT`` is the
+    mirror image.
+    """
+
+    RIGHT = "right"
+    LEFT = "left"
+
+
+class ShiftRegister:
+    """A ``length``-bit register supporting serial shifts and parallel IO."""
+
+    def __init__(self, length: int, initial: int = 0) -> None:
+        require_positive(length, "length")
+        require(0 <= initial <= mask(length), f"initial {initial:#x} too wide")
+        self.length = length
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        """Parallel view of the register contents (bit 0 = stage 0)."""
+        return self._value
+
+    def load(self, word: int) -> None:
+        """Parallel load (capture)."""
+        require(0 <= word <= mask(self.length), f"word {word:#x} too wide")
+        self._value = word
+
+    def shift(self, serial_in: int, direction: ShiftDirection = ShiftDirection.RIGHT) -> int:
+        """One shift cycle; returns the bit that falls out the far end."""
+        require(serial_in in (0, 1), f"serial_in must be 0 or 1, got {serial_in!r}")
+        if direction is ShiftDirection.RIGHT:
+            out = bit_of(self._value, self.length - 1)
+            self._value = ((self._value << 1) | serial_in) & mask(self.length)
+        else:
+            out = bit_of(self._value, 0)
+            self._value = (self._value >> 1) | (serial_in << (self.length - 1))
+        return out
+
+    def shift_word_in(
+        self,
+        word: int,
+        direction: ShiftDirection = ShiftDirection.RIGHT,
+        msb_first: bool = True,
+    ) -> list[int]:
+        """Shift a full ``length``-bit word in; returns the bits shifted out.
+
+        With ``direction=RIGHT`` and ``msb_first=True`` the register ends up
+        holding exactly ``word`` (bit i of the word lands in stage i), which
+        is the MSB-first delivery convention of the paper's SPC (Sec. 3.2).
+        """
+        require(0 <= word <= mask(self.length), f"word {word:#x} too wide")
+        bit_order = range(self.length - 1, -1, -1) if msb_first else range(self.length)
+        return [self.shift(bit_of(word, i), direction) for i in bit_order]
+
+    def shift_word_out(
+        self, direction: ShiftDirection = ShiftDirection.RIGHT, fill: int = 0
+    ) -> list[int]:
+        """Shift the full contents out; returns the emitted bit sequence."""
+        return [self.shift(fill, direction) for _ in range(self.length)]
+
+    def __repr__(self) -> str:
+        return f"ShiftRegister(length={self.length}, value={self._value:#x})"

@@ -1,0 +1,70 @@
+"""The single-directional serial interface of [9, 10].
+
+Every serial cycle on an address is a read-modify-write through the actual
+memory cells: the addressed word is read, each bit is rewritten with its
+lower neighbour's (possibly faulty) value, bit 0 takes the serial input, and
+the old MSB is emitted as the serial output.
+
+Because both the applied data and the observed responses travel *through*
+every cell of the word, a single defective cell corrupts everything behind
+it in the shift direction -- the serial fault-masking problem that
+motivated the bi-directional interface of [7, 8] and, ultimately, the
+paper's SPC/PSC replacement.
+"""
+
+from __future__ import annotations
+
+from repro.memory.sram import SRAM
+from repro.util.bitops import bit_of, mask
+from repro.util.validation import require
+
+
+class UnidirectionalSerialInterface:
+    """Right-shift-only serial access to one memory."""
+
+    def __init__(self, memory: SRAM) -> None:
+        self.memory = memory
+        #: Serial cycles consumed (one per read-modify-write).
+        self.cycles = 0
+
+    @property
+    def bits(self) -> int:
+        """Word width of the underlying memory."""
+        return self.memory.bits
+
+    def serial_cycle(self, address: int, serial_in: int) -> int:
+        """One right-shift cycle; returns the serial output bit.
+
+        The read and the shifted write both pass through the memory's
+        functional access path, so cell faults perturb the stream exactly
+        as they would in silicon.
+        """
+        require(serial_in in (0, 1), f"serial_in must be 0 or 1, got {serial_in!r}")
+        word = self.memory.read(address)
+        out = bit_of(word, self.bits - 1)
+        shifted = ((word << 1) | serial_in) & mask(self.bits)
+        self.memory.write(address, shifted)
+        self.cycles += 1
+        return out
+
+    def fill_word(self, address: int, pattern: int) -> list[int]:
+        """Shift ``pattern`` into one word (MSB first); returns the outputs.
+
+        After ``c`` cycles a fault-free word stores exactly ``pattern``.
+        """
+        outputs = []
+        for i in range(self.bits - 1, -1, -1):
+            outputs.append(self.serial_cycle(address, bit_of(pattern, i)))
+        return outputs
+
+    def fill_all(self, pattern: int, ascending: bool = True) -> list[list[int]]:
+        """Serially write ``pattern`` into every word; returns all outputs.
+
+        One full fill costs ``n * c`` serial cycles -- the paper's unit of
+        DiagRSMarch complexity (each of the 17k + 9 element passes in
+        Eq. (1) is one such sweep).
+        """
+        addresses = range(self.memory.words) if ascending else range(
+            self.memory.words - 1, -1, -1
+        )
+        return [self.fill_word(address, pattern) for address in addresses]

@@ -1,0 +1,50 @@
+"""SoC-level context: distributed memories, floorplans, routing, benchmarks.
+
+The paper's motivation is *system*-level: many small e-SRAMs scattered
+across a die, one shared BISD controller, and wires that must reach every
+memory.  This subpackage provides:
+
+* :mod:`repro.soc.chip` -- named SoC configurations (heterogeneous banks);
+* :mod:`repro.soc.floorplan` -- memory placement on an abstract die;
+* :mod:`repro.soc.routing` -- wire-length comparison of the architecture
+  alternatives the paper's related work discusses (per-memory BIST,
+  parallel buses, shared serial);
+* :mod:`repro.soc.case_study` -- the [16] benchmark configuration behind
+  every Sec. 4.2 number (n = 512, c = 100, t = 10 ns, 1 % defects).
+"""
+
+from repro.soc.case_study import (
+    CASE_STUDY_DEFECT_RATE,
+    CASE_STUDY_FAULTS,
+    CASE_STUDY_ITERATIONS,
+    CASE_STUDY_PERIOD_NS,
+    PAPER_AREA_OVERHEAD,
+    PAPER_EXTRA_CELLS_PER_BIT,
+    PAPER_REDUCTION_NO_DRF,
+    PAPER_REDUCTION_WITH_DRF,
+    case_study_bank,
+    case_study_geometry,
+    case_study_population,
+)
+from repro.soc.chip import SoCConfig
+from repro.soc.floorplan import Floorplan, Placement
+from repro.soc.routing import RoutingEstimate, compare_routing
+
+__all__ = [
+    "CASE_STUDY_DEFECT_RATE",
+    "CASE_STUDY_FAULTS",
+    "CASE_STUDY_ITERATIONS",
+    "CASE_STUDY_PERIOD_NS",
+    "Floorplan",
+    "PAPER_AREA_OVERHEAD",
+    "PAPER_EXTRA_CELLS_PER_BIT",
+    "PAPER_REDUCTION_NO_DRF",
+    "PAPER_REDUCTION_WITH_DRF",
+    "Placement",
+    "RoutingEstimate",
+    "SoCConfig",
+    "case_study_bank",
+    "case_study_geometry",
+    "case_study_population",
+    "compare_routing",
+]

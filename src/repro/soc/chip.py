@@ -1,0 +1,75 @@
+"""SoC configurations: named collections of distributed e-SRAM geometries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.validation import require
+
+
+@dataclass
+class SoCConfig:
+    """A reproducible SoC description: geometries plus clocking.
+
+    ``build_bank()`` materializes fresh SRAM instances, so one config can
+    drive many independent experiments.
+    """
+
+    name: str
+    geometries: list[MemoryGeometry] = field(default_factory=list)
+    period_ns: float = 10.0
+
+    def __post_init__(self) -> None:
+        require(len(self.geometries) > 0, "an SoC needs at least one memory")
+
+    @property
+    def memory_count(self) -> int:
+        """Number of e-SRAM instances."""
+        return len(self.geometries)
+
+    @property
+    def total_cells(self) -> int:
+        """Total storage cells across the SoC."""
+        return sum(g.cells for g in self.geometries)
+
+    def is_heterogeneous(self) -> bool:
+        """Whether memory sizes differ (the [4] scheme cannot handle this)."""
+        return len({(g.words, g.bits) for g in self.geometries}) > 1
+
+    def build_bank(self, trace: bool = False, has_idle_mode: bool = True) -> MemoryBank:
+        """Instantiate fresh memories for one experiment."""
+        return MemoryBank(
+            [
+                SRAM(
+                    geometry,
+                    period_ns=self.period_ns,
+                    has_idle_mode=has_idle_mode,
+                    trace=trace,
+                )
+                for geometry in self.geometries
+            ]
+        )
+
+    @classmethod
+    def buffer_cluster(cls, period_ns: float = 10.0) -> "SoCConfig":
+        """A typical networking-SoC buffer cluster (motivating example [1]).
+
+        Three heterogeneous small buffers hanging off one controller, as in
+        Figs. 1 and 3 of the paper.
+        """
+        return cls(
+            name="buffer-cluster",
+            geometries=[
+                MemoryGeometry(256, 32, "rx_fifo"),
+                MemoryGeometry(128, 18, "hdr_buf"),
+                MemoryGeometry(64, 9, "tag_ram"),
+            ],
+            period_ns=period_ns,
+        )
+
+    def __repr__(self) -> str:
+        shapes = ", ".join(f"{g.name}:{g.words}x{g.bits}" for g in self.geometries)
+        return f"SoCConfig({self.name!r}, [{shapes}])"

@@ -1,0 +1,81 @@
+"""Abstract die floorplan: memory placement for routing estimates.
+
+Distances are in abstract grid units; only *relative* routing costs matter
+for the architecture comparison (Sec. 1's difficulty (iii): wire routing to
+spatially distributed memories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.chip import SoCConfig
+from repro.util.rng import make_rng
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One memory instance at a die location."""
+
+    memory_name: str
+    x: float
+    y: float
+
+    def manhattan_to(self, x: float, y: float) -> float:
+        """Manhattan distance to a point (wire-length proxy)."""
+        return abs(self.x - x) + abs(self.y - y)
+
+
+class Floorplan:
+    """Controller-centred placement of an SoC's memories."""
+
+    def __init__(
+        self,
+        soc: SoCConfig,
+        die_size: float = 100.0,
+        controller_xy: tuple[float, float] | None = None,
+        rng=0,
+    ) -> None:
+        require_positive(die_size, "die_size")
+        self.soc = soc
+        self.die_size = die_size
+        self.controller_xy = controller_xy or (die_size / 2.0, die_size / 2.0)
+        generator = make_rng(rng)
+        self.placements = [
+            Placement(
+                geometry.name,
+                float(generator.uniform(0, die_size)),
+                float(generator.uniform(0, die_size)),
+            )
+            for geometry in soc.geometries
+        ]
+
+    def distance_to_controller(self, memory_name: str) -> float:
+        """Manhattan distance from one memory to the BISD controller."""
+        for placement in self.placements:
+            if placement.memory_name == memory_name:
+                return placement.manhattan_to(*self.controller_xy)
+        raise KeyError(f"no memory named {memory_name!r}")
+
+    def total_star_length(self) -> float:
+        """Sum of controller-to-memory distances (star routing)."""
+        return sum(
+            p.manhattan_to(*self.controller_xy) for p in self.placements
+        )
+
+    def daisy_chain_length(self) -> float:
+        """Length of a controller-rooted nearest-neighbour chain.
+
+        Serial broadcast wires (the pattern-delivery trunk) can be routed
+        as a chain through the memories instead of a star.
+        """
+        remaining = list(self.placements)
+        x, y = self.controller_xy
+        total = 0.0
+        while remaining:
+            nearest = min(remaining, key=lambda p: p.manhattan_to(x, y))
+            total += nearest.manhattan_to(x, y)
+            x, y = nearest.x, nearest.y
+            remaining.remove(nearest)
+        return total

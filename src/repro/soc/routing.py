@@ -1,0 +1,109 @@
+"""Routing-cost comparison of the diagnosis-architecture alternatives.
+
+Section 1 of the paper rejects two alternatives before proposing its
+scheme; this module quantifies the wire budgets on a common floorplan:
+
+* **per-memory BIST** [5, 6]: no global test wires, but a full controller
+  replicated at each memory (area, not wires, is the cost -- included for
+  completeness with its local-area penalty);
+* **shared parallel buses**: one shared controller driving each memory's
+  full data/address bus -- wire length scales with ``c + log2 n`` per
+  memory;
+* **shared serial** ([7, 8] and the proposed scheme): a handful of global
+  wires per memory; the proposed scheme costs exactly one more than the
+  baseline (``scan_en``), plus NWRTM if DRF screening is on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.area import AreaModel
+from repro.core.control_gen import ControlGenerator
+from repro.soc.floorplan import Floorplan
+from repro.util.records import Record
+
+
+@dataclass(frozen=True)
+class RoutingEstimate(Record):
+    """Wire budget for one architecture on one floorplan."""
+
+    architecture: str
+    global_wire_length: float
+    wires_per_memory: float
+    replicated_controller_transistors: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.architecture:24s} wire-length={self.global_wire_length:10.1f}  "
+            f"wires/mem={self.wires_per_memory:6.1f}  "
+            f"extra-controllers={self.replicated_controller_transistors}"
+        )
+
+
+#: Transistor estimate for one replicated BIST/BISD controller (pattern
+#: generator + comparator + sequencer), used by the per-memory alternative.
+PER_MEMORY_CONTROLLER_TRANSISTORS = 5_000
+
+
+def compare_routing(floorplan: Floorplan) -> list[RoutingEstimate]:
+    """Wire budgets of the three architectures on one floorplan."""
+    soc = floorplan.soc
+    star = floorplan.total_star_length()
+    chain = floorplan.daisy_chain_length()
+
+    estimates = [
+        RoutingEstimate(
+            architecture="per-memory BIST [5,6]",
+            global_wire_length=chain,  # only a start/done daisy chain
+            wires_per_memory=2.0,
+            replicated_controller_transistors=(
+                PER_MEMORY_CONTROLLER_TRANSISTORS * soc.memory_count
+            ),
+        )
+    ]
+
+    parallel_wires = 0.0
+    for geometry in soc.geometries:
+        bus = geometry.bits + max(1, math.ceil(math.log2(geometry.words))) + 3
+        parallel_wires += bus * floorplan.distance_to_controller(geometry.name)
+    estimates.append(
+        RoutingEstimate(
+            architecture="shared parallel buses",
+            global_wire_length=parallel_wires,
+            wires_per_memory=sum(
+                g.bits + max(1, math.ceil(math.log2(g.words))) + 3
+                for g in soc.geometries
+            )
+            / soc.memory_count,
+            replicated_controller_transistors=0,
+        )
+    )
+
+    baseline_wires = ControlGenerator.baseline_wires().count
+    proposed_wires = ControlGenerator(drf_screening=True).wires().count
+    for name, count in (
+        ("shared serial [7,8]", baseline_wires),
+        ("shared serial (proposed)", proposed_wires),
+    ):
+        # The trunk signals (clock, pattern, control) daisy-chain; the
+        # per-memory response wire stars back to the comparator array.
+        estimates.append(
+            RoutingEstimate(
+                architecture=name,
+                global_wire_length=chain * (count - 1) + star,
+                wires_per_memory=float(count),
+                replicated_controller_transistors=0,
+            )
+        )
+    return estimates
+
+
+def proposed_extra_area_summary(area_model: AreaModel | None = None) -> str:
+    """One-line restatement of the Sec. 4.3 area claim."""
+    model = area_model or AreaModel()
+    return (
+        f"proposed - baseline = {model.extra_per_bit_cells():.1f} "
+        "6T-cell equivalents per interface bit, +1 global wire (scan_en)"
+    )

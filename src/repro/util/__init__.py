@@ -1,0 +1,60 @@
+"""Shared low-level utilities: bit manipulation, units, RNG, records.
+
+These helpers are deliberately free of any EDA semantics so that every other
+subpackage can depend on them without import cycles.
+"""
+
+from repro.util.bitops import (
+    bit_of,
+    bits_to_int,
+    checkerboard,
+    complement,
+    int_to_bits,
+    mask,
+    parity,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+from repro.util.records import Record, format_table
+from repro.util.rng import make_rng
+from repro.util.units import (
+    MS_PER_S,
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    format_duration_ns,
+    mhz_to_period_ns,
+    ns_to_ms,
+    period_ns_to_mhz,
+)
+from repro.util.validation import require, require_in_range, require_positive
+
+__all__ = [
+    "MS_PER_S",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "NS_PER_US",
+    "Record",
+    "bit_of",
+    "bits_to_int",
+    "checkerboard",
+    "complement",
+    "format_duration_ns",
+    "format_table",
+    "int_to_bits",
+    "make_rng",
+    "mask",
+    "mhz_to_period_ns",
+    "ns_to_ms",
+    "parity",
+    "period_ns_to_mhz",
+    "popcount",
+    "require",
+    "require_in_range",
+    "require_positive",
+    "reverse_bits",
+    "rotate_left",
+    "rotate_right",
+]

@@ -1,0 +1,100 @@
+"""Bit-vector helpers used by the memory, March and serial-interface models.
+
+Conventions
+-----------
+* A *word* of width ``w`` is a non-negative Python ``int`` with bits numbered
+  ``0`` (LSB) to ``w - 1`` (MSB).  Bit ``j`` of a word corresponds to memory
+  column / IO pin ``j``.
+* Bit *lists* are least-significant-bit first: ``int_to_bits(0b011, 3)``
+  yields ``[1, 1, 0]``.  Serial interfaces that shift MSB-first simply walk
+  these lists in reverse.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require, require_positive
+
+
+def mask(width: int) -> int:
+    """Return an all-ones word of ``width`` bits (``width`` may be zero)."""
+    require(width >= 0, f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_of(word: int, position: int) -> int:
+    """Return bit ``position`` (0 = LSB) of ``word`` as ``0`` or ``1``."""
+    require(position >= 0, f"bit position must be non-negative, got {position}")
+    return (word >> position) & 1
+
+
+def int_to_bits(word: int, width: int) -> list[int]:
+    """Expand ``word`` into an LSB-first list of ``width`` bits."""
+    require(word >= 0, f"word must be non-negative, got {word}")
+    require(width >= 0, f"width must be non-negative, got {width}")
+    require(word <= mask(width), f"word {word:#x} does not fit in {width} bits")
+    return [(word >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: list[int]) -> int:
+    """Pack an LSB-first bit list back into an integer word."""
+    word = 0
+    for i, bit in enumerate(bits):
+        require(bit in (0, 1), f"bit {i} must be 0 or 1, got {bit!r}")
+        word |= bit << i
+    return word
+
+
+def complement(word: int, width: int) -> int:
+    """Return the bitwise complement of ``word`` within ``width`` bits."""
+    require(word <= mask(width), f"word {word:#x} does not fit in {width} bits")
+    return word ^ mask(width)
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in ``word``."""
+    require(word >= 0, f"word must be non-negative, got {word}")
+    return word.bit_count()
+
+
+def parity(word: int) -> int:
+    """Even/odd parity of ``word`` (1 if an odd number of bits are set)."""
+    return popcount(word) & 1
+
+
+def reverse_bits(word: int, width: int) -> int:
+    """Mirror the low ``width`` bits of ``word`` (bit 0 swaps with ``width-1``)."""
+    require(word <= mask(width), f"word {word:#x} does not fit in {width} bits")
+    result = 0
+    for i in range(width):
+        if (word >> i) & 1:
+            result |= 1 << (width - 1 - i)
+    return result
+
+
+def rotate_left(word: int, width: int, amount: int = 1) -> int:
+    """Rotate the low ``width`` bits of ``word`` left by ``amount``."""
+    require_positive(width, "width")
+    require(word <= mask(width), f"word {word:#x} does not fit in {width} bits")
+    amount %= width
+    return ((word << amount) | (word >> (width - amount))) & mask(width)
+
+
+def rotate_right(word: int, width: int, amount: int = 1) -> int:
+    """Rotate the low ``width`` bits of ``word`` right by ``amount``."""
+    require_positive(width, "width")
+    amount %= width
+    return rotate_left(word, width, width - amount)
+
+
+def checkerboard(width: int, phase: int = 0) -> int:
+    """Return a 0101…/1010… pattern of ``width`` bits.
+
+    ``phase = 0`` sets even bit positions (…0101); ``phase = 1`` sets odd
+    positions (…1010).  Adjacent IO bits always carry opposite values, which
+    is what makes the pattern sensitive to intra-word bridging defects.
+    """
+    require(phase in (0, 1), f"phase must be 0 or 1, got {phase}")
+    word = 0
+    for i in range(phase, width, 2):
+        word |= 1 << i
+    return word

@@ -1,0 +1,21 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component (fault populations, sweep sampling) takes either a
+seed or an existing generator so that experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed or pass one through.
+
+    ``None`` yields OS entropy (non-reproducible); an integer yields a
+    deterministic generator; an existing generator is returned unchanged so
+    that callers can thread one generator through a whole experiment.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,50 @@
+"""Time-unit conversions.
+
+All diagnosis-time bookkeeping in this library is carried in *nanoseconds*
+(the paper's equations use ``t`` in ns) and converted for presentation only.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require_positive
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+MS_PER_S = 1_000
+
+
+def ns_to_ms(duration_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return duration_ns / NS_PER_MS
+
+
+def mhz_to_period_ns(frequency_mhz: float) -> float:
+    """Clock period in ns for a frequency in MHz (100 MHz -> 10 ns)."""
+    require_positive(frequency_mhz, "frequency_mhz")
+    return 1_000.0 / frequency_mhz
+
+
+def period_ns_to_mhz(period_ns: float) -> float:
+    """Clock frequency in MHz for a period in ns (10 ns -> 100 MHz)."""
+    require_positive(period_ns, "period_ns")
+    return 1_000.0 / period_ns
+
+
+def format_duration_ns(duration_ns: float) -> str:
+    """Render a nanosecond duration with a human-appropriate unit.
+
+    >>> format_duration_ns(1_433_408_000)
+    '1.433 s'
+    >>> format_duration_ns(9_984_400)
+    '9.984 ms'
+    >>> format_duration_ns(512)
+    '512.000 ns'
+    """
+    if duration_ns >= NS_PER_S:
+        return f"{duration_ns / NS_PER_S:.3f} s"
+    if duration_ns >= NS_PER_MS:
+        return f"{duration_ns / NS_PER_MS:.3f} ms"
+    if duration_ns >= NS_PER_US:
+        return f"{duration_ns / NS_PER_US:.3f} us"
+    return f"{duration_ns:.3f} ns"

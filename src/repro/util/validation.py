@@ -1,0 +1,27 @@
+"""Argument-validation helpers shared across the library.
+
+Invalid configuration should fail loudly at construction time, not deep in a
+simulation loop, so constructors validate eagerly with these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Raise unless ``value`` is a strictly positive number."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(value: Any, low: Any, high: Any, name: str) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")

@@ -1,0 +1,120 @@
+"""A minimal VCD (Value Change Dump) writer for control-signal traces.
+
+Diagnosis sessions drive a handful of global control signals (``scan_en``,
+``NWRTM``, the address trigger, ``bisddone``); dumping them as a VCD file
+lets any waveform viewer (GTKWave etc.) display a session.  The writer
+supports 1-bit signals only -- exactly what the control wires are.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import require
+
+#: Printable VCD identifier characters (enough for our few signals).
+_IDENT_CHARS = "!\"#$%&'()*+,-./"
+
+
+class VcdWriter:
+    """Collects 1-bit signal changes and renders a VCD document."""
+
+    def __init__(self, timescale: str = "1ns") -> None:
+        self.timescale = timescale
+        self._signals: dict[str, str] = {}  # name -> identifier
+        self._changes: list[tuple[int, str, int]] = []  # (time, name, value)
+        self._last: dict[str, int] = {}
+
+    def add_signal(self, name: str, initial: int = 0) -> None:
+        """Register a 1-bit signal before recording changes."""
+        require(name not in self._signals, f"signal {name!r} already added")
+        require(
+            len(self._signals) < len(_IDENT_CHARS),
+            "too many signals for the mini writer",
+        )
+        require(initial in (0, 1), "initial must be 0 or 1")
+        self._signals[name] = _IDENT_CHARS[len(self._signals)]
+        self._last[name] = initial
+        self._changes.append((0, name, initial))
+
+    def change(self, time: int, name: str, value: int) -> None:
+        """Record a value change (ignored when the value is unchanged)."""
+        require(name in self._signals, f"unknown signal {name!r}")
+        require(value in (0, 1), "value must be 0 or 1")
+        require(time >= 0, "time must be non-negative")
+        if self._last[name] == value:
+            return
+        self._last[name] = value
+        self._changes.append((time, name, value))
+
+    def render(self) -> str:
+        """Produce the VCD document."""
+        lines = [
+            "$date repro diagnosis session $end",
+            f"$timescale {self.timescale} $end",
+            "$scope module bisd $end",
+        ]
+        for name, ident in self._signals.items():
+            lines.append(f"$var wire 1 {ident} {name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        by_time: dict[int, list[tuple[str, int]]] = {}
+        for time, name, value in self._changes:
+            by_time.setdefault(time, []).append((name, value))
+        for time in sorted(by_time):
+            lines.append(f"#{time}")
+            for name, value in by_time[time]:
+                lines.append(f"{value}{self._signals[name]}")
+        return "\n".join(lines) + "\n"
+
+
+class TracingMonitor:
+    """A protocol-monitor companion that records signals into a VCD.
+
+    Wraps the same event interface as
+    :class:`repro.core.protocol.ProtocolMonitor`, so a scheme can drive
+    both (or this one alone) to produce a viewable session trace.
+    """
+
+    def __init__(self) -> None:
+        self.vcd = VcdWriter()
+        for signal in ("scan_en", "nwrtm", "write", "capture"):
+            self.vcd.add_signal(signal)
+        self._time = 0
+
+    def _tick(self) -> int:
+        self._time += 1
+        return self._time
+
+    def on_scan_en(self, asserted: bool) -> None:
+        """``scan_en`` edge (PSC shift window opens/closes)."""
+        self.vcd.change(self._tick(), "scan_en", int(asserted))
+
+    def on_nwrtm(self, asserted: bool) -> None:
+        """NWRTM precharge-gate edge (an NWRC window)."""
+        self.vcd.change(self._tick(), "nwrtm", int(asserted))
+
+    def on_write(self, nwrc: bool) -> None:
+        """One write cycle, rendered as a one-cycle strobe."""
+        time = self._tick()
+        self.vcd.change(time, "write", 1)
+        self.vcd.change(time + 1, "write", 0)
+        self._time += 1
+
+    def on_capture(self) -> None:
+        """One PSC parallel capture, rendered as a one-cycle strobe."""
+        time = self._tick()
+        self.vcd.change(time, "capture", 1)
+        self.vcd.change(time + 1, "capture", 0)
+        self._time += 1
+
+    def on_idle_shift(self) -> None:
+        """One PSC shift cycle (advances trace time only)."""
+        self._tick()
+
+    def on_session_end(self) -> None:
+        """End of the diagnosis session."""
+        self._tick()
+
+    def render(self) -> str:
+        """The VCD document for the recorded session."""
+        return self.vcd.render()

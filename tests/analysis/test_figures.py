@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure helpers."""
+
+import pytest
+
+from repro.analysis.figures import ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_all_points(self):
+        text = ascii_plot([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=8)
+        assert text.count("*") >= 4
+
+    def test_title_rendered(self):
+        text = ascii_plot([0, 1], [0, 1], title="R vs rate")
+        assert text.splitlines()[0] == "R vs rate"
+
+    def test_axis_labels(self):
+        text = ascii_plot([0.5, 2.5], [10, 90], width=20, height=6)
+        assert "0.5" in text and "2.5" in text
+        assert "90" in text and "10" in text
+
+    def test_log_scale(self):
+        text = ascii_plot([1, 2, 3], [1, 100, 10000], log_y=True)
+        assert "1e+04" in text or "10000" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_plot([0, 1], [5, 5])
+        assert "*" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], [1, 2])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], [1])
+
+
+class TestAsciiBars:
+    def test_bar_per_label(self):
+        text = ascii_bars(["a", "bb"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("a |")
+
+    def test_longest_bar_is_peak(self):
+        text = ascii_bars(["x", "y"], [1.0, 4.0], width=8)
+        short, long_ = text.splitlines()
+        assert long_.count("#") > short.count("#")
+
+    def test_zero_value(self):
+        text = ascii_bars(["z"], [0.0])
+        assert "0" in text
+
+    def test_unit_suffix(self):
+        assert "ms" in ascii_bars(["t"], [3.0], unit="ms")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars([], [])

@@ -1,0 +1,59 @@
+"""Tests for the Monte-Carlo distribution experiments."""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    Distribution,
+    emergent_k_distribution,
+    reduction_distribution,
+)
+from repro.memory.geometry import MemoryGeometry
+
+
+class TestDistribution:
+    def test_of_basic(self):
+        dist = Distribution.of([1.0, 2.0, 3.0])
+        assert dist.samples == 3
+        assert dist.mean == 2.0
+        assert dist.minimum == 1.0 and dist.maximum == 3.0
+
+    def test_single_sample_std_zero(self):
+        assert Distribution.of([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution.of([])
+
+
+class TestEmergentK:
+    @pytest.fixture(scope="class")
+    def k_dist(self):
+        # Small geometry keeps the Monte-Carlo fast; the arithmetic scales.
+        return emergent_k_distribution(
+            range(24), MemoryGeometry(128, 32, "mc"), defect_rate=0.01
+        )
+
+    def test_mean_tracks_paper_arithmetic(self, k_dist):
+        """E[k] ~ faults * 0.75 / 2 = 20.48 * 0.75 / 2 ~ 7.7 for 128x32@1%."""
+        expected = round(128 * 32 * 0.01 / 2) * 0.75 / 2
+        assert k_dist.mean == pytest.approx(expected, rel=0.2)
+
+    def test_spread_is_narrow(self, k_dist):
+        assert k_dist.std < k_dist.mean * 0.3
+
+    def test_bounds_sane(self, k_dist):
+        assert 0 < k_dist.minimum <= k_dist.mean <= k_dist.maximum
+
+
+class TestReductionDistribution:
+    def test_reduction_concentrates_above_one(self):
+        dist = reduction_distribution(
+            range(12), MemoryGeometry(128, 32, "mc"), defect_rate=0.01
+        )
+        assert dist.minimum > 1.0
+        assert dist.samples == 12
+
+    def test_case_study_scale(self):
+        """A few seeds at full case-study scale straddle the paper's 84."""
+        dist = reduction_distribution(range(6), defect_rate=0.01)
+        assert dist.mean == pytest.approx(84.0, rel=0.1)

@@ -1,0 +1,97 @@
+"""Tests for scheme-level coverage comparison and the diagnosis dictionary."""
+
+import pytest
+
+from repro.analysis.coverage import compare_scheme_coverage
+from repro.analysis.resolution import DiagnosisDictionary, Signature
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.march.simulator import FailureRecord
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture(scope="module")
+def coverage_rows():
+    return {row.label: row for row in compare_scheme_coverage(MemoryGeometry(8, 4, "cov"))}
+
+
+class TestSchemeCoverage:
+    def test_proposed_covers_everything(self, coverage_rows):
+        for label, row in coverage_rows.items():
+            assert row.proposed_detected == row.instances, label
+
+    def test_baseline_misses_retention(self, coverage_rows):
+        assert coverage_rows["DRF0 (cannot hold 0)"].baseline_detected == 0
+        assert coverage_rows["DRF1 (cannot hold 1)"].baseline_detected == 0
+
+    def test_baseline_misses_weak_cells(self, coverage_rows):
+        assert coverage_rows["Weak cell (reliability-only)"].baseline_detected == 0
+
+    def test_baseline_localizes_stuck_at(self, coverage_rows):
+        row = coverage_rows["SAF0"]
+        assert row.baseline_localized == row.instances
+
+    def test_percentages_render(self, coverage_rows):
+        rendered = coverage_rows["SAF0"].as_percentages()
+        assert rendered["proposed det"].strip() == "100.0%"
+
+
+class TestSignature:
+    def _failure(self, step, op, address, expected, observed):
+        return FailureRecord("m", 0, step, 0, op, address, 0b1111, expected, observed)
+
+    def test_cell_footprint(self):
+        failures = [self._failure("M1", "r0", 3, 0b0000, 0b0100)]
+        assert Signature.from_failures(failures).footprint == "cell"
+
+    def test_row_footprint(self):
+        failures = [self._failure("M1", "r0", 3, 0b0000, 0b0110)]
+        assert Signature.from_failures(failures).footprint == "row"
+
+    def test_column_footprint(self):
+        failures = [
+            self._failure("M1", "r0", 1, 0b0000, 0b0100),
+            self._failure("M1", "r0", 5, 0b0000, 0b0100),
+        ]
+        assert Signature.from_failures(failures).footprint == "column"
+
+    def test_scattered_footprint(self):
+        failures = [
+            self._failure("M1", "r0", 1, 0b0000, 0b0100),
+            self._failure("M2", "r1", 5, 0b1111, 0b1101),
+        ]
+        assert Signature.from_failures(failures).footprint == "scattered"
+
+
+class TestDiagnosisDictionary:
+    @pytest.fixture(scope="class")
+    def dictionary(self):
+        return DiagnosisDictionary.build(MemoryGeometry(8, 4, "dict"))
+
+    def test_nonempty(self, dictionary):
+        assert dictionary.size > 0
+
+    def test_classifies_stuck_at(self, dictionary):
+        memory = SRAM(MemoryGeometry(8, 4, "dict"))
+        StuckAtFault(CellRef(2, 1), 1).attach(memory)
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        candidates = dictionary.classify(report.failures["dict"])
+        assert "SAF1" in candidates
+
+    def test_classifies_drf(self, dictionary):
+        memory = SRAM(MemoryGeometry(8, 4, "dict"))
+        DataRetentionFault(CellRef(2, 1), 1).attach(memory)
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        candidates = dictionary.classify(report.failures["dict"])
+        assert any("DRF1" in c for c in candidates)
+
+    def test_clean_run_empty(self, dictionary):
+        assert dictionary.classify([]) == set()
+
+    def test_resolution_histogram(self, dictionary):
+        histogram = dictionary.resolution_histogram()
+        assert sum(histogram.values()) == dictionary.size
+        assert 1 in histogram  # at least some signatures are unambiguous

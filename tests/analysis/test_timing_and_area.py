@@ -1,0 +1,106 @@
+"""Tests for the Section-4 evaluation models: timing and area."""
+
+import pytest
+
+from repro.analysis.area import AreaModel, TransistorBudget, wire_comparison
+from repro.analysis.timing_model import (
+    case_study_comparison,
+    compare_timing,
+    paper_read_cost_variant,
+)
+from repro.memory.geometry import MemoryGeometry
+from repro.soc.case_study import (
+    PAPER_AREA_OVERHEAD,
+    PAPER_REDUCTION_NO_DRF,
+    PAPER_REDUCTION_WITH_DRF,
+)
+
+
+class TestCaseStudyTiming:
+    def test_paper_k(self):
+        assert case_study_comparison().iterations == 96
+
+    def test_reduction_at_least_84(self):
+        """The paper's headline: R >= 84 without DRFs."""
+        row = case_study_comparison()
+        assert row.reduction >= PAPER_REDUCTION_NO_DRF
+
+    def test_reduction_with_drf_near_145(self):
+        """Paper claims >= 145; literal equations give 143.4 (within 1.2%)."""
+        row = case_study_comparison()
+        assert row.reduction_with_drf == pytest.approx(
+            PAPER_REDUCTION_WITH_DRF, rel=0.02
+        )
+
+    def test_read_cost_variant_brackets_paper(self):
+        variant = paper_read_cost_variant(512, 100, 10.0, 96)
+        assert variant.reduction_with_drf == pytest.approx(144.8, abs=0.1)
+        literal = case_study_comparison()
+        assert literal.reduction_with_drf <= PAPER_REDUCTION_WITH_DRF <= \
+            variant.reduction_with_drf + 1.0
+
+    def test_pretty_rendering(self):
+        text = case_study_comparison().pretty()
+        assert "T[7,8]" in text and "R (with DRF)" in text
+
+    def test_comparison_consistency(self):
+        row = compare_timing(256, 32, 10.0, 10)
+        assert row.baseline_drf_ns > row.baseline_ns
+        assert row.proposed_drf_ns > row.proposed_ns
+        assert row.reduction == row.baseline_ns / row.proposed_ns
+
+
+class TestAreaModel:
+    def test_paper_budget_extra_per_bit(self):
+        """Sec. 4.3: proposed - baseline = three 6T cells per bit."""
+        assert AreaModel().extra_per_bit_cells() == 3.0
+
+    def test_dff_is_two_cells_latch_is_one(self):
+        budget = TransistorBudget.paper()
+        assert budget.cells(budget.dff) == 2.0
+        assert budget.cells(budget.latch) == 1.0
+
+    def test_benchmark_overhead_brackets_paper(self):
+        """Paper says ~1.8%; our budgets bracket it."""
+        geometry = MemoryGeometry(512, 100)
+        low = AreaModel().overhead_fraction(geometry, "proposed")
+        high = AreaModel(TransistorBudget.conservative()).overhead_fraction(
+            geometry, "proposed"
+        )
+        assert low <= PAPER_AREA_OVERHEAD <= high
+
+    def test_overhead_small_for_benchmark(self):
+        geometry = MemoryGeometry(512, 100)
+        assert AreaModel().overhead_fraction(geometry, "proposed") < 0.03
+
+    def test_proposed_costs_more_than_baseline(self):
+        geometry = MemoryGeometry(512, 100)
+        model = AreaModel()
+        assert model.overhead_fraction(geometry, "proposed") > \
+            model.overhead_fraction(geometry, "baseline")
+
+    def test_breakdown_totals(self):
+        model = AreaModel()
+        breakdown = model.breakdown(MemoryGeometry(512, 100), "proposed")
+        assert breakdown.total_transistors == (
+            breakdown.interface_transistors
+            + breakdown.address_generator_transistors
+            + breakdown.glue_transistors
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel().breakdown(MemoryGeometry(4, 4), "quantum")
+
+
+class TestWireComparison:
+    def test_plus_one_wire(self):
+        """Sec. 4.3: exactly one extra global wire (scan_en)."""
+        result = wire_comparison()
+        assert result["extra_without_drf"] == 1
+        assert result["scan_en_is_the_plus_one"]
+
+    def test_nwrtm_reported_separately(self):
+        result = wire_comparison()
+        assert "nwrtm" in result["extra_wires"]
+        assert result["proposed_with_nwrtm_count"] == result["proposed_count"] + 1

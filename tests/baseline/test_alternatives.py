@@ -1,0 +1,84 @@
+"""Tests for the [5,6] per-memory and [4] same-size alternative schemes."""
+
+import pytest
+
+from repro.baseline.alternatives import (
+    PerMemoryBisdScheme,
+    SameSizeParallelScheme,
+    per_memory_area_penalty,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+def _homogeneous_bank():
+    return MemoryBank(
+        [SRAM(MemoryGeometry(16, 8, f"m{i}")) for i in range(3)]
+    )
+
+
+class TestPerMemoryBisd:
+    def test_detects_faults_everywhere(self, hetero_bank):
+        injector = FaultInjector()
+        injector.inject(hetero_bank.by_name("wide"), StuckAtFault(CellRef(3, 3), 1))
+        injector.inject(hetero_bank.by_name("tiny"), StuckAtFault(CellRef(2, 1), 0))
+        report = PerMemoryBisdScheme(hetero_bank).diagnose()
+        assert CellRef(3, 3) in report.detected_cells("wide")
+        assert CellRef(2, 1) in report.detected_cells("tiny")
+
+    def test_time_set_by_slowest_memory(self, hetero_bank):
+        report = PerMemoryBisdScheme(hetero_bank).diagnose()
+        standalone = PerMemoryBisdScheme(
+            MemoryBank([SRAM(MemoryGeometry(16, 8, "wide"))])
+        ).diagnose()
+        assert report.time_ns == standalone.time_ns
+
+    def test_controller_replication_cost(self, hetero_bank):
+        report = PerMemoryBisdScheme(hetero_bank).diagnose()
+        assert report.extra_controller_transistors == 5_000 * 3
+
+    def test_area_penalty_dominates_small_memories(self, hetero_bank):
+        penalty = per_memory_area_penalty(hetero_bank)
+        # Three controllers over ~200 cells of memory: enormous overhead.
+        assert penalty > 0.5
+
+    def test_handles_heterogeneous_banks(self, hetero_bank):
+        assert PerMemoryBisdScheme(hetero_bank).diagnose().passed
+
+    def test_misses_drfs(self):
+        """No NWRTM, no pauses: the alternative baselines miss DRFs too."""
+        bank = _homogeneous_bank()
+        DataRetentionFault(CellRef(4, 4), 1).attach(bank[0])
+        assert PerMemoryBisdScheme(bank).diagnose().passed
+
+
+class TestSameSizeParallel:
+    def test_rejects_heterogeneous_bank(self, hetero_bank):
+        with pytest.raises(ValueError):
+            SameSizeParallelScheme(hetero_bank)
+
+    def test_diagnoses_homogeneous_bank(self):
+        bank = _homogeneous_bank()
+        injector = FaultInjector()
+        injector.inject(bank[1], StuckAtFault(CellRef(7, 2), 1))
+        report = SameSizeParallelScheme(bank).diagnose()
+        assert CellRef(7, 2) in report.detected_cells("m1")
+
+    def test_bus_width_accounting(self):
+        bank = _homogeneous_bank()
+        report = SameSizeParallelScheme(bank).diagnose()
+        assert report.wires_per_memory == 8 + 4 + 3  # data + address + control
+
+    def test_faster_than_serialized_proposed(self):
+        """Parallel buses beat serial delivery on raw time -- the point is
+        they lose on routing, not speed."""
+        from repro.core.scheme import FastDiagnosisScheme
+
+        bank = _homogeneous_bank()
+        parallel = SameSizeParallelScheme(bank).diagnose()
+        proposed = FastDiagnosisScheme(_homogeneous_bank()).diagnose()
+        assert parallel.time_ns < proposed.time_ns

@@ -1,0 +1,95 @@
+"""Unit tests for the DiagRSMarch reconstruction and Eq. (1) timing."""
+
+import pytest
+
+from repro.baseline.diag_rsmarch import (
+    AUX_SWEEPS,
+    DIAG_KERNEL_SWEEPS,
+    DiagRSMarch,
+    min_iterations,
+)
+from repro.baseline.timing import (
+    BaselineTimingBreakdown,
+    baseline_diagnosis_time_ns,
+    baseline_drf_extra_ns,
+)
+from repro.serial.shift_register import ShiftDirection
+
+
+class TestSweepCounts:
+    def test_constants(self):
+        assert AUX_SWEEPS == 9
+        assert DIAG_KERNEL_SWEEPS == 17
+
+    def test_kernel_uses_both_directions(self):
+        directions = {s.direction for s in DiagRSMarch.KERNEL}
+        assert directions == {ShiftDirection.LEFT, ShiftDirection.RIGHT}
+
+    def test_kernel_uses_checkerboard(self):
+        kinds = {s.pattern_kind for s in DiagRSMarch.KERNEL}
+        assert "checker" in kinds and "checker_inv" in kinds
+
+    def test_aux_is_right_shift_operational(self):
+        """The base RSMarch is right-shift only (Sec. 4.2)."""
+        assert all(s.direction is ShiftDirection.RIGHT for s in DiagRSMarch.AUX)
+
+    def test_sweep_patterns_concrete(self):
+        sweep = DiagRSMarch.KERNEL[10]
+        assert sweep.pattern(4) in (0b1010, 0b0101)
+
+    def test_unknown_pattern_kind_rejected(self):
+        from repro.baseline.diag_rsmarch import SerialSweep
+
+        sweep = SerialSweep(ShiftDirection.RIGHT, "bogus")
+        with pytest.raises(ValueError):
+            sweep.pattern(4)
+
+
+class TestCycleArithmetic:
+    def test_total_cycles_is_eq1(self):
+        march = DiagRSMarch()
+        assert march.total_cycles(512, 100, 96) == (17 * 96 + 9) * 512 * 100
+
+    def test_per_iteration(self):
+        march = DiagRSMarch()
+        assert march.cycles_per_iteration(10, 4) == 17 * 40
+        assert march.aux_cycles(10, 4) == 9 * 40
+
+
+class TestMinIterations:
+    def test_case_study(self):
+        assert min_iterations(256) == 96
+
+    def test_zero_faults(self):
+        assert min_iterations(0) == 0
+
+    def test_rounding_up(self):
+        assert min_iterations(3, kernel_share=1.0) == 2
+
+    def test_full_share(self):
+        assert min_iterations(10, kernel_share=1.0) == 5
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError):
+            min_iterations(10, kernel_share=1.5)
+
+
+class TestEq1:
+    def test_case_study_value(self):
+        assert baseline_diagnosis_time_ns(512, 100, 10.0, 96) == 840_192_000.0
+
+    def test_scales_linearly_in_k(self):
+        t1 = baseline_diagnosis_time_ns(512, 100, 10.0, 10)
+        t2 = baseline_diagnosis_time_ns(512, 100, 10.0, 20)
+        aux = 9 * 512 * 100 * 10.0
+        assert (t2 - aux) == pytest.approx(2 * (t1 - aux))
+
+    def test_drf_extra(self):
+        extra = baseline_drf_extra_ns(512, 100, 10.0, 96)
+        assert extra == 8 * 96 * 512 * 100 * 10.0 + 200e6
+
+    def test_breakdown_totals(self):
+        breakdown = BaselineTimingBreakdown(512, 100, 10.0, 96, include_drf=True)
+        assert breakdown.total_ns == breakdown.base_ns + breakdown.drf_extra_ns
+        no_drf = BaselineTimingBreakdown(512, 100, 10.0, 96, include_drf=False)
+        assert no_drf.drf_extra_ns == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the Huang-Jone baseline scheme: iterate-repair diagnosis."""
+
+import pytest
+
+from repro.baseline.scheme import HuangJoneScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.faults.weak_cell import WeakCellDefect
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+def _single_memory_setup(faults, geometry=None):
+    geometry = geometry or MemoryGeometry(8, 8, "m")
+    memory = SRAM(geometry)
+    injector = FaultInjector()
+    injector.inject(memory, faults)
+    return HuangJoneScheme(MemoryBank([memory])), injector
+
+
+class TestEffectiveMode:
+    def test_two_faults_per_iteration(self):
+        faults = [StuckAtFault(CellRef(w, b), 1) for w, b in [(0, 0), (1, 3), (2, 5), (3, 7)]]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector)
+        assert report.iterations == 2
+        assert len(report.localized) == 4
+
+    def test_odd_fault_count_rounds_up(self):
+        faults = [StuckAtFault(CellRef(w, 0), 1) for w in range(5)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector)
+        assert report.iterations == 3
+
+    def test_no_faults_zero_iterations(self):
+        scheme, injector = _single_memory_setup([])
+        report = scheme.diagnose(injector)
+        assert report.iterations == 0
+        assert report.time_ns == 0 + 9 * 8 * 8 * 10.0  # aux sweeps only
+
+    def test_drfs_missed_without_drf_mode(self):
+        faults = [DataRetentionFault(CellRef(1, 1), 1)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector)
+        assert report.iterations == 0
+        assert len(report.missed) == 1
+
+    def test_drfs_localized_with_drf_mode(self):
+        faults = [DataRetentionFault(CellRef(1, 1), 1), StuckAtFault(CellRef(2, 2), 0)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector, include_drf=True)
+        assert len(report.localized) == 2
+        assert report.pause_ns == 200e6
+
+    def test_weak_cells_always_missed(self):
+        """The baseline has no NWRTM: weak cells are unreachable."""
+        faults = [WeakCellDefect(CellRef(1, 1), 1)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector, include_drf=True)
+        assert len(report.missed) == 1
+
+    def test_localization_order_right_then_left(self):
+        faults = [StuckAtFault(CellRef(0, 1), 1), StuckAtFault(CellRef(0, 6), 1)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector)
+        right = [l for l in report.localized if l.direction == "right"][0]
+        left = [l for l in report.localized if l.direction == "left"][0]
+        assert right.cell.bit == 6  # highest bit from the right stream
+        assert left.cell.bit == 1
+
+    def test_time_matches_eq1(self):
+        faults = [StuckAtFault(CellRef(w, 0), 1) for w in range(4)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector)
+        assert report.time_ns == (17 * 2 + 9) * 8 * 8 * 10.0
+
+    def test_max_iterations_cutoff(self):
+        faults = [StuckAtFault(CellRef(w, 0), 1) for w in range(8)]
+        scheme, injector = _single_memory_setup(faults)
+        report = scheme.diagnose(injector, max_iterations=1)
+        assert report.iterations == 1
+        assert len(report.localized) == 2
+
+
+class TestParallelBankBehaviour:
+    def test_iterations_set_by_worst_memory(self):
+        m1 = SRAM(MemoryGeometry(8, 8, "few"))
+        m2 = SRAM(MemoryGeometry(8, 8, "many"))
+        injector = FaultInjector()
+        injector.inject(m1, [StuckAtFault(CellRef(0, 0), 1)])
+        injector.inject(
+            m2, [StuckAtFault(CellRef(w, 0), 1) for w in range(6)]
+        )
+        scheme = HuangJoneScheme(MemoryBank([m1, m2]))
+        report = scheme.diagnose(injector)
+        assert report.iterations == 3  # ceil(6/2), not ceil(1/2)
+
+    def test_controller_sized_by_largest(self):
+        m1 = SRAM(MemoryGeometry(4, 2, "small"))
+        m2 = SRAM(MemoryGeometry(16, 8, "large"))
+        scheme = HuangJoneScheme(MemoryBank([m1, m2]))
+        report = scheme.diagnose(FaultInjector())
+        assert report.controller_words == 16
+        assert report.controller_bits == 8
+
+
+class TestBitAccurateMode:
+    def test_agrees_with_effective_on_iteration_count(self):
+        cells = [(1, 3), (1, 6), (2, 2), (3, 5)]
+        geometry = MemoryGeometry(4, 8, "m")
+
+        def build(mode_faults):
+            memory = SRAM(geometry)
+            injector = FaultInjector()
+            injector.inject(memory, mode_faults)
+            return HuangJoneScheme(MemoryBank([memory])), injector
+
+        effective_faults = [StuckAtFault(CellRef(w, b), 0) for w, b in cells]
+        scheme, injector = build(effective_faults)
+        effective = scheme.diagnose(injector)
+
+        accurate_faults = [StuckAtFault(CellRef(w, b), 0) for w, b in cells]
+        scheme2, injector2 = build(accurate_faults)
+        accurate = scheme2.diagnose(injector2, bit_accurate=True)
+
+        assert accurate.iterations == effective.iterations
+        assert {l.cell for l in accurate.localized} == {
+            l.cell for l in effective.localized
+        }
+
+    def test_localizes_mixed_fault_types(self):
+        geometry = MemoryGeometry(4, 8, "m")
+        memory = SRAM(geometry)
+        injector = FaultInjector()
+        injector.inject(
+            memory,
+            [
+                StuckAtFault(CellRef(1, 3), 0),
+                StuckAtFault(CellRef(2, 2), 1),
+                TransitionFault(CellRef(3, 5), rising=True),
+            ],
+        )
+        scheme = HuangJoneScheme(MemoryBank([memory]))
+        report = scheme.diagnose(injector, bit_accurate=True)
+        assert {l.cell for l in report.localized} == {
+            CellRef(1, 3),
+            CellRef(2, 2),
+            CellRef(3, 5),
+        }
+        assert report.missed == []
+
+    def test_clean_memory_no_iterations_localize_nothing(self):
+        geometry = MemoryGeometry(4, 8, "m")
+        memory = SRAM(geometry)
+        scheme = HuangJoneScheme(MemoryBank([memory]))
+        report = scheme.diagnose(FaultInjector(), bit_accurate=True)
+        assert report.localized == []

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture
+def small_geometry() -> MemoryGeometry:
+    """A 16x4 memory: big enough for every March, small enough to be fast."""
+    return MemoryGeometry(16, 4, "small")
+
+
+@pytest.fixture
+def medium_geometry() -> MemoryGeometry:
+    """A 32x8 memory for serial-interface and converter tests."""
+    return MemoryGeometry(32, 8, "medium")
+
+
+@pytest.fixture
+def small_memory(small_geometry) -> SRAM:
+    """A fresh fault-free 16x4 SRAM."""
+    return SRAM(small_geometry)
+
+
+@pytest.fixture
+def medium_memory(medium_geometry) -> SRAM:
+    """A fresh fault-free 32x8 SRAM."""
+    return SRAM(medium_geometry)
+
+
+@pytest.fixture
+def hetero_bank() -> MemoryBank:
+    """A heterogeneous bank: one wide/large memory plus two smaller ones."""
+    return MemoryBank(
+        [
+            SRAM(MemoryGeometry(16, 8, "wide")),
+            SRAM(MemoryGeometry(8, 5, "narrow")),
+            SRAM(MemoryGeometry(5, 3, "tiny")),
+        ]
+    )

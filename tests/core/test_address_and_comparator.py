@@ -1,0 +1,117 @@
+"""Unit tests for local address generators and the comparator array."""
+
+import pytest
+
+from repro.core.address_gen import LocalAddressGenerator
+from repro.core.comparator import ComparatorArray
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.ops import nw1, r0, r1, w0, w1
+
+
+class TestLocalAddressGenerator:
+    def test_no_wrap_for_equal_size(self):
+        generator = LocalAddressGenerator(8, 8)
+        assert not generator.wraps
+        assert generator.local_address(5) == 5
+        assert not generator.has_wrapped(7)
+
+    def test_wrap_mapping(self):
+        generator = LocalAddressGenerator(4, 8)
+        assert generator.wraps
+        assert generator.local_address(5) == 1
+
+    def test_has_wrapped_threshold(self):
+        generator = LocalAddressGenerator(4, 8)
+        assert not generator.has_wrapped(3)
+        assert generator.has_wrapped(4)
+
+    def test_sweep_up(self):
+        generator = LocalAddressGenerator(2, 4)
+        sweep = generator.sweep(AddressOrder.UP)
+        assert sweep == [(0, 0, False), (1, 1, False), (2, 0, True), (3, 1, True)]
+
+    def test_sweep_down_first_visits_are_distinct(self):
+        generator = LocalAddressGenerator(3, 7)
+        sweep = generator.sweep(AddressOrder.DOWN)
+        first_three_locals = [local for _, local, _ in sweep[:3]]
+        assert len(set(first_three_locals)) == 3
+        assert all(not wrapped for _, _, wrapped in sweep[:3])
+        assert all(wrapped for _, _, wrapped in sweep[3:])
+
+    def test_smaller_controller_rejected(self):
+        with pytest.raises(ValueError):
+            LocalAddressGenerator(8, 4)
+
+
+class TestComparatorExpectations:
+    def test_unwrapped_read_expects_op_data(self):
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.UP, (r0(), w1()))
+        assert comparator.expected_word(element, 0, 0b1111, wrapped=False) == 0b0000
+
+    def test_wrapped_read_expects_final_write(self):
+        """After wrap-around the read-modify-write already ran once."""
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.UP, (r0(), w1()))
+        assert comparator.expected_word(element, 0, 0b1111, wrapped=True) == 0b1111
+
+    def test_wrapped_read_after_inner_write(self):
+        """A read following a write in the same visit expects that write."""
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.UP, (w0(), r0(), w1()))
+        assert comparator.expected_word(element, 1, 0b1111, wrapped=True) == 0b0000
+
+    def test_wrapped_read_only_element_unchanged(self):
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.ANY, (r0(),))
+        assert comparator.expected_word(element, 0, 0b1111, wrapped=True) == 0b0000
+
+    def test_nwrc_counts_as_final_write(self):
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.UP, (r0(), nw1()))
+        assert comparator.expected_word(element, 0, 0b1111, wrapped=True) == 0b1111
+
+    def test_write_op_returns_none(self):
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.UP, (r0(), w1()))
+        assert comparator.expected_word(element, 1, 0b1111, wrapped=False) is None
+
+    def test_stripe_background_expansion(self):
+        comparator = ComparatorArray("m", 4)
+        element = MarchElement(AddressOrder.UP, (r1(), w0()))
+        assert comparator.expected_word(element, 0, 0b1010, wrapped=False) == 0b1010
+        assert comparator.expected_word(element, 0, 0b1010, wrapped=True) == 0b0101
+
+
+class TestComparatorRecording:
+    def _compare(self, comparator, observed, expected):
+        return comparator.compare(
+            observed,
+            expected,
+            step_index=1,
+            step_label="M1",
+            op_index=0,
+            operation="r0",
+            local_address=3,
+            background=0b1111,
+        )
+
+    def test_match_records_nothing(self):
+        comparator = ComparatorArray("m", 4)
+        assert not self._compare(comparator, 0b0000, 0b0000)
+        assert comparator.failures == []
+        assert comparator.comparisons == 1
+
+    def test_mismatch_recorded(self):
+        comparator = ComparatorArray("m", 4)
+        assert self._compare(comparator, 0b0100, 0b0000)
+        failure = comparator.failures[0]
+        assert failure.syndrome == 0b0100
+        assert failure.address == 3
+        assert failure.step_label == "M1"
+
+    def test_reset(self):
+        comparator = ComparatorArray("m", 4)
+        self._compare(comparator, 1, 0)
+        comparator.reset()
+        assert comparator.failures == [] and comparator.comparisons == 0

@@ -1,0 +1,81 @@
+"""Tests for the campaign orchestration API."""
+
+import pytest
+
+from repro.core.campaign import DiagnosisCampaign
+from repro.soc.chip import SoCConfig
+
+
+@pytest.fixture
+def campaign():
+    return DiagnosisCampaign(SoCConfig.buffer_cluster(), defect_rate=0.005, seed=9)
+
+
+class TestFullCampaign:
+    def test_run_everything(self, campaign):
+        report = campaign.run()
+        assert report.injected_faults > 0
+        assert report.localization_rate == 1.0
+        assert report.baseline is not None
+        assert report.reduction_factor > 10
+        assert report.repair is not None and report.repair.fully_repaired
+        assert report.verification_passed
+
+    def test_summary_lines(self, campaign):
+        report = campaign.run()
+        text = "\n".join(report.summary_lines())
+        assert "reduction" in text and "verify   : PASS" in text
+
+    def test_without_baseline(self, campaign):
+        report = campaign.run(include_baseline=False)
+        assert report.baseline is None
+        assert report.reduction_factor is None
+
+    def test_without_repair(self, campaign):
+        report = campaign.run(repair=False)
+        assert report.repair is None
+        assert report.verification_passed is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        first = DiagnosisCampaign(
+            SoCConfig.buffer_cluster(), defect_rate=0.005, seed=4
+        ).run(include_baseline=False, repair=False)
+        second = DiagnosisCampaign(
+            SoCConfig.buffer_cluster(), defect_rate=0.005, seed=4
+        ).run(include_baseline=False, repair=False)
+        assert first.injected_faults == second.injected_faults
+        assert first.proposed.total_failures == second.proposed.total_failures
+
+    def test_spare_exhaustion_reported(self):
+        report = DiagnosisCampaign(
+            SoCConfig.buffer_cluster(),
+            defect_rate=0.02,
+            seed=2,
+            spares_per_memory=1,
+        ).run(include_baseline=False)
+        assert not report.repair.fully_repaired
+        assert report.verification_passed is False
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosisCampaign(SoCConfig.buffer_cluster(), defect_rate=2.0)
+
+
+class TestCaseStudySoc:
+    def test_case_study_soc_campaign(self):
+        from repro.soc.case_study import case_study_soc
+
+        soc = case_study_soc(memories=4)
+        assert soc.is_heterogeneous()
+        report = DiagnosisCampaign(soc, defect_rate=0.001, seed=5).run(
+            include_baseline=False, repair=False
+        )
+        assert report.localization_rate == 1.0
+
+    def test_homogeneous_variant(self):
+        from repro.soc.case_study import case_study_soc
+
+        soc = case_study_soc(memories=2, heterogeneous=False)
+        assert not soc.is_heterogeneous()

@@ -1,0 +1,132 @@
+"""Unit tests for the SPC, PSC and data background generator (Figs. 4/5)."""
+
+import pytest
+
+from repro.core.background_gen import DataBackgroundGenerator
+from repro.core.psc import ParallelToSerialConverter
+from repro.core.spc import SerialToParallelConverter
+from repro.util.bitops import bits_to_int
+
+
+class TestSpcMsbFirst:
+    """The paper's design: MSB-first delivery adapts to any width."""
+
+    def test_equal_width_identity(self):
+        generator = DataBackgroundGenerator(8)
+        spc = SerialToParallelConverter(8)
+        spc.load_stream(generator.stream(0b1011_0010))
+        assert spc.parallel_out == 0b1011_0010
+
+    def test_narrow_spc_keeps_low_bits(self):
+        """Fig. 4: c = 4 delivery into a c' = 3 SPC keeps DP[2:0]."""
+        generator = DataBackgroundGenerator(4)
+        spc = SerialToParallelConverter(3)
+        spc.load_stream(generator.stream(0b1010))
+        assert spc.parallel_out == 0b010
+
+    def test_closed_form_matches_shifting(self):
+        generator = DataBackgroundGenerator(8)
+        for width in (1, 3, 5, 8):
+            for word in (0x00, 0xFF, 0xA7, 0x38):
+                spc = SerialToParallelConverter(width)
+                spc.load_stream(generator.stream(word))
+                assert spc.parallel_out == spc.expected_pattern(word, 8)
+
+    def test_cycle_count(self):
+        generator = DataBackgroundGenerator(8)
+        spc = SerialToParallelConverter(3)
+        generator.deliver(0xFF, [spc])
+        assert spc.cycles == 8
+        assert generator.cycles == 8
+        assert generator.deliveries == 1
+
+
+class TestSpcLsbFirstFlaw:
+    """Sec. 3.2's flawed alternative: narrower memories get the TOP bits."""
+
+    def test_narrow_spc_gets_top_bits(self):
+        generator = DataBackgroundGenerator(4, msb_first=False)
+        spc = SerialToParallelConverter(3, msb_first=False)
+        spc.load_stream(generator.stream(0b1010))
+        assert spc.parallel_out == 0b101  # DP[3:1], not DP[2:0]
+
+    def test_equal_width_still_works(self):
+        generator = DataBackgroundGenerator(8, msb_first=False)
+        spc = SerialToParallelConverter(8, msb_first=False)
+        spc.load_stream(generator.stream(0xB2))
+        assert spc.parallel_out == 0xB2
+
+    def test_closed_form_matches_shifting(self):
+        generator = DataBackgroundGenerator(8, msb_first=False)
+        for width in (2, 5, 8):
+            for word in (0xF0, 0x0F, 0x5C):
+                spc = SerialToParallelConverter(width, msb_first=False)
+                spc.load_stream(generator.stream(word))
+                assert spc.parallel_out == spc.expected_pattern(word, 8)
+
+    def test_patterns_differ_from_correct_delivery(self):
+        """The mismatch the paper warns about, demonstrated."""
+        word = 0b1100_0011
+        msb = SerialToParallelConverter(4, msb_first=True)
+        lsb = SerialToParallelConverter(4, msb_first=False)
+        assert msb.expected_pattern(word, 8) != lsb.expected_pattern(word, 8)
+
+
+class TestBackgroundGenerator:
+    def test_stream_order_msb_first(self):
+        generator = DataBackgroundGenerator(4)
+        assert generator.stream(0b1010) == [1, 0, 1, 0]
+
+    def test_stream_order_lsb_first(self):
+        generator = DataBackgroundGenerator(4, msb_first=False)
+        assert generator.stream(0b1010) == [0, 1, 0, 1]
+
+    def test_broadcast_to_multiple_spcs(self):
+        generator = DataBackgroundGenerator(6)
+        spcs = [SerialToParallelConverter(w) for w in (6, 4, 2)]
+        generator.deliver(0b110101, spcs)
+        assert [s.parallel_out for s in spcs] == [0b110101, 0b0101, 0b01]
+        assert generator.cycles == 6  # one shared wire, one delivery
+
+    def test_too_wide_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            DataBackgroundGenerator(4).stream(0b10000)
+
+
+class TestPsc:
+    def test_capture_then_shift_lsb_first(self):
+        psc = ParallelToSerialConverter(4)
+        bits = psc.serialize(0b1010)
+        assert bits == [0, 1, 0, 1]
+        assert bits_to_int(bits) == 0b1010
+
+    def test_roundtrip_many_values(self):
+        psc = ParallelToSerialConverter(8)
+        for value in (0x00, 0xFF, 0x5A, 0xC3):
+            assert bits_to_int(psc.serialize(value)) == value
+
+    def test_scan_en_protocol(self):
+        psc = ParallelToSerialConverter(4)
+        psc.capture(0b0011)
+        with pytest.raises(ValueError):
+            psc.shift_out()  # scan_en not asserted
+        psc.begin_shift()
+        psc.shift_out()
+        psc.end_shift()
+
+    def test_capture_during_shift_rejected(self):
+        psc = ParallelToSerialConverter(4)
+        psc.capture(0b0011)
+        psc.begin_shift()
+        with pytest.raises(ValueError):
+            psc.capture(0b1100)
+
+    def test_counters(self):
+        psc = ParallelToSerialConverter(4)
+        psc.serialize(0b1111)
+        assert psc.captures == 1
+        assert psc.cycles == 4
+
+    def test_too_wide_capture_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelToSerialConverter(4).capture(0b10000)

@@ -1,0 +1,56 @@
+"""Tests for the go/no-go early-abort mode (test vs diagnosis)."""
+
+import pytest
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+def _bank_with_fault():
+    memory = SRAM(MemoryGeometry(16, 4, "go"))
+    injector = FaultInjector()
+    injector.inject(memory, StuckAtFault(CellRef(2, 1), 1))
+    return MemoryBank([memory])
+
+
+class TestEarlyAbort:
+    def test_faulty_bank_aborts_early(self):
+        bank = _bank_with_fault()
+        report = FastDiagnosisScheme(bank).diagnose(early_abort=True)
+        assert report.aborted_early
+        assert not report.passed
+
+    def test_aborted_session_is_shorter(self):
+        full = FastDiagnosisScheme(_bank_with_fault()).diagnose()
+        quick = FastDiagnosisScheme(_bank_with_fault()).diagnose(early_abort=True)
+        assert quick.cycles < full.cycles
+        assert not full.aborted_early
+
+    def test_fault_free_bank_runs_to_completion(self):
+        memory = SRAM(MemoryGeometry(16, 4, "clean"))
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose(
+            early_abort=True
+        )
+        assert not report.aborted_early
+        assert report.passed
+
+    def test_abort_waits_for_every_memory(self):
+        """Go/no-go over a bank only aborts once each memory has failed."""
+        faulty = SRAM(MemoryGeometry(16, 4, "bad"))
+        clean = SRAM(MemoryGeometry(16, 4, "good"))
+        injector = FaultInjector()
+        injector.inject(faulty, StuckAtFault(CellRef(2, 1), 1))
+        bank = MemoryBank([faulty, clean])
+        report = FastDiagnosisScheme(bank).diagnose(early_abort=True)
+        # The clean memory never fails, so the session must not abort.
+        assert not report.aborted_early
+        assert report.failures["bad"] and not report.failures["good"]
+
+    def test_partial_localization_still_correct(self):
+        bank = _bank_with_fault()
+        report = FastDiagnosisScheme(bank).diagnose(early_abort=True)
+        assert report.detected_cells("go") == {CellRef(2, 1)}

@@ -1,0 +1,121 @@
+"""Tests for the 2-D redundancy allocator."""
+
+import pytest
+
+from repro.core.redundancy import (
+    RedundancyBudget,
+    RedundancyPlan,
+    allocate_redundancy,
+)
+from repro.memory.geometry import CellRef
+
+
+def cells(*pairs):
+    return {CellRef(w, b) for w, b in pairs}
+
+
+class TestTrivialCases:
+    def test_no_failures(self):
+        plan = allocate_redundancy(set(), RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert plan.spares_used == (0, 0)
+
+    def test_single_cell_uses_one_spare(self):
+        plan = allocate_redundancy(cells((3, 2)), RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert plan.covers(CellRef(3, 2))
+        assert sum(plan.spares_used) == 1
+
+    def test_single_cell_no_budget_infeasible(self):
+        plan = allocate_redundancy(cells((3, 2)), RedundancyBudget(0, 0))
+        assert not plan.feasible
+        assert CellRef(3, 2) in plan.uncovered
+
+
+class TestMustRepair:
+    def test_heavy_row_forces_row_spare(self):
+        """A row with more failing columns than column spares must take a row."""
+        failing = cells((5, 0), (5, 1), (5, 2), (0, 7))
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert 5 in plan.repair_rows
+        assert plan.covers(CellRef(0, 7))
+
+    def test_heavy_column_forces_column_spare(self):
+        failing = cells((0, 4), (1, 4), (2, 4), (9, 0))
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert 4 in plan.repair_cols
+
+    def test_cascading_must_repair(self):
+        """Allocating one forced row reduces the column budget analysis."""
+        failing = cells((1, 0), (1, 1), (1, 2), (2, 5), (3, 5), (4, 5))
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert 1 in plan.repair_rows and 5 in plan.repair_cols
+
+
+class TestBranchAndBound:
+    def test_diagonal_needs_one_spare_each(self):
+        failing = cells((0, 0), (1, 1))
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert all(plan.covers(c) for c in failing)
+
+    def test_diagonal_of_three_with_two_spares_infeasible(self):
+        failing = cells((0, 0), (1, 1), (2, 2))
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert not plan.feasible
+
+    def test_cross_pattern_solved_optimally(self):
+        """A full row + full column intersecting: 1 row + 1 col suffice."""
+        failing = cells(*[(4, b) for b in range(6)], *[(w, 2) for w in range(6)])
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert plan.feasible
+        assert plan.repair_rows == {4} and plan.repair_cols == {2}
+
+    def test_choice_requires_backtracking(self):
+        """Greedy row-first fails here; the exact search must backtrack."""
+        failing = cells((0, 0), (0, 1), (1, 0), (2, 5))
+        plan = allocate_redundancy(failing, RedundancyBudget(2, 1))
+        assert plan.feasible
+        assert all(plan.covers(c) for c in failing)
+
+    def test_budget_exhaustion_reports_uncovered(self):
+        failing = cells((0, 0), (1, 1), (2, 2), (3, 3))
+        plan = allocate_redundancy(failing, RedundancyBudget(1, 1))
+        assert not plan.feasible
+        assert plan.uncovered
+
+
+class TestPlanApi:
+    def test_covers(self):
+        plan = RedundancyPlan(repair_rows={1}, repair_cols={2})
+        assert plan.covers(CellRef(1, 9))
+        assert plan.covers(CellRef(7, 2))
+        assert not plan.covers(CellRef(0, 0))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancyBudget(-1, 0)
+
+
+class TestDiagnosisIntegration:
+    def test_end_to_end_with_proposed_scheme(self):
+        """Diagnose, then allocate row/column spares for what was found."""
+        from repro.core.scheme import FastDiagnosisScheme
+        from repro.faults.stuck_at import StuckAtFault
+        from repro.memory.bank import MemoryBank
+        from repro.memory.geometry import MemoryGeometry
+        from repro.memory.sram import SRAM
+
+        memory = SRAM(MemoryGeometry(16, 8, "red"))
+        for bit in range(5):
+            StuckAtFault(CellRef(6, bit), 1).attach(memory)  # a bad row
+        StuckAtFault(CellRef(11, 3), 0).attach(memory)
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        plan = allocate_redundancy(
+            report.detected_cells("red"), RedundancyBudget(1, 1)
+        )
+        assert plan.feasible
+        assert 6 in plan.repair_rows

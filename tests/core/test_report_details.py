@@ -1,0 +1,50 @@
+"""Tests for the per-cell localization evidence API."""
+
+import pytest
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture
+def diagnosed():
+    memory = SRAM(MemoryGeometry(16, 4, "rep"))
+    injector = FaultInjector()
+    injector.inject(
+        memory,
+        [
+            StuckAtFault(CellRef(3, 1), 1),  # fails many reads
+            TransitionFault(CellRef(9, 2), rising=True),  # fails fewer
+        ],
+    )
+    return FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+
+
+class TestLocalizedCells:
+    def test_one_entry_per_cell(self, diagnosed):
+        cells = diagnosed.localized_cells("rep")
+        assert {c.cell for c in cells} == {CellRef(3, 1), CellRef(9, 2)}
+
+    def test_evidence_counts(self, diagnosed):
+        by_cell = {c.cell: c for c in diagnosed.localized_cells("rep")}
+        assert by_cell[CellRef(3, 1)].failing_reads > \
+            by_cell[CellRef(9, 2)].failing_reads
+
+    def test_sorted_by_evidence(self, diagnosed):
+        cells = diagnosed.localized_cells("rep")
+        counts = [c.failing_reads for c in cells]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_first_step_recorded(self, diagnosed):
+        for cell in diagnosed.localized_cells("rep"):
+            assert cell.first_step.startswith(("M", "B"))
+
+    def test_clean_memory_empty(self):
+        memory = SRAM(MemoryGeometry(8, 4, "clean"))
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        assert report.localized_cells("clean") == []

@@ -1,0 +1,145 @@
+"""Tests for the diagnosis scan-out chain and the protocol monitor."""
+
+import pytest
+
+from repro.core.protocol import ProtocolMonitor
+from repro.core.scanout import DiagnosisScanChain, OP_FIELD_BITS, STEP_FIELD_BITS
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.march.simulator import FailureRecord
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+def _failure(address=3, expected=0b0000, observed=0b0100, step=1, op=0):
+    return FailureRecord(
+        memory_name="m",
+        step_index=step,
+        step_label="M1",
+        op_index=op,
+        operation="r0",
+        address=address,
+        background=0b1111,
+        expected=expected,
+        observed=observed,
+    )
+
+
+class TestScanChain:
+    def test_frame_width(self):
+        chain = DiagnosisScanChain(MemoryGeometry(512, 100))
+        assert chain.frame_bits == 9 + 100 + STEP_FIELD_BITS + OP_FIELD_BITS
+
+    def test_roundtrip_single(self):
+        chain = DiagnosisScanChain(MemoryGeometry(16, 4))
+        stream = chain.encode([_failure()])
+        frames = chain.decode(stream)
+        assert len(frames) == 1
+        frame = frames[0]
+        assert frame.address == 3
+        assert frame.syndrome == 0b0100
+        assert frame.step_index == 1
+        assert frame.op_index == 0
+        assert frame.failing_cells() == [CellRef(3, 2)]
+
+    def test_roundtrip_many(self):
+        chain = DiagnosisScanChain(MemoryGeometry(16, 4))
+        failures = [
+            _failure(address=a, observed=0b0001 << (a % 4), expected=0)
+            for a in range(10)
+        ]
+        frames = chain.decode(chain.encode(failures))
+        assert [f.address for f in frames] == list(range(10))
+
+    def test_scan_cycles(self):
+        chain = DiagnosisScanChain(MemoryGeometry(16, 4))
+        assert chain.scan_out_cycles(5) == 5 * chain.frame_bits
+
+    def test_malformed_stream_rejected(self):
+        chain = DiagnosisScanChain(MemoryGeometry(16, 4))
+        with pytest.raises(ValueError):
+            chain.decode([0, 1, 0])
+
+    def test_real_session_roundtrip(self):
+        """Scan out an actual diagnosis session and recover the cells."""
+        geometry = MemoryGeometry(16, 4, "scan")
+        memory = SRAM(geometry)
+        injector = FaultInjector()
+        injector.inject(memory, StuckAtFault(CellRef(9, 2), 1))
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        chain = DiagnosisScanChain(geometry)
+        frames = chain.decode(chain.encode(report.failures["scan"]))
+        cells = {cell for frame in frames for cell in frame.failing_cells()}
+        assert cells == {CellRef(9, 2)}
+
+
+class TestProtocolMonitorUnit:
+    def test_clean_sequence(self):
+        monitor = ProtocolMonitor()
+        monitor.on_write(nwrc=False)
+        monitor.on_capture()
+        monitor.on_scan_en(True)
+        monitor.on_idle_shift()
+        monitor.on_scan_en(False)
+        monitor.on_session_end()
+        assert monitor.clean
+
+    def test_write_during_shift_flagged(self):
+        monitor = ProtocolMonitor()
+        monitor.on_scan_en(True)
+        monitor.on_write(nwrc=False)
+        assert not monitor.clean
+        assert monitor.violations[0].rule == "hold-during-shift"
+
+    def test_nwrc_without_nwrtm_flagged(self):
+        monitor = ProtocolMonitor()
+        monitor.on_write(nwrc=True)
+        assert any(v.rule == "nwrtm-gating" for v in monitor.violations)
+
+    def test_normal_write_with_nwrtm_flagged(self):
+        monitor = ProtocolMonitor()
+        monitor.on_nwrtm(True)
+        monitor.on_write(nwrc=False)
+        assert any(v.rule == "nwrtm-gating" for v in monitor.violations)
+
+    def test_unbalanced_scan_en_flagged(self):
+        monitor = ProtocolMonitor()
+        monitor.on_scan_en(True)
+        monitor.on_scan_en(True)
+        assert not monitor.clean
+
+    def test_dangling_scan_en_at_end_flagged(self):
+        monitor = ProtocolMonitor()
+        monitor.on_scan_en(True)
+        monitor.on_session_end()
+        assert any(v.rule == "scan-en-balance" for v in monitor.violations)
+
+    def test_shift_without_scan_en_flagged(self):
+        monitor = ProtocolMonitor()
+        monitor.on_idle_shift()
+        assert any(v.rule == "hold-during-shift" for v in monitor.violations)
+
+    def test_report_rendering(self):
+        monitor = ProtocolMonitor()
+        assert "clean" in monitor.report()
+        monitor.on_idle_shift()
+        assert "violations" in monitor.report()
+
+
+class TestSchemeUnderMonitor:
+    def test_full_session_is_protocol_clean(self):
+        """The paper's hold rules are respected by construction."""
+        memory = SRAM(MemoryGeometry(16, 4, "mon"))
+        StuckAtFault(CellRef(3, 1), 1).attach(memory)
+        monitor = ProtocolMonitor()
+        scheme = FastDiagnosisScheme(MemoryBank([memory]), monitor=monitor)
+        scheme.diagnose()
+        assert monitor.clean, monitor.report()
+        assert monitor.events > 0
+
+    def test_heterogeneous_session_clean(self, hetero_bank):
+        monitor = ProtocolMonitor()
+        FastDiagnosisScheme(hetero_bank, monitor=monitor).diagnose()
+        assert monitor.clean, monitor.report()

@@ -1,0 +1,172 @@
+"""End-to-end tests of the proposed diagnosis scheme (Fig. 3 / F3)."""
+
+import pytest
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.core.timing import proposed_cycles, proposed_operation_cycles
+from repro.faults.address_fault import ColumnBridgeFault
+from repro.faults.coupling import StateCouplingFault
+from repro.faults.injector import FaultInjector
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.weak_cell import WeakCellDefect
+from repro.march.library import march_cw_nw
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+def _bank(*shapes):
+    memories = [
+        SRAM(MemoryGeometry(words, bits, name)) for name, words, bits in shapes
+    ]
+    return MemoryBank(memories)
+
+
+class TestFaultFreeSession:
+    def test_homogeneous_bank_passes(self):
+        bank = _bank(("a", 16, 4), ("b", 16, 4))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert report.passed
+
+    def test_heterogeneous_bank_passes(self):
+        """Wrap-around tolerance: smaller memories produce no false fails."""
+        bank = _bank(("wide", 16, 8), ("narrow", 8, 5), ("tiny", 5, 3))
+        report = FastDiagnosisScheme(bank).diagnose(bit_accurate=True)
+        assert report.passed
+
+    def test_cycles_match_eq2_model(self):
+        bank = _bank(("a", 16, 8))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert report.cycles == proposed_cycles(march_cw_nw(8), 16, 8)
+
+    def test_eq2_closed_form_for_march_cw(self):
+        assert proposed_cycles(march_cw_nw(100), 512, 100) == \
+            proposed_operation_cycles(512, 100)
+
+    def test_zero_pause_time(self):
+        """NWRTM: the whole session runs without a single retention pause."""
+        bank = _bank(("a", 16, 8))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert report.pause_ns == 0.0
+
+    def test_nwrc_ops_counted(self):
+        bank = _bank(("a", 16, 8))
+        report = FastDiagnosisScheme(bank).diagnose()
+        # March CW-NW has one Nw1 and one Nw0 per address (M1 and M4).
+        assert report.nwrc_ops == 2 * 16
+
+    def test_report_time(self):
+        bank = _bank(("a", 16, 8))
+        scheme = FastDiagnosisScheme(bank, period_ns=5.0)
+        report = scheme.diagnose()
+        assert report.time_ns == report.cycles * 5.0
+
+
+class TestSingleFaultDiagnosis:
+    def test_saf_localized_exactly(self):
+        bank = _bank(("a", 16, 4))
+        injector = FaultInjector()
+        injector.inject(bank[0], StuckAtFault(CellRef(9, 2), 1))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert report.detected_cells("a") == {CellRef(9, 2)}
+
+    def test_drf_localized_without_pauses(self):
+        bank = _bank(("a", 16, 4))
+        injector = FaultInjector()
+        injector.inject(bank[0], DataRetentionFault(CellRef(5, 1), 1))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert CellRef(5, 1) in report.detected_cells("a")
+        assert report.pause_ns == 0.0
+
+    def test_weak_cell_localized(self):
+        bank = _bank(("a", 16, 4))
+        injector = FaultInjector()
+        injector.inject(bank[0], WeakCellDefect(CellRef(3, 3), 0))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert CellRef(3, 3) in report.detected_cells("a")
+
+    def test_intra_word_read_disturb_needs_cw_backgrounds(self):
+        bank = _bank(("a", 16, 4))
+        injector = FaultInjector()
+        injector.inject(
+            bank[0],
+            StateCouplingFault(
+                CellRef(4, 2), CellRef(4, 1), 1, 1, affects_write=False
+            ),
+        )
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert CellRef(4, 1) in report.detected_cells("a")
+
+    def test_column_bridge_detected(self):
+        bank = _bank(("a", 16, 4))
+        injector = FaultInjector()
+        injector.inject(bank[0], ColumnBridgeFault(1, 2, 16))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert not report.passed
+
+
+class TestParallelDiagnosis:
+    def test_faults_in_all_memories_found_in_one_run(self):
+        bank = _bank(("a", 16, 8), ("b", 8, 5), ("c", 5, 3))
+        injector = FaultInjector()
+        injector.inject(bank[0], StuckAtFault(CellRef(15, 7), 0))
+        injector.inject(bank[1], StuckAtFault(CellRef(7, 4), 1))
+        injector.inject(bank[2], DataRetentionFault(CellRef(4, 2), 0))
+        report = FastDiagnosisScheme(bank).diagnose()
+        assert CellRef(15, 7) in report.detected_cells("a")
+        assert CellRef(7, 4) in report.detected_cells("b")
+        assert CellRef(4, 2) in report.detected_cells("c")
+        assert report.failing_memories() == ["a", "b", "c"]
+
+    def test_cycles_independent_of_memory_count(self):
+        """Parallel diagnosis: 1 memory or 3 memories, same schedule."""
+        one = FastDiagnosisScheme(_bank(("a", 16, 8))).diagnose()
+        three = FastDiagnosisScheme(
+            _bank(("a", 16, 8), ("b", 8, 5), ("c", 5, 3))
+        ).diagnose()
+        assert one.cycles == three.cycles
+
+    def test_score_against_population(self):
+        from repro.faults.population import sample_population
+
+        geometry = MemoryGeometry(32, 8, "pop")
+        memory = SRAM(geometry)
+        injector = FaultInjector()
+        population = sample_population(geometry, 0.02, rng=13)
+        injector.inject(memory, population.faults)
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        # Every sampled fault class is covered by March CW-NW.
+        assert report.localization_rate(injector) == 1.0
+
+
+class TestFlawedLsbDelivery:
+    """F4: LSB-first delivery breaks narrower memories (Sec. 3.2)."""
+
+    def test_false_failures_on_fault_free_narrow_memory(self):
+        bank = _bank(("wide", 16, 8), ("narrow", 8, 5))
+        scheme = FastDiagnosisScheme(bank, msb_first=False)
+        report = scheme.diagnose()
+        assert report.failures["narrow"], "expected mis-compares on the narrow memory"
+
+    def test_widest_memory_unaffected(self):
+        bank = _bank(("wide", 16, 8), ("narrow", 8, 5))
+        scheme = FastDiagnosisScheme(bank, msb_first=False)
+        report = scheme.diagnose()
+        assert not report.failures["wide"]
+
+    def test_msb_first_fixes_it(self):
+        bank = _bank(("wide", 16, 8), ("narrow", 8, 5))
+        report = FastDiagnosisScheme(bank, msb_first=True).diagnose()
+        assert report.passed
+
+
+class TestSummaryOutput:
+    def test_summary_lines_render(self):
+        bank = _bank(("a", 16, 4))
+        injector = FaultInjector()
+        injector.inject(bank[0], StuckAtFault(CellRef(1, 1), 1))
+        report = FastDiagnosisScheme(bank).diagnose()
+        text = "\n".join(report.summary_lines())
+        assert "March CW-NW" in text
+        assert "a: " in text

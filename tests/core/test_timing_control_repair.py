@@ -1,0 +1,153 @@
+"""Unit tests for Eqs. (2)-(4), the control generator, NWRTM and repair."""
+
+import pytest
+
+from repro.core.control_gen import ControlGenerator, GlobalWire
+from repro.core.nwrtm import NwrtmController
+from repro.core.repair import RepairController
+from repro.core.scheme import FastDiagnosisScheme
+from repro.core.timing import (
+    proposed_cycles,
+    proposed_diagnosis_time_ns,
+    proposed_drf_extra_ns,
+    proposed_operation_cycles,
+    reduction_factor,
+    reduction_factor_with_drf,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.march.library import march_c_minus, march_c_nw
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+class TestEq2:
+    def test_case_study_cycles(self):
+        assert proposed_operation_cycles(512, 100) == 998_440
+
+    def test_case_study_time(self):
+        assert proposed_diagnosis_time_ns(512, 100, 10.0) == 9_984_400.0
+
+    def test_structure(self):
+        """Eq. (2) decomposes into March C- + extension terms."""
+        n, c = 64, 8
+        march_c_part = 5 * n + 5 * c + 5 * n * (c + 1)
+        extension = (3 * n + 3 * c + 2 * n * (c + 1)) * 3  # ceil(log2 8) = 3
+        assert proposed_operation_cycles(n, c) == march_c_part + extension
+
+    def test_generic_counter_matches_for_march_c(self):
+        n, c = 64, 8
+        expected = 5 * n + 5 * c + 5 * n * (c + 1)
+        assert proposed_cycles(march_c_minus(c), n, c) == expected
+        assert proposed_cycles(march_c_nw(c), n, c) == expected
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            proposed_cycles(march_c_minus(4), 16, 8)
+
+
+class TestEq3Eq4:
+    def test_case_study_reduction(self):
+        assert reduction_factor(512, 100, 10.0, 96) == pytest.approx(84.15, abs=0.01)
+
+    def test_case_study_reduction_with_drf(self):
+        assert reduction_factor_with_drf(512, 100, 10.0, 96) == pytest.approx(
+            143.4, abs=0.1
+        )
+
+    def test_reduction_exceeds_one_for_any_k(self):
+        """The paper: R always exceeds one in practice (k >> 1)."""
+        for k in (1, 2, 8, 32, 512):
+            assert reduction_factor(512, 100, 10.0, k) > 1.0
+
+    def test_drf_reduction_dominates(self):
+        """Including DRFs makes the proposed scheme look even better."""
+        assert reduction_factor_with_drf(512, 100, 10.0, 96) > reduction_factor(
+            512, 100, 10.0, 96
+        )
+
+    def test_proposed_drf_increment(self):
+        assert proposed_drf_extra_ns(512, 100, 10.0) == (2 * 512 + 2 * 100) * 10.0
+
+
+class TestControlGenerator:
+    def test_baseline_wire_count(self):
+        assert ControlGenerator.baseline_wires().count == 7
+
+    def test_proposed_adds_exactly_scan_en(self):
+        control = ControlGenerator(drf_screening=False)
+        extra = control.wires().extra_over(ControlGenerator.baseline_wires())
+        assert extra == {GlobalWire.SCAN_EN}
+
+    def test_nwrtm_wire_when_screening(self):
+        control = ControlGenerator(drf_screening=True)
+        extra = control.wires().extra_over(ControlGenerator.baseline_wires())
+        assert extra == {GlobalWire.SCAN_EN, GlobalWire.NWRTM}
+
+    def test_nwrtm_drive_requires_routing(self):
+        control = ControlGenerator(drf_screening=False)
+        with pytest.raises(ValueError):
+            control.set_nwrtm(True)
+
+
+class TestNwrtmController:
+    def test_window_asserts_and_counts(self):
+        control = ControlGenerator()
+        nwrtm = NwrtmController(control)
+        with nwrtm.nwrc_window():
+            assert control.nwrtm
+        assert not control.nwrtm
+        assert nwrtm.nwrc_ops == 1
+
+    def test_paper_extra_cycles(self):
+        nwrtm = NwrtmController(ControlGenerator())
+        assert nwrtm.paper_extra_cycles(512, 100) == 2 * 512 + 2 * 100
+
+
+class TestRepair:
+    def _diagnose(self, bank):
+        return FastDiagnosisScheme(bank).diagnose()
+
+    def test_repair_then_verify_clean(self):
+        memory = SRAM(MemoryGeometry(16, 4, "m"))
+        bank = MemoryBank([memory])
+        injector = FaultInjector()
+        injector.inject(memory, [StuckAtFault(CellRef(3, 1), 1), StuckAtFault(CellRef(9, 0), 0)])
+        report = self._diagnose(bank)
+        repair = RepairController(bank, spares_per_memory=4)
+        result = repair.apply(report)
+        assert result.fully_repaired
+        assert result.repaired["m"] == {3, 9}
+        assert result.detached_faults == 2
+        assert self._diagnose(bank).passed
+
+    def test_out_of_spares(self):
+        memory = SRAM(MemoryGeometry(16, 4, "m"))
+        bank = MemoryBank([memory])
+        injector = FaultInjector()
+        injector.inject(
+            memory, [StuckAtFault(CellRef(w, 0), 1) for w in range(4)]
+        )
+        report = self._diagnose(bank)
+        repair = RepairController(bank, spares_per_memory=2)
+        result = repair.apply(report)
+        assert not result.fully_repaired
+        assert len(result.out_of_spares["m"]) == 2
+        assert not self._diagnose(bank).passed
+
+    def test_spare_usage(self):
+        memory = SRAM(MemoryGeometry(16, 4, "m"))
+        bank = MemoryBank([memory])
+        injector = FaultInjector()
+        injector.inject(memory, StuckAtFault(CellRef(1, 1), 1))
+        repair = RepairController(bank, spares_per_memory=8)
+        repair.apply(self._diagnose(bank))
+        assert repair.spare_usage()["m"] == (1, 8)
+
+    def test_repair_clean_report_is_noop(self):
+        memory = SRAM(MemoryGeometry(16, 4, "m"))
+        bank = MemoryBank([memory])
+        repair = RepairController(bank)
+        result = repair.apply(self._diagnose(bank))
+        assert result.total_repaired_words == 0

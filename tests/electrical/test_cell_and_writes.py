@@ -1,0 +1,144 @@
+"""Switch-level tests: Fig. 6's NWRC argument, executed."""
+
+import pytest
+
+from repro.electrical.cell6t import SixTransistorCell
+from repro.electrical.devices import DeviceHealth
+from repro.electrical.levels import Level
+from repro.electrical.precharge import PrechargeCircuit
+from repro.electrical.write_cycle import WriteKind, simulate_write
+
+
+class TestLevels:
+    def test_only_driven_levels_discharge(self):
+        assert Level.GND.can_discharge_node
+        assert not Level.FLOAT_GND.can_discharge_node
+
+    def test_charging_levels(self):
+        assert Level.VCC.can_charge_node
+        assert not Level.FLOAT_GND.can_charge_node
+        assert not Level.GND.can_charge_node
+
+    def test_logic_values(self):
+        assert Level.VCC.logic_value == 1
+        assert Level.FLOAT_GND.logic_value == 0
+
+
+class TestPrecharge:
+    def test_normal_write_levels(self):
+        pre = PrechargeCircuit()
+        drive = pre.drive_for_write(1)
+        assert drive.bl is Level.VCC and drive.blb is Level.GND
+
+    def test_nwrc_levels_write1(self):
+        """Fig. 6: BL at float GND, BLb at true GND."""
+        pre = PrechargeCircuit()
+        pre.set_nwrtm(True)
+        drive = pre.drive_for_write(1)
+        assert drive.bl is Level.FLOAT_GND and drive.blb is Level.GND
+
+    def test_nwrc_levels_write0_mirror(self):
+        pre = PrechargeCircuit()
+        pre.set_nwrtm(True)
+        drive = pre.drive_for_write(0)
+        assert drive.bl is Level.GND and drive.blb is Level.FLOAT_GND
+
+    def test_read_precharge(self):
+        drive = PrechargeCircuit().drive_for_read()
+        assert drive.bl is Level.FLOAT_VCC and drive.blb is Level.FLOAT_VCC
+
+
+class TestGoodCell:
+    def test_normal_write_flips(self):
+        cell = SixTransistorCell()
+        outcome = simulate_write(cell, 1)
+        assert outcome.flipped and outcome.succeeded
+
+    def test_nwrc_flips_good_cell(self):
+        """A good cell succeeds at flipping under the NWRC (the paper's claim)."""
+        cell = SixTransistorCell()
+        outcome = simulate_write(cell, 1, WriteKind.NWRC)
+        assert outcome.flipped and outcome.succeeded
+        assert not outcome.retention_compromised
+
+    def test_same_value_write_no_flip(self):
+        cell = SixTransistorCell()
+        outcome = simulate_write(cell, 0)
+        assert not outcome.flipped and outcome.succeeded
+
+    def test_retention_forever(self):
+        cell = SixTransistorCell()
+        simulate_write(cell, 1)
+        cell.elapse(1e15)
+        assert cell.read() == 1
+
+
+class TestOpenPullupCell:
+    """The DRF cell of Sec. 3.4: open PMOS at node A."""
+
+    def test_normal_write_succeeds_but_compromised(self):
+        cell = SixTransistorCell(pullup_a=DeviceHealth.OPEN)
+        outcome = simulate_write(cell, 1)
+        assert outcome.succeeded
+        assert outcome.retention_compromised
+
+    def test_value_decays_after_retention_time(self):
+        cell = SixTransistorCell(pullup_a=DeviceHealth.OPEN, retention_ns=1_000.0)
+        simulate_write(cell, 1)
+        cell.elapse(2_000.0)
+        assert cell.read() == 0
+
+    def test_nwrc_fails_immediately(self):
+        """Node A never exceeds node B: the faulty cell fails to flip."""
+        cell = SixTransistorCell(pullup_a=DeviceHealth.OPEN)
+        outcome = simulate_write(cell, 1, WriteKind.NWRC)
+        assert not outcome.flipped
+        assert cell.read() == 0
+
+    def test_opposite_polarity_unaffected(self):
+        cell = SixTransistorCell(pullup_a=DeviceHealth.OPEN)
+        simulate_write(cell, 1)
+        outcome = simulate_write(cell, 0, WriteKind.NWRC)
+        assert outcome.succeeded  # node B's pull-up is healthy
+
+    def test_open_pullup_b_mirrors(self):
+        cell = SixTransistorCell(pullup_b=DeviceHealth.OPEN)
+        simulate_write(cell, 1)
+        outcome = simulate_write(cell, 0, WriteKind.NWRC)
+        assert not outcome.flipped
+
+
+class TestResistivePullupCell:
+    """The weak cell: passes everything except the NWRC."""
+
+    def test_normal_write_fine(self):
+        cell = SixTransistorCell(pullup_a=DeviceHealth.RESISTIVE)
+        assert simulate_write(cell, 1).succeeded
+
+    def test_retention_fine(self):
+        cell = SixTransistorCell(pullup_a=DeviceHealth.RESISTIVE)
+        simulate_write(cell, 1)
+        cell.elapse(1e15)
+        assert cell.read() == 1
+
+    def test_nwrc_fails(self):
+        cell = SixTransistorCell(pullup_a=DeviceHealth.RESISTIVE)
+        outcome = simulate_write(cell, 1, WriteKind.NWRC)
+        assert not outcome.flipped
+
+
+class TestCellValidation:
+    def test_nodes_complementary(self):
+        cell = SixTransistorCell(initial_value=1)
+        assert cell.nodes.is_valid
+        assert cell.nodes.a == 1 and cell.nodes.b == 0
+
+    def test_bad_value_rejected(self):
+        cell = SixTransistorCell()
+        with pytest.raises(ValueError):
+            simulate_write(cell, 2)
+
+    def test_pullup_for_node(self):
+        cell = SixTransistorCell(pullup_b=DeviceHealth.OPEN)
+        assert cell.pullup_for_node("a") is DeviceHealth.OK
+        assert cell.pullup_for_node("b") is DeviceHealth.OPEN

@@ -1,0 +1,134 @@
+"""Cell-column tests + cross-validation of electrical vs functional models.
+
+The behavioural fault models (DataRetentionFault, WeakCellDefect) must
+agree with the switch-level cell for every (defect, operation) pair --
+that agreement is what justifies using the cheap functional models in the
+full-scheme experiments.
+"""
+
+import pytest
+
+from repro.electrical.column import CellColumn
+from repro.electrical.devices import DeviceHealth
+from repro.electrical.cell6t import SixTransistorCell
+from repro.electrical.write_cycle import WriteKind, simulate_write
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.weak_cell import WeakCellDefect
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+class TestCellColumn:
+    def test_build_and_write(self):
+        column = CellColumn.build(4)
+        column.write_all(1)
+        assert column.read_all() == [1, 1, 1, 1]
+
+    def test_nwrc_flags_defective_rows(self):
+        column = CellColumn.build(
+            8, open_pullup_rows={2: "a"}, resistive_pullup_rows={5: "a"}
+        )
+        column.write_all(0)
+        column.write_all(1, WriteKind.NWRC)
+        assert column.rows_not_storing(1) == [2, 5]
+
+    def test_normal_write_hides_both_defects(self):
+        column = CellColumn.build(
+            8, open_pullup_rows={2: "a"}, resistive_pullup_rows={5: "a"}
+        )
+        column.write_all(0)
+        column.write_all(1)
+        assert column.rows_not_storing(1) == []
+
+    def test_retention_pause_exposes_only_open(self):
+        column = CellColumn.build(
+            8,
+            open_pullup_rows={2: "a"},
+            resistive_pullup_rows={5: "a"},
+            retention_ns=1_000.0,
+        )
+        column.write_all(0)
+        column.write_all(1)
+        column.elapse(2_000.0)
+        assert column.rows_not_storing(1) == [2]
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ValueError):
+            CellColumn([])
+
+
+class TestCrossValidation:
+    """Functional fault models vs the switch-level cell, same scenario."""
+
+    @pytest.mark.parametrize("fragile", [0, 1])
+    def test_drf_nwrc_agreement(self, fragile):
+        # Switch level: open pull-up on the node holding `fragile`.
+        cell = SixTransistorCell(
+            pullup_a=DeviceHealth.OPEN if fragile == 1 else DeviceHealth.OK,
+            pullup_b=DeviceHealth.OPEN if fragile == 0 else DeviceHealth.OK,
+            initial_value=1 - fragile,
+        )
+        electrical = simulate_write(cell, fragile, WriteKind.NWRC).succeeded
+
+        # Functional level: same defect, same NWRC.
+        memory = SRAM(MemoryGeometry(2, 1))
+        DataRetentionFault(CellRef(0, 0), fragile_value=fragile).attach(memory)
+        memory.force_stored_bit(0, 0, 1 - fragile)
+        memory.nwrc_write(0, fragile)
+        functional = memory.read(0) == fragile
+
+        assert electrical == functional == False  # noqa: E712 - explicit triple
+
+    @pytest.mark.parametrize("fragile", [0, 1])
+    def test_drf_normal_write_and_decay_agreement(self, fragile):
+        retention = 1_000.0
+        cell = SixTransistorCell(
+            pullup_a=DeviceHealth.OPEN if fragile == 1 else DeviceHealth.OK,
+            pullup_b=DeviceHealth.OPEN if fragile == 0 else DeviceHealth.OK,
+            initial_value=1 - fragile,
+            retention_ns=retention,
+        )
+        simulate_write(cell, fragile)
+        immediately = cell.read()
+        cell.elapse(2 * retention)
+        after_pause = cell.read()
+
+        memory = SRAM(MemoryGeometry(2, 1))
+        DataRetentionFault(
+            CellRef(0, 0), fragile_value=fragile, retention_ns=retention
+        ).attach(memory)
+        memory.force_stored_bit(0, 0, 1 - fragile)
+        memory.write(0, fragile)
+        functional_immediately = memory.read(0)
+        memory.pause(2 * retention)
+        functional_after = memory.read(0)
+
+        assert immediately == functional_immediately == fragile
+        assert after_pause == functional_after == 1 - fragile
+
+    @pytest.mark.parametrize("weak", [0, 1])
+    def test_weak_cell_agreement(self, weak):
+        cell = SixTransistorCell(
+            pullup_a=DeviceHealth.RESISTIVE if weak == 1 else DeviceHealth.OK,
+            pullup_b=DeviceHealth.RESISTIVE if weak == 0 else DeviceHealth.OK,
+            initial_value=1 - weak,
+        )
+        electrical_nwrc = simulate_write(cell, weak, WriteKind.NWRC).succeeded
+
+        memory = SRAM(MemoryGeometry(2, 1))
+        WeakCellDefect(CellRef(0, 0), weak_value=weak).attach(memory)
+        memory.force_stored_bit(0, 0, 1 - weak)
+        memory.nwrc_write(0, weak)
+        functional_nwrc = memory.read(0) == weak
+
+        assert electrical_nwrc == functional_nwrc == False  # noqa: E712
+
+        # Normal write agreement (both succeed, both retain).
+        cell2 = SixTransistorCell(
+            pullup_a=DeviceHealth.RESISTIVE if weak == 1 else DeviceHealth.OK,
+            pullup_b=DeviceHealth.RESISTIVE if weak == 0 else DeviceHealth.OK,
+            initial_value=1 - weak,
+        )
+        assert simulate_write(cell2, weak).succeeded
+        cell2.elapse(1e15)
+        assert cell2.read() == weak

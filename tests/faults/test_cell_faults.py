@@ -1,0 +1,154 @@
+"""Unit tests for the cell-level fault models (SAF, TF, coupling)."""
+
+import pytest
+
+from repro.faults.base import FaultClass
+from repro.faults.coupling import (
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture
+def memory():
+    return SRAM(MemoryGeometry(8, 4, "m"))
+
+
+class TestStuckAt:
+    def test_saf0_reads_zero(self, memory):
+        StuckAtFault(CellRef(1, 2), 0).attach(memory)
+        memory.write(1, 0b1111)
+        assert memory.read(1) == 0b1011
+
+    def test_saf1_reads_one(self, memory):
+        StuckAtFault(CellRef(1, 2), 1).attach(memory)
+        memory.write(1, 0b0000)
+        assert memory.read(1) == 0b0100
+
+    def test_nwrc_write_also_stuck(self, memory):
+        StuckAtFault(CellRef(1, 2), 0).attach(memory)
+        memory.nwrc_write(1, 0b1111)
+        assert memory.read(1) == 0b1011
+
+    def test_fault_class(self):
+        assert StuckAtFault(CellRef(0, 0), 0).fault_class is FaultClass.SAF0
+        assert StuckAtFault(CellRef(0, 0), 1).fault_class is FaultClass.SAF1
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(CellRef(0, 0), 2)
+
+
+class TestTransition:
+    def test_rising_fault_blocks_up_transition(self, memory):
+        TransitionFault(CellRef(2, 0), rising=True).attach(memory)
+        memory.write(2, 0b0001)
+        assert memory.read(2) == 0b0000
+
+    def test_rising_fault_allows_down_transition(self, memory):
+        TransitionFault(CellRef(2, 0), rising=True).attach(memory)
+        memory.force_stored_bit(2, 0, 1)
+        memory.write(2, 0b0000)
+        assert memory.read(2) == 0b0000
+
+    def test_falling_fault_blocks_down_transition(self, memory):
+        TransitionFault(CellRef(2, 0), rising=False).attach(memory)
+        memory.force_stored_bit(2, 0, 1)
+        memory.write(2, 0b0000)
+        assert memory.read(2) == 0b0001
+
+    def test_same_value_write_unaffected(self, memory):
+        TransitionFault(CellRef(2, 0), rising=True).attach(memory)
+        memory.write(2, 0b0000)
+        assert memory.read(2) == 0b0000
+
+    def test_fault_classes(self):
+        assert TransitionFault(CellRef(0, 0), True).fault_class is FaultClass.TF_UP
+        assert TransitionFault(CellRef(0, 0), False).fault_class is FaultClass.TF_DOWN
+
+
+class TestInversionCoupling:
+    def test_rising_aggressor_inverts_victim(self, memory):
+        InversionCouplingFault(CellRef(1, 0), CellRef(2, 0), True).attach(memory)
+        memory.write(1, 0b0001)  # aggressor 0 -> 1
+        assert memory.stored_bit(2, 0) == 1
+
+    def test_falling_trigger_ignores_rise(self, memory):
+        InversionCouplingFault(CellRef(1, 0), CellRef(2, 0), False).attach(memory)
+        memory.write(1, 0b0001)
+        assert memory.stored_bit(2, 0) == 0
+
+    def test_double_inversion_cancels(self, memory):
+        InversionCouplingFault(CellRef(1, 0), CellRef(2, 0), True).attach(memory)
+        memory.write(1, 0b0001)
+        memory.write(1, 0b0000)
+        memory.write(1, 0b0001)
+        assert memory.stored_bit(2, 0) == 0
+
+    def test_same_cell_rejected(self):
+        with pytest.raises(ValueError):
+            InversionCouplingFault(CellRef(0, 0), CellRef(0, 0))
+
+
+class TestIdempotentCoupling:
+    def test_forces_victim_value(self, memory):
+        IdempotentCouplingFault(
+            CellRef(1, 0), CellRef(2, 0), trigger_rising=True, forced_value=1
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        assert memory.stored_bit(2, 0) == 1
+
+    def test_idempotent_on_repeat(self, memory):
+        IdempotentCouplingFault(
+            CellRef(1, 0), CellRef(2, 0), trigger_rising=True, forced_value=1
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.write(1, 0b0000)
+        memory.write(1, 0b0001)
+        assert memory.stored_bit(2, 0) == 1
+
+    def test_intra_word_coupling(self, memory):
+        """Aggressor and victim in the same word interact within one write."""
+        IdempotentCouplingFault(
+            CellRef(3, 1), CellRef(3, 0), trigger_rising=True, forced_value=0
+        ).attach(memory)
+        memory.write(3, 0b0011)  # victim written 1, aggressor rises
+        assert memory.read(3) == 0b0010
+
+
+class TestStateCoupling:
+    def test_read_forced_while_active(self, memory):
+        StateCouplingFault(
+            CellRef(1, 0), CellRef(2, 0), aggressor_state=1, forced_value=0
+        ).attach(memory)
+        memory.write(2, 0b0001)
+        assert memory.read(2) == 0b0001  # aggressor 0: inactive
+        memory.write(1, 0b0001)  # activate
+        assert memory.read(2) == 0b0000
+
+    def test_write_held_while_active(self, memory):
+        StateCouplingFault(
+            CellRef(1, 0), CellRef(2, 0), aggressor_state=1, forced_value=0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.write(2, 0b0001)
+        memory.write(1, 0b0000)  # deactivate: stored value was held at 0
+        assert memory.read(2) == 0b0000
+
+    def test_read_disturb_variant_does_not_hold_writes(self, memory):
+        StateCouplingFault(
+            CellRef(1, 0),
+            CellRef(2, 0),
+            aggressor_state=1,
+            forced_value=0,
+            affects_write=False,
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.write(2, 0b0001)  # lands despite active aggressor
+        memory.write(1, 0b0000)  # deactivate
+        assert memory.read(2) == 0b0001

@@ -1,0 +1,92 @@
+"""Unit tests for the dynamic (read/write-disturb) fault models."""
+
+import pytest
+
+from repro.faults.base import FaultClass
+from repro.faults.dynamic import (
+    DeceptiveReadDestructiveFault,
+    IncorrectReadFault,
+    ReadDestructiveFault,
+    WriteDisturbFault,
+)
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture
+def memory():
+    return SRAM(MemoryGeometry(8, 4, "dyn"))
+
+
+class TestIncorrectRead:
+    def test_read_returns_complement(self, memory):
+        IncorrectReadFault(CellRef(1, 0)).attach(memory)
+        memory.write(1, 0b0001)
+        assert memory.read(1) == 0b0000
+
+    def test_stored_value_untouched(self, memory):
+        IncorrectReadFault(CellRef(1, 0)).attach(memory)
+        memory.write(1, 0b0001)
+        memory.read(1)
+        assert memory.stored_bit(1, 0) == 1
+
+    def test_class(self):
+        assert IncorrectReadFault(CellRef(0, 0)).fault_class is FaultClass.IRF
+
+
+class TestReadDestructive:
+    def test_read_flips_and_returns_flipped(self, memory):
+        ReadDestructiveFault(CellRef(2, 1)).attach(memory)
+        memory.write(2, 0b0000)
+        assert memory.read(2) == 0b0010  # flipped and observed flipped
+        assert memory.stored_bit(2, 1) == 1
+
+    def test_second_read_flips_back(self, memory):
+        ReadDestructiveFault(CellRef(2, 1)).attach(memory)
+        memory.write(2, 0b0000)
+        memory.read(2)
+        assert memory.read(2) == 0b0000
+
+
+class TestDeceptiveReadDestructive:
+    def test_read_returns_correct_value(self, memory):
+        DeceptiveReadDestructiveFault(CellRef(3, 2)).attach(memory)
+        memory.write(3, 0b0000)
+        assert memory.read(3) == 0b0000  # looks fine...
+
+    def test_but_cell_flipped(self, memory):
+        DeceptiveReadDestructiveFault(CellRef(3, 2)).attach(memory)
+        memory.write(3, 0b0000)
+        memory.read(3)
+        assert memory.stored_bit(3, 2) == 1  # ...yet the charge is gone
+
+    def test_second_read_reveals(self, memory):
+        DeceptiveReadDestructiveFault(CellRef(3, 2)).attach(memory)
+        memory.write(3, 0b0000)
+        memory.read(3)
+        assert memory.read(3) == 0b0100
+
+
+class TestWriteDisturb:
+    def test_non_transition_write_flips(self, memory):
+        WriteDisturbFault(CellRef(4, 0)).attach(memory)
+        memory.write(4, 0b0000)  # writing 0 over 0: disturb
+        assert memory.stored_bit(4, 0) == 1
+
+    def test_transition_write_lands(self, memory):
+        WriteDisturbFault(CellRef(4, 0)).attach(memory)
+        memory.force_stored_bit(4, 0, 1)
+        memory.write(4, 0b0000)  # 1 -> 0 transition: fine
+        assert memory.stored_bit(4, 0) == 0
+
+    def test_polarity_restriction(self, memory):
+        WriteDisturbFault(CellRef(4, 0), polarity=1).attach(memory)
+        memory.write(4, 0b0000)  # w0 over 0 -- not the disturbed polarity
+        assert memory.stored_bit(4, 0) == 0
+        memory.write(4, 0b0001)  # 0 -> 1 transition: fine
+        memory.write(4, 0b0001)  # w1 over 1: disturb
+        assert memory.stored_bit(4, 0) == 0
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            WriteDisturbFault(CellRef(0, 0), polarity=2)

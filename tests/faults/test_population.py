@@ -1,0 +1,161 @@
+"""Unit tests for defect profiles, populations and the injector."""
+
+import pytest
+
+from repro.faults.base import FaultClass, M1_LOCALIZABLE_CLASSES
+from repro.faults.defects import DefectProfile, DefectType, fault_for_defect
+from repro.faults.injector import FaultInjector
+from repro.faults.population import expected_fault_count, sample_population
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.rng import make_rng
+
+
+class TestExpectedFaultCount:
+    def test_case_study_arithmetic(self):
+        assert expected_fault_count(MemoryGeometry(512, 100), 0.01) == 256
+
+    def test_zero_rate(self):
+        assert expected_fault_count(MemoryGeometry(512, 100), 0.0) == 0
+
+    def test_scales_linearly(self):
+        geometry = MemoryGeometry(512, 100)
+        assert expected_fault_count(geometry, 0.02) == 512
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            expected_fault_count(MemoryGeometry(4, 4), 1.5)
+
+
+class TestDefectProfile:
+    def test_default_is_uniform(self):
+        profile = DefectProfile()
+        probabilities = dict(profile.normalized())
+        assert all(abs(p - 0.25) < 1e-12 for p in probabilities.values())
+
+    def test_zero_weight_excluded(self):
+        profile = DefectProfile(weights={DefectType.NODE_SHORT: 1.0, DefectType.PULLUP_OPEN: 0.0})
+        types = [t for t, _ in profile.normalized()]
+        assert types == [DefectType.NODE_SHORT]
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DefectProfile(weights={DefectType.NODE_SHORT: 0.0})
+
+    def test_sampling_respects_support(self):
+        profile = DefectProfile(weights={DefectType.CELL_BRIDGE: 1.0})
+        rng = make_rng(0)
+        assert all(profile.sample_type(rng) is DefectType.CELL_BRIDGE for _ in range(16))
+
+
+class TestFaultForDefect:
+    def test_mapping_classes(self):
+        geometry = MemoryGeometry(8, 8)
+        rng = make_rng(0)
+        cell = CellRef(3, 3)
+        assert fault_for_defect(DefectType.NODE_SHORT, cell, geometry, rng).fault_class in (
+            FaultClass.SAF0,
+            FaultClass.SAF1,
+        )
+        assert fault_for_defect(DefectType.ACCESS_OPEN, cell, geometry, rng).fault_class in (
+            FaultClass.TF_UP,
+            FaultClass.TF_DOWN,
+        )
+        assert fault_for_defect(DefectType.PULLUP_OPEN, cell, geometry, rng).fault_class in (
+            FaultClass.DRF0,
+            FaultClass.DRF1,
+        )
+        assert fault_for_defect(DefectType.CELL_BRIDGE, cell, geometry, rng).fault_class in (
+            FaultClass.CF_IN,
+            FaultClass.CF_ID,
+            FaultClass.CF_ST,
+        )
+
+    def test_bridge_aggressor_is_neighbor(self):
+        geometry = MemoryGeometry(8, 8)
+        rng = make_rng(1)
+        cell = CellRef(3, 3)
+        fault = fault_for_defect(DefectType.CELL_BRIDGE, cell, geometry, rng)
+        assert fault.aggressors[0] in geometry.neighbors(cell)
+
+
+class TestSamplePopulation:
+    def test_case_study_size(self):
+        population = sample_population(MemoryGeometry(512, 100), 0.01, rng=7)
+        assert population.size == 256
+
+    def test_deterministic_with_seed(self):
+        a = sample_population(MemoryGeometry(64, 16), 0.02, rng=3)
+        b = sample_population(MemoryGeometry(64, 16), 0.02, rng=3)
+        assert [f.describe() for f in a.faults] == [f.describe() for f in b.faults]
+
+    def test_victims_are_distinct(self):
+        population = sample_population(MemoryGeometry(64, 16), 0.05, rng=5)
+        victims = [f.victims[0] for f in population.faults]
+        assert len(victims) == len(set(victims))
+
+    def test_m1_share_near_75_percent(self):
+        population = sample_population(MemoryGeometry(512, 100), 0.01, rng=11)
+        share = population.m1_localizable / population.size
+        assert 0.6 < share < 0.9
+
+    def test_retention_share_near_25_percent(self):
+        population = sample_population(MemoryGeometry(512, 100), 0.01, rng=11)
+        share = population.retention_faults / population.size
+        assert 0.1 < share < 0.4
+
+    def test_zero_rate_empty(self):
+        population = sample_population(MemoryGeometry(64, 16), 0.0)
+        assert population.size == 0
+
+    def test_attach_all(self):
+        population = sample_population(MemoryGeometry(16, 8), 0.05, rng=2)
+        memory = SRAM(MemoryGeometry(16, 8))
+        population.attach_all(memory)
+        assert len(memory.cell_faults) == population.size
+
+    def test_class_histogram_sums_to_size(self):
+        population = sample_population(MemoryGeometry(64, 16), 0.05, rng=9)
+        assert sum(population.class_histogram().values()) == population.size
+
+
+class TestInjector:
+    def test_registry(self):
+        memory = SRAM(MemoryGeometry(8, 4, "m0"))
+        injector = FaultInjector()
+        fault = StuckAtFault(CellRef(1, 1), 0)
+        injector.inject(memory, fault)
+        assert injector.faults_for("m0") == [fault]
+        assert injector.total == 1
+        assert injector.memories() == ["m0"]
+
+    def test_inject_list(self):
+        memory = SRAM(MemoryGeometry(8, 4, "m0"))
+        injector = FaultInjector()
+        injector.inject(memory, [StuckAtFault(CellRef(1, 1), 0), StuckAtFault(CellRef(2, 2), 1)])
+        assert injector.total == 2
+
+    def test_histogram(self):
+        memory = SRAM(MemoryGeometry(8, 4, "m0"))
+        injector = FaultInjector()
+        injector.inject(memory, [StuckAtFault(CellRef(1, 1), 0), StuckAtFault(CellRef(2, 2), 0)])
+        assert injector.class_histogram() == {FaultClass.SAF0: 2}
+
+    def test_unknown_memory_empty(self):
+        assert FaultInjector().faults_for("nope") == []
+
+
+class TestM1LocalizableClasses:
+    def test_logical_classes_included(self):
+        assert FaultClass.SAF0 in M1_LOCALIZABLE_CLASSES
+        assert FaultClass.TF_UP in M1_LOCALIZABLE_CLASSES
+        assert FaultClass.CF_ID in M1_LOCALIZABLE_CLASSES
+
+    def test_retention_excluded(self):
+        assert FaultClass.DRF0 not in M1_LOCALIZABLE_CLASSES
+        assert FaultClass.DRF1 not in M1_LOCALIZABLE_CLASSES
+
+    def test_peripheral_excluded(self):
+        assert FaultClass.AF not in M1_LOCALIZABLE_CLASSES
+        assert FaultClass.WEAK not in M1_LOCALIZABLE_CLASSES

@@ -1,0 +1,119 @@
+"""Unit tests for DRFs and weak cells: the time/NWRC-dependent classes."""
+
+import pytest
+
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.weak_cell import WeakCellDefect
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture
+def memory():
+    return SRAM(MemoryGeometry(8, 4, "m"))
+
+
+class TestDataRetentionFault:
+    def test_normal_write_succeeds_transiently(self, memory):
+        DataRetentionFault(CellRef(1, 0), fragile_value=1).attach(memory)
+        memory.write(1, 0b0001)
+        assert memory.read(1) == 0b0001  # immediately after: still there
+
+    def test_value_decays_after_retention_time(self, memory):
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(2_000.0)
+        assert memory.read(1) == 0b0000
+
+    def test_decay_persists_in_stored_state(self, memory):
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(2_000.0)
+        memory.read(1)
+        assert memory.stored_bit(1, 0) == 0
+
+    def test_short_pause_no_decay(self, memory):
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(1_000.0)
+        assert memory.read(1) == 0b0001
+
+    def test_opposite_value_retained_forever(self, memory):
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0000)
+        memory.pause(1e12)
+        assert memory.read(1) == 0b0000
+
+    def test_nwrc_write_fails_immediately(self, memory):
+        DataRetentionFault(CellRef(1, 0), fragile_value=1).attach(memory)
+        memory.nwrc_write(1, 0b0001)
+        assert memory.read(1) == 0b0000  # no pause needed
+
+    def test_nwrc_write_of_safe_value_succeeds(self, memory):
+        DataRetentionFault(CellRef(1, 0), fragile_value=1).attach(memory)
+        memory.write(1, 0b0001)
+        memory.nwrc_write(1, 0b0000)
+        assert memory.read(1) == 0b0000
+
+    def test_rewrite_restarts_decay_clock(self, memory):
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(800.0)
+        memory.write(1, 0b0001)  # refresh
+        memory.pause(800.0)
+        assert memory.read(1) == 0b0001  # neither interval alone exceeded
+
+    def test_drf0_polarity(self, memory):
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=0, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.write(1, 0b0000)
+        memory.pause(2_000.0)
+        assert memory.read(1) == 0b0001  # decayed 0 -> 1
+
+    def test_nwrc_drf0_fails_to_clear(self, memory):
+        DataRetentionFault(CellRef(1, 0), fragile_value=0).attach(memory)
+        memory.write(1, 0b0001)
+        memory.nwrc_write(1, 0b0000)
+        assert memory.read(1) == 0b0001
+
+
+class TestWeakCell:
+    def test_logically_invisible(self, memory):
+        WeakCellDefect(CellRef(2, 1), weak_value=1).attach(memory)
+        memory.write(2, 0b0010)
+        assert memory.read(2) == 0b0010
+
+    def test_retention_is_fine(self, memory):
+        WeakCellDefect(CellRef(2, 1), weak_value=1).attach(memory)
+        memory.write(2, 0b0010)
+        memory.pause(1e12)
+        assert memory.read(2) == 0b0010
+
+    def test_nwrc_write_fails(self, memory):
+        WeakCellDefect(CellRef(2, 1), weak_value=1).attach(memory)
+        memory.nwrc_write(2, 0b0010)
+        assert memory.read(2) == 0b0000
+
+    def test_nwrc_same_value_is_fine(self, memory):
+        WeakCellDefect(CellRef(2, 1), weak_value=1).attach(memory)
+        memory.write(2, 0b0010)
+        memory.nwrc_write(2, 0b0010)  # no flip required
+        assert memory.read(2) == 0b0010
+
+    def test_weak_zero_polarity(self, memory):
+        WeakCellDefect(CellRef(2, 1), weak_value=0).attach(memory)
+        memory.write(2, 0b0010)
+        memory.nwrc_write(2, 0b0000)
+        assert memory.read(2) == 0b0010  # failed to clear

@@ -1,0 +1,61 @@
+"""Stress test: a wide distributed bank under one controller."""
+
+import pytest
+
+from repro.core.campaign import DiagnosisCampaign
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.soc.chip import SoCConfig
+
+
+def _wide_bank(count=12):
+    shapes = [(32, 16), (16, 9), (24, 12), (8, 4)]
+    memories = []
+    for index in range(count):
+        words, bits = shapes[index % len(shapes)]
+        memories.append(SRAM(MemoryGeometry(words, bits, f"mem{index:02d}")))
+    return MemoryBank(memories)
+
+
+class TestTwelveMemoryBank:
+    def test_fault_free_bank_passes(self):
+        report = FastDiagnosisScheme(_wide_bank()).diagnose()
+        assert report.passed
+
+    def test_fault_in_every_memory_localized(self):
+        bank = _wide_bank()
+        injector = FaultInjector()
+        expected = {}
+        for index, memory in enumerate(bank):
+            cell = CellRef(index % memory.words, index % memory.bits)
+            injector.inject(memory, StuckAtFault(cell, 1))
+            expected[memory.name] = cell
+        report = FastDiagnosisScheme(bank).diagnose()
+        for name, cell in expected.items():
+            assert report.detected_cells(name) == {cell}, name
+
+    def test_schedule_still_set_by_largest(self):
+        lone = FastDiagnosisScheme(
+            MemoryBank([SRAM(MemoryGeometry(32, 16, "big"))])
+        ).diagnose()
+        many = FastDiagnosisScheme(_wide_bank()).diagnose()
+        assert many.cycles == lone.cycles
+
+    def test_campaign_over_wide_soc(self):
+        soc = SoCConfig(
+            name="wide-soc",
+            geometries=[
+                MemoryGeometry(32, 16, f"g{i}") if i % 2 == 0
+                else MemoryGeometry(16, 8, f"g{i}")
+                for i in range(8)
+            ],
+        )
+        report = DiagnosisCampaign(soc, defect_rate=0.01, seed=31).run(
+            include_baseline=False
+        )
+        assert report.localization_rate == 1.0
+        assert report.verification_passed

@@ -1,0 +1,146 @@
+"""Static March-condition analysis, cross-validated against simulation.
+
+For every algorithm in the library, the static verdicts (SAF/TF/AF
+coverage) must agree with exhaustive single-fault simulation -- two
+independent implementations of the same theory.
+"""
+
+import pytest
+
+from repro.faults.address_fault import AddressRemapFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.march.conditions import analyze
+from repro.march.element import AddressOrder
+from repro.march.library import (
+    march_c_minus,
+    march_c_nw,
+    march_cw,
+    march_cw_nw,
+    march_ss,
+    march_x,
+    march_y,
+    mats_plus,
+    mats_plus_plus,
+)
+from repro.march.simulator import MarchSimulator
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+ALL_ALGORITHMS = [
+    mats_plus,
+    mats_plus_plus,
+    march_x,
+    march_y,
+    march_c_minus,
+    march_c_nw,
+    march_cw,
+    march_cw_nw,
+    march_ss,
+]
+
+GEOMETRY = MemoryGeometry(8, 4, "cond")
+
+
+def _simulated_detects(factory, fault_builder) -> bool:
+    """Whether simulation detects the fault at every probe position."""
+    simulator = MarchSimulator()
+    positions = [CellRef(0, 0), CellRef(3, 2), CellRef(7, 3)]
+    for cell in positions:
+        memory = SRAM(GEOMETRY)
+        fault_builder(cell).attach(memory)
+        if simulator.run(memory, factory(GEOMETRY.bits)).passed:
+            return False
+    return True
+
+
+class TestKnownVerdicts:
+    def test_mats_plus(self):
+        properties = analyze(mats_plus(4))
+        assert properties.detects_saf
+        assert properties.detects_af
+        assert properties.detects_tf_up
+        assert not properties.detects_tf_down  # the classical MATS+ gap
+
+    def test_mats_plus_plus_closes_tf_down(self):
+        assert analyze(mats_plus_plus(4)).detects_tf_down
+
+    def test_march_c_minus_full_basic_coverage(self):
+        properties = analyze(march_c_minus(4))
+        assert properties.detects_saf
+        assert properties.detects_tf_up and properties.detects_tf_down
+        assert properties.detects_af
+
+    def test_nwrtm_merge_preserves_static_properties(self):
+        base = analyze(march_c_minus(4))
+        merged = analyze(march_c_nw(4))
+        assert merged.detects_saf == base.detects_saf
+        assert merged.detects_tf_up == base.detects_tf_up
+        assert merged.detects_tf_down == base.detects_tf_down
+        assert merged.detects_af == base.detects_af
+
+
+class TestInitialStateAssumption:
+    def test_unknown_start_denies_first_element_credit(self):
+        """Under the hardware-conservative assumption, an algorithm that
+        relies on the power-on value loses its transition credit."""
+        from repro.march.algorithm import MarchAlgorithm, MarchStep
+        from repro.march.element import MarchElement
+        from repro.march.ops import r1, w0, w1
+
+        algorithm = MarchAlgorithm(
+            "no-init",
+            4,
+            [
+                MarchStep(
+                    MarchElement(AddressOrder.UP, (w1(), r1())), 0b1111, "E0"
+                ),
+                MarchStep(MarchElement(AddressOrder.UP, (w0(),)), 0b1111, "E1"),
+            ],
+        )
+        assert analyze(algorithm, initial_state=0).detects_tf_up
+        assert not analyze(algorithm, initial_state=None).detects_tf_up
+
+    def test_library_algorithms_insensitive_to_assumption(self):
+        """Real Marches initialize first, so both assumptions agree."""
+        for factory in ALL_ALGORITHMS:
+            cleared = analyze(factory(4), initial_state=0)
+            unknown = analyze(factory(4), initial_state=None)
+            assert cleared.detects_saf == unknown.detects_saf
+            assert cleared.detects_tf_up == unknown.detects_tf_up
+            assert cleared.detects_tf_down == unknown.detects_tf_down
+            assert cleared.detects_af == unknown.detects_af
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+    def test_saf_static_equals_dynamic(self, factory):
+        static = analyze(factory(GEOMETRY.bits)).detects_saf
+        dynamic = _simulated_detects(
+            factory, lambda c: StuckAtFault(c, 0)
+        ) and _simulated_detects(factory, lambda c: StuckAtFault(c, 1))
+        assert static == dynamic, factory(GEOMETRY.bits).name
+
+    @pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+    def test_tf_up_static_equals_dynamic(self, factory):
+        static = analyze(factory(GEOMETRY.bits)).detects_tf_up
+        dynamic = _simulated_detects(factory, lambda c: TransitionFault(c, True))
+        assert static == dynamic, factory(GEOMETRY.bits).name
+
+    @pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+    def test_tf_down_static_equals_dynamic(self, factory):
+        static = analyze(factory(GEOMETRY.bits)).detects_tf_down
+        dynamic = _simulated_detects(factory, lambda c: TransitionFault(c, False))
+        assert static == dynamic, factory(GEOMETRY.bits).name
+
+    @pytest.mark.parametrize("factory", ALL_ALGORITHMS)
+    def test_af_static_implies_dynamic(self, factory):
+        """Static AF coverage must be confirmed by remap-fault simulation.
+
+        (The static condition is sufficient, not necessary, so only the
+        positive direction is asserted.)
+        """
+        if analyze(factory(GEOMETRY.bits)).detects_af:
+            assert _simulated_detects(
+                factory, lambda c: AddressRemapFault(c.word, (c.word + 1) % 8, 4)
+            ), factory(GEOMETRY.bits).name

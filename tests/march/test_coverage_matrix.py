@@ -1,0 +1,142 @@
+"""The algorithm-level coverage matrix: the paper's Sec. 4.1 hierarchy.
+
+March C- < March CW < March CW-NW, with the separations exactly where the
+paper places them:
+
+* March CW adds the background-sensitive classes (intra-word state
+  coupling, column-decoder faults),
+* NWRTM adds the retention classes (DRFs) and the reliability-only weak
+  cells,
+* the delay-based variant adds DRFs but *not* weak cells, at a 200 ms cost.
+"""
+
+import pytest
+
+from repro.march.coverage import algorithm_runner, evaluate_coverage
+from repro.march.library import (
+    march_c_minus,
+    march_cw,
+    march_cw_nw,
+    march_with_retention_pauses,
+)
+from repro.memory.geometry import MemoryGeometry
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return MemoryGeometry(16, 4, "cov")
+
+
+def _coverage(factory, geometry):
+    rows = evaluate_coverage(algorithm_runner(factory), geometry)
+    return {row.label: row for row in rows}
+
+
+@pytest.fixture(scope="module")
+def march_c_cov(geometry):
+    return _coverage(march_c_minus, geometry)
+
+
+@pytest.fixture(scope="module")
+def march_cw_cov(geometry):
+    return _coverage(march_cw, geometry)
+
+
+@pytest.fixture(scope="module")
+def march_cw_nw_cov(geometry):
+    return _coverage(march_cw_nw, geometry)
+
+
+@pytest.fixture(scope="module")
+def retention_cov(geometry):
+    return _coverage(march_with_retention_pauses, geometry)
+
+
+LOGICAL_CLASSES = [
+    "SAF0",
+    "SAF1",
+    "TF-up",
+    "TF-down",
+    "CFin (inter-word)",
+    "CFid (inter-word)",
+    "CFst (inter-word)",
+    "CFst (intra-word, write-hold)",
+    "AF type-A (open address)",
+    "AF type-B/D (remapped address)",
+    "AF type-C/D (multi-access)",
+]
+
+BG_SENSITIVE_CLASSES = [
+    "CFst (intra-word, bg-sensitive)",
+    "CDF (column swap, bg-sensitive)",
+    "CDF (column bridge, bg-sensitive)",
+]
+
+RETENTION_CLASSES = ["DRF0 (cannot hold 0)", "DRF1 (cannot hold 1)"]
+
+
+class TestMarchCMinus:
+    @pytest.mark.parametrize("label", LOGICAL_CLASSES)
+    def test_full_logical_coverage(self, march_c_cov, label):
+        row = march_c_cov[label]
+        assert row.detected == row.instances
+        assert row.localized == row.instances
+
+    @pytest.mark.parametrize("label", BG_SENSITIVE_CLASSES)
+    def test_misses_bg_sensitive(self, march_c_cov, label):
+        assert march_c_cov[label].detected == 0
+
+    @pytest.mark.parametrize("label", RETENTION_CLASSES)
+    def test_misses_retention(self, march_c_cov, label):
+        assert march_c_cov[label].detected == 0
+
+    def test_misses_weak_cells(self, march_c_cov):
+        assert march_c_cov["Weak cell (reliability-only)"].detected == 0
+
+
+class TestMarchCW:
+    @pytest.mark.parametrize("label", LOGICAL_CLASSES + BG_SENSITIVE_CLASSES)
+    def test_adds_bg_sensitive(self, march_cw_cov, label):
+        row = march_cw_cov[label]
+        assert row.detected == row.instances
+
+    @pytest.mark.parametrize("label", RETENTION_CLASSES)
+    def test_still_misses_retention(self, march_cw_cov, label):
+        assert march_cw_cov[label].detected == 0
+
+
+class TestMarchCWNW:
+    @pytest.mark.parametrize(
+        "label",
+        LOGICAL_CLASSES
+        + BG_SENSITIVE_CLASSES
+        + RETENTION_CLASSES
+        + ["Weak cell (reliability-only)"],
+    )
+    def test_full_coverage(self, march_cw_nw_cov, label):
+        row = march_cw_nw_cov[label]
+        assert row.detected == row.instances, label
+        assert row.localized == row.instances, label
+
+
+class TestRetentionPauses:
+    @pytest.mark.parametrize("label", RETENTION_CLASSES)
+    def test_detects_drfs(self, retention_cov, label):
+        row = retention_cov[label]
+        assert row.detected == row.instances
+
+    def test_misses_weak_cells(self, retention_cov):
+        """Delay testing cannot see weak cells; only NWRTM can (Sec. 4.1)."""
+        assert retention_cov["Weak cell (reliability-only)"].detected == 0
+
+
+class TestMonotonicity:
+    def test_cw_nw_dominates_everything(
+        self, march_c_cov, march_cw_cov, march_cw_nw_cov
+    ):
+        for label in march_c_cov:
+            assert (
+                march_cw_nw_cov[label].detected
+                >= march_cw_cov[label].detected
+                >= march_c_cov[label].detected
+            )

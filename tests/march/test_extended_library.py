@@ -1,0 +1,108 @@
+"""Tests for the extended algorithm library and dynamic-fault coverage.
+
+The headline differentiation: the deceptive read-destructive fault (DRDF)
+escapes every single-read March -- including the paper's March CW-NW --
+and is caught by March SS's double reads.
+"""
+
+import pytest
+
+from repro.faults.dynamic import (
+    DeceptiveReadDestructiveFault,
+    IncorrectReadFault,
+    ReadDestructiveFault,
+    WriteDisturbFault,
+)
+from repro.march.complexity import operation_counts
+from repro.march.library import (
+    march_c_minus,
+    march_cw_nw,
+    march_ss,
+    march_x,
+    march_y,
+    mats_plus_plus,
+)
+from repro.march.simulator import MarchSimulator
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+GEOMETRY = MemoryGeometry(16, 4, "ext")
+
+
+def _detects(factory, fault) -> bool:
+    memory = SRAM(GEOMETRY)
+    fault.attach(memory)
+    return not MarchSimulator().run(memory, factory(GEOMETRY.bits)).passed
+
+
+class TestComplexities:
+    def test_mats_plus_plus_6n(self):
+        assert operation_counts(mats_plus_plus(4), 10).operations == 60
+
+    def test_march_x_6n(self):
+        assert operation_counts(march_x(4), 10).operations == 60
+
+    def test_march_y_8n(self):
+        assert operation_counts(march_y(4), 10).operations == 80
+
+    def test_march_ss_22n(self):
+        assert operation_counts(march_ss(4), 10).operations == 220
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize(
+        "factory", [mats_plus_plus, march_x, march_y, march_ss]
+    )
+    def test_clean_memory_passes(self, factory):
+        memory = SRAM(GEOMETRY)
+        assert MarchSimulator().run(memory, factory(GEOMETRY.bits)).passed
+
+
+class TestDynamicFaultCoverage:
+    def test_irf_caught_by_everything(self):
+        for factory in (march_c_minus, march_cw_nw, march_ss):
+            assert _detects(factory, IncorrectReadFault(CellRef(5, 1)))
+
+    def test_rdf_caught_by_march_c(self):
+        assert _detects(march_c_minus, ReadDestructiveFault(CellRef(5, 1)))
+
+    def test_wdf_caught_by_march_c(self):
+        assert _detects(march_c_minus, WriteDisturbFault(CellRef(5, 1)))
+
+    def test_drdf_escapes_single_read_marches(self):
+        """The classical escape: reads look correct, damage comes after."""
+        assert not _detects(march_c_minus, DeceptiveReadDestructiveFault(CellRef(5, 1)))
+        assert not _detects(march_cw_nw, DeceptiveReadDestructiveFault(CellRef(5, 1)))
+
+    def test_drdf_caught_by_march_ss(self):
+        """March SS's double reads expose the flipped cell."""
+        memory = SRAM(GEOMETRY)
+        fault = DeceptiveReadDestructiveFault(CellRef(5, 1))
+        fault.attach(memory)
+        result = MarchSimulator().run(memory, march_ss(GEOMETRY.bits))
+        assert not result.passed
+        assert CellRef(5, 1) in result.detected_cells()
+
+    def test_march_ss_superset_on_static_classes(self):
+        from repro.faults.stuck_at import StuckAtFault
+        from repro.faults.transition import TransitionFault
+
+        assert _detects(march_ss, StuckAtFault(CellRef(3, 3), 0))
+        assert _detects(march_ss, StuckAtFault(CellRef(3, 3), 1))
+        assert _detects(march_ss, TransitionFault(CellRef(3, 3), True))
+        assert _detects(march_ss, TransitionFault(CellRef(3, 3), False))
+
+
+class TestSchemeWithMarchSS:
+    def test_scheme_runs_march_ss_and_finds_drdf(self):
+        """The architecture is algorithm-agnostic: swap in March SS."""
+        from repro.core.scheme import FastDiagnosisScheme
+        from repro.memory.bank import MemoryBank
+
+        memory = SRAM(GEOMETRY)
+        DeceptiveReadDestructiveFault(CellRef(7, 2)).attach(memory)
+        scheme = FastDiagnosisScheme(
+            MemoryBank([memory]), algorithm_factory=march_ss
+        )
+        report = scheme.diagnose()
+        assert CellRef(7, 2) in report.detected_cells("ext")

@@ -1,0 +1,106 @@
+"""Unit tests for March operations, elements and backgrounds."""
+
+import pytest
+
+from repro.march.backgrounds import (
+    all_backgrounds_cw,
+    checkerboard_background,
+    log2_backgrounds,
+    solid_background,
+)
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.ops import OpKind, Operation, nw0, nw1, r0, r1, w0, w1
+
+
+class TestOperations:
+    def test_notation(self):
+        assert r0().notation() == "r0"
+        assert w1().notation() == "w1"
+        assert nw1().notation() == "Nw1"
+
+    def test_predicates(self):
+        assert r0().is_read and not r0().is_write
+        assert w1().is_write and not w1().is_read
+        assert nw0().is_write and nw0().is_nwrc
+
+    def test_word_expansion_solid(self):
+        assert w1().word_for(0b1111, 4) == 0b1111
+        assert w0().word_for(0b1111, 4) == 0b0000
+
+    def test_word_expansion_stripe(self):
+        assert w1().word_for(0b1010, 4) == 0b1010
+        assert w0().word_for(0b1010, 4) == 0b0101
+
+    def test_bad_data_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 2)
+
+
+class TestAddressOrder:
+    def test_up(self):
+        assert list(AddressOrder.UP.addresses(3)) == [0, 1, 2]
+
+    def test_down(self):
+        assert list(AddressOrder.DOWN.addresses(3)) == [2, 1, 0]
+
+    def test_any_defaults_up(self):
+        assert list(AddressOrder.ANY.addresses(3)) == [0, 1, 2]
+
+
+class TestMarchElement:
+    def test_counts(self):
+        element = MarchElement(AddressOrder.UP, (r0(), w1()))
+        assert element.op_count == 2
+        assert element.read_count == 1
+        assert element.write_count == 1
+        assert element.writes_anything
+
+    def test_read_only_element(self):
+        element = MarchElement(AddressOrder.ANY, (r0(),))
+        assert not element.writes_anything
+        assert element.final_data() is None
+
+    def test_final_data(self):
+        element = MarchElement(AddressOrder.UP, (r0(), w1()))
+        assert element.final_data() == 1
+        element = MarchElement(AddressOrder.UP, (r0(), nw0()))
+        assert element.final_data() == 0
+
+    def test_notation(self):
+        element = MarchElement(AddressOrder.DOWN, (r1(), w0()))
+        assert element.notation() == "down(r1,w0)"
+
+    def test_empty_element_rejected(self):
+        with pytest.raises(ValueError):
+            MarchElement(AddressOrder.UP, ())
+
+
+class TestBackgrounds:
+    def test_solid(self):
+        assert solid_background(4) == 0b1111
+
+    def test_checkerboard(self):
+        assert checkerboard_background(4, 1) == 0b1010
+
+    def test_log2_count(self):
+        assert len(log2_backgrounds(4)) == 2
+        assert len(log2_backgrounds(100)) == 7
+        assert len(log2_backgrounds(1)) == 0
+
+    def test_log2_values(self):
+        assert [f"{b:04b}" for b in log2_backgrounds(4)] == ["1010", "1100"]
+
+    def test_log2_distinguishes_all_column_pairs(self):
+        """The defining property: any two columns differ in some background."""
+        bits = 13
+        backgrounds = log2_backgrounds(bits)
+        for i in range(bits):
+            for j in range(i + 1, bits):
+                assert any(
+                    ((bg >> i) & 1) != ((bg >> j) & 1) for bg in backgrounds
+                ), f"columns {i} and {j} never differ"
+
+    def test_cw_set_starts_solid(self):
+        backgrounds = all_backgrounds_cw(8)
+        assert backgrounds[0] == 0xFF
+        assert len(backgrounds) == 4

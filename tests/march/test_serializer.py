@@ -1,0 +1,92 @@
+"""Tests for the generic March serializer (the [9, 10] execution mode)."""
+
+import pytest
+
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.march.algorithm import PauseStep
+from repro.march.library import (
+    march_c_minus,
+    march_c_nw,
+    march_with_retention_pauses,
+    mats_plus,
+)
+from repro.march.serializer import SerialMarchRunner, serialize_algorithm
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+GEOMETRY = MemoryGeometry(8, 8, "ser")
+
+
+class TestSerialization:
+    def test_sweep_count_matches_elements(self):
+        sweeps = serialize_algorithm(march_c_minus(8))
+        assert len(sweeps) == 6
+
+    def test_patterns_follow_final_writes(self):
+        sweeps = serialize_algorithm(march_c_minus(8))
+        # M0 w0 -> zeros; M1 (r0,w1) -> ones; read-only M5 rewrites zeros.
+        assert sweeps[0].pattern == 0x00
+        assert sweeps[1].pattern == 0xFF
+        assert sweeps[5].pattern == 0x00
+
+    def test_expected_streams(self):
+        sweeps = serialize_algorithm(march_c_minus(8))
+        assert sweeps[0].expected is None  # pure write
+        assert sweeps[1].expected == 0x00  # r0
+        assert sweeps[2].expected == 0xFF  # r1
+
+    def test_descending_elements_marked(self):
+        sweeps = serialize_algorithm(march_c_minus(8))
+        assert sweeps[3].ascending is False
+
+    def test_nwrc_degradation_flagged(self):
+        sweeps = serialize_algorithm(march_c_nw(8))
+        assert any(getattr(s, "degraded_nwrc", False) for s in sweeps)
+
+    def test_pauses_preserved(self):
+        sweeps = serialize_algorithm(march_with_retention_pauses(8))
+        assert sum(1 for s in sweeps if isinstance(s, PauseStep)) == 2
+
+
+class TestSerialExecution:
+    def test_fault_free_memory_passes(self):
+        memory = SRAM(GEOMETRY)
+        result = SerialMarchRunner(memory).run(march_c_minus(8))
+        assert result.passed
+        assert result.cycles == 6 * 8 * 8  # six sweeps x n x c
+
+    def test_saf_detected(self):
+        memory = SRAM(GEOMETRY)
+        StuckAtFault(CellRef(3, 5), 1).attach(memory)
+        result = SerialMarchRunner(memory).run(march_c_minus(8))
+        assert not result.passed
+        assert 3 in result.failing_addresses()
+
+    def test_single_fault_attributed_correctly(self):
+        """With one fault per word the naive attribution is exact."""
+        memory = SRAM(GEOMETRY)
+        StuckAtFault(CellRef(3, 5), 1).attach(memory)
+        result = SerialMarchRunner(memory).run(march_c_minus(8))
+        attributed = {m.attributed_bit for m in result.mismatches if m.address == 3}
+        assert 5 in attributed
+
+    def test_drf_escapes_serialized_nwrtm(self):
+        """Serial baselines have no NWRTM gate: NWRC degrades, DRF escapes."""
+        memory = SRAM(GEOMETRY)
+        DataRetentionFault(CellRef(2, 2), 1).attach(memory)
+        result = SerialMarchRunner(memory).run(march_c_nw(8))
+        assert result.nwrc_degraded
+        assert result.passed  # the whole point: the baseline cannot see it
+
+    def test_drf_caught_with_real_pauses(self):
+        memory = SRAM(GEOMETRY)
+        DataRetentionFault(CellRef(2, 2), 1).attach(memory)
+        result = SerialMarchRunner(memory).run(march_with_retention_pauses(8))
+        assert not result.passed
+        assert result.pause_ns == 200e6
+
+    def test_width_mismatch_rejected(self):
+        memory = SRAM(GEOMETRY)
+        with pytest.raises(ValueError):
+            SerialMarchRunner(memory).run(mats_plus(4))

@@ -1,0 +1,117 @@
+"""Unit tests for the March fault simulator."""
+
+import pytest
+
+from repro.faults.address_fault import AddressOpenFault, AddressRemapFault
+from repro.faults.coupling import InversionCouplingFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.march.library import march_c_minus, march_cw, mats_plus
+from repro.march.simulator import MarchSimulator
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+@pytest.fixture
+def geometry():
+    return MemoryGeometry(16, 4, "m")
+
+
+@pytest.fixture
+def simulator():
+    return MarchSimulator()
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("factory", [mats_plus, march_c_minus, march_cw])
+    def test_clean_memory_passes(self, geometry, simulator, factory):
+        memory = SRAM(geometry)
+        result = simulator.run(memory, factory(geometry.bits))
+        assert result.passed
+        assert result.failure_count == 0
+
+    def test_cycles_counted(self, geometry, simulator):
+        memory = SRAM(geometry)
+        result = simulator.run(memory, march_c_minus(4))
+        assert result.cycles == 10 * 16  # 10n single-cycle ops
+        assert result.elapsed_ns == result.cycles * 10.0
+
+
+class TestDetection:
+    def test_saf_detected_and_localized(self, geometry, simulator):
+        memory = SRAM(geometry)
+        StuckAtFault(CellRef(7, 2), 1).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        assert not result.passed
+        assert CellRef(7, 2) in result.detected_cells()
+
+    def test_failure_record_contents(self, geometry, simulator):
+        memory = SRAM(geometry)
+        StuckAtFault(CellRef(7, 2), 1).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        failure = result.failures[0]
+        assert failure.address == 7
+        assert failure.syndrome == 0b0100
+        assert failure.failing_bits() == [2]
+        assert failure.operation.startswith("r")
+        assert failure.memory_name == "m"
+
+    def test_tf_detected_by_march_c(self, geometry, simulator):
+        memory = SRAM(geometry)
+        TransitionFault(CellRef(3, 1), rising=True).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        assert CellRef(3, 1) in result.detected_cells()
+
+    def test_tf_down_missed_by_mats_plus(self, geometry, simulator):
+        """MATS+ cannot catch falling transition faults -- March C- can."""
+        memory = SRAM(geometry)
+        TransitionFault(CellRef(3, 1), rising=False).attach(memory)
+        assert simulator.run(memory, mats_plus(4)).passed
+        memory2 = SRAM(geometry)
+        TransitionFault(CellRef(3, 1), rising=False).attach(memory2)
+        assert not simulator.run(memory2, march_c_minus(4)).passed
+
+    def test_coupling_detected(self, geometry, simulator):
+        memory = SRAM(geometry)
+        InversionCouplingFault(CellRef(4, 1), CellRef(3, 1)).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        assert CellRef(3, 1) in result.detected_cells()
+
+    def test_af_open_detected(self, geometry, simulator):
+        memory = SRAM(geometry)
+        AddressOpenFault(5, geometry.bits).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        assert 5 in result.failing_addresses()
+
+    def test_af_remap_detected(self, geometry, simulator):
+        memory = SRAM(geometry)
+        AddressRemapFault(5, 6, geometry.bits).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        assert not result.passed
+
+
+class TestStopOnFirstFailure:
+    def test_stops_early(self, geometry):
+        memory = SRAM(geometry)
+        StuckAtFault(CellRef(0, 0), 1).attach(memory)
+        StuckAtFault(CellRef(15, 0), 1).attach(memory)
+        eager = MarchSimulator(stop_on_first_failure=True)
+        result = eager.run(memory, march_c_minus(4))
+        assert result.failure_count == 1
+
+
+class TestWidthMismatch:
+    def test_rejected(self, geometry, simulator):
+        memory = SRAM(geometry)
+        with pytest.raises(ValueError):
+            simulator.run(memory, march_c_minus(8))
+
+
+class TestMultipleFaults:
+    def test_all_single_cell_faults_localized(self, geometry, simulator):
+        memory = SRAM(geometry)
+        cells = [CellRef(1, 0), CellRef(8, 3), CellRef(15, 2)]
+        for cell in cells:
+            StuckAtFault(cell, 1).attach(memory)
+        result = simulator.run(memory, march_c_minus(4))
+        assert set(cells) <= result.detected_cells()

@@ -1,0 +1,77 @@
+"""Unit tests for the address decoder and its AF mutators."""
+
+import pytest
+
+from repro.memory.decoder import AddressDecoder
+
+
+class TestIdentityDecoder:
+    def test_default_targets(self):
+        decoder = AddressDecoder(8)
+        assert decoder.targets(3) == (3,)
+
+    def test_not_faulty_by_default(self):
+        assert not AddressDecoder(8).is_faulty
+
+    def test_no_unreachable_words(self):
+        assert AddressDecoder(8).unreachable_words() == set()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AddressDecoder(8).targets(8)
+
+
+class TestTypeA:
+    def test_break_address(self):
+        decoder = AddressDecoder(8)
+        decoder.break_address(5)
+        assert decoder.targets(5) == ()
+        assert decoder.is_faulty
+
+    def test_unreachable_after_break(self):
+        decoder = AddressDecoder(8)
+        decoder.break_address(5)
+        assert decoder.unreachable_words() == {5}
+
+
+class TestTypeBD:
+    def test_remap(self):
+        decoder = AddressDecoder(8)
+        decoder.remap_address(2, 6)
+        assert decoder.targets(2) == (6,)
+
+    def test_remap_makes_word_unreachable(self):
+        decoder = AddressDecoder(8)
+        decoder.remap_address(2, 6)
+        assert decoder.unreachable_words() == {2}
+
+    def test_self_remap_rejected(self):
+        with pytest.raises(ValueError):
+            AddressDecoder(8).remap_address(2, 2)
+
+
+class TestTypeCD:
+    def test_extra_target(self):
+        decoder = AddressDecoder(8)
+        decoder.add_extra_target(1, 4)
+        assert decoder.targets(1) == (1, 4)
+
+    def test_extra_target_idempotent(self):
+        decoder = AddressDecoder(8)
+        decoder.add_extra_target(1, 4)
+        decoder.add_extra_target(1, 4)
+        assert decoder.targets(1) == (1, 4)
+
+    def test_self_extra_rejected(self):
+        with pytest.raises(ValueError):
+            AddressDecoder(8).add_extra_target(1, 1)
+
+
+class TestReset:
+    def test_reset_restores_identity(self):
+        decoder = AddressDecoder(8)
+        decoder.break_address(1)
+        decoder.remap_address(2, 3)
+        decoder.reset()
+        assert not decoder.is_faulty
+        assert decoder.targets(1) == (1,)

@@ -1,0 +1,107 @@
+"""Unit tests for spares, the memory bank and the time base."""
+
+import pytest
+
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.spare import SpareBank
+from repro.memory.sram import SRAM
+from repro.memory.timebase import TimeBase
+
+
+class TestSpareBank:
+    def test_allocation(self):
+        bank = SpareBank(2, 8)
+        assert bank.allocate(3)
+        assert bank.is_remapped(3)
+        assert bank.available == 1
+
+    def test_reallocation_is_noop(self):
+        bank = SpareBank(2, 8)
+        bank.allocate(3)
+        assert bank.allocate(3)
+        assert bank.used == 1
+
+    def test_exhaustion(self):
+        bank = SpareBank(1, 8)
+        assert bank.allocate(0)
+        assert not bank.allocate(1)
+
+    def test_spare_storage(self):
+        bank = SpareBank(1, 8)
+        bank.allocate(5)
+        bank.write(5, 0xAB)
+        assert bank.read(5) == 0xAB
+
+    def test_unmapped_access_rejected(self):
+        bank = SpareBank(1, 8)
+        with pytest.raises(ValueError):
+            bank.read(0)
+
+    def test_reset(self):
+        bank = SpareBank(1, 8)
+        bank.allocate(0)
+        bank.reset()
+        assert bank.available == 1
+        assert not bank.is_remapped(0)
+
+
+class TestMemoryBank:
+    def test_sizing_queries(self, hetero_bank):
+        assert hetero_bank.max_words == 16
+        assert hetero_bank.max_bits == 8
+
+    def test_total_cells(self, hetero_bank):
+        assert hetero_bank.total_cells == 16 * 8 + 8 * 5 + 5 * 3
+
+    def test_by_name(self, hetero_bank):
+        assert hetero_bank.by_name("narrow").bits == 5
+        with pytest.raises(KeyError):
+            hetero_bank.by_name("absent")
+
+    def test_heterogeneity(self, hetero_bank):
+        assert not hetero_bank.is_homogeneous()
+        homogeneous = MemoryBank(
+            [SRAM(MemoryGeometry(4, 4, "a")), SRAM(MemoryGeometry(4, 4, "b"))]
+        )
+        assert homogeneous.is_homogeneous()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBank(
+                [SRAM(MemoryGeometry(4, 4, "x")), SRAM(MemoryGeometry(8, 4, "x"))]
+            )
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBank([])
+
+    def test_iteration_order_preserved(self, hetero_bank):
+        assert [m.name for m in hetero_bank] == ["wide", "narrow", "tiny"]
+
+
+class TestTimeBase:
+    def test_tick(self):
+        tb = TimeBase(10.0)
+        tb.tick(3)
+        assert tb.cycles == 3
+        assert tb.now_ns == 30.0
+
+    def test_pause_no_cycles(self):
+        tb = TimeBase(10.0)
+        tb.pause(500.0)
+        assert tb.cycles == 0
+        assert tb.now_ns == 500.0
+
+    def test_reset(self):
+        tb = TimeBase(10.0)
+        tb.tick(5)
+        tb.reset()
+        assert tb.cycles == 0 and tb.now_ns == 0.0
+
+    def test_negative_rejected(self):
+        tb = TimeBase(10.0)
+        with pytest.raises(ValueError):
+            tb.tick(-1)
+        with pytest.raises(ValueError):
+            tb.pause(-1.0)

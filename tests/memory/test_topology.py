@@ -1,0 +1,78 @@
+"""Tests for the physical array topology (column multiplexing)."""
+
+import pytest
+
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.topology import ArrayTopology, PhysicalLocation
+
+
+@pytest.fixture
+def topology():
+    return ArrayTopology(MemoryGeometry(16, 4, "t"), mux_factor=4)
+
+
+class TestMapping:
+    def test_shape(self, topology):
+        assert topology.rows == 4
+        assert topology.cols == 16
+
+    def test_location_of_word0(self, topology):
+        assert topology.location(CellRef(0, 0)) == PhysicalLocation(0, 0)
+        assert topology.location(CellRef(0, 1)) == PhysicalLocation(0, 4)
+
+    def test_location_encodes_select(self, topology):
+        assert topology.location(CellRef(1, 0)) == PhysicalLocation(0, 1)
+        assert topology.location(CellRef(5, 2)) == PhysicalLocation(1, 9)
+
+    def test_roundtrip_every_cell(self, topology):
+        for cell in topology.geometry.all_cells():
+            assert topology.cell_at(topology.location(cell)) == cell
+
+    def test_locations_are_unique(self, topology):
+        locations = {
+            topology.location(cell) for cell in topology.geometry.all_cells()
+        }
+        assert len(locations) == topology.geometry.cells
+
+    def test_indivisible_words_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayTopology(MemoryGeometry(10, 4), mux_factor=4)
+
+
+class TestAdjacencyClaims:
+    """The physical facts behind the defect-sampling policy."""
+
+    def test_same_word_adjacent_bits_are_mux_apart(self, topology):
+        distance = topology.logical_bit_distance(CellRef(3, 1), CellRef(3, 2))
+        assert distance == topology.mux_factor
+
+    def test_consecutive_words_same_bit_are_column_neighbors(self, topology):
+        distance = topology.logical_bit_distance(CellRef(4, 2), CellRef(5, 2))
+        assert distance == 1
+
+    def test_physical_neighbors_never_same_word_when_muxed(self, topology):
+        for cell in topology.geometry.all_cells():
+            for neighbor in topology.physical_neighbors(cell):
+                assert neighbor.word != cell.word or neighbor.bit != cell.bit
+                if neighbor.bit == cell.bit and neighbor.word == cell.word:
+                    pytest.fail("cell is its own neighbor")
+
+    def test_bridge_pairs_are_inter_word_dominated(self, topology):
+        pairs = list(topology.bridge_pairs())
+        inter_word = sum(1 for a, b in pairs if a.word != b.word)
+        assert inter_word / len(pairs) > 0.7
+
+    def test_vertical_neighbors_skip_mux_words(self, topology):
+        home = CellRef(1, 2)  # row 0, select 1
+        below = [
+            n for n in topology.physical_neighbors(home)
+            if topology.location(n).row == 1
+        ]
+        assert below == [CellRef(5, 2)]  # word 1 + mux_factor
+
+
+class TestNoMux:
+    def test_mux_one_keeps_logical_adjacency(self):
+        topology = ArrayTopology(MemoryGeometry(8, 4), mux_factor=1)
+        assert topology.logical_bit_distance(CellRef(0, 0), CellRef(0, 1)) == 1
+        assert topology.rows == 8 and topology.cols == 4

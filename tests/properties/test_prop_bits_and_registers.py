@@ -1,0 +1,99 @@
+"""Property-based tests for bit utilities and shift registers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serial.shift_register import ShiftDirection, ShiftRegister
+from repro.util.bitops import (
+    bits_to_int,
+    complement,
+    int_to_bits,
+    mask,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+
+widths = st.integers(min_value=1, max_value=128)
+
+
+@st.composite
+def word_and_width(draw):
+    width = draw(widths)
+    word = draw(st.integers(min_value=0, max_value=mask(width)))
+    return word, width
+
+
+class TestBitopsProperties:
+    @given(word_and_width())
+    def test_bits_roundtrip(self, pair):
+        word, width = pair
+        assert bits_to_int(int_to_bits(word, width)) == word
+
+    @given(word_and_width())
+    def test_complement_involution(self, pair):
+        word, width = pair
+        assert complement(complement(word, width), width) == word
+
+    @given(word_and_width())
+    def test_complement_popcount(self, pair):
+        word, width = pair
+        assert popcount(word) + popcount(complement(word, width)) == width
+
+    @given(word_and_width())
+    def test_reverse_involution(self, pair):
+        word, width = pair
+        assert reverse_bits(reverse_bits(word, width), width) == word
+
+    @given(word_and_width(), st.integers(min_value=0, max_value=256))
+    def test_rotate_inverse(self, pair, amount):
+        word, width = pair
+        assert rotate_right(rotate_left(word, width, amount), width, amount) == word
+
+    @given(word_and_width())
+    def test_rotate_preserves_popcount(self, pair):
+        word, width = pair
+        assert popcount(rotate_left(word, width, 3)) == popcount(word)
+
+
+class TestShiftRegisterProperties:
+    @given(word_and_width())
+    def test_msb_first_right_shift_is_identity_load(self, pair):
+        """The SPC delivery law: a full MSB-first right shift lands the word."""
+        word, width = pair
+        register = ShiftRegister(width)
+        register.shift_word_in(word, ShiftDirection.RIGHT, msb_first=True)
+        assert register.value == word
+
+    @given(word_and_width())
+    def test_lsb_first_left_shift_is_identity_load(self, pair):
+        word, width = pair
+        register = ShiftRegister(width)
+        register.shift_word_in(word, ShiftDirection.LEFT, msb_first=False)
+        assert register.value == word
+
+    @given(word_and_width())
+    def test_load_then_right_out_emits_msb_first(self, pair):
+        word, width = pair
+        register = ShiftRegister(width)
+        register.load(word)
+        emitted = register.shift_word_out(ShiftDirection.RIGHT)
+        assert bits_to_int(list(reversed(emitted))) == word
+
+    @given(word_and_width())
+    def test_load_then_left_out_emits_lsb_first(self, pair):
+        """The PSC serialization law (LSB first back to the controller)."""
+        word, width = pair
+        register = ShiftRegister(width)
+        register.load(word)
+        emitted = register.shift_word_out(ShiftDirection.LEFT)
+        assert bits_to_int(emitted) == word
+
+    @given(word_and_width())
+    def test_register_drains_to_fill_value(self, pair):
+        word, width = pair
+        register = ShiftRegister(width)
+        register.load(word)
+        register.shift_word_out(ShiftDirection.LEFT, fill=0)
+        assert register.value == 0

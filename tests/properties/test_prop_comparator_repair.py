@@ -1,0 +1,129 @@
+"""Property tests: comparator wrap-equivalence and redundancy soundness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comparator import ComparatorArray
+from repro.core.redundancy import RedundancyBudget, allocate_redundancy
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.ops import Operation, OpKind
+from repro.memory.geometry import CellRef
+from repro.util.bitops import mask
+
+
+@st.composite
+def consistent_elements(draw):
+    """Random March elements whose reads match the walked state.
+
+    The state entering the element is drawn too (the previous element's
+    final data), so the pair (element, entry_state) is self-consistent.
+    """
+    entry_state = draw(st.integers(min_value=0, max_value=1))
+    state = entry_state
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        if draw(st.booleans()):
+            ops.append(Operation(OpKind.READ, state))
+        else:
+            value = draw(st.integers(min_value=0, max_value=1))
+            kind = draw(st.sampled_from([OpKind.WRITE, OpKind.NWRC_WRITE]))
+            ops.append(Operation(kind, value))
+            state = value
+    order = draw(st.sampled_from(list(AddressOrder)))
+    return entry_state, MarchElement(order, tuple(ops))
+
+
+class TestComparatorWrapEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(consistent_elements(), st.integers(min_value=1, max_value=10), st.data())
+    def test_wrapped_expectation_equals_double_application(
+        self, pair, bits, data
+    ):
+        """The wrap rule IS re-application: simulating the element's ops
+        twice over a good cell value gives exactly the comparator's
+        wrapped expectation at each read."""
+        entry_state, element = pair
+        background = data.draw(st.integers(min_value=0, max_value=mask(bits)))
+        comparator = ComparatorArray("p", bits)
+
+        def word_of(value: int) -> int:
+            return background if value else background ^ mask(bits)
+
+        # First application: track the word value op by op.
+        value = word_of(entry_state)
+        for op in element.operations:
+            if op.is_write:
+                value = word_of(op.data)
+        # Second application (the wrapped visit).
+        for op_index, op in enumerate(element.operations):
+            if op.is_read:
+                expected = comparator.expected_word(
+                    element, op_index, background, wrapped=True
+                )
+                assert expected == value, f"op {op_index} of {element.notation()}"
+            else:
+                value = word_of(op.data)
+
+    @settings(max_examples=80, deadline=None)
+    @given(consistent_elements(), st.integers(min_value=1, max_value=10), st.data())
+    def test_unwrapped_expectation_is_op_data(self, pair, bits, data):
+        entry_state, element = pair
+        background = data.draw(st.integers(min_value=0, max_value=mask(bits)))
+        comparator = ComparatorArray("p", bits)
+        for op_index, op in enumerate(element.operations):
+            if op.is_read:
+                expected = comparator.expected_word(
+                    element, op_index, background, wrapped=False
+                )
+                want = background if op.data else background ^ mask(bits)
+                assert expected == want
+
+
+@st.composite
+def failure_patterns(draw):
+    cells = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    return {CellRef(w, b) for w, b in cells}
+
+
+class TestRedundancySoundness:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        failure_patterns(),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_feasible_plans_cover_everything(self, cells, rows, cols):
+        plan = allocate_redundancy(cells, RedundancyBudget(rows, cols))
+        if plan.feasible:
+            assert all(plan.covers(cell) for cell in cells)
+            assert len(plan.repair_rows) <= rows
+            assert len(plan.repair_cols) <= cols
+
+    @settings(max_examples=80, deadline=None)
+    @given(failure_patterns())
+    def test_generous_budget_always_feasible(self, cells):
+        budget = RedundancyBudget(8, 8)  # one spare per possible row/col
+        plan = allocate_redundancy(cells, budget)
+        assert plan.feasible
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        failure_patterns(),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_budget_monotonicity(self, cells, rows, cols):
+        """If a budget suffices, any bigger budget does too."""
+        small = allocate_redundancy(cells, RedundancyBudget(rows, cols))
+        if small.feasible:
+            large = allocate_redundancy(cells, RedundancyBudget(rows + 1, cols + 1))
+            assert large.feasible

@@ -1,0 +1,77 @@
+"""Property-based tests for the SPC/PSC pair: the paper's width-adaptation law."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.background_gen import DataBackgroundGenerator
+from repro.core.psc import ParallelToSerialConverter
+from repro.core.spc import SerialToParallelConverter
+from repro.util.bitops import bits_to_int, mask
+
+
+@st.composite
+def delivery_case(draw):
+    controller_bits = draw(st.integers(min_value=1, max_value=64))
+    memory_bits = draw(st.integers(min_value=1, max_value=controller_bits))
+    word = draw(st.integers(min_value=0, max_value=mask(controller_bits)))
+    return controller_bits, memory_bits, word
+
+
+class TestSpcDeliveryLaws:
+    @given(delivery_case())
+    def test_msb_first_keeps_low_bits_for_any_width(self, case):
+        """Sec. 3.2's design goal, as a universal property: every memory
+        width receives exactly DP[c'-1:0]."""
+        controller_bits, memory_bits, word = case
+        generator = DataBackgroundGenerator(controller_bits, msb_first=True)
+        spc = SerialToParallelConverter(memory_bits, msb_first=True)
+        spc.load_stream(generator.stream(word))
+        assert spc.parallel_out == word & mask(memory_bits)
+
+    @given(delivery_case())
+    def test_lsb_first_keeps_top_bits(self, case):
+        """The flawed variant's law: DP[c-1:c-c'] lands instead."""
+        controller_bits, memory_bits, word = case
+        generator = DataBackgroundGenerator(controller_bits, msb_first=False)
+        spc = SerialToParallelConverter(memory_bits, msb_first=False)
+        spc.load_stream(generator.stream(word))
+        assert spc.parallel_out == word >> (controller_bits - memory_bits)
+
+    @given(delivery_case())
+    def test_closed_form_agrees_with_shifting(self, case):
+        controller_bits, memory_bits, word = case
+        for msb_first in (True, False):
+            generator = DataBackgroundGenerator(controller_bits, msb_first)
+            spc = SerialToParallelConverter(memory_bits, msb_first)
+            spc.load_stream(generator.stream(word))
+            assert spc.parallel_out == spc.expected_pattern(word, controller_bits)
+
+    @given(delivery_case())
+    def test_equal_width_always_exact(self, case):
+        controller_bits, _, word = case
+        for msb_first in (True, False):
+            generator = DataBackgroundGenerator(controller_bits, msb_first)
+            spc = SerialToParallelConverter(controller_bits, msb_first)
+            spc.load_stream(generator.stream(word))
+            assert spc.parallel_out == word
+
+
+class TestPscLaws:
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    def test_serialize_roundtrip(self, width, data):
+        word = data.draw(st.integers(min_value=0, max_value=mask(width)))
+        psc = ParallelToSerialConverter(width)
+        assert bits_to_int(psc.serialize(word)) == word
+
+    @given(st.integers(min_value=1, max_value=32), st.data())
+    def test_repeated_captures_independent(self, width, data):
+        words = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=mask(width)),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        psc = ParallelToSerialConverter(width)
+        for word in words:
+            assert bits_to_int(psc.serialize(word)) == word

@@ -1,0 +1,113 @@
+"""Property-based tests for fault populations and serial masking forms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.population import expected_fault_count, sample_population
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.serial.masking import (
+    clean_write_cells_bidirectional,
+    clean_write_cells_unidirectional,
+    localizable_bits_bidirectional,
+)
+from repro.serial.unidirectional import UnidirectionalSerialInterface
+from repro.util.bitops import mask
+
+geometries = st.builds(
+    MemoryGeometry,
+    st.integers(min_value=4, max_value=64),
+    st.integers(min_value=2, max_value=16),
+    st.just("prop"),
+)
+
+
+class TestPopulationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(geometries, st.floats(min_value=0.0, max_value=0.2), st.integers(0, 1000))
+    def test_size_matches_closed_form(self, geometry, rate, seed):
+        population = sample_population(geometry, rate, rng=seed)
+        assert population.size == expected_fault_count(geometry, rate)
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometries, st.integers(0, 1000))
+    def test_victims_unique(self, geometry, seed):
+        population = sample_population(geometry, 0.1, rng=seed)
+        victims = [f.victims[0] for f in population.faults]
+        assert len(victims) == len(set(victims))
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometries, st.integers(0, 1000))
+    def test_all_cells_in_bounds(self, geometry, seed):
+        population = sample_population(geometry, 0.1, rng=seed)
+        for fault in population.faults:
+            for cell in fault.cells:
+                geometry.check_cell(cell)
+
+    @settings(max_examples=20, deadline=None)
+    @given(geometries, st.integers(0, 1000))
+    def test_histogram_partitions_population(self, geometry, seed):
+        population = sample_population(geometry, 0.1, rng=seed)
+        assert sum(population.class_histogram().values()) == population.size
+        assert (
+            population.m1_localizable
+            + population.retention_faults
+            == population.size
+        )
+
+
+class TestMaskingClosedFormProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.data(),
+    )
+    def test_unidirectional_clean_set_matches_simulation(self, bits, data):
+        faulty_bits = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=bits - 1),
+                min_size=0,
+                max_size=4,
+                unique=True,
+            )
+        )
+        memory = SRAM(MemoryGeometry(1, bits, "m"))
+        for bit in faulty_bits:
+            StuckAtFault(CellRef(0, bit), 0).attach(memory)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_word(0, mask(bits))
+        word = memory.read(0)
+        received = {i for i in range(bits) if (word >> i) & 1}
+        assert received == clean_write_cells_unidirectional(faulty_bits, bits)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=32), st.data())
+    def test_bidirectional_superset_of_unidirectional(self, bits, data):
+        faulty_bits = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=bits - 1),
+                min_size=0,
+                max_size=6,
+                unique=True,
+            )
+        )
+        uni = clean_write_cells_unidirectional(faulty_bits, bits)
+        bi = clean_write_cells_bidirectional(faulty_bits, bits)
+        assert uni <= bi
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=2, max_value=32), st.data())
+    def test_localizable_are_extremes(self, bits, data):
+        faulty_bits = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=bits - 1),
+                min_size=1,
+                max_size=6,
+                unique=True,
+            )
+        )
+        localizable = localizable_bits_bidirectional(faulty_bits, bits)
+        assert min(faulty_bits) in localizable
+        assert max(faulty_bits) in localizable
+        assert len(localizable) <= 2

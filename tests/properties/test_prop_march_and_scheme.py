@@ -1,0 +1,126 @@
+"""Property-based tests for March-simulator and scheme invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.core.timing import proposed_cycles, proposed_operation_cycles
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.march.library import march_c_minus, march_c_nw, march_cw, march_cw_nw, mats_plus
+from repro.march.simulator import MarchSimulator
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+geometries = st.builds(
+    MemoryGeometry,
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=2, max_value=10),
+    st.just("prop"),
+)
+
+algorithms = st.sampled_from(
+    [mats_plus, march_c_minus, march_c_nw, march_cw, march_cw_nw]
+)
+
+
+@st.composite
+def geometry_and_cell(draw):
+    geometry = draw(geometries)
+    word = draw(st.integers(min_value=0, max_value=geometry.words - 1))
+    bit = draw(st.integers(min_value=0, max_value=geometry.bits - 1))
+    return geometry, CellRef(word, bit)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(geometries, algorithms)
+    def test_fault_free_memory_never_fails(self, geometry, factory):
+        memory = SRAM(geometry)
+        result = MarchSimulator().run(memory, factory(geometry.bits))
+        assert result.passed
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometry_and_cell(), st.integers(min_value=0, max_value=1))
+    def test_any_saf_detected_and_localized_by_march_c(self, pair, value):
+        geometry, cell = pair
+        memory = SRAM(geometry)
+        StuckAtFault(cell, value).attach(memory)
+        result = MarchSimulator().run(memory, march_c_minus(geometry.bits))
+        assert cell in result.detected_cells()
+
+    @settings(max_examples=40, deadline=None)
+    @given(geometry_and_cell(), st.booleans())
+    def test_any_tf_detected_by_march_c(self, pair, rising):
+        geometry, cell = pair
+        memory = SRAM(geometry)
+        TransitionFault(cell, rising).attach(memory)
+        result = MarchSimulator().run(memory, march_c_minus(geometry.bits))
+        assert cell in result.detected_cells()
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometries)
+    def test_march_c_leaves_all_zeros(self, geometry):
+        memory = SRAM(geometry)
+        MarchSimulator().run(memory, march_c_minus(geometry.bits))
+        assert all(value == 0 for value in memory.dump())
+
+    @settings(max_examples=30, deadline=None)
+    @given(geometries)
+    def test_failure_free_syndromes_empty(self, geometry):
+        memory = SRAM(geometry)
+        result = MarchSimulator().run(memory, march_cw_nw(geometry.bits))
+        assert result.detected_cells() == set()
+
+
+class TestTimingLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=2, max_value=128),
+    )
+    def test_generic_counter_equals_eq2(self, words, bits):
+        """Eq. (2) holds for every geometry, by construction and by count."""
+        assert proposed_cycles(march_cw(bits), words, bits) == \
+            proposed_operation_cycles(words, bits)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=2, max_value=128),
+    )
+    def test_nwrtm_merge_costs_nothing(self, words, bits):
+        assert proposed_cycles(march_cw_nw(bits), words, bits) == \
+            proposed_cycles(march_cw(bits), words, bits)
+
+
+class TestSchemeInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=2, max_value=10),
+                st.integers(min_value=2, max_value=8),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_heterogeneous_fault_free_bank_passes(self, shapes):
+        """Wrap-around comparison never produces false failures."""
+        memories = [
+            SRAM(MemoryGeometry(words, bits, f"m{i}"))
+            for i, (words, bits) in enumerate(shapes)
+        ]
+        report = FastDiagnosisScheme(MemoryBank(memories)).diagnose()
+        assert report.passed
+
+    @settings(max_examples=15, deadline=None)
+    @given(geometry_and_cell(), st.integers(min_value=0, max_value=1))
+    def test_single_saf_always_exactly_localized(self, pair, value):
+        geometry, cell = pair
+        memory = SRAM(geometry)
+        StuckAtFault(cell, value).attach(memory)
+        report = FastDiagnosisScheme(MemoryBank([memory])).diagnose()
+        assert report.detected_cells(geometry.name) == {cell}

@@ -1,0 +1,161 @@
+"""Property-based tests: scan-chain round-trips, topology bijection,
+and static-vs-dynamic March analysis on random (consistent) algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scanout import DiagnosisScanChain
+from repro.march.algorithm import MarchAlgorithm, MarchStep
+from repro.march.conditions import analyze
+from repro.march.element import AddressOrder, MarchElement
+from repro.march.ops import Operation, OpKind
+from repro.march.simulator import FailureRecord, MarchSimulator
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.memory.topology import ArrayTopology
+from repro.util.bitops import mask
+
+
+@st.composite
+def failure_records(draw, geometry):
+    address = draw(st.integers(min_value=0, max_value=geometry.words - 1))
+    syndrome = draw(st.integers(min_value=1, max_value=mask(geometry.bits)))
+    step = draw(st.integers(min_value=0, max_value=255))
+    op = draw(st.integers(min_value=0, max_value=15))
+    return FailureRecord(
+        memory_name="p",
+        step_index=step,
+        step_label=f"S{step}",
+        op_index=op,
+        operation="r0",
+        address=address,
+        background=mask(geometry.bits),
+        expected=0,
+        observed=syndrome,
+    )
+
+
+class TestScanChainProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_roundtrip_any_failure_list(self, data):
+        geometry = MemoryGeometry(
+            data.draw(st.integers(min_value=2, max_value=64)),
+            data.draw(st.integers(min_value=1, max_value=32)),
+            "p",
+        )
+        failures = data.draw(
+            st.lists(failure_records(geometry), min_size=0, max_size=8)
+        )
+        chain = DiagnosisScanChain(geometry)
+        frames = chain.decode(chain.encode(failures))
+        assert len(frames) == len(failures)
+        for frame, failure in zip(frames, failures):
+            assert frame.address == failure.address
+            assert frame.syndrome == failure.syndrome
+            assert frame.step_index == failure.step_index
+            assert frame.op_index == failure.op_index
+
+
+class TestTopologyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_location_is_a_bijection(self, rows, bits, mux):
+        geometry = MemoryGeometry(rows * mux, bits, "p")
+        topology = ArrayTopology(geometry, mux_factor=mux)
+        locations = set()
+        for cell in geometry.all_cells():
+            location = topology.location(cell)
+            assert topology.cell_at(location) == cell
+            locations.add((location.row, location.col))
+        assert len(locations) == geometry.cells
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_same_word_bits_always_mux_apart(self, rows, bits, mux):
+        geometry = MemoryGeometry(rows * mux, bits, "p")
+        topology = ArrayTopology(geometry, mux_factor=mux)
+        cell_a = CellRef(0, 0)
+        cell_b = CellRef(0, 1)
+        assert topology.logical_bit_distance(cell_a, cell_b) == mux
+
+
+@st.composite
+def consistent_algorithms(draw):
+    """Random March algorithms whose reads match the walked state.
+
+    Elements are generated against a tracked uniform state so that a
+    fault-free memory always passes -- the precondition for comparing the
+    static analyzer with the simulator.
+    """
+    bits = draw(st.integers(min_value=2, max_value=4))
+    state = None
+    steps = []
+    element_count = draw(st.integers(min_value=2, max_value=5))
+    for index in range(element_count):
+        ops = []
+        op_count = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(op_count):
+            if state is not None and draw(st.booleans()):
+                ops.append(Operation(OpKind.READ, state))
+            else:
+                value = draw(st.integers(min_value=0, max_value=1))
+                ops.append(Operation(OpKind.WRITE, value))
+                state = value
+        if not any(op.is_write for op in ops) and state is None:
+            ops.append(Operation(OpKind.WRITE, 0))
+            state = 0
+        order = draw(st.sampled_from(list(AddressOrder)))
+        background = (1 << bits) - 1
+        steps.append(
+            MarchStep(MarchElement(order, tuple(ops)), background, f"E{index}")
+        )
+    return MarchAlgorithm("random", bits, steps)
+
+
+class TestRandomAlgorithmCrossValidation:
+    @settings(max_examples=40, deadline=None)
+    @given(consistent_algorithms())
+    def test_fault_free_consistency(self, algorithm):
+        """Generated algorithms are self-consistent on clean memories."""
+        memory = SRAM(MemoryGeometry(6, algorithm.bits, "p"))
+        assert MarchSimulator().run(memory, algorithm).passed
+
+    @settings(max_examples=40, deadline=None)
+    @given(consistent_algorithms())
+    def test_static_saf_verdict_matches_simulation(self, algorithm):
+        from repro.faults.stuck_at import StuckAtFault
+
+        static = analyze(algorithm).detects_saf
+        geometry = MemoryGeometry(6, algorithm.bits, "p")
+        dynamic = True
+        for value in (0, 1):
+            memory = SRAM(geometry)
+            StuckAtFault(CellRef(3, 1), value).attach(memory)
+            if MarchSimulator().run(memory, algorithm).passed:
+                dynamic = False
+        assert static == dynamic
+
+    @settings(max_examples=40, deadline=None)
+    @given(consistent_algorithms())
+    def test_static_tf_verdict_matches_simulation(self, algorithm):
+        from repro.faults.transition import TransitionFault
+
+        properties = analyze(algorithm)
+        geometry = MemoryGeometry(6, algorithm.bits, "p")
+        for rising, verdict in (
+            (True, properties.detects_tf_up),
+            (False, properties.detects_tf_down),
+        ):
+            memory = SRAM(geometry)
+            TransitionFault(CellRef(3, 1), rising).attach(memory)
+            dynamic = not MarchSimulator().run(memory, algorithm).passed
+            assert verdict == dynamic

@@ -1,0 +1,99 @@
+"""Bit-accurate serial-interface tests: fills, masking, localization."""
+
+import pytest
+
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.serial.bidirectional import BidirectionalSerialInterface
+from repro.serial.shift_register import ShiftDirection
+from repro.serial.unidirectional import UnidirectionalSerialInterface
+
+
+@pytest.fixture
+def geometry():
+    return MemoryGeometry(4, 8, "serial")
+
+
+class TestUnidirectionalFill:
+    def test_fill_word_lands_pattern(self, geometry):
+        memory = SRAM(geometry)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_word(0, 0b1011_0001)
+        assert memory.read(0) == 0b1011_0001
+
+    def test_fill_all(self, geometry):
+        memory = SRAM(geometry)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_all(0xA5)
+        assert all(memory.read(a) == 0xA5 for a in range(4))
+
+    def test_cycle_cost_is_nc(self, geometry):
+        memory = SRAM(geometry)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_all(0xFF)
+        assert interface.cycles == 4 * 8
+
+    def test_outputs_are_previous_contents(self, geometry):
+        memory = SRAM(geometry)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_word(0, 0xFF)
+        outputs = interface.fill_word(0, 0x00)
+        assert outputs == [1] * 8  # old all-ones emerge MSB-first
+
+
+class TestUnidirectionalMasking:
+    def test_stuck_cell_blocks_downstream_data(self, geometry):
+        """Cells above a SAF0 never receive ones: the write-path masking."""
+        memory = SRAM(geometry)
+        StuckAtFault(CellRef(0, 3), 0).attach(memory)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_word(0, 0xFF)
+        word = memory.read(0)
+        assert word & 0b0000_0111 == 0b0000_0111  # below the fault: clean
+        assert word & 0b1111_1000 == 0  # at and above: starved of ones
+
+
+class TestBidirectionalFill:
+    def test_right_fill(self, geometry):
+        memory = SRAM(geometry)
+        interface = BidirectionalSerialInterface(memory)
+        interface.fill_word(1, 0x5A, ShiftDirection.RIGHT)
+        assert memory.read(1) == 0x5A
+
+    def test_left_fill(self, geometry):
+        memory = SRAM(geometry)
+        interface = BidirectionalSerialInterface(memory)
+        interface.fill_word(1, 0x5A, ShiftDirection.LEFT)
+        assert memory.read(1) == 0x5A
+
+    def test_left_fill_reaches_cells_above_fault(self, geometry):
+        """The bidirectional fix: ones arrive from the other side."""
+        memory = SRAM(geometry)
+        StuckAtFault(CellRef(0, 3), 0).attach(memory)
+        interface = BidirectionalSerialInterface(memory)
+        interface.fill_word(0, 0xFF, ShiftDirection.LEFT)
+        word = memory.read(0)
+        assert word & 0b1111_0000 == 0b1111_0000  # above the fault: clean
+
+    def test_cycles_counted(self, geometry):
+        memory = SRAM(geometry)
+        interface = BidirectionalSerialInterface(memory)
+        interface.fill_all(0xFF, ShiftDirection.LEFT)
+        assert interface.cycles == 4 * 8
+
+    def test_read_sweep_returns_streams(self, geometry):
+        memory = SRAM(geometry)
+        interface = BidirectionalSerialInterface(memory)
+        interface.fill_all(0xFF)
+        streams = interface.read_sweep(0x00)
+        assert set(streams) == {0, 1, 2, 3}
+        assert all(len(s) == 8 for s in streams.values())
+
+
+class TestDescendingOrder:
+    def test_fill_all_descending(self, geometry):
+        memory = SRAM(geometry)
+        interface = BidirectionalSerialInterface(memory)
+        interface.fill_all(0x33, ascending=False)
+        assert all(memory.read(a) == 0x33 for a in range(4))

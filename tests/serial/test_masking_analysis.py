@@ -1,0 +1,105 @@
+"""Closed-form masking analysis vs the bit-accurate interfaces."""
+
+import pytest
+
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.serial.bidirectional import BidirectionalSerialInterface
+from repro.serial.masking import (
+    clean_write_cells_bidirectional,
+    clean_write_cells_unidirectional,
+    first_mismatch_bit,
+    localizable_bit_unidirectional,
+    localizable_bits_bidirectional,
+)
+from repro.serial.shift_register import ShiftDirection
+from repro.serial.unidirectional import UnidirectionalSerialInterface
+
+
+class TestClosedForms:
+    def test_no_faults_all_clean(self):
+        assert clean_write_cells_unidirectional([], 8) == set(range(8))
+        assert clean_write_cells_bidirectional([], 8) == set(range(8))
+
+    def test_unidirectional_clean_below_lowest(self):
+        assert clean_write_cells_unidirectional([3, 6], 8) == {0, 1, 2}
+
+    def test_bidirectional_adds_above_highest(self):
+        assert clean_write_cells_bidirectional([3, 6], 8) == {0, 1, 2, 7}
+
+    def test_between_faults_unreachable(self):
+        clean = clean_write_cells_bidirectional([2, 5], 8)
+        assert 3 not in clean and 4 not in clean
+
+    def test_localizable_unidirectional_is_highest(self):
+        assert localizable_bit_unidirectional([3, 6], 8) == 6
+        assert localizable_bit_unidirectional([], 8) is None
+
+    def test_localizable_bidirectional_extremes(self):
+        assert localizable_bits_bidirectional([3, 6], 8) == {3, 6}
+        assert localizable_bits_bidirectional([4], 8) == {4}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            localizable_bits_bidirectional([9], 8)
+
+
+class TestFirstMismatchMapping:
+    def test_right_direction(self):
+        observed = [1, 1, 0, 1]
+        expected = [1, 1, 1, 1]
+        assert first_mismatch_bit(observed, expected, ShiftDirection.RIGHT, 4) == 1
+
+    def test_left_direction(self):
+        observed = [1, 0, 1, 1]
+        expected = [1, 1, 1, 1]
+        assert first_mismatch_bit(observed, expected, ShiftDirection.LEFT, 4) == 1
+
+    def test_no_mismatch(self):
+        assert first_mismatch_bit([1, 1], [1, 1], ShiftDirection.RIGHT, 2) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            first_mismatch_bit([1], [1, 0], ShiftDirection.RIGHT, 2)
+
+
+class TestCrossValidation:
+    """The closed forms must agree with bit-accurate shifting."""
+
+    @pytest.mark.parametrize("faulty_bits", [[2], [5], [1, 6], [0, 3, 7]])
+    def test_unidirectional_clean_cells_match_simulation(self, faulty_bits):
+        geometry = MemoryGeometry(1, 8, "x")
+        memory = SRAM(geometry)
+        for bit in faulty_bits:
+            StuckAtFault(CellRef(0, bit), 0).attach(memory)
+        interface = UnidirectionalSerialInterface(memory)
+        interface.fill_word(0, 0xFF)
+        word = memory.read(0)
+        received_ones = {i for i in range(8) if (word >> i) & 1}
+        predicted = clean_write_cells_unidirectional(faulty_bits, 8)
+        assert received_ones == predicted
+
+    @pytest.mark.parametrize("faulty_bits", [[2], [1, 6], [3, 4]])
+    def test_bidirectional_localization_matches_simulation(self, faulty_bits):
+        geometry = MemoryGeometry(1, 8, "x")
+        predicted = localizable_bits_bidirectional(faulty_bits, 8)
+        found = set()
+        for read_dir, write_dir in (
+            (ShiftDirection.RIGHT, ShiftDirection.LEFT),
+            (ShiftDirection.LEFT, ShiftDirection.RIGHT),
+        ):
+            memory = SRAM(geometry)
+            for bit in faulty_bits:
+                StuckAtFault(CellRef(0, bit), 0).attach(memory)
+            good = SRAM(MemoryGeometry(1, 8, "good"))
+            iface = BidirectionalSerialInterface(memory)
+            giface = BidirectionalSerialInterface(good)
+            iface.fill_all(0xFF, write_dir)
+            giface.fill_all(0xFF, write_dir)
+            observed = iface.read_sweep(0x00, read_dir)[0]
+            expected = giface.read_sweep(0x00, read_dir)[0]
+            bit = first_mismatch_bit(observed, expected, read_dir, 8)
+            if bit is not None:
+                found.add(bit)
+        assert found == predicted

@@ -1,0 +1,74 @@
+"""Unit tests for the shift-register primitive."""
+
+import pytest
+
+from repro.serial.shift_register import ShiftDirection, ShiftRegister
+
+
+class TestBasicShifts:
+    def test_right_shift_moves_up(self):
+        register = ShiftRegister(4, initial=0b0001)
+        out = register.shift(0, ShiftDirection.RIGHT)
+        assert out == 0
+        assert register.value == 0b0010
+
+    def test_right_shift_emits_msb(self):
+        register = ShiftRegister(4, initial=0b1000)
+        assert register.shift(0, ShiftDirection.RIGHT) == 1
+
+    def test_left_shift_moves_down(self):
+        register = ShiftRegister(4, initial=0b1000)
+        register.shift(0, ShiftDirection.LEFT)
+        assert register.value == 0b0100
+
+    def test_left_shift_emits_lsb(self):
+        register = ShiftRegister(4, initial=0b0001)
+        assert register.shift(0, ShiftDirection.LEFT) == 1
+
+    def test_serial_in_enters_correct_end(self):
+        register = ShiftRegister(4)
+        register.shift(1, ShiftDirection.RIGHT)
+        assert register.value == 0b0001
+        register2 = ShiftRegister(4)
+        register2.shift(1, ShiftDirection.LEFT)
+        assert register2.value == 0b1000
+
+
+class TestWordIO:
+    def test_msb_first_right_shift_lands_identity(self):
+        """The SPC delivery convention: word bit i ends at stage i."""
+        register = ShiftRegister(8)
+        register.shift_word_in(0b1011_0010, ShiftDirection.RIGHT, msb_first=True)
+        assert register.value == 0b1011_0010
+
+    def test_lsb_first_right_shift_reverses(self):
+        register = ShiftRegister(4)
+        register.shift_word_in(0b0001, ShiftDirection.RIGHT, msb_first=False)
+        assert register.value == 0b1000
+
+    def test_shift_word_out_right_emits_msb_first(self):
+        register = ShiftRegister(4, initial=0b1010)
+        assert register.shift_word_out(ShiftDirection.RIGHT) == [1, 0, 1, 0]
+
+    def test_shift_word_out_left_emits_lsb_first(self):
+        register = ShiftRegister(4, initial=0b1010)
+        assert register.shift_word_out(ShiftDirection.LEFT) == [0, 1, 0, 1]
+
+    def test_load_parallel(self):
+        register = ShiftRegister(4)
+        register.load(0b0110)
+        assert register.value == 0b0110
+
+
+class TestValidation:
+    def test_bad_serial_in(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(4).shift(2)
+
+    def test_too_wide_load(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(4).load(0b10000)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(0)

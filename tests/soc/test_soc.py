@@ -1,0 +1,127 @@
+"""Tests for SoC configs, floorplans, routing and the case study."""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_defect_rate, sweep_geometry, sweep_iterations
+from repro.soc.case_study import (
+    CASE_STUDY_FAULTS,
+    CASE_STUDY_ITERATIONS,
+    case_study_bank,
+    case_study_geometry,
+    case_study_population,
+    check_paper_arithmetic,
+)
+from repro.soc.chip import SoCConfig
+from repro.soc.floorplan import Floorplan
+from repro.soc.routing import compare_routing, proposed_extra_area_summary
+
+
+class TestSoCConfig:
+    def test_buffer_cluster(self):
+        soc = SoCConfig.buffer_cluster()
+        assert soc.memory_count == 3
+        assert soc.is_heterogeneous()
+
+    def test_build_bank_fresh_instances(self):
+        soc = SoCConfig.buffer_cluster()
+        bank_a = soc.build_bank()
+        bank_b = soc.build_bank()
+        bank_a[0].write(0, 1)
+        assert bank_b[0].read(0) == 0
+
+    def test_total_cells(self):
+        soc = SoCConfig.buffer_cluster()
+        assert soc.total_cells == 256 * 32 + 128 * 18 + 64 * 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SoCConfig("empty", [])
+
+
+class TestFloorplan:
+    def test_deterministic_with_seed(self):
+        soc = SoCConfig.buffer_cluster()
+        a = Floorplan(soc, rng=5)
+        b = Floorplan(soc, rng=5)
+        assert [p.x for p in a.placements] == [p.x for p in b.placements]
+
+    def test_distances_positive(self):
+        floorplan = Floorplan(SoCConfig.buffer_cluster(), rng=0)
+        for geometry in floorplan.soc.geometries:
+            assert floorplan.distance_to_controller(geometry.name) >= 0
+
+    def test_chain_no_longer_than_star(self):
+        floorplan = Floorplan(SoCConfig.buffer_cluster(), rng=0)
+        assert floorplan.daisy_chain_length() <= floorplan.total_star_length() * 2
+
+    def test_unknown_memory_rejected(self):
+        floorplan = Floorplan(SoCConfig.buffer_cluster(), rng=0)
+        with pytest.raises(KeyError):
+            floorplan.distance_to_controller("ghost")
+
+
+class TestRouting:
+    def test_parallel_buses_cost_most_wire(self):
+        floorplan = Floorplan(SoCConfig.buffer_cluster(), rng=1)
+        estimates = {e.architecture: e for e in compare_routing(floorplan)}
+        serial = estimates["shared serial [7,8]"]
+        parallel = estimates["shared parallel buses"]
+        assert parallel.global_wire_length > serial.global_wire_length
+
+    def test_per_memory_bist_replicates_controllers(self):
+        floorplan = Floorplan(SoCConfig.buffer_cluster(), rng=1)
+        estimates = {e.architecture: e for e in compare_routing(floorplan)}
+        assert estimates["per-memory BIST [5,6]"].replicated_controller_transistors > 0
+
+    def test_proposed_close_to_baseline(self):
+        """The proposed scheme's wire cost is within a whisker of [7,8]."""
+        floorplan = Floorplan(SoCConfig.buffer_cluster(), rng=1)
+        estimates = {e.architecture: e for e in compare_routing(floorplan)}
+        baseline = estimates["shared serial [7,8]"]
+        proposed = estimates["shared serial (proposed)"]
+        assert proposed.wires_per_memory == baseline.wires_per_memory + 2
+
+    def test_area_summary_mentions_three_cells(self):
+        assert "3.0" in proposed_extra_area_summary()
+
+
+class TestCaseStudy:
+    def test_geometry(self):
+        geometry = case_study_geometry()
+        assert geometry.words == 512 and geometry.bits == 100
+
+    def test_paper_arithmetic(self):
+        arithmetic = check_paper_arithmetic()
+        assert arithmetic["cells"] == 51_200
+        assert arithmetic["faults"] == CASE_STUDY_FAULTS == 256
+        assert arithmetic["iterations"] == CASE_STUDY_ITERATIONS == 96
+
+    def test_population_statistics(self):
+        population = case_study_population(rng=4)
+        assert population.size == 256
+        assert 0.6 < population.m1_localizable / population.size < 0.9
+
+    def test_bank_shape(self):
+        bank = case_study_bank(memories=2)
+        assert len(bank) == 2
+        assert bank.max_bits == 100
+
+
+class TestSweeps:
+    def test_defect_rate_rows(self):
+        rows = sweep_defect_rate([0.001, 0.01])
+        assert len(rows) == 2
+        assert rows[0]["k"] < rows[1]["k"]
+
+    def test_reduction_grows_with_defect_rate(self):
+        rows = sweep_defect_rate([0.001, 0.01, 0.05])
+        reductions = [float(r["R"]) for r in rows]
+        assert reductions == sorted(reductions)
+
+    def test_geometry_sweep(self):
+        rows = sweep_geometry([(128, 16), (512, 100)])
+        assert len(rows) == 2
+
+    def test_iteration_sweep(self):
+        rows = sweep_iterations([1, 96])
+        assert float(rows[1]["R"]) > float(rows[0]["R"])

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["diagnose"])
+        assert args.words == 512 and args.bits == 100
+        assert args.scheme == "proposed"
+
+
+class TestCaseStudy:
+    def test_prints_headline_numbers(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "84.15" in out
+        assert "T[7,8]" in out
+
+
+class TestDiagnose:
+    def test_proposed_small(self, capsys):
+        assert main(
+            ["diagnose", "--words", "32", "--bits", "8",
+             "--defect-rate", "0.02", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "localization rate : 1.000" in out
+        assert "March CW-NW" in out
+
+    def test_baseline_small(self, capsys):
+        assert main(
+            ["diagnose", "--words", "32", "--bits", "8",
+             "--defect-rate", "0.02", "--scheme", "baseline", "--include-drf"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "iterations (k)" in out
+        assert "missed faults     : 0" in out
+
+    def test_baseline_without_drf_misses(self, capsys):
+        assert main(
+            ["diagnose", "--words", "64", "--bits", "16",
+             "--defect-rate", "0.02", "--scheme", "baseline", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        missed = int(out.split("missed faults     : ")[1].split()[0])
+        assert missed > 0  # the DRFs
+
+
+class TestCoverage:
+    def test_matrix_renders(self, capsys):
+        assert main(["coverage", "--words", "8", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "March C-" in out and "March CW-NW" in out
+        assert "DRF1" in out
+
+
+class TestCampaign:
+    def test_buffer_cluster_campaign(self, capsys):
+        assert main(
+            ["campaign", "--defect-rate", "0.003", "--seed", "7", "--no-baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "localization 100.0%" in out
+        assert "verify   : PASS" in out
+
+    def test_campaign_with_baseline(self, capsys):
+        assert main(
+            ["campaign", "--defect-rate", "0.003", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reduction:" in out
+
+
+class TestSweepAndArea:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--rates", "0.001,0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "defect rate" in out and "R (DRF)" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "3.0" in out and "scan_en" in out

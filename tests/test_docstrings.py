@@ -1,0 +1,60 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+def _inherits_documentation(cls, method_name: str) -> bool:
+    """Whether some base class documents the overridden method."""
+    for base in cls.__mro__[1:]:
+        base_method = base.__dict__.get(method_name)
+        if base_method is not None and getattr(base_method, "__doc__", None):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(item, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home module
+        if inspect.isclass(item):
+            if not item.__doc__:
+                undocumented.append(f"class {name}")
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method) or method.__doc__:
+                    continue
+                if _inherits_documentation(item, method_name):
+                    continue  # documented at the hook's definition site
+                undocumented.append(f"method {name}.{method_name}")
+        elif inspect.isfunction(item):
+            if not item.__doc__:
+                undocumented.append(f"function {name}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {', '.join(undocumented)}"
+    )

@@ -1,0 +1,32 @@
+"""Run the library's embedded doctests (API examples stay truthful)."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.area
+import repro.analysis.timing_model
+import repro.baseline.diag_rsmarch
+import repro.baseline.timing
+import repro.core.timing
+import repro.faults.population
+import repro.march.backgrounds
+import repro.util.units
+
+MODULES = [
+    repro.analysis.area,
+    repro.analysis.timing_model,
+    repro.baseline.diag_rsmarch,
+    repro.baseline.timing,
+    repro.core.timing,
+    repro.faults.population,
+    repro.march.backgrounds,
+    repro.util.units,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__}: no doctests collected"

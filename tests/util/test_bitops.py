@@ -1,0 +1,131 @@
+"""Unit tests for repro.util.bitops."""
+
+import pytest
+
+from repro.util.bitops import (
+    bit_of,
+    bits_to_int,
+    checkerboard,
+    complement,
+    int_to_bits,
+    mask,
+    parity,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0b1111
+        assert mask(8) == 0xFF
+
+    def test_wide_mask(self):
+        assert mask(100) == (1 << 100) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitOf:
+    def test_lsb(self):
+        assert bit_of(0b101, 0) == 1
+
+    def test_msb(self):
+        assert bit_of(0b101, 2) == 1
+
+    def test_clear_bit(self):
+        assert bit_of(0b101, 1) == 0
+
+    def test_beyond_width_is_zero(self):
+        assert bit_of(0b101, 10) == 0
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            bit_of(1, -1)
+
+
+class TestIntBitsRoundtrip:
+    def test_lsb_first_expansion(self):
+        assert int_to_bits(0b011, 3) == [1, 1, 0]
+
+    def test_roundtrip(self):
+        for value in (0, 1, 0b1010, 0xFF, 12345):
+            width = max(1, value.bit_length())
+            assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+
+class TestComplement:
+    def test_basic(self):
+        assert complement(0b1010, 4) == 0b0101
+
+    def test_zero(self):
+        assert complement(0, 4) == 0b1111
+
+    def test_involution(self):
+        assert complement(complement(0b1100, 4), 4) == 0b1100
+
+
+class TestPopcountParity:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_parity(self):
+        assert parity(0b1011) == 1
+        assert parity(0b11) == 0
+
+
+class TestReverseRotate:
+    def test_reverse(self):
+        assert reverse_bits(0b0001, 4) == 0b1000
+
+    def test_reverse_palindrome(self):
+        assert reverse_bits(0b1001, 4) == 0b1001
+
+    def test_reverse_involution(self):
+        assert reverse_bits(reverse_bits(0b0110_1, 5), 5) == 0b0110_1
+
+    def test_rotate_left(self):
+        assert rotate_left(0b1000, 4) == 0b0001
+
+    def test_rotate_right(self):
+        assert rotate_right(0b0001, 4) == 0b1000
+
+    def test_rotate_full_cycle(self):
+        assert rotate_left(0b1011, 4, 4) == 0b1011
+
+
+class TestCheckerboard:
+    def test_phase0(self):
+        assert checkerboard(4, 0) == 0b0101
+
+    def test_phase1(self):
+        assert checkerboard(4, 1) == 0b1010
+
+    def test_phases_are_complementary(self):
+        assert checkerboard(6, 0) ^ checkerboard(6, 1) == mask(6)
+
+    def test_adjacent_bits_differ(self):
+        word = checkerboard(8, 0)
+        for i in range(7):
+            assert bit_of(word, i) != bit_of(word, i + 1)
+
+    def test_bad_phase_rejected(self):
+        with pytest.raises(ValueError):
+            checkerboard(4, 2)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.util.records and repro.util.units."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.util.records import Record, format_table
+from repro.util.units import (
+    format_duration_ns,
+    mhz_to_period_ns,
+    ns_to_ms,
+    period_ns_to_mhz,
+)
+
+
+@dataclass
+class _Row(Record):
+    name: str
+    value: int
+
+
+class TestRecord:
+    def test_to_dict(self):
+        assert _Row("x", 3).to_dict() == {"name": "x", "value": 3}
+
+    def test_summary_mentions_fields(self):
+        text = _Row("x", 3).summary()
+        assert "name='x'" in text and "value=3" in text
+
+    def test_non_dataclass_rejected(self):
+        class Bad(Record):
+            pass
+
+        with pytest.raises(TypeError):
+            Bad().to_dict()
+
+
+class TestFormatTable:
+    def test_mapping_rows(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 10, "b": 20}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "10" in lines[3]
+
+    def test_sequence_rows_need_headers(self):
+        with pytest.raises(ValueError):
+            format_table([[1, 2]])
+
+    def test_sequence_rows(self):
+        text = format_table([[1, 2]], headers=["x", "y"])
+        assert "x" in text and "1" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_alignment(self):
+        text = format_table(
+            [{"col": "short"}, {"col": "a-much-longer-value"}]
+        )
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("a-much-longer-value")
+
+
+class TestUnits:
+    def test_ns_to_ms(self):
+        assert ns_to_ms(2_000_000) == 2.0
+
+    def test_mhz_roundtrip(self):
+        assert mhz_to_period_ns(100.0) == 10.0
+        assert period_ns_to_mhz(10.0) == 100.0
+
+    def test_bad_frequency(self):
+        with pytest.raises(ValueError):
+            mhz_to_period_ns(0)
+
+    def test_format_seconds(self):
+        assert format_duration_ns(1_433_408_000) == "1.433 s"
+
+    def test_format_millis(self):
+        assert format_duration_ns(9_984_400) == "9.984 ms"
+
+    def test_format_micros(self):
+        assert format_duration_ns(12_240) == "12.240 us"
+
+    def test_format_nanos(self):
+        assert format_duration_ns(512) == "512.000 ns"
