@@ -1,0 +1,129 @@
+"""Engine throughput: numpy backend speedup and fleet campaigns/sec.
+
+Emits one JSON document so future PRs can track the performance
+trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
+
+The headline measurements:
+
+* **backend speedup** -- one full diagnosis campaign (inject -> diagnose ->
+  repair -> verify, baseline included) on a 64-SRAM case-study SoC, run
+  with the reference backend and with the numpy backend on identical
+  seeds.  Results are asserted equal before the ratio is reported, so the
+  speedup is for *bit-identical* work.
+* **fleet throughput** -- campaigns/sec of the fleet scheduler with the
+  numpy backend over the local worker pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.campaign import DiagnosisCampaign
+from repro.engine.fleet import FleetSpec, run_fleet
+from repro.soc.case_study import case_study_soc
+
+
+def time_campaign(soc, defect_rate: float, seed: int, backend: str):
+    """Run one campaign and return (elapsed_s, report)."""
+    campaign = DiagnosisCampaign(
+        soc, defect_rate=defect_rate, seed=seed, backend=backend
+    )
+    started = time.perf_counter()
+    report = campaign.run(include_baseline=True, repair=True)
+    return time.perf_counter() - started, report
+
+
+def measure(memories: int, defect_rate: float, fleet_campaigns: int, workers: int):
+    """Collect every metric of the benchmark."""
+    soc = case_study_soc(memories=memories)
+    seed = 2005
+
+    reference_s, reference_report = time_campaign(soc, defect_rate, seed, "reference")
+    numpy_s, numpy_report = time_campaign(soc, defect_rate, seed, "numpy")
+
+    assert (
+        reference_report.proposed.failures == numpy_report.proposed.failures
+    ), "backends diverged: failure maps differ"
+    assert reference_report.localization_rate == numpy_report.localization_rate
+    assert reference_report.reduction_factor == numpy_report.reduction_factor
+
+    spec = FleetSpec(
+        soc="case-study",
+        memories=memories,
+        campaigns=fleet_campaigns,
+        defect_rate=defect_rate,
+        master_seed=seed,
+        backend="numpy",
+    )
+    fleet_report = run_fleet(spec, workers=workers)
+
+    return {
+        "config": {
+            "soc": "case-study",
+            "memories": memories,
+            "defect_rate": defect_rate,
+            "seed": seed,
+            "fleet_campaigns": fleet_campaigns,
+            "fleet_workers": workers,
+        },
+        "single_campaign": {
+            "reference_s": reference_s,
+            "numpy_s": numpy_s,
+            "speedup": reference_s / numpy_s,
+            "bit_identical": True,
+            "injected_faults": reference_report.injected_faults,
+            "localization_rate": reference_report.localization_rate,
+        },
+        "fleet": {
+            "backend": "numpy",
+            "campaigns": fleet_report.campaigns,
+            "elapsed_s": fleet_report.elapsed_s,
+            "campaigns_per_sec": fleet_report.campaigns_per_sec,
+            "mean_reduction_factor": fleet_report.reduction.mean,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration for CI smoke runs (8 SRAMs, 4 campaigns)",
+    )
+    parser.add_argument("--out", help="also write the JSON to this path")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        memories, fleet_campaigns = 8, 4
+    else:
+        memories, fleet_campaigns = 64, 16
+    workers = max(1, (os.cpu_count() or 2) - 1)
+
+    results = measure(
+        memories=memories,
+        defect_rate=0.005,
+        fleet_campaigns=fleet_campaigns,
+        workers=workers,
+    )
+    payload = json.dumps(results, indent=2)
+    print(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+    speedup = results["single_campaign"]["speedup"]
+    if not args.quick and speedup < 5.0:
+        print(f"WARNING: numpy backend speedup {speedup:.1f}x below 5x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

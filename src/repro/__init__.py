@@ -41,6 +41,13 @@ from repro.core import (
 )
 from repro.core.campaign import CampaignReport, DiagnosisCampaign
 from repro.core.redundancy import RedundancyBudget, allocate_redundancy
+from repro.engine import (
+    FleetReport,
+    FleetSpec,
+    get_backend,
+    run_fleet,
+    run_session,
+)
 from repro.faults import (
     DataRetentionFault,
     FaultClass,
@@ -60,10 +67,15 @@ from repro.march import (
 from repro.memory import MemoryBank, MemoryGeometry, SRAM
 from repro.soc import SoCConfig, case_study_bank, case_study_population
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CampaignReport",
+    "FleetReport",
+    "FleetSpec",
+    "get_backend",
+    "run_fleet",
+    "run_session",
     "DataRetentionFault",
     "DiagnosisCampaign",
     "FastDiagnosisScheme",

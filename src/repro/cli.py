@@ -7,6 +7,8 @@ Subcommands::
     python -m repro coverage ...          # algorithm coverage matrix
     python -m repro sweep ...             # R vs defect rate
     python -m repro area                  # Sec. 4.3 area/wire table
+    python -m repro campaign ...          # one SoC campaign end to end
+    python -m repro fleet ...             # batch campaigns over a worker pool
 """
 
 from __future__ import annotations
@@ -100,9 +102,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         defect_rate=args.defect_rate,
         seed=args.seed,
         spares_per_memory=args.spares,
+        backend=args.backend,
     )
     report = campaign.run(include_baseline=not args.no_baseline)
     print("\n".join(report.summary_lines()))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import FleetSpec, available_backends, run_fleet
+
+    spec = FleetSpec(
+        soc=args.soc,
+        memories=args.memories,
+        heterogeneous=not args.homogeneous,
+        campaigns=args.campaigns,
+        defect_rate=args.defect_rate,
+        master_seed=args.seed,
+        spares_per_memory=args.spares,
+        include_baseline=not args.no_baseline,
+        repair=not args.no_repair,
+        backend=args.backend,
+    )
+    progress = None
+    if not args.json:
+        backends = ", ".join(
+            f"{name}{'' if ok else ' (unavailable)'}"
+            for name, ok in available_backends().items()
+        )
+        print(
+            f"fleet of {spec.campaigns} campaigns on {spec.soc} "
+            f"({spec.memories} memories), backend={spec.backend} "
+            f"[registered: {backends}]"
+        )
+
+        def progress(done: int, total: int) -> None:
+            print(f"  {done}/{total} campaigns done", flush=True)
+
+    report = run_fleet(
+        spec, workers=args.workers, chunk_size=args.chunk_size, progress=progress
+    )
+    if args.json:
+        payload = {"spec": spec.to_dict(), **report.to_json_dict()}
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n".join(report.summary_lines()))
     return 0
 
 
@@ -185,7 +231,42 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--spares", type=int, default=32)
     campaign.add_argument("--no-baseline", action="store_true")
+    campaign.add_argument(
+        "--backend",
+        choices=("reference", "numpy", "fast", "auto"),
+        default="reference",
+        help="march-simulation backend for the proposed-scheme sessions",
+    )
     campaign.set_defaults(func=_cmd_campaign)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a batch of campaigns over a multiprocessing worker pool",
+    )
+    fleet.add_argument(
+        "--soc", choices=("buffer-cluster", "case-study"), default="case-study"
+    )
+    fleet.add_argument("--memories", type=int, default=8)
+    fleet.add_argument("--homogeneous", action="store_true")
+    fleet.add_argument("--campaigns", type=int, default=8)
+    fleet.add_argument("--defect-rate", type=float, default=0.005)
+    fleet.add_argument("--seed", type=int, default=0, help="master seed")
+    fleet.add_argument("--spares", type=int, default=32)
+    fleet.add_argument("--no-baseline", action="store_true")
+    fleet.add_argument("--no-repair", action="store_true")
+    fleet.add_argument(
+        "--backend",
+        choices=("reference", "numpy", "fast", "auto"),
+        default="auto",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores - 1)"
+    )
+    fleet.add_argument(
+        "--chunk-size", type=int, default=None, help="campaigns per work unit"
+    )
+    fleet.add_argument("--json", action="store_true", help="emit JSON stats")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

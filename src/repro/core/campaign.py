@@ -79,12 +79,18 @@ class DiagnosisCampaign:
         defect_rate: float = 0.005,
         seed: int = 0,
         spares_per_memory: int = 32,
+        backend: str = "reference",
     ) -> None:
         require(0.0 <= defect_rate <= 1.0, "defect_rate must be in [0, 1]")
         self.soc = soc
         self.defect_rate = defect_rate
         self.seed = seed
         self.spares_per_memory = spares_per_memory
+        #: March-simulation backend for the proposed-scheme sessions:
+        #: ``reference`` (the classic cell-by-cell path), ``numpy``/``fast``
+        #: (bit-parallel, bit-identical results) or ``auto``.  See
+        #: :mod:`repro.engine.backends`.
+        self.backend = backend
 
     def _faulty_bank(self):
         bank = self.soc.build_bank()
@@ -104,7 +110,7 @@ class DiagnosisCampaign:
         """Execute the campaign and return the combined report."""
         bank, injector = self._faulty_bank()
         scheme = FastDiagnosisScheme(bank, period_ns=self.soc.period_ns)
-        proposed = scheme.diagnose()
+        proposed = self._diagnose(scheme)
         report = CampaignReport(
             soc_name=self.soc.name,
             injected_faults=injector.total,
@@ -121,5 +127,15 @@ class DiagnosisCampaign:
         if repair:
             controller = RepairController(bank, self.spares_per_memory)
             report.repair = controller.apply(proposed)
-            report.verification_passed = scheme.diagnose().passed
+            report.verification_passed = self._diagnose(scheme).passed
         return report
+
+    def _diagnose(self, scheme: FastDiagnosisScheme) -> ProposedReport:
+        """Run one session through the configured backend."""
+        if self.backend == "reference":
+            return scheme.diagnose()
+        # Imported lazily: repro.engine imports this module for the fleet
+        # scheduler, so a top-level import would be circular.
+        from repro.engine.session import run_session
+
+        return run_session(scheme, backend=self.backend)

@@ -1,0 +1,55 @@
+"""High-throughput batch diagnosis engine.
+
+The engine is the execution layer above the paper's single-session models:
+
+* :mod:`repro.engine.backends` -- registry of interchangeable march
+  simulation backends (pure-Python reference, numpy bit-parallel);
+* :mod:`repro.engine.session` -- fast, bit-exact execution of a full
+  proposed-scheme diagnosis session;
+* :mod:`repro.engine.fleet` -- campaign fan-out over a multiprocessing
+  worker pool with deterministic per-campaign seeding;
+* :mod:`repro.engine.aggregate` -- streaming reduction of campaign results
+  into fleet-level statistics.
+"""
+
+from repro.engine.aggregate import (
+    CampaignSummary,
+    FleetReport,
+    StreamingStats,
+)
+from repro.engine.backends import (
+    MarchBackend,
+    NumpyBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    run_campaign,
+    run_fleet,
+)
+from repro.engine.packing import HAVE_NUMPY
+from repro.engine.session import run_session
+
+__all__ = [
+    "CampaignSummary",
+    "FleetReport",
+    "FleetScheduler",
+    "FleetSpec",
+    "HAVE_NUMPY",
+    "MarchBackend",
+    "NumpyBackend",
+    "ReferenceBackend",
+    "StreamingStats",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "run_campaign",
+    "run_fleet",
+    "run_session",
+]

@@ -1,0 +1,256 @@
+"""Streaming aggregation of campaign results into fleet-level statistics.
+
+A fleet run may execute thousands of campaigns across a worker pool;
+holding every :class:`~repro.core.campaign.CampaignReport` (with its full
+failure-record sessions) in the parent process would defeat the point.
+Workers therefore reduce each campaign to a compact
+:class:`CampaignSummary`, and the :class:`FleetAggregator` folds summaries
+into running statistics (Welford mean/variance, extrema, histogram
+buckets) the moment they arrive, so parent-side memory stays O(1) in the
+number of campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.campaign import CampaignReport
+from repro.util.records import Record
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class CampaignSummary(Record):
+    """The fleet-relevant scalars of one finished campaign."""
+
+    index: int
+    seed: int
+    soc_name: str
+    injected_faults: int
+    localization_rate: float
+    total_failures: int
+    proposed_time_ns: float | None = None
+    baseline_time_ns: float | None = None
+    reduction_factor: float | None = None
+    repaired_words: int | None = None
+    fully_repaired: bool | None = None
+    verification_passed: bool | None = None
+
+    @classmethod
+    def from_report(
+        cls, index: int, seed: int, report: CampaignReport
+    ) -> "CampaignSummary":
+        """Reduce a full campaign report to its fleet summary."""
+        proposed = report.proposed
+        baseline = report.baseline
+        repair = report.repair
+        return cls(
+            index=index,
+            seed=seed,
+            soc_name=report.soc_name,
+            injected_faults=report.injected_faults,
+            localization_rate=report.localization_rate,
+            total_failures=proposed.total_failures if proposed else 0,
+            proposed_time_ns=proposed.time_ns if proposed else None,
+            baseline_time_ns=baseline.time_ns if baseline else None,
+            reduction_factor=report.reduction_factor,
+            repaired_words=repair.total_repaired_words if repair else None,
+            fully_repaired=repair.fully_repaired if repair else None,
+            verification_passed=report.verification_passed,
+        )
+
+
+@dataclass
+class StreamingStats(Record):
+    """Welford-style running mean/variance with extrema; mergeable."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "StreamingStats") -> None:
+        """Fold another accumulator in (parallel-merge form of Welford)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (None extrema when empty)."""
+        return {
+            "count": self.count,
+            "mean": self.mean if self.count else None,
+            "std": self.std if self.count else None,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+#: Upper edges of the reduction-factor histogram buckets (the last bucket
+#: is open-ended).  Chosen around the paper's headline R values (84/145).
+REDUCTION_BUCKETS: tuple[float, ...] = (10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0)
+
+
+def bucket_label(index: int) -> str:
+    """Human-readable label of one histogram bucket."""
+    require(0 <= index <= len(REDUCTION_BUCKETS), f"bucket {index} out of range")
+    if index == 0:
+        return f"<{REDUCTION_BUCKETS[0]:g}"
+    if index == len(REDUCTION_BUCKETS):
+        return f">={REDUCTION_BUCKETS[-1]:g}"
+    return f"{REDUCTION_BUCKETS[index - 1]:g}-{REDUCTION_BUCKETS[index]:g}"
+
+
+@dataclass
+class FleetReport(Record):
+    """Fleet-level statistics over many campaigns."""
+
+    campaigns: int = 0
+    total_faults: int = 0
+    total_failures: int = 0
+    localization: StreamingStats = field(default_factory=StreamingStats)
+    reduction: StreamingStats = field(default_factory=StreamingStats)
+    proposed_time_ns: StreamingStats = field(default_factory=StreamingStats)
+    reduction_histogram: list[int] = field(
+        default_factory=lambda: [0] * (len(REDUCTION_BUCKETS) + 1)
+    )
+    repaired_words: int = 0
+    fully_repaired_count: int = 0
+    verified_pass_count: int = 0
+    verified_total: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def campaigns_per_sec(self) -> float:
+        """Fleet throughput (0 when no time was recorded)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.campaigns / self.elapsed_s
+
+    @property
+    def yield_rate(self) -> float | None:
+        """Fraction of verified campaigns that passed post-repair."""
+        if self.verified_total == 0:
+            return None
+        return self.verified_pass_count / self.verified_total
+
+    def add(self, summary: CampaignSummary) -> None:
+        """Fold one campaign summary into the fleet statistics."""
+        self.campaigns += 1
+        self.total_faults += summary.injected_faults
+        self.total_failures += summary.total_failures
+        self.localization.add(summary.localization_rate)
+        if summary.proposed_time_ns is not None:
+            self.proposed_time_ns.add(summary.proposed_time_ns)
+        if summary.reduction_factor is not None:
+            self.reduction.add(summary.reduction_factor)
+            bucket = 0
+            while (
+                bucket < len(REDUCTION_BUCKETS)
+                and summary.reduction_factor >= REDUCTION_BUCKETS[bucket]
+            ):
+                bucket += 1
+            self.reduction_histogram[bucket] += 1
+        if summary.repaired_words is not None:
+            self.repaired_words += summary.repaired_words
+        if summary.fully_repaired:
+            self.fully_repaired_count += 1
+        if summary.verification_passed is not None:
+            self.verified_total += 1
+            if summary.verification_passed:
+                self.verified_pass_count += 1
+
+    def to_json_dict(self) -> dict:
+        """Serializable rendering for the CLI's ``--json`` mode."""
+        return {
+            "campaigns": self.campaigns,
+            "elapsed_s": self.elapsed_s,
+            "campaigns_per_sec": self.campaigns_per_sec,
+            "total_faults": self.total_faults,
+            "total_failures": self.total_failures,
+            "localization": self.localization.to_dict(),
+            "reduction_factor": self.reduction.to_dict(),
+            "proposed_time_ns": self.proposed_time_ns.to_dict(),
+            "reduction_histogram": {
+                bucket_label(i): count
+                for i, count in enumerate(self.reduction_histogram)
+            },
+            "repaired_words": self.repaired_words,
+            "fully_repaired_count": self.fully_repaired_count,
+            "yield_rate": self.yield_rate,
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable fleet summary for the CLI."""
+        lines = [
+            f"fleet: {self.campaigns} campaigns in {self.elapsed_s:.2f} s "
+            f"({self.campaigns_per_sec:.2f}/s)",
+            f"  faults injected : {self.total_faults} "
+            f"({self.total_failures} failing reads)",
+        ]
+        if self.localization.count:
+            lines.append(
+                f"  localization    : mean {self.localization.mean:.1%} "
+                f"(min {self.localization.minimum:.1%}, "
+                f"max {self.localization.maximum:.1%})"
+            )
+        if self.reduction.count:
+            lines.append(
+                f"  reduction R     : mean {self.reduction.mean:.1f}x "
+                f"+/- {self.reduction.std:.1f} "
+                f"(min {self.reduction.minimum:.1f}, "
+                f"max {self.reduction.maximum:.1f})"
+            )
+            histogram = ", ".join(
+                f"{bucket_label(i)}: {count}"
+                for i, count in enumerate(self.reduction_histogram)
+                if count
+            )
+            lines.append(f"  R histogram     : {histogram}")
+        if self.repaired_words or self.verified_total:
+            lines.append(
+                f"  repair          : {self.repaired_words} words, "
+                f"{self.fully_repaired_count}/{self.campaigns} fully repaired"
+            )
+        if self.yield_rate is not None:
+            lines.append(
+                f"  yield           : {self.yield_rate:.1%} "
+                f"({self.verified_pass_count}/{self.verified_total} verified clean)"
+            )
+        return lines

@@ -1,0 +1,207 @@
+"""Pluggable march-simulation backends and their registry.
+
+A *backend* runs one :class:`~repro.march.algorithm.MarchAlgorithm` against
+one (possibly faulty) :class:`~repro.memory.SRAM` and returns the same
+:class:`~repro.march.simulator.MarchResult` the reference simulator would --
+failure records, clock cycles and final memory state included.  Two
+backends ship:
+
+``reference``
+    The existing pure-Python :class:`~repro.march.simulator.MarchSimulator`,
+    cell-by-cell and hook-accurate.  Always available.
+
+``numpy``
+    Bit-parallel: packs the word array into ``uint64`` lanes and applies
+    march elements as whole-array ops, replaying only fault-hooked words
+    through the behavioural path (see :mod:`repro.engine.kernel`).
+    Bit-exact against the reference by construction and validated across
+    the fault library in the test suite.  Falls back to the reference for
+    configurations the vector path cannot represent (decoder/column-mux
+    faults, access tracing, stop-on-first-failure).
+
+The registry maps names to backend factories so later PRs (and user code)
+can plug in further implementations::
+
+    from repro.engine import get_backend, register_backend
+
+    backend = get_backend("auto")      # numpy when available
+    result = backend.run(memory, march_cw_nw(memory.bits))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.packing import HAVE_NUMPY, require_numpy
+from repro.march.algorithm import MarchAlgorithm, PauseStep
+from repro.march.element import AddressOrder
+from repro.march.simulator import MarchResult, MarchSimulator
+from repro.memory.sram import SRAM
+from repro.util.validation import require
+
+
+class MarchBackend:
+    """Interface every march-simulation backend implements."""
+
+    #: Registry name, set by subclasses.
+    name = "abstract"
+
+    def run(self, memory: SRAM, algorithm: MarchAlgorithm) -> MarchResult:
+        """Apply ``algorithm`` to ``memory`` and collect failures."""
+        raise NotImplementedError
+
+    def supports(self, memory: SRAM) -> bool:
+        """Whether this backend can run ``memory`` natively (no fallback)."""
+        return True
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's dependencies are importable."""
+        return True
+
+
+class ReferenceBackend(MarchBackend):
+    """The pure-Python cell-by-cell reference simulator."""
+
+    name = "reference"
+
+    def __init__(self, stop_on_first_failure: bool = False) -> None:
+        self._simulator = MarchSimulator(stop_on_first_failure)
+
+    def run(self, memory: SRAM, algorithm: MarchAlgorithm) -> MarchResult:
+        return self._simulator.run(memory, algorithm)
+
+
+class NumpyBackend(MarchBackend):
+    """Bit-parallel backend packing word columns into uint64 lane arrays."""
+
+    name = "numpy"
+
+    def __init__(self, stop_on_first_failure: bool = False) -> None:
+        # Selecting this backend *explicitly* without numpy is an error;
+        # only the "auto" selector degrades silently.
+        require_numpy("the numpy march backend")
+        #: Early-stop semantics change mid-element side effects, so the
+        #: vector path refuses them and delegates to the reference.
+        self.stop_on_first_failure = stop_on_first_failure
+        self._fallback = ReferenceBackend(stop_on_first_failure)
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return HAVE_NUMPY
+
+    def supports(self, memory: SRAM) -> bool:
+        return (
+            not self.stop_on_first_failure
+            and not memory.trace
+            and not memory.decoder.is_faulty
+            and not memory.column_mux.is_faulty
+        )
+
+    def run(self, memory: SRAM, algorithm: MarchAlgorithm) -> MarchResult:
+        if not self.supports(memory):
+            return self._fallback.run(memory, algorithm)
+        from repro.engine.kernel import (
+            ElementPlan,
+            OpPlan,
+            pack_memory,
+            run_element,
+            sync_clean_rows,
+        )
+
+        require(
+            algorithm.bits == memory.bits,
+            f"algorithm width {algorithm.bits} != memory width {memory.bits}",
+        )
+        words, bits = memory.words, memory.bits
+        state, clean_mask, dirty_mask, lanes = pack_memory(memory)
+
+        result = MarchResult(algorithm.name, memory.name)
+        start_cycles = memory.timebase.cycles
+        start_ns = memory.now_ns
+        for step_index, step in enumerate(algorithm.steps):
+            if isinstance(step, PauseStep):
+                memory.pause(step.duration_ns)
+                continue
+            element = step.element
+            ops = tuple(
+                OpPlan(
+                    op=op,
+                    operation=op.notation(),
+                    write_word=None if op.is_read else op.word_for(step.background, bits),
+                    expected_plain=op.word_for(step.background, bits) if op.is_read else None,
+                    expected_wrapped=op.word_for(step.background, bits) if op.is_read else None,
+                    tick_cost=1,
+                )
+                for op in element.operations
+            )
+            plan = ElementPlan(
+                step_index=step_index,
+                step_label=step.label or element.notation(),
+                record_background=step.background,
+                deliver_ticks=0,
+                ascending=element.order is not AddressOrder.DOWN,
+                sweep_length=words,
+                ops=ops,
+            )
+            result.failures.extend(
+                run_element(memory, state, clean_mask, dirty_mask, plan, lanes)
+            )
+
+        sync_clean_rows(memory, state, clean_mask)
+        result.cycles = memory.timebase.cycles - start_cycles
+        result.elapsed_ns = memory.now_ns - start_ns
+        return result
+
+
+# --------------------------------------------------------------------- #
+# Registry                                                              #
+# --------------------------------------------------------------------- #
+_REGISTRY: dict[str, Callable[..., MarchBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[..., MarchBackend], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name``."""
+    require(bool(name), "backend name must be non-empty")
+    require(
+        overwrite or name not in _REGISTRY,
+        f"backend {name!r} is already registered",
+    )
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> dict[str, bool]:
+    """Registered backend names mapped to their availability."""
+    return {
+        name: bool(getattr(factory, "is_available", lambda: True)())
+        for name, factory in sorted(_REGISTRY.items())
+    }
+
+
+def get_backend(name: str = "auto", **kwargs) -> MarchBackend:
+    """Instantiate a registered backend by name.
+
+    ``auto`` selects the numpy backend when numpy is importable and the
+    reference otherwise, so callers can opt into speed without a hard
+    dependency.
+    """
+    if name == "auto":
+        name = "numpy" if HAVE_NUMPY else "reference"
+    require(name in _REGISTRY, f"unknown backend {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**kwargs)
+
+
+def resolve_backend(backend: str | MarchBackend | None) -> MarchBackend:
+    """Coerce a backend spec (name, instance or None) into an instance."""
+    if backend is None:
+        return get_backend("auto")
+    if isinstance(backend, MarchBackend):
+        return backend
+    return get_backend(backend)
+
+
+register_backend("reference", ReferenceBackend)
+register_backend("numpy", NumpyBackend)
+register_backend("fast", NumpyBackend)

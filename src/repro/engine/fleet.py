@@ -1,0 +1,183 @@
+"""Fleet scheduler: fan a campaign spec out over a worker pool.
+
+The unit of work is one :class:`~repro.core.campaign.DiagnosisCampaign`
+(inject -> diagnose -> repair -> verify on one SoC build).  A
+:class:`FleetSpec` describes a whole *population* of such campaigns --
+same SoC shape and defect rate, one derived seed per campaign -- and the
+:class:`FleetScheduler` executes them:
+
+* campaign seeds derive deterministically from the master seed via
+  :func:`repro.util.rng.derive_seed`, so results are identical no matter
+  how many workers run or which worker picks up which chunk;
+* campaigns are grouped into chunks that a ``multiprocessing`` pool
+  consumes (``workers <= 1`` runs inline, which is also the fallback when
+  a pool cannot be spawned);
+* finished chunks stream into a :class:`~repro.engine.aggregate.FleetReport`
+  in campaign order (out-of-order chunks are buffered briefly), keeping
+  aggregation deterministic and memory bounded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterator
+
+from repro.core.campaign import DiagnosisCampaign
+from repro.engine.aggregate import CampaignSummary, FleetReport
+from repro.soc.case_study import case_study_soc
+from repro.soc.chip import SoCConfig
+from repro.util.records import Record
+from repro.util.rng import derive_seed
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class FleetSpec(Record):
+    """A reproducible population of diagnosis campaigns.
+
+    Only primitives live here so the spec pickles cheaply to workers; each
+    worker materializes its own :class:`~repro.soc.chip.SoCConfig`.
+    """
+
+    soc: str = "case-study"
+    memories: int = 8
+    heterogeneous: bool = True
+    period_ns: float = 10.0
+    campaigns: int = 8
+    defect_rate: float = 0.005
+    master_seed: int = 0
+    spares_per_memory: int = 32
+    include_baseline: bool = True
+    repair: bool = True
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        require(self.soc in ("case-study", "buffer-cluster"), f"unknown SoC {self.soc!r}")
+        require_positive(self.campaigns, "campaigns")
+        require(0.0 <= self.defect_rate <= 1.0, "defect_rate must be in [0, 1]")
+
+    def build_soc(self) -> SoCConfig:
+        """Materialize the SoC configuration this fleet diagnoses."""
+        if self.soc == "buffer-cluster":
+            return SoCConfig.buffer_cluster(period_ns=self.period_ns)
+        return case_study_soc(
+            memories=self.memories,
+            heterogeneous=self.heterogeneous,
+            period_ns=self.period_ns,
+        )
+
+    def campaign_seed(self, index: int) -> int:
+        """Deterministic seed of campaign ``index`` (worker-independent)."""
+        return derive_seed(self.master_seed, index)
+
+
+def run_campaign(spec: FleetSpec, index: int) -> CampaignSummary:
+    """Execute one campaign of the fleet and summarize it."""
+    seed = spec.campaign_seed(index)
+    campaign = DiagnosisCampaign(
+        spec.build_soc(),
+        defect_rate=spec.defect_rate,
+        seed=seed,
+        spares_per_memory=spec.spares_per_memory,
+        backend=spec.backend,
+    )
+    report = campaign.run(
+        include_baseline=spec.include_baseline, repair=spec.repair
+    )
+    return CampaignSummary.from_report(index, seed, report)
+
+
+def run_chunk(spec: FleetSpec, indices: tuple[int, ...]) -> list[CampaignSummary]:
+    """Worker entry point: run a chunk of campaigns sequentially."""
+    return [run_campaign(spec, index) for index in indices]
+
+
+def chunked_indices(campaigns: int, chunk_size: int) -> list[tuple[int, ...]]:
+    """Split campaign indices into contiguous chunks."""
+    require_positive(chunk_size, "chunk_size")
+    return [
+        tuple(range(start, min(start + chunk_size, campaigns)))
+        for start in range(0, campaigns, chunk_size)
+    ]
+
+
+class FleetScheduler:
+    """Executes a :class:`FleetSpec` over a local worker pool."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.workers = self._resolve_workers(workers)
+        if chunk_size is None:
+            # Aim for a few chunks per worker so stragglers rebalance.
+            chunk_size = max(1, spec.campaigns // max(1, self.workers * 4))
+        require_positive(chunk_size, "chunk_size")
+        self.chunk_size = chunk_size
+
+    @staticmethod
+    def _resolve_workers(workers: int | None) -> int:
+        if workers is None:
+            return max(1, (os.cpu_count() or 2) - 1)
+        require(workers >= 0, "workers must be >= 0")
+        return max(1, workers)
+
+    def run(
+        self, progress: Callable[[int, int], None] | None = None
+    ) -> FleetReport:
+        """Run every campaign and return the aggregated fleet report.
+
+        ``progress`` (optional) is called with ``(done, total)`` after each
+        chunk completes.
+        """
+        chunks = chunked_indices(self.spec.campaigns, self.chunk_size)
+        report = FleetReport()
+        started = time.perf_counter()
+        done = 0
+        for chunk in self._stream_chunks(chunks):
+            for summary in chunk:
+                report.add(summary)
+            done += len(chunk)
+            if progress is not None:
+                progress(done, self.spec.campaigns)
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+    def _stream_chunks(
+        self, chunks: list[tuple[int, ...]]
+    ) -> Iterator[list[CampaignSummary]]:
+        """Yield chunk results in submission order (deterministic)."""
+        if self.workers <= 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                yield run_chunk(self.spec, chunk)
+            return
+        context = self._pool_context()
+        worker = partial(run_chunk, self.spec)
+        with context.Pool(processes=min(self.workers, len(chunks))) as pool:
+            # imap (ordered) keeps aggregation deterministic; the pool still
+            # executes chunks concurrently and only the handful of results
+            # completed ahead of the head-of-line chunk are buffered.
+            yield from pool.imap(worker, chunks)
+
+    @staticmethod
+    def _pool_context():
+        methods = multiprocessing.get_all_start_methods()
+        # fork avoids re-importing the package per worker where available.
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_fleet(
+    spec: FleetSpec,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> FleetReport:
+    """Convenience wrapper: schedule ``spec`` and aggregate the results."""
+    return FleetScheduler(spec, workers=workers, chunk_size=chunk_size).run(progress)

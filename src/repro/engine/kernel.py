@@ -1,0 +1,259 @@
+"""Bit-parallel march-element executor shared by the engine's fast paths.
+
+Both the raw march backend (:mod:`repro.engine.backends`) and the fast
+proposed-scheme session (:mod:`repro.engine.session`) execute the same
+inner structure: one march element swept over a memory, with per-operation
+write data, expected read data (possibly different after the element's
+address sweep wraps around a smaller memory) and a per-operation clock
+cost.  This module runs that structure *bit-exactly* but vectorized:
+
+* **Clean words** -- words whose accesses can trigger no fault hook
+  (:meth:`repro.memory.SRAM.hooked_words`) -- behave ideally, so a whole
+  element is applied to all of them at once: writes are whole-array lane
+  assignments, reads are whole-array lane compares.  The sweep is split
+  into *blocks* of at most ``memory.words`` consecutive positions so that
+  no word is touched twice inside one vector op (wrap-around revisits land
+  in later blocks, which also fixes the wrapped-expectation flag per
+  block).
+* **Dirty words** are replayed through the behavioural access path
+  (``memory.read`` / ``memory.write`` / ``memory.nwrc_write``) in exact
+  sweep order, with the shared time base fast-forwarded to the cycle the
+  reference implementation would show at each visit -- so stateful faults
+  (retention decay, coupling, read-destructive) observe identical times
+  and orderings.
+
+Failure records from both populations are merged back into the reference's
+address-major order, so result equality is exact down to list order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.packing import (
+    lanes_for,
+    lanes_to_word,
+    np,
+    pack_state,
+    word_to_lanes,
+)
+from repro.march.ops import Operation
+from repro.march.simulator import FailureRecord
+from repro.memory.sram import SRAM
+
+
+def pack_memory(memory: SRAM):
+    """Pack a memory for vector execution.
+
+    Returns ``(state, clean_mask, dirty_mask, lanes)``: the ``(words,
+    lanes)`` uint64 state array, the complementary clean/dirty row masks
+    (dirty = any fault hook can fire there) and the lane count.  The state
+    array is authoritative for clean rows only; hand it back through
+    :func:`sync_clean_rows` when the run finishes.
+    """
+    lanes = lanes_for(memory.bits)
+    state = pack_state(memory.dump(), lanes)
+    dirty_mask = np.zeros(memory.words, dtype=bool)
+    for word in memory.hooked_words():
+        dirty_mask[word] = True
+    return state, ~dirty_mask, dirty_mask, lanes
+
+
+def sync_clean_rows(memory: SRAM, state, clean_mask) -> None:
+    """Write the packed clean rows back into the behavioural memory."""
+    for row in np.nonzero(clean_mask)[0]:
+        memory.force_store_word(int(row), lanes_to_word(state[row]))
+
+
+@dataclass(frozen=True)
+class OpPlan:
+    """One march operation with its concrete data and clock cost."""
+
+    op: Operation
+    operation: str
+    #: Word actually written (None for reads).  Already width-adapted.
+    write_word: int | None
+    #: Expected read data before the sweep wraps (None for writes).
+    expected_plain: int | None
+    #: Expected read data once the sweep has wrapped around the memory.
+    expected_wrapped: int | None
+    #: Clock cycles the reference consumes per application (1 for writes;
+    #: ``1 + c`` for proposed-scheme reads, 1 for raw-simulator reads).
+    tick_cost: int
+
+
+@dataclass(frozen=True)
+class ElementPlan:
+    """One march element fully resolved against one memory."""
+
+    step_index: int
+    step_label: str
+    #: Background stored in failure records (raw: the algorithm background;
+    #: session: the width-masked correct background).
+    record_background: int
+    #: Cycles consumed before the sweep (serial background delivery).
+    deliver_ticks: int
+    ascending: bool
+    #: Number of sweep positions (controller words for sessions; the
+    #: memory's own word count for raw march runs).
+    sweep_length: int
+    ops: tuple[OpPlan, ...]
+
+
+def run_element(
+    memory: SRAM,
+    state,
+    clean_mask,
+    dirty_mask,
+    plan: ElementPlan,
+    lanes: int,
+) -> list[FailureRecord]:
+    """Execute one element; returns its failures in reference order.
+
+    ``state`` is the packed ``(words, lanes)`` array -- authoritative for
+    clean rows only (dirty rows live in the memory's behavioural state).
+    """
+    words = memory.words
+    sweep = plan.sweep_length
+    ops = plan.ops
+    per_address = sum(op.tick_cost for op in ops)
+    timebase = memory.timebase
+    if plan.deliver_ticks:
+        timebase.tick(plan.deliver_ticks)
+    base_cycles = timebase.cycles
+    records: list[tuple[int, int, FailureRecord]] = []
+
+    positions = np.arange(sweep)
+    addresses = positions if plan.ascending else (sweep - 1) - positions
+    local_rows = addresses % words if sweep != words else addresses
+
+    # Dirty rows: behavioural replay in exact sweep order and time.
+    if dirty_mask.any():
+        for position in positions[dirty_mask[local_rows]]:
+            position = int(position)
+            local = int(local_rows[position])
+            wrapped = position >= words
+            timebase.tick(base_cycles + position * per_address - timebase.cycles)
+            for op_index, op_plan in enumerate(ops):
+                operation = op_plan.op
+                if operation.is_read:
+                    observed = memory.read(local)
+                    if op_plan.tick_cost > 1:
+                        timebase.tick(op_plan.tick_cost - 1)
+                    expected = (
+                        op_plan.expected_wrapped if wrapped else op_plan.expected_plain
+                    )
+                    if observed != expected:
+                        records.append(
+                            (
+                                position,
+                                op_index,
+                                _record(memory, plan, op_plan, op_index, local, expected, observed),
+                            )
+                        )
+                elif operation.is_nwrc:
+                    memory.nwrc_write(local, op_plan.write_word)
+                else:
+                    memory.write(local, op_plan.write_word)
+
+    # The clean rows' share of the schedule is pure clocking.
+    timebase.tick(base_cycles + sweep * per_address - timebase.cycles)
+
+    # Clean rows: block-wise vector ops (a block never revisits a row).
+    if clean_mask.any():
+        for block_start in range(0, sweep, words):
+            block_end = min(block_start + words, sweep)
+            wrapped = block_start >= words
+            block_rows = local_rows[block_start:block_end]
+            visited = clean_mask[block_rows]
+            rows = block_rows[visited]
+            if rows.size == 0:
+                continue
+            block_positions = positions[block_start:block_end][visited]
+            for op_index, op_plan in enumerate(ops):
+                if op_plan.op.is_read:
+                    expected = (
+                        op_plan.expected_wrapped if wrapped else op_plan.expected_plain
+                    )
+                    expected_lanes = word_to_lanes(expected, lanes)
+                    mismatch = (state[rows] != expected_lanes).any(axis=1)
+                    if mismatch.any():
+                        for hit in np.nonzero(mismatch)[0]:
+                            row = int(rows[hit])
+                            records.append(
+                                (
+                                    int(block_positions[hit]),
+                                    op_index,
+                                    _record(
+                                        memory,
+                                        plan,
+                                        op_plan,
+                                        op_index,
+                                        row,
+                                        expected,
+                                        lanes_to_word(state[row]),
+                                    ),
+                                )
+                            )
+                else:
+                    state[rows] = word_to_lanes(op_plan.write_word, lanes)
+
+    records.sort(key=lambda item: (item[0], item[1]))
+    return [record for _, _, record in records]
+
+
+def run_element_slow(memory: SRAM, plan: ElementPlan) -> list[FailureRecord]:
+    """Pure-Python fallback executing a plan exactly like the reference.
+
+    Used for memories the vector path cannot represent (decoder or
+    column-mux faults, access tracing); behaviour and clocking match the
+    reference implementations cycle for cycle.
+    """
+    words = memory.words
+    if plan.deliver_ticks:
+        memory.timebase.tick(plan.deliver_ticks)
+    records: list[FailureRecord] = []
+    for position in range(plan.sweep_length):
+        address = position if plan.ascending else plan.sweep_length - 1 - position
+        local = address % words
+        wrapped = position >= words
+        for op_index, op_plan in enumerate(plan.ops):
+            operation = op_plan.op
+            if operation.is_read:
+                observed = memory.read(local)
+                if op_plan.tick_cost > 1:
+                    memory.timebase.tick(op_plan.tick_cost - 1)
+                expected = (
+                    op_plan.expected_wrapped if wrapped else op_plan.expected_plain
+                )
+                if observed != expected:
+                    records.append(
+                        _record(memory, plan, op_plan, op_index, local, expected, observed)
+                    )
+            elif operation.is_nwrc:
+                memory.nwrc_write(local, op_plan.write_word)
+            else:
+                memory.write(local, op_plan.write_word)
+    return records
+
+
+def _record(
+    memory: SRAM,
+    plan: ElementPlan,
+    op_plan: OpPlan,
+    op_index: int,
+    address: int,
+    expected: int,
+    observed: int,
+) -> FailureRecord:
+    return FailureRecord(
+        memory_name=memory.name,
+        step_index=plan.step_index,
+        step_label=plan.step_label,
+        op_index=op_index,
+        operation=op_plan.operation,
+        address=address,
+        background=plan.record_background,
+        expected=expected,
+        observed=observed,
+    )

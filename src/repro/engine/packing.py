@@ -1,0 +1,61 @@
+"""Bit-lane packing for the vectorized march backend.
+
+The behavioural :class:`repro.memory.SRAM` stores each word as one Python
+integer of arbitrary width.  The numpy backend re-packs that state into a
+``(words, lanes)`` array of ``uint64`` lanes (lane ``i`` holds word bits
+``64 * i`` .. ``64 * i + 63``), so march writes become whole-array
+assignments and march reads become whole-array compares.
+
+numpy itself is an *optional* dependency of the engine (the ``[fast]``
+extra); every entry point gates on :data:`HAVE_NUMPY` and falls back to the
+pure-Python reference backend when it is missing.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import HAVE_NUMPY, np, require_numpy
+
+__all__ = [
+    "HAVE_NUMPY",
+    "LANE_BITS",
+    "lanes_for",
+    "lanes_to_word",
+    "np",
+    "pack_state",
+    "require_numpy",
+    "word_to_lanes",
+]
+
+#: Width of one packed lane.
+LANE_BITS = 64
+_LANE_MASK = (1 << LANE_BITS) - 1
+
+
+def lanes_for(bits: int) -> int:
+    """Number of 64-bit lanes needed for a word of ``bits`` bits."""
+    return (bits + LANE_BITS - 1) // LANE_BITS
+
+
+def word_to_lanes(word: int, lanes: int):
+    """Split one Python-int word into a ``(lanes,)`` uint64 array."""
+    return np.array(
+        [(word >> (LANE_BITS * i)) & _LANE_MASK for i in range(lanes)],
+        dtype=np.uint64,
+    )
+
+
+def lanes_to_word(row) -> int:
+    """Reassemble one packed row back into a Python-int word."""
+    word = 0
+    for i in range(row.shape[0]):
+        word |= int(row[i]) << (LANE_BITS * i)
+    return word
+
+
+def pack_state(words: list[int], lanes: int):
+    """Pack a full memory dump into a ``(len(words), lanes)`` uint64 array."""
+    state = np.empty((len(words), lanes), dtype=np.uint64)
+    for lane in range(lanes):
+        shift = LANE_BITS * lane
+        state[:, lane] = [(w >> shift) & _LANE_MASK for w in words]
+    return state

@@ -1,0 +1,210 @@
+"""Fast execution of a full proposed-scheme diagnosis session.
+
+:meth:`repro.core.scheme.FastDiagnosisScheme.diagnose` walks every
+controller address and operation in Python for every memory -- exact but
+slow.  The session runner here produces the *same*
+:class:`~repro.core.report.ProposedReport` (cycles, deliveries, NWRC count
+and per-memory failure records, bit for bit and in the same list order)
+by exploiting two structural facts:
+
+* the cycle schedule of a session is closed-form -- it depends only on the
+  algorithm and controller dimensions, never on the data read back;
+* the memories never interact: each memory's observations depend only on
+  its own faults, its local address wrap and the delivered backgrounds.
+
+So the runner accounts the schedule arithmetically and simulates each
+memory independently through the bit-parallel kernel
+(:mod:`repro.engine.kernel`), replaying only fault-hooked words through
+the behavioural access path.  Memories the vector path cannot represent
+(decoder/column-mux faults, tracing) take a per-memory pure-Python path
+that mirrors the reference loop exactly, and whole-session features the
+fast path does not model (``bit_accurate``, ``early_abort``, protocol
+monitors, missing numpy) delegate to ``scheme.diagnose`` itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import ProposedReport
+from repro.core.scheme import FastDiagnosisScheme
+from repro.engine.backends import (
+    MarchBackend,
+    NumpyBackend,
+    ReferenceBackend,
+    resolve_backend,
+)
+from repro.engine.kernel import (
+    ElementPlan,
+    OpPlan,
+    pack_memory,
+    run_element,
+    run_element_slow,
+    sync_clean_rows,
+)
+from repro.engine.packing import HAVE_NUMPY
+from repro.march.algorithm import MarchAlgorithm, PauseStep
+from repro.march.element import AddressOrder
+from repro.march.simulator import FailureRecord
+from repro.memory.sram import SRAM
+from repro.util.bitops import mask
+from repro.util.validation import require
+
+
+def run_session(
+    scheme: FastDiagnosisScheme,
+    backend: str | MarchBackend | None = "auto",
+    bit_accurate: bool = False,
+    early_abort: bool = False,
+) -> ProposedReport:
+    """Run one diagnosis session through the selected backend.
+
+    With the reference backend (or any session feature the fast path does
+    not model) this is exactly ``scheme.diagnose()``; with the numpy
+    backend the same report is produced bit-identically but the per-word
+    work is vectorized.  Session execution only knows these two
+    strategies, so other (custom-registered) backend types are rejected
+    rather than silently substituted -- use them through
+    :meth:`~repro.engine.backends.MarchBackend.run` for raw march runs.
+    """
+    resolved = resolve_backend(backend)
+    fast = (
+        isinstance(resolved, NumpyBackend)
+        and HAVE_NUMPY
+        and not bit_accurate
+        and not early_abort
+        and scheme.monitor is None
+        # Without the routed NWRTM wire the reference raises on the first
+        # NWRC op; delegating keeps that behaviour (error included) exact.
+        and scheme.control.drf_screening
+    )
+    if fast:
+        return _run_fast_session(scheme)
+    require(
+        isinstance(resolved, (NumpyBackend, ReferenceBackend)),
+        f"run_session supports the 'reference' and 'numpy' backends, "
+        f"got {type(resolved).__name__}",
+    )
+    return scheme.diagnose(bit_accurate=bit_accurate, early_abort=early_abort)
+
+
+def _run_fast_session(scheme: FastDiagnosisScheme) -> ProposedReport:
+    algorithm = scheme.algorithm_factory(scheme.controller_bits)
+    require(
+        algorithm.bits == scheme.controller_bits,
+        "algorithm must be generated for the controller width",
+    )
+    for comparator in scheme.comparators.values():
+        comparator.reset()
+    report = ProposedReport(
+        algorithm_name=algorithm.name,
+        controller_words=scheme.controller_words,
+        controller_bits=scheme.controller_bits,
+        period_ns=scheme.period_ns,
+        failures={memory.name: [] for memory in scheme.bank},
+    )
+
+    # Closed-form schedule accounting (identical to the reference's
+    # per-operation increments, summed).
+    controller_words = scheme.controller_words
+    controller_bits = scheme.controller_bits
+    deliveries = 0
+    nwrc_ops = 0
+    for step in algorithm.steps:
+        if isinstance(step, PauseStep):
+            report.pause_ns += step.duration_ns
+            continue
+        element = step.element
+        # Keep the element-start handshake counter in sync with the
+        # reference (one trigger per March element).
+        scheme.trigger.fire()
+        scheme.trigger.element_done()
+        if element.writes_anything:
+            report.cycles += controller_bits
+            deliveries += 1
+        for op in element.operations:
+            if op.is_read:
+                report.cycles += controller_words * (1 + controller_bits)
+            else:
+                report.cycles += controller_words
+                if op.is_nwrc:
+                    nwrc_ops += controller_words
+
+    for memory in scheme.bank:
+        failures = _run_memory_session(scheme, memory, algorithm)
+        report.failures[memory.name] = failures
+        comparator = scheme.comparators[memory.name]
+        comparator.failures.extend(failures)
+        comparator.comparisons += controller_words * algorithm.reads_per_word()
+        psc = scheme.pscs[memory.name]
+        psc.captures += controller_words * algorithm.reads_per_word()
+        psc.cycles += controller_words * algorithm.reads_per_word() * memory.bits
+
+    scheme.background_gen.cycles += deliveries * controller_bits
+    scheme.background_gen.deliveries += deliveries
+    scheme.nwrtm.nwrc_ops += nwrc_ops
+    report.deliveries = scheme.background_gen.deliveries
+    report.nwrc_ops = scheme.nwrtm.nwrc_ops
+    return report
+
+
+def _run_memory_session(
+    scheme: FastDiagnosisScheme, memory: SRAM, algorithm: MarchAlgorithm
+) -> list[FailureRecord]:
+    """Simulate one memory through the whole session, fast where possible."""
+    bits = memory.bits
+    comparator = scheme.comparators[memory.name]
+    spc = scheme.spcs[memory.name]
+    word_mask = mask(bits)
+    vector = (
+        not memory.trace
+        and not memory.decoder.is_faulty
+        and not memory.column_mux.is_faulty
+    )
+    if vector:
+        state, clean_mask, dirty_mask, lanes = pack_memory(memory)
+
+    failures: list[FailureRecord] = []
+    for step_index, step in enumerate(algorithm.steps):
+        if isinstance(step, PauseStep):
+            memory.pause(step.duration_ns)
+            continue
+        element = step.element
+        adapted = spc.expected_pattern(step.background, scheme.controller_bits)
+        correct = step.background & word_mask
+        ops = tuple(
+            OpPlan(
+                op=op,
+                operation=op.notation(),
+                write_word=None if op.is_read else op.word_for(adapted, bits),
+                expected_plain=(
+                    comparator.expected_word(element, op_index, correct, wrapped=False)
+                    if op.is_read
+                    else None
+                ),
+                expected_wrapped=(
+                    comparator.expected_word(element, op_index, correct, wrapped=True)
+                    if op.is_read
+                    else None
+                ),
+                tick_cost=1 + scheme.controller_bits if op.is_read else 1,
+            )
+            for op_index, op in enumerate(element.operations)
+        )
+        plan = ElementPlan(
+            step_index=step_index,
+            step_label=step.label or element.notation(),
+            record_background=correct,
+            deliver_ticks=scheme.controller_bits if element.writes_anything else 0,
+            ascending=element.order is not AddressOrder.DOWN,
+            sweep_length=scheme.controller_words,
+            ops=ops,
+        )
+        if vector:
+            failures.extend(
+                run_element(memory, state, clean_mask, dirty_mask, plan, lanes)
+            )
+        else:
+            failures.extend(run_element_slow(memory, plan))
+
+    if vector:
+        sync_clean_rows(memory, state, clean_mask)
+    return failures

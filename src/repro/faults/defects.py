@@ -24,8 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.faults.base import Fault
 from repro.faults.coupling import (
@@ -38,6 +37,9 @@ from repro.faults.stuck_at import StuckAtFault
 from repro.faults.transition import TransitionFault
 from repro.memory.geometry import CellRef, MemoryGeometry
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (numpy is the [fast] extra)
+    import numpy as np
 
 
 class DefectType(enum.Enum):

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.faults.base import Fault, FaultClass, M1_LOCALIZABLE_CLASSES
 from repro.faults.defects import DefectProfile, fault_for_defect
@@ -19,6 +18,9 @@ from repro.memory.geometry import MemoryGeometry
 from repro.util.records import Record
 from repro.util.rng import make_rng
 from repro.util.validation import require, require_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (numpy is the [fast] extra)
+    import numpy as np
 
 
 @dataclass

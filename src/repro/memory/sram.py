@@ -199,6 +199,26 @@ class SRAM:
         require(0 <= value <= self._word_mask, f"value {value:#x} too wide")
         self._state = [value] * self.geometry.words
 
+    def force_store_word(self, word: int, value: int) -> None:
+        """Overwrite one stored word, bypassing fault hooks and timing.
+
+        Used by the vectorized diagnosis backends
+        (:mod:`repro.engine.backends`) to sync their bit-parallel state for
+        fault-free words back into the behavioural model after a run.
+        """
+        self.geometry.check_address(word)
+        require(0 <= value <= self._word_mask, f"value {value:#x} too wide")
+        self._state[word] = value
+
+    def hooked_words(self) -> set[int]:
+        """Word indices whose accesses can trigger any fault hook.
+
+        The union of words containing victim cells and words containing
+        watched aggressor cells: accesses to every *other* word behave
+        ideally, which is the invariant the bit-parallel backend exploits.
+        """
+        return set(self._faulty_bits_by_word) | set(self._watched_bits_by_word)
+
     # ------------------------------------------------------------------ #
     # Functional access path                                             #
     # ------------------------------------------------------------------ #

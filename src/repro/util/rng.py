@@ -2,11 +2,32 @@
 
 Every stochastic component (fault populations, sweep sampling) takes either a
 seed or an existing generator so that experiments are reproducible run-to-run.
+
+numpy is the ``[fast]`` packaging extra: the deterministic diagnosis
+machinery imports and runs without it, so this module degrades gracefully --
+importable always, raising a clear error only when a generator is actually
+requested.
 """
 
 from __future__ import annotations
 
-import numpy as np
+try:  # pragma: no cover - exercised via tests/test_optional_numpy.py
+    import numpy as np
+except ImportError:  # pragma: no cover - container always ships numpy
+    np = None  # type: ignore[assignment]
+
+#: Whether the optional numpy dependency is importable.  The engine's
+#: packing module re-exports this for the vectorized backends.
+HAVE_NUMPY = np is not None
+
+
+def require_numpy(feature: str) -> None:
+    """Raise a helpful error when ``feature`` needs the missing numpy."""
+    if np is None:
+        raise RuntimeError(
+            f"{feature} requires numpy; install the [fast] extra "
+            "(pip install 'repro-esram-diagnosis[fast]')"
+        )
 
 
 def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
@@ -16,6 +37,25 @@ def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
     deterministic generator; an existing generator is returned unchanged so
     that callers can thread one generator through a whole experiment.
     """
+    require_numpy("seeded random generation")
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_seed(master: int, *path: int) -> int:
+    """Derive a deterministic child seed from a master seed and an index path.
+
+    Built on ``numpy.random.SeedSequence`` so that children are
+    statistically independent and the derivation is stable across processes
+    and platforms -- the fleet scheduler uses this to give every campaign in
+    a batch its own seed regardless of which worker executes it.
+
+    >>> derive_seed(0, 1) == derive_seed(0, 1)
+    True
+    >>> derive_seed(0, 1) != derive_seed(0, 2)
+    True
+    """
+    require_numpy("seeded random generation")
+    sequence = np.random.SeedSequence(entropy=(int(master),) + tuple(int(p) for p in path))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])

@@ -1,0 +1,89 @@
+"""CampaignReport paths: reduction_factor None/value cases, summary_lines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.scheme import BaselineReport
+from repro.core.campaign import CampaignReport
+from repro.core.report import ProposedReport
+from repro.core.repair import RepairResult
+
+
+def proposed_report(cycles: int = 1000) -> ProposedReport:
+    return ProposedReport(
+        algorithm_name="March CW-NW",
+        controller_words=16,
+        controller_bits=8,
+        period_ns=10.0,
+        cycles=cycles,
+        failures={"m0": []},
+    )
+
+
+def baseline_report(iterations: int = 4) -> BaselineReport:
+    return BaselineReport(
+        iterations=iterations,
+        controller_words=16,
+        controller_bits=8,
+        period_ns=10.0,
+    )
+
+
+class TestReductionFactor:
+    def test_none_without_baseline(self):
+        report = CampaignReport("soc", 3, proposed=proposed_report())
+        assert report.reduction_factor is None
+
+    def test_none_without_proposed(self):
+        report = CampaignReport("soc", 3, baseline=baseline_report())
+        assert report.reduction_factor is None
+
+    def test_none_with_neither(self):
+        assert CampaignReport("soc", 0).reduction_factor is None
+
+    def test_ratio_with_both(self):
+        report = CampaignReport(
+            "soc", 3, proposed=proposed_report(), baseline=baseline_report()
+        )
+        expected = report.baseline.time_ns / report.proposed.time_ns
+        assert report.reduction_factor == pytest.approx(expected)
+        assert report.reduction_factor > 1.0
+
+
+class TestSummaryLines:
+    def test_minimal_report(self):
+        lines = CampaignReport("soc", 5).summary_lines()
+        assert lines == ["campaign on soc: 5 faults injected"]
+
+    def test_proposed_only(self):
+        report = CampaignReport(
+            "soc", 2, proposed=proposed_report(), localization_rate=0.75
+        )
+        text = "\n".join(report.summary_lines())
+        assert "proposed" in text
+        assert "75.0%" in text
+        assert "baseline" not in text
+        assert "reduction" not in text
+
+    def test_full_report_renders_every_section(self):
+        repair = RepairResult(
+            repaired={"m0": {1, 2}}, out_of_spares={"m0": set()}, detached_faults=2
+        )
+        report = CampaignReport(
+            "soc",
+            4,
+            proposed=proposed_report(),
+            baseline=baseline_report(),
+            repair=repair,
+            verification_passed=True,
+            localization_rate=1.0,
+        )
+        text = "\n".join(report.summary_lines())
+        for needle in ("proposed", "baseline", "reduction", "repair", "verify", "PASS"):
+            assert needle in text
+        assert "2 words" in text
+
+    def test_failed_verification_renders_fail(self):
+        report = CampaignReport("soc", 1, verification_passed=False)
+        assert any("FAIL" in line for line in report.summary_lines())

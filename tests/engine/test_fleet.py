@@ -1,0 +1,195 @@
+"""Fleet scheduler determinism and streaming aggregation."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.engine.aggregate import (
+    REDUCTION_BUCKETS,
+    CampaignSummary,
+    FleetReport,
+    StreamingStats,
+    bucket_label,
+)
+from repro.engine.fleet import (
+    FleetScheduler,
+    FleetSpec,
+    chunked_indices,
+    run_campaign,
+    run_fleet,
+)
+from repro.util.rng import derive_seed
+
+SPEC = FleetSpec(
+    soc="case-study",
+    memories=2,
+    campaigns=4,
+    defect_rate=0.004,
+    master_seed=7,
+    backend="auto",
+)
+
+
+def comparable(report: FleetReport) -> dict:
+    payload = report.to_json_dict()
+    payload.pop("elapsed_s")
+    payload.pop("campaigns_per_sec")
+    return payload
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+
+    def test_distinct_per_index(self):
+        seeds = {derive_seed(0, index) for index in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_per_master(self):
+        assert derive_seed(0, 5) != derive_seed(1, 5)
+
+    def test_spec_exposes_per_campaign_seeds(self):
+        assert SPEC.campaign_seed(2) == derive_seed(7, 2)
+
+
+class TestChunking:
+    def test_partition_covers_everything_once(self):
+        chunks = chunked_indices(10, 3)
+        assert chunks == [(0, 1, 2), (3, 4, 5), (6, 7, 8), (9,)]
+
+    def test_single_chunk(self):
+        assert chunked_indices(3, 10) == [(0, 1, 2)]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunked_indices(3, 0)
+
+
+class TestSchedulerDeterminism:
+    def test_inline_runs_are_reproducible(self):
+        first = run_fleet(SPEC, workers=1)
+        second = run_fleet(SPEC, workers=1)
+        assert comparable(first) == comparable(second)
+        assert first.campaigns == SPEC.campaigns
+
+    def test_chunk_size_does_not_change_results(self):
+        whole = run_fleet(SPEC, workers=1, chunk_size=4)
+        minced = run_fleet(SPEC, workers=1, chunk_size=1)
+        assert comparable(whole) == comparable(minced)
+
+    def test_worker_pool_matches_inline(self):
+        inline = run_fleet(SPEC, workers=1)
+        pooled = run_fleet(SPEC, workers=2, chunk_size=1)
+        assert comparable(pooled) == comparable(inline)
+
+    def test_campaign_summary_independent_of_position(self):
+        # The summary of campaign i depends only on (spec, i).
+        direct = run_campaign(SPEC, 2)
+        assert direct.seed == SPEC.campaign_seed(2)
+        assert direct.index == 2
+        assert direct.localization_rate == run_campaign(SPEC, 2).localization_rate
+
+    def test_worker_count_resolution(self):
+        assert FleetScheduler(SPEC, workers=0).workers == 1
+        assert FleetScheduler(SPEC, workers=3).workers == 3
+
+
+class TestStreamingStats:
+    def test_matches_statistics_module(self):
+        values = [3.0, 1.5, 8.25, -2.0, 4.75, 0.5]
+        stats = StreamingStats()
+        for value in values:
+            stats.add(value)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.std == pytest.approx(statistics.pstdev(values))
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    def test_merge_equals_sequential(self):
+        values = [1.0, 2.0, 7.0, -1.0, 3.5, 9.0, 0.0]
+        left, right, sequential = StreamingStats(), StreamingStats(), StreamingStats()
+        for value in values[:3]:
+            left.add(value)
+        for value in values[3:]:
+            right.add(value)
+        for value in values:
+            sequential.add(value)
+        left.merge(right)
+        assert left.count == sequential.count
+        assert left.mean == pytest.approx(sequential.mean)
+        assert left.std == pytest.approx(sequential.std)
+        assert left.minimum == sequential.minimum
+        assert left.maximum == sequential.maximum
+
+    def test_empty_stats_serialize_to_none(self):
+        empty = StreamingStats()
+        assert empty.to_dict() == {
+            "count": 0, "mean": None, "std": None, "min": None, "max": None,
+        }
+        assert math.isinf(empty.minimum)
+
+
+class TestFleetReport:
+    @staticmethod
+    def summary(index: int, reduction: float | None, verified: bool | None) -> CampaignSummary:
+        return CampaignSummary(
+            index=index,
+            seed=index,
+            soc_name="test",
+            injected_faults=10,
+            localization_rate=0.9,
+            total_failures=20,
+            proposed_time_ns=1e6,
+            baseline_time_ns=None if reduction is None else reduction * 1e6,
+            reduction_factor=reduction,
+            repaired_words=4,
+            fully_repaired=verified,
+            verification_passed=verified,
+        )
+
+    def test_histogram_buckets(self):
+        report = FleetReport()
+        report.add(self.summary(0, 5.0, True))
+        report.add(self.summary(1, 90.0, True))
+        report.add(self.summary(2, 500.0, False))
+        report.add(self.summary(3, None, None))
+        histogram = report.to_json_dict()["reduction_histogram"]
+        assert histogram[bucket_label(0)] == 1  # < 10
+        assert histogram[bucket_label(4)] == 1  # 75 - 100
+        assert histogram[bucket_label(len(REDUCTION_BUCKETS))] == 1  # >= 300
+        assert report.reduction.count == 3
+        assert report.campaigns == 4
+
+    def test_yield_rate(self):
+        report = FleetReport()
+        report.add(self.summary(0, 80.0, True))
+        report.add(self.summary(1, 80.0, False))
+        report.add(self.summary(2, 80.0, None))
+        assert report.yield_rate == pytest.approx(0.5)
+        assert report.verified_total == 2
+
+    def test_yield_rate_none_without_verification(self):
+        report = FleetReport()
+        report.add(self.summary(0, 80.0, None))
+        assert report.yield_rate is None
+
+    def test_summary_lines_render(self):
+        report = FleetReport()
+        report.add(self.summary(0, 84.0, True))
+        report.elapsed_s = 2.0
+        text = "\n".join(report.summary_lines())
+        assert "1 campaigns" in text
+        assert "reduction R" in text
+        assert "yield" in text
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FleetSpec(soc="nonsense")
+        with pytest.raises(ValueError):
+            FleetSpec(campaigns=0)
+        with pytest.raises(ValueError):
+            FleetSpec(defect_rate=1.5)
