@@ -1,0 +1,266 @@
+"""Simulation-backed sweep matrices: measured R next to the analytic model.
+
+:mod:`repro.analysis.sweeps` evaluates the paper's closed-form equations --
+fast, but every R it prints is a *model prediction*.  This module re-runs
+the same X1-X3 parameter matrices as actual diagnosis campaigns through
+the fleet scheduler (:mod:`repro.engine.fleet`): every row injects seeded
+fault populations, executes the proposed-scheme session (and the baseline
+iterate-repair loop) per campaign, and reports the **measured** reduction
+factor ``R = T_baseline / T_proposed`` side by side with the analytic
+prediction, so model/simulation discrepancies are visible per row.
+
+The three matrices mirror the extension experiments:
+
+* **X1** -- defect rate (:func:`defect_rate_matrix`),
+* **X2** -- memory geometry (:func:`geometry_matrix`),
+* **X3** -- defect-class mix (:func:`fault_mix_matrix`).
+
+Rows are plain :class:`SimSweepRow` records with ``to_table_row`` /
+``to_json_dict`` renderings consumed by the ``repro sweep`` CLI subcommand
+and ``benchmarks/bench_simsweep_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.analysis.timing_model import TimingComparison, compare_timing
+from repro.baseline.diag_rsmarch import min_iterations
+from repro.engine.aggregate import FleetReport
+from repro.engine.fleet import FleetSpec, run_fleet
+from repro.faults.defects import DefectType
+from repro.faults.population import expected_fault_count
+from repro.util.records import Record
+from repro.util.validation import require
+
+#: Named defect-class mixes for the X3 matrix, one weight per
+#: :class:`~repro.faults.defects.DefectType` in declaration order
+#: (node-short, access-open, cell-bridge, pullup-open).
+FAULT_MIX_PRESETS: dict[str, tuple[float, float, float, float]] = {
+    "paper-equal": (1.0, 1.0, 1.0, 1.0),
+    "logical-only": (1.0, 1.0, 1.0, 0.0),
+    "stuck-at-heavy": (4.0, 1.0, 1.0, 1.0),
+    "retention-heavy": (1.0, 1.0, 1.0, 3.0),
+}
+
+
+@dataclass(frozen=True)
+class SimSweepPoint(Record):
+    """One cell of a sweep matrix: a label plus the fleet to simulate."""
+
+    matrix: str
+    label: str
+    spec: FleetSpec
+
+
+@dataclass(frozen=True)
+class SimSweepRow(Record):
+    """Measured-vs-analytic outcome of one sweep point."""
+
+    matrix: str
+    label: str
+    campaigns: int
+    total_faults: int
+    #: Measured reduction factor over the fleet (None when no campaign
+    #: produced a baseline/proposed pair).
+    measured_r_mean: float | None
+    measured_r_std: float | None
+    measured_r_min: float | None
+    measured_r_max: float | None
+    #: Measured baseline iteration count (k) across campaigns.
+    measured_k_mean: float | None
+    measured_baseline_ns_mean: float | None
+    measured_proposed_ns_mean: float | None
+    #: Analytic-model prediction for the same configuration (Eqs. (1)-(4)).
+    analytic_k: int
+    analytic_r: float
+    analytic_r_drf: float
+    #: Measured mean divided by the analytic DRF-mode prediction (the
+    #: campaign baseline runs with DRF diagnosis on); 1.0 = perfect model.
+    model_gap: float | None
+    elapsed_s: float
+    campaigns_per_sec: float
+
+    def to_table_row(self) -> dict[str, object]:
+        """Compact rendering for ``repro.util.records.format_table``."""
+
+        def fmt(value: float | None, spec: str = ".1f") -> str:
+            return "-" if value is None else format(value, spec)
+
+        return {
+            "point": self.label,
+            "campaigns": self.campaigns,
+            "faults": self.total_faults,
+            "k meas": fmt(self.measured_k_mean),
+            "k model": self.analytic_k,
+            "R meas": fmt(self.measured_r_mean),
+            "+/-": fmt(self.measured_r_std),
+            "R model": f"{self.analytic_r:.1f}",
+            "R model (DRF)": f"{self.analytic_r_drf:.1f}",
+            "meas/model": fmt(self.model_gap, ".3f"),
+        }
+
+    def to_json_dict(self) -> dict[str, object]:
+        """JSON-friendly rendering (all fields, plain types)."""
+        return dict(self.to_dict())
+
+
+def _profile_shares(
+    weights: tuple[float, float, float, float] | None,
+) -> tuple[float, float]:
+    """``(logical_share, retention_share)`` of a defect-weight vector."""
+    if weights is None:
+        weights = (1.0, 1.0, 1.0, 1.0)
+    total = sum(weights)
+    retention = weights[list(DefectType).index(DefectType.PULLUP_OPEN)]
+    return (total - retention) / total, retention / total
+
+
+def analytic_comparison(spec: FleetSpec) -> tuple[int, TimingComparison]:
+    """The closed-form model's prediction for one fleet configuration.
+
+    Mirrors the arithmetic of :mod:`repro.analysis.sweeps` generalized to
+    a bank: the controller is sized by the largest memory, and k is the
+    worst memory's ``ceil(F * share / 2)`` -- where the share is the
+    profile's M1-localizable fraction (DRF diagnosis localizes retention
+    faults in parallel, so with DRF mode on the binding share is the
+    larger of the logical and retention fractions).
+    """
+    soc = spec.build_soc()
+    words = max(g.words for g in soc.geometries)
+    bits = max(g.bits for g in soc.geometries)
+    logical, retention = _profile_shares(spec.defect_weights)
+    share = max(logical, retention)
+    iterations = max(
+        (
+            min_iterations(
+                expected_fault_count(g, spec.defect_rate), kernel_share=share
+            )
+            for g in soc.geometries
+        ),
+        default=0,
+    )
+    iterations = max(1, iterations)
+    return iterations, compare_timing(words, bits, spec.period_ns, iterations)
+
+
+def summarize_point(point: SimSweepPoint, report: FleetReport) -> SimSweepRow:
+    """Fold one fleet report and its analytic prediction into a row."""
+    analytic_k, timing = analytic_comparison(point.spec)
+    reduction = report.reduction
+    measured_mean = reduction.mean if reduction.count else None
+    return SimSweepRow(
+        matrix=point.matrix,
+        label=point.label,
+        campaigns=report.campaigns,
+        total_faults=report.total_faults,
+        measured_r_mean=measured_mean,
+        measured_r_std=reduction.std if reduction.count else None,
+        measured_r_min=reduction.minimum if reduction.count else None,
+        measured_r_max=reduction.maximum if reduction.count else None,
+        measured_k_mean=(
+            report.baseline_iterations.mean
+            if report.baseline_iterations.count
+            else None
+        ),
+        measured_baseline_ns_mean=(
+            report.baseline_time_ns.mean if report.baseline_time_ns.count else None
+        ),
+        measured_proposed_ns_mean=(
+            report.proposed_time_ns.mean if report.proposed_time_ns.count else None
+        ),
+        analytic_k=analytic_k,
+        analytic_r=timing.reduction,
+        analytic_r_drf=timing.reduction_with_drf,
+        model_gap=(
+            measured_mean / timing.reduction_with_drf
+            if measured_mean is not None
+            else None
+        ),
+        elapsed_s=report.elapsed_s,
+        campaigns_per_sec=report.campaigns_per_sec,
+    )
+
+
+def run_sim_sweep(
+    points: Iterable[SimSweepPoint],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[SimSweepRow]:
+    """Simulate every sweep point and return its measured-vs-analytic row.
+
+    ``progress`` (optional) is called with ``(done_points, total_points)``
+    after each point's fleet completes.
+    """
+    materialized = list(points)
+    rows = []
+    for index, point in enumerate(materialized):
+        report = run_fleet(point.spec, workers=workers, chunk_size=chunk_size)
+        rows.append(summarize_point(point, report))
+        if progress is not None:
+            progress(index + 1, len(materialized))
+    return rows
+
+
+def _base_spec(defect_rate: float, **spec_kwargs) -> FleetSpec:
+    """A sweep-friendly fleet spec: baseline on, repair/verify off."""
+    spec_kwargs.setdefault("campaigns", 4)
+    spec_kwargs.setdefault("memories", 4)
+    spec_kwargs.setdefault("repair", False)
+    return FleetSpec(
+        defect_rate=defect_rate, include_baseline=True, **spec_kwargs
+    )
+
+
+def defect_rate_matrix(
+    rates: Iterable[float], **spec_kwargs
+) -> list[SimSweepPoint]:
+    """X1: the defect-rate axis (the paper's Fig.-style R-vs-rate sweep)."""
+    rates = list(rates)
+    require(bool(rates), "defect-rate matrix needs at least one rate")
+    return [
+        SimSweepPoint(
+            matrix="X1-defect-rate",
+            label=f"{rate:.4%}",
+            spec=_base_spec(rate, **spec_kwargs),
+        )
+        for rate in rates
+    ]
+
+
+def geometry_matrix(
+    shapes: Iterable[tuple[int, int]],
+    defect_rate: float = 0.01,
+    **spec_kwargs,
+) -> list[SimSweepPoint]:
+    """X2: the memory-geometry axis (uniform ``words x bits`` fleets)."""
+    shapes = [tuple(shape) for shape in shapes]
+    require(bool(shapes), "geometry matrix needs at least one shape")
+    return [
+        SimSweepPoint(
+            matrix="X2-geometry",
+            label=f"{words}x{bits}",
+            spec=_base_spec(defect_rate, geometry=(words, bits), **spec_kwargs),
+        )
+        for words, bits in shapes
+    ]
+
+
+def fault_mix_matrix(
+    mixes: Mapping[str, tuple[float, float, float, float]] | None = None,
+    defect_rate: float = 0.01,
+    **spec_kwargs,
+) -> list[SimSweepPoint]:
+    """X3: the defect-class-mix axis (named weight presets)."""
+    mixes = dict(mixes) if mixes is not None else dict(FAULT_MIX_PRESETS)
+    require(bool(mixes), "fault-mix matrix needs at least one mix")
+    return [
+        SimSweepPoint(
+            matrix="X3-fault-mix",
+            label=label,
+            spec=_base_spec(defect_rate, defect_weights=weights, **spec_kwargs),
+        )
+        for label, weights in mixes.items()
+    ]

@@ -1,4 +1,14 @@
-"""Parameter sweeps for the extension/ablation experiments (X1-X3).
+"""Analytic-model parameter sweeps for the extension experiments (X1-X3).
+
+Every R in these rows is a **closed-form model prediction**: the fault
+count comes from :func:`repro.faults.population.expected_fault_count`, k
+from the paper's minimum-iteration arithmetic and the times from
+Eqs. (1)-(4) via :func:`repro.analysis.timing_model.compare_timing`.
+Nothing here injects faults or runs a diagnosis session.  For the
+simulation-backed counterpart -- the same matrices executed as real
+campaigns through the fleet scheduler, with the measured R reported next
+to these predictions -- see :mod:`repro.analysis.simsweep` and the
+``repro sweep`` CLI subcommand.
 
 Every sweep emits plain dict rows so benchmarks can feed them straight to
 :func:`repro.util.records.format_table`.
@@ -20,11 +30,13 @@ def sweep_defect_rate(
     geometry: MemoryGeometry | None = None,
     period_ns: float = 10.0,
 ) -> list[dict[str, object]]:
-    """R vs defect rate: quantifies "defect-rate-dependent diagnosis".
+    """Analytic R vs defect rate ("defect-rate-dependent diagnosis").
 
     The baseline's k grows linearly with the fault count while the
     proposed scheme's time is constant, so R grows linearly with the
-    defect rate.
+    defect rate.  R here is the model's prediction, not a simulation
+    measurement -- cross-check it against
+    :func:`repro.analysis.simsweep.defect_rate_matrix`.
     """
     geometry = geometry or MemoryGeometry(512, 100, "case-study")
     rows = []
@@ -51,7 +63,11 @@ def sweep_geometry(
     defect_rate: float = 0.01,
     period_ns: float = 10.0,
 ) -> list[dict[str, object]]:
-    """R vs memory geometry at a fixed defect rate."""
+    """Analytic R vs memory geometry at a fixed defect rate.
+
+    Model prediction only; the simulated counterpart is
+    :func:`repro.analysis.simsweep.geometry_matrix`.
+    """
     rows = []
     for words, bits in shapes:
         geometry = MemoryGeometry(words, bits)
@@ -78,7 +94,12 @@ def sweep_iterations(
     bits: int = 100,
     period_ns: float = 10.0,
 ) -> list[dict[str, object]]:
-    """R vs k directly (Eq. (3): R > 1 for any practical k)."""
+    """Analytic R vs k directly (Eq. (3): R > 1 for any practical k).
+
+    k is swept as a free variable here, bypassing even the fault-count
+    model; see :mod:`repro.analysis.simsweep` for k values measured from
+    simulated iterate-repair sessions.
+    """
     rows = []
     for iterations in iteration_counts:
         row = compare_timing(words, bits, period_ns, iterations)

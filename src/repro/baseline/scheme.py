@@ -137,8 +137,23 @@ class HuangJoneScheme:
         include_drf: bool = False,
         bit_accurate: bool = False,
         max_iterations: int | None = None,
+        early_abort: bool = False,
+        localize=None,
     ) -> BaselineReport:
-        """Run the full iterate-repair diagnosis over the bank."""
+        """Run the full iterate-repair diagnosis over the bank.
+
+        ``early_abort`` (bit-accurate mode) skips the trailing
+        no-progress iterations once every pending fault is serially
+        invisible -- weak cells never misbehave logically and DRFs only
+        decay across retention pauses, which the probes never take -- so
+        it can lower the reported iteration count (and therefore cycles
+        and time) but never changes the localized fault set.
+
+        ``localize`` (bit-accurate mode) overrides the per-(memory,
+        direction) localization probe; it is the hook the engine's sparse
+        serial replay (:mod:`repro.engine.baseline_session`) plugs in, so
+        report assembly and iterate-repair bookkeeping exist only here.
+        """
         report = BaselineReport(
             iterations=0,
             include_drf=include_drf,
@@ -147,7 +162,13 @@ class HuangJoneScheme:
             period_ns=self.period_ns,
         )
         if bit_accurate:
-            self._diagnose_bit_accurate(injector, report, max_iterations)
+            self._diagnose_bit_accurate(
+                injector,
+                report,
+                max_iterations,
+                localize=localize,
+                early_abort=early_abort,
+            )
         else:
             self._diagnose_effective(injector, report, max_iterations)
         return report
@@ -239,8 +260,18 @@ class HuangJoneScheme:
         injector: FaultInjector,
         report: BaselineReport,
         max_iterations: int | None,
+        localize=None,
+        early_abort: bool = False,
     ) -> None:
-        """Shift every cycle through the real memories and a good twin."""
+        """Shift every cycle through the real memories and a good twin.
+
+        ``localize`` overrides the per-(memory, direction) probe -- the
+        engine's sparse serial replay
+        (:mod:`repro.engine.baseline_session`) hooks in here so the
+        iterate-repair bookkeeping exists in exactly one place.
+        """
+        if localize is None:
+            localize = self._localize_stream_mismatch
         limit = max_iterations if max_iterations is not None else 4 * (
             self.bank.max_words * self.bank.max_bits
         )
@@ -255,11 +286,22 @@ class HuangJoneScheme:
         while progress and report.iterations < limit:
             if not any(pending.values()):
                 break
+            # Serially invisible faults can never produce a stream
+            # mismatch, so once only they remain, further iterations are
+            # provably unproductive and may be skipped without changing
+            # the localized set.
+            if early_abort and all(
+                fault.fault_class.is_retention
+                or fault.fault_class.is_reliability_only
+                for faults in pending.values()
+                for fault in faults
+            ):
+                break
             progress = False
             report.iterations += 1
             for memory in self.bank:
                 for direction in (ShiftDirection.RIGHT, ShiftDirection.LEFT):
-                    cell = self._localize_stream_mismatch(memory, direction)
+                    cell = localize(memory, direction)
                     if cell is None or cell in seen[memory.name]:
                         continue
                     seen[memory.name].add(cell)

@@ -5,7 +5,7 @@ Subcommands::
     python -m repro case-study            # the Sec. 4.2 headline numbers
     python -m repro diagnose ...          # run a scheme on a faulty memory
     python -m repro coverage ...          # algorithm coverage matrix
-    python -m repro sweep ...             # R vs defect rate
+    python -m repro sweep ...             # measured + analytic R matrices
     python -m repro area                  # Sec. 4.3 area/wire table
     python -m repro campaign ...          # one SoC campaign end to end
     python -m repro fleet ...             # batch campaigns over a worker pool
@@ -17,7 +17,7 @@ import argparse
 from typing import Sequence
 
 from repro.analysis.area import AreaModel, TransistorBudget, wire_comparison
-from repro.analysis.sweeps import sweep_defect_rate
+from repro.analysis.sweeps import sweep_defect_rate, sweep_geometry
 from repro.analysis.timing_model import case_study_comparison
 from repro.baseline.scheme import HuangJoneScheme
 from repro.core.scheme import FastDiagnosisScheme
@@ -81,10 +81,103 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    rates = [float(r) for r in args.rates.split(",")]
-    rows = sweep_defect_rate(rates, MemoryGeometry(args.words, args.bits))
+def _parse_shapes(text: str) -> list[tuple[int, int]]:
+    """Parse ``"512x100,256x64"`` into geometry pairs."""
+    shapes = []
+    for token in text.split(","):
+        words, separator, bits = token.strip().lower().partition("x")
+        if not separator or not words.isdigit() or not bits.isdigit():
+            raise ValueError(
+                f"invalid --shapes entry {token.strip()!r}; "
+                f"expected WORDSxBITS, e.g. 512x100"
+            )
+        shapes.append((int(words), int(bits)))
+    return shapes
+
+
+def _cmd_sweep_analytic(args: argparse.Namespace) -> int:
+    """The closed-form model table for the selected matrix, no simulation."""
+    if args.matrix == "geometry":
+        rows = sweep_geometry(
+            _parse_shapes(args.shapes), defect_rate=args.defect_rate
+        )
+    elif args.matrix == "fault-mix":
+        from repro.analysis.simsweep import analytic_comparison, fault_mix_matrix
+
+        rows = []
+        for point in fault_mix_matrix(
+            defect_rate=args.defect_rate, memories=args.memories
+        ):
+            iterations, timing = analytic_comparison(point.spec)
+            rows.append(
+                {
+                    "mix": point.label,
+                    "k": iterations,
+                    "R": f"{timing.reduction:.1f}",
+                    "R (DRF)": f"{timing.reduction_with_drf:.1f}",
+                }
+            )
+    else:
+        rates = [float(r) for r in args.rates.split(",")]
+        rows = sweep_defect_rate(rates, MemoryGeometry(args.words, args.bits))
     print(format_table(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    if args.analytic_only:
+        return _cmd_sweep_analytic(args)
+    rates = [float(r) for r in args.rates.split(",")]
+
+    from repro.analysis.simsweep import (
+        defect_rate_matrix,
+        fault_mix_matrix,
+        geometry_matrix,
+        run_sim_sweep,
+    )
+
+    common = dict(
+        campaigns=args.campaigns,
+        memories=args.memories,
+        master_seed=args.seed,
+        backend=args.backend,
+    )
+    if args.matrix == "geometry":
+        points = geometry_matrix(
+            _parse_shapes(args.shapes), defect_rate=args.defect_rate, **common
+        )
+    elif args.matrix == "fault-mix":
+        points = fault_mix_matrix(defect_rate=args.defect_rate, **common)
+    else:
+        points = defect_rate_matrix(rates, **common)
+
+    progress = None
+    if not args.json:
+        print(
+            f"simulating {args.matrix} matrix: {len(points)} points x "
+            f"{args.campaigns} campaigns ({args.memories} memories, "
+            f"backend={args.backend})"
+        )
+
+        def progress(done: int, total: int) -> None:
+            print(f"  {done}/{total} points done", flush=True)
+
+    rows = run_sim_sweep(points, workers=args.workers, progress=progress)
+    if args.json:
+        payload = {
+            "matrix": rows[0].matrix if rows else args.matrix,
+            "campaigns_per_point": args.campaigns,
+            "rows": [row.to_json_dict() for row in rows],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table([row.to_table_row() for row in rows]))
+        print(
+            "(R meas = simulated baseline/proposed time ratio; "
+            "R model = Eqs. (1)-(4); see repro.analysis.simsweep)"
+        )
     return 0
 
 
@@ -209,10 +302,46 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--bits", type=int, default=4)
     cov.set_defaults(func=_cmd_coverage)
 
-    sweep = sub.add_parser("sweep", help="reduction factor vs defect rate")
+    sweep = sub.add_parser(
+        "sweep",
+        help="reduction factor matrices: simulated (fleet-backed) vs analytic",
+    )
+    sweep.add_argument(
+        "--matrix",
+        choices=("defect-rate", "geometry", "fault-mix"),
+        default="defect-rate",
+        help="which parameter matrix to sweep (X1/X2/X3)",
+    )
     sweep.add_argument("--rates", default="0.001,0.005,0.01,0.02,0.05")
-    sweep.add_argument("--words", type=int, default=512)
-    sweep.add_argument("--bits", type=int, default=100)
+    sweep.add_argument(
+        "--shapes",
+        default="512x100,256x64,128x32",
+        help="geometry matrix points as WORDSxBITS, comma separated",
+    )
+    sweep.add_argument("--defect-rate", type=float, default=0.01,
+                       help="fixed rate for the geometry/fault-mix matrices")
+    sweep.add_argument("--campaigns", type=int, default=4,
+                       help="simulated campaigns per matrix point")
+    sweep.add_argument("--memories", type=int, default=4)
+    sweep.add_argument("--seed", type=int, default=0, help="master seed")
+    sweep.add_argument(
+        "--backend",
+        choices=("reference", "numpy", "fast", "auto"),
+        default="auto",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="fleet pool size"
+    )
+    sweep.add_argument("--json", action="store_true", help="emit JSON rows")
+    sweep.add_argument(
+        "--analytic-only",
+        action="store_true",
+        help="skip simulation and print the closed-form model table only",
+    )
+    sweep.add_argument("--words", type=int, default=512,
+                       help="analytic-only geometry")
+    sweep.add_argument("--bits", type=int, default=100,
+                       help="analytic-only geometry")
     sweep.set_defaults(func=_cmd_sweep)
 
     area = sub.add_parser("area", help="Sec. 4.3 area/wire table")

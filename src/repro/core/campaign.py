@@ -9,6 +9,7 @@ session, repair outcome, verification verdict).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.baseline.scheme import BaselineReport, HuangJoneScheme
 from repro.core.repair import RepairController, RepairResult
@@ -20,6 +21,9 @@ from repro.soc.chip import SoCConfig
 from repro.util.records import Record
 from repro.util.units import format_duration_ns
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.defects import DefectProfile
 
 
 @dataclass
@@ -80,24 +84,36 @@ class DiagnosisCampaign:
         seed: int = 0,
         spares_per_memory: int = 32,
         backend: str = "reference",
+        profile: "DefectProfile | None" = None,
+        baseline_bit_accurate: bool = False,
     ) -> None:
         require(0.0 <= defect_rate <= 1.0, "defect_rate must be in [0, 1]")
         self.soc = soc
         self.defect_rate = defect_rate
         self.seed = seed
         self.spares_per_memory = spares_per_memory
-        #: March-simulation backend for the proposed-scheme sessions:
-        #: ``reference`` (the classic cell-by-cell path), ``numpy``/``fast``
-        #: (bit-parallel, bit-identical results) or ``auto``.  See
-        #: :mod:`repro.engine.backends`.
+        #: March-simulation backend for the proposed-scheme *and* baseline
+        #: sessions: ``reference`` (the classic cell-by-cell path),
+        #: ``numpy``/``fast`` (vectorized, bit-identical results) or
+        #: ``auto``.  See :mod:`repro.engine.backends`.
         self.backend = backend
+        #: Defect-class mix for fault sampling (defaults to the paper's
+        #: equal-likelihood profile).
+        self.profile = profile
+        #: Run the baseline session in bit-accurate serial-replay mode
+        #: instead of the closed-form effective mode.  Exact but
+        #: ``O(k * n * c)`` -- intended for small geometries.
+        self.baseline_bit_accurate = baseline_bit_accurate
 
     def _faulty_bank(self):
         bank = self.soc.build_bank()
         injector = FaultInjector()
         for index, memory in enumerate(bank):
             population = sample_population(
-                memory.geometry, self.defect_rate, rng=self.seed + index
+                memory.geometry,
+                self.defect_rate,
+                profile=self.profile,
+                rng=self.seed + index,
             )
             injector.inject(memory, population.faults)
         return bank, injector
@@ -120,9 +136,10 @@ class DiagnosisCampaign:
 
         if include_baseline:
             baseline_bank, baseline_injector = self._faulty_bank()
-            report.baseline = HuangJoneScheme(
-                baseline_bank, period_ns=self.soc.period_ns
-            ).diagnose(baseline_injector, include_drf=True)
+            report.baseline = self._diagnose_baseline(
+                HuangJoneScheme(baseline_bank, period_ns=self.soc.period_ns),
+                baseline_injector,
+            )
 
         if repair:
             controller = RepairController(bank, self.spares_per_memory)
@@ -139,3 +156,21 @@ class DiagnosisCampaign:
         from repro.engine.session import run_session
 
         return run_session(scheme, backend=self.backend)
+
+    def _diagnose_baseline(
+        self, scheme: HuangJoneScheme, injector: FaultInjector
+    ) -> BaselineReport:
+        """Run the baseline session through the configured backend."""
+        if self.backend == "reference":
+            return scheme.diagnose(
+                injector, include_drf=True, bit_accurate=self.baseline_bit_accurate
+            )
+        from repro.engine.baseline_session import run_baseline_session
+
+        return run_baseline_session(
+            scheme,
+            injector,
+            backend=self.backend,
+            include_drf=True,
+            bit_accurate=self.baseline_bit_accurate,
+        )

@@ -6,6 +6,9 @@ The engine is the execution layer above the paper's single-session models:
   simulation backends (pure-Python reference, numpy bit-parallel);
 * :mod:`repro.engine.session` -- fast, bit-exact execution of a full
   proposed-scheme diagnosis session;
+* :mod:`repro.engine.baseline_session` -- fast, bit-exact execution of the
+  baseline's iterative DIAG-RSMARCH diagnosis flow (sparse serial replay
+  via :mod:`repro.engine.serial_kernel`);
 * :mod:`repro.engine.fleet` -- campaign fan-out over a multiprocessing
   worker pool with deterministic per-campaign seeding;
 * :mod:`repro.engine.aggregate` -- streaming reduction of campaign results
@@ -32,6 +35,7 @@ from repro.engine.fleet import (
     run_campaign,
     run_fleet,
 )
+from repro.engine.baseline_session import run_baseline_session
 from repro.engine.packing import HAVE_NUMPY
 from repro.engine.session import run_session
 
@@ -49,6 +53,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resolve_backend",
+    "run_baseline_session",
     "run_campaign",
     "run_fleet",
     "run_session",

@@ -32,6 +32,7 @@ class CampaignSummary(Record):
     total_failures: int
     proposed_time_ns: float | None = None
     baseline_time_ns: float | None = None
+    baseline_iterations: int | None = None
     reduction_factor: float | None = None
     repaired_words: int | None = None
     fully_repaired: bool | None = None
@@ -54,6 +55,7 @@ class CampaignSummary(Record):
             total_failures=proposed.total_failures if proposed else 0,
             proposed_time_ns=proposed.time_ns if proposed else None,
             baseline_time_ns=baseline.time_ns if baseline else None,
+            baseline_iterations=baseline.iterations if baseline else None,
             reduction_factor=report.reduction_factor,
             repaired_words=repair.total_repaired_words if repair else None,
             fully_repaired=repair.fully_repaired if repair else None,
@@ -147,6 +149,8 @@ class FleetReport(Record):
     localization: StreamingStats = field(default_factory=StreamingStats)
     reduction: StreamingStats = field(default_factory=StreamingStats)
     proposed_time_ns: StreamingStats = field(default_factory=StreamingStats)
+    baseline_time_ns: StreamingStats = field(default_factory=StreamingStats)
+    baseline_iterations: StreamingStats = field(default_factory=StreamingStats)
     reduction_histogram: list[int] = field(
         default_factory=lambda: [0] * (len(REDUCTION_BUCKETS) + 1)
     )
@@ -178,6 +182,10 @@ class FleetReport(Record):
         self.localization.add(summary.localization_rate)
         if summary.proposed_time_ns is not None:
             self.proposed_time_ns.add(summary.proposed_time_ns)
+        if summary.baseline_time_ns is not None:
+            self.baseline_time_ns.add(summary.baseline_time_ns)
+        if summary.baseline_iterations is not None:
+            self.baseline_iterations.add(summary.baseline_iterations)
         if summary.reduction_factor is not None:
             self.reduction.add(summary.reduction_factor)
             bucket = 0
@@ -207,6 +215,8 @@ class FleetReport(Record):
             "localization": self.localization.to_dict(),
             "reduction_factor": self.reduction.to_dict(),
             "proposed_time_ns": self.proposed_time_ns.to_dict(),
+            "baseline_time_ns": self.baseline_time_ns.to_dict(),
+            "baseline_iterations": self.baseline_iterations.to_dict(),
             "reduction_histogram": {
                 bucket_label(i): count
                 for i, count in enumerate(self.reduction_histogram)
@@ -229,6 +239,12 @@ class FleetReport(Record):
                 f"  localization    : mean {self.localization.mean:.1%} "
                 f"(min {self.localization.minimum:.1%}, "
                 f"max {self.localization.maximum:.1%})"
+            )
+        if self.baseline_iterations.count:
+            lines.append(
+                f"  baseline k      : mean {self.baseline_iterations.mean:.1f} "
+                f"(min {self.baseline_iterations.minimum:.0f}, "
+                f"max {self.baseline_iterations.maximum:.0f})"
             )
         if self.reduction.count:
             lines.append(

@@ -54,6 +54,18 @@ class MarchBackend:
         """Whether this backend can run ``memory`` natively (no fallback)."""
         return True
 
+    def supports_baseline(self, memory: SRAM) -> bool:
+        """Whether the baseline serial replay can run ``memory`` natively.
+
+        The baseline session runner
+        (:mod:`repro.engine.baseline_session`) probes memories through the
+        bi-directional serial interface rather than word-wide march ops;
+        backends that cannot model that access path return ``False`` and
+        the runner localizes those memories through the pure-Python scheme
+        instead.
+        """
+        return False
+
     @classmethod
     def is_available(cls) -> bool:
         """Whether this backend's dependencies are importable."""
@@ -70,6 +82,9 @@ class ReferenceBackend(MarchBackend):
 
     def run(self, memory: SRAM, algorithm: MarchAlgorithm) -> MarchResult:
         return self._simulator.run(memory, algorithm)
+
+    def supports_baseline(self, memory: SRAM) -> bool:
+        return True
 
 
 class NumpyBackend(MarchBackend):
@@ -94,6 +109,16 @@ class NumpyBackend(MarchBackend):
         return (
             not self.stop_on_first_failure
             and not memory.trace
+            and not memory.decoder.is_faulty
+            and not memory.column_mux.is_faulty
+        )
+
+    def supports_baseline(self, memory: SRAM) -> bool:
+        # The sparse serial replay assumes an ideal address/column path and
+        # no access tracing; early-stop has no serial-path meaning, so it
+        # does not disqualify a memory here.
+        return (
+            not memory.trace
             and not memory.decoder.is_faulty
             and not memory.column_mux.is_faulty
         )

@@ -28,6 +28,8 @@ from typing import Callable, Iterator
 
 from repro.core.campaign import DiagnosisCampaign
 from repro.engine.aggregate import CampaignSummary, FleetReport
+from repro.faults.defects import DefectProfile, DefectType
+from repro.memory.geometry import MemoryGeometry
 from repro.soc.case_study import case_study_soc
 from repro.soc.chip import SoCConfig
 from repro.util.records import Record
@@ -54,20 +56,60 @@ class FleetSpec(Record):
     include_baseline: bool = True
     repair: bool = True
     backend: str = "auto"
+    #: Optional uniform geometry override: every memory becomes a
+    #: ``(words, bits)`` instance (the X2 geometry matrix axis).
+    geometry: tuple[int, int] | None = None
+    #: Optional defect-class mix, one weight per
+    #: :class:`~repro.faults.defects.DefectType` in declaration order
+    #: (node-short, access-open, cell-bridge, pullup-open); ``None`` keeps
+    #: the paper's equal-likelihood profile (the X3 fault-mix axis).
+    defect_weights: tuple[float, float, float, float] | None = None
+    #: Run baseline sessions in bit-accurate serial-replay mode (exact but
+    #: ``O(k n c)``; meant for small geometries).
+    baseline_bit_accurate: bool = False
 
     def __post_init__(self) -> None:
         require(self.soc in ("case-study", "buffer-cluster"), f"unknown SoC {self.soc!r}")
         require_positive(self.campaigns, "campaigns")
         require(0.0 <= self.defect_rate <= 1.0, "defect_rate must be in [0, 1]")
+        if self.geometry is not None:
+            require(
+                len(self.geometry) == 2,
+                "geometry must be a (words, bits) pair",
+            )
+        if self.defect_weights is not None:
+            require(
+                len(self.defect_weights) == len(DefectType),
+                f"defect_weights needs one weight per defect class "
+                f"({len(DefectType)}), got {len(self.defect_weights)}",
+            )
 
     def build_soc(self) -> SoCConfig:
         """Materialize the SoC configuration this fleet diagnoses."""
+        if self.geometry is not None:
+            words, bits = self.geometry
+            return SoCConfig(
+                name=f"uniform-{words}x{bits}",
+                geometries=[
+                    MemoryGeometry(words, bits, f"esram_{i}")
+                    for i in range(self.memories)
+                ],
+                period_ns=self.period_ns,
+            )
         if self.soc == "buffer-cluster":
             return SoCConfig.buffer_cluster(period_ns=self.period_ns)
         return case_study_soc(
             memories=self.memories,
             heterogeneous=self.heterogeneous,
             period_ns=self.period_ns,
+        )
+
+    def build_profile(self) -> DefectProfile | None:
+        """Materialize the defect profile (``None`` = paper default)."""
+        if self.defect_weights is None:
+            return None
+        return DefectProfile(
+            weights=dict(zip(DefectType, self.defect_weights))
         )
 
     def campaign_seed(self, index: int) -> int:
@@ -84,6 +126,8 @@ def run_campaign(spec: FleetSpec, index: int) -> CampaignSummary:
         seed=seed,
         spares_per_memory=spec.spares_per_memory,
         backend=spec.backend,
+        profile=spec.build_profile(),
+        baseline_bit_accurate=spec.baseline_bit_accurate,
     )
     report = campaign.run(
         include_baseline=spec.include_baseline, repair=spec.repair

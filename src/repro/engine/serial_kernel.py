@@ -1,0 +1,122 @@
+"""Sparse replay of the baseline's serial sweeps (multi-iteration kernel).
+
+The Huang-Jone bit-accurate mode drags every cell of every word through
+the bi-directional serial interface: one probe is two full sweeps (fill +
+observe-while-refill) of ``2 * n * c`` behavioural accesses each, and the
+iterate-repair loop repeats three probes per shift direction for up to k
+iterations.  Almost all of that work is spent on *clean* words -- words no
+fault hook can touch (:meth:`repro.memory.SRAM.hooked_words`) -- whose
+behaviour is closed-form:
+
+* a serial fill leaves exactly the target pattern stored;
+* the observation stream a clean word emits while being refilled is the
+  bit sequence of the pattern it held, MSB-first for right shifts and
+  LSB-first for left shifts.
+
+So the fast path replays only the fault-hooked words through the real
+:class:`~repro.serial.bidirectional.BidirectionalSerialInterface` -- with
+the shared time base fast-forwarded to the cycle each word's visit starts
+at in the reference, so time-dependent faults observe identical clocks --
+and accounts for every clean word arithmetically.  Clean words cannot
+contribute a stream mismatch (their emissions equal the good-machine
+model by construction), so mismatch scanning over the dirty words alone
+is exact.
+"""
+
+from __future__ import annotations
+
+from repro.engine.packing import np
+from repro.serial.bidirectional import BidirectionalSerialInterface
+from repro.serial.shift_register import ShiftDirection
+from repro.memory.sram import SRAM
+
+__all__ = [
+    "expected_stream",
+    "serial_fill_sweep",
+    "serial_observe_sweep",
+    "sync_clean_serial_words",
+]
+
+#: Behavioural cycles one serial cycle consumes (one read + one write).
+TICKS_PER_SERIAL_CYCLE = 2
+
+
+def expected_stream(pattern: int, bits: int, direction: ShiftDirection):
+    """Observation stream a fault-free word holding ``pattern`` emits.
+
+    During a serial refill, cycle ``j`` of a right shift emits bit
+    ``bits - 1 - j`` of the previously stored word; a left shift emits bit
+    ``j``.  Returned as a uint8 array for vector comparison.
+    """
+    if direction is ShiftDirection.RIGHT:
+        order = range(bits - 1, -1, -1)
+    else:
+        order = range(bits)
+    return np.array([(pattern >> i) & 1 for i in order], dtype=np.uint8)
+
+
+def serial_fill_sweep(
+    memory: SRAM,
+    dirty_rows: list[int],
+    pattern: int,
+    direction: ShiftDirection,
+) -> None:
+    """One ascending serial fill sweep, replaying only the dirty rows.
+
+    Equivalent to ``BidirectionalSerialInterface(memory).fill_all(pattern,
+    direction)`` on a memory whose clean rows are ideal: each dirty row is
+    shifted behaviourally at its exact reference cycle offset and the
+    clean rows' share of the sweep is pure clocking.  Clean-row *state* is
+    not updated here -- it is closed-form (``pattern``) and only the last
+    sweep's value is observable, so callers sync it once per probe via
+    :func:`sync_clean_serial_words`.
+    """
+    per_word = TICKS_PER_SERIAL_CYCLE * memory.bits
+    timebase = memory.timebase
+    base = timebase.cycles
+    interface = BidirectionalSerialInterface(memory)
+    for row in dirty_rows:
+        timebase.tick(base + row * per_word - timebase.cycles)
+        interface.fill_word(row, pattern, direction)
+    timebase.tick(base + memory.words * per_word - timebase.cycles)
+
+
+def serial_observe_sweep(
+    memory: SRAM,
+    dirty_rows: list[int],
+    refill: int,
+    direction: ShiftDirection,
+    expected,
+) -> tuple[int, int] | None:
+    """One ascending observe-while-refill sweep over the dirty rows.
+
+    Returns the first stream mismatch as ``(address, cycle)`` -- first by
+    address, then by serial cycle, exactly the reference's scan order --
+    or ``None``.  ``expected`` is the fault-free stream from
+    :func:`expected_stream`.  Every dirty row is replayed even after a
+    mismatch (the reference completes its sweeps too, and skipping would
+    leave stale state behind for the next probe's state-dependent
+    faults).
+    """
+    per_word = TICKS_PER_SERIAL_CYCLE * memory.bits
+    timebase = memory.timebase
+    base = timebase.cycles
+    interface = BidirectionalSerialInterface(memory)
+    mismatch: tuple[int, int] | None = None
+    for row in dirty_rows:
+        timebase.tick(base + row * per_word - timebase.cycles)
+        observed = interface.fill_word(row, refill, direction)
+        if mismatch is None:
+            hits = np.nonzero(np.array(observed, dtype=np.uint8) != expected)[0]
+            if hits.size:
+                mismatch = (row, int(hits[0]))
+    timebase.tick(base + memory.words * per_word - timebase.cycles)
+    return mismatch
+
+
+def sync_clean_serial_words(memory: SRAM, pattern: int) -> None:
+    """Store ``pattern`` into every clean word (the closed-form fill result)."""
+    dirty = memory.hooked_words()
+    for row in range(memory.words):
+        if row not in dirty:
+            memory.force_store_word(row, pattern)

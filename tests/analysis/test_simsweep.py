@@ -1,0 +1,136 @@
+"""Simulation-backed sweep matrices: measured R vs the analytic model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.simsweep import (
+    FAULT_MIX_PRESETS,
+    SimSweepPoint,
+    analytic_comparison,
+    defect_rate_matrix,
+    fault_mix_matrix,
+    geometry_matrix,
+    run_sim_sweep,
+    summarize_point,
+)
+from repro.engine.aggregate import FleetReport
+from repro.engine.fleet import FleetSpec
+from repro.faults.defects import DefectType
+
+FAST = dict(campaigns=2, memories=2, master_seed=3)
+
+
+class TestMatrices:
+    def test_defect_rate_rows_track_model(self):
+        points = defect_rate_matrix([0.005, 0.01], **FAST)
+        rows = run_sim_sweep(points, workers=1)
+        assert [row.label for row in rows] == ["0.5000%", "1.0000%"]
+        for row in rows:
+            assert row.campaigns == 2
+            assert row.total_faults > 0
+            # The fleet's measured R must land near the closed-form model
+            # (the point of the side-by-side emission is seeing the gap).
+            assert row.measured_r_mean == pytest.approx(
+                row.analytic_r_drf, rel=0.25
+            )
+            assert row.measured_k_mean == pytest.approx(row.analytic_k, rel=0.25)
+            assert 0.5 < row.model_gap < 2.0
+        # R grows with the defect rate, measured and modeled alike.
+        assert rows[1].measured_r_mean > rows[0].measured_r_mean
+        assert rows[1].analytic_r > rows[0].analytic_r
+
+    def test_geometry_matrix_uniform_fleets(self):
+        points = geometry_matrix([(64, 16), (32, 8)], defect_rate=0.02, **FAST)
+        assert [point.spec.geometry for point in points] == [(64, 16), (32, 8)]
+        rows = run_sim_sweep(points, workers=1)
+        assert [row.label for row in rows] == ["64x16", "32x8"]
+        assert all(row.model_gap == pytest.approx(1.0, abs=0.35) for row in rows)
+
+    def test_fault_mix_matrix_shifts_k(self):
+        mixes = {
+            "logical-only": FAULT_MIX_PRESETS["logical-only"],
+            "retention-heavy": FAULT_MIX_PRESETS["retention-heavy"],
+        }
+        points = fault_mix_matrix(mixes, defect_rate=0.02, **FAST)
+        rows = {row.label: row for row in run_sim_sweep(points, workers=1)}
+        # All faults localizable -> more M1 work than a retention-heavy mix
+        # (DRFs are localized two-per-iteration in parallel with the rest).
+        assert (
+            rows["logical-only"].measured_k_mean
+            > rows["retention-heavy"].measured_k_mean
+        )
+        assert rows["logical-only"].analytic_k > rows["retention-heavy"].analytic_k
+
+    def test_rows_are_json_serializable(self):
+        points = defect_rate_matrix([0.01], **FAST)
+        rows = run_sim_sweep(points, workers=1)
+        payload = json.dumps([row.to_json_dict() for row in rows])
+        decoded = json.loads(payload)
+        assert decoded[0]["matrix"] == "X1-defect-rate"
+        assert decoded[0]["analytic_k"] >= 1
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            defect_rate_matrix([])
+        with pytest.raises(ValueError):
+            geometry_matrix([])
+        with pytest.raises(ValueError):
+            fault_mix_matrix({})
+
+
+class TestAnalyticModel:
+    def test_matches_sweeps_arithmetic_for_case_study(self):
+        spec = FleetSpec(
+            soc="case-study", memories=1, defect_rate=0.01, campaigns=1
+        )
+        iterations, timing = analytic_comparison(spec)
+        assert iterations == 96  # the paper's k for 512x100 at 1 %
+        assert timing.reduction == pytest.approx(84.15, abs=0.01)
+
+    def test_retention_heavy_mix_binds_on_drf_share(self):
+        logical = FleetSpec(
+            soc="case-study", memories=1, defect_rate=0.01, campaigns=1,
+            defect_weights=(1.0, 1.0, 1.0, 0.0),
+        )
+        retention = FleetSpec(
+            soc="case-study", memories=1, defect_rate=0.01, campaigns=1,
+            defect_weights=(0.0, 0.0, 1.0, 3.0),
+        )
+        k_logical, _ = analytic_comparison(logical)
+        k_retention, _ = analytic_comparison(retention)
+        assert k_logical > 96  # share 1.0 > the paper's 0.75
+        assert k_retention == 96  # binding share back to max(0.25, 0.75)
+
+    def test_summarize_point_without_baseline(self):
+        spec = FleetSpec(campaigns=1, include_baseline=False)
+        point = SimSweepPoint(matrix="X1-defect-rate", label="x", spec=spec)
+        row = summarize_point(point, FleetReport())
+        assert row.measured_r_mean is None
+        assert row.model_gap is None
+        assert row.analytic_k >= 1
+
+
+class TestFleetSpecExtensions:
+    def test_geometry_override_builds_uniform_soc(self):
+        spec = FleetSpec(campaigns=1, memories=3, geometry=(64, 16))
+        soc = spec.build_soc()
+        assert len(soc.geometries) == 3
+        assert all((g.words, g.bits) == (64, 16) for g in soc.geometries)
+
+    def test_defect_weights_build_profile(self):
+        spec = FleetSpec(campaigns=1, defect_weights=(2.0, 1.0, 1.0, 0.0))
+        profile = spec.build_profile()
+        assert profile.weights[DefectType.NODE_SHORT] == 2.0
+        assert profile.weights[DefectType.PULLUP_OPEN] == 0.0
+        assert FleetSpec(campaigns=1).build_profile() is None
+
+    def test_bad_defect_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSpec(campaigns=1, defect_weights=(1.0, 1.0))
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            FleetSpec(campaigns=1, geometry=(64,))

@@ -9,6 +9,22 @@ from repro.memory.geometry import MemoryGeometry
 from repro.memory.sram import SRAM
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/ fixtures from the current run "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether golden-file tests should rewrite their fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def small_geometry() -> MemoryGeometry:
     """A 16x4 memory: big enough for every March, small enough to be fast."""

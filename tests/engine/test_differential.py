@@ -1,0 +1,144 @@
+"""Seeded differential fuzz harness: reference vs numpy, both schemes.
+
+Each fuzz case draws a random (geometry, fault population, march
+algorithm) triple from a seeded generator and asserts complete
+equivalence between the pure-Python reference path and the vectorized
+numpy path at three levels:
+
+* raw march runs (:mod:`repro.engine.backends`) -- failure records,
+  cycle/time accounting, final memory state;
+* proposed-scheme sessions (:mod:`repro.engine.session`) -- full
+  :class:`~repro.core.report.ProposedReport` plus end state and clocking;
+* baseline sessions (:mod:`repro.engine.baseline_session`, bit-accurate
+  iterate-repair) -- iteration count, localization records, missed
+  faults, end state and clocking.
+
+The generator is deterministic per case index, so failures reproduce
+exactly; widen ``CASES`` locally to fuzz harder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.scheme import HuangJoneScheme
+from repro.core.scheme import FastDiagnosisScheme
+from repro.engine.backends import ReferenceBackend, get_backend
+from repro.engine.baseline_session import run_baseline_session
+from repro.engine.session import run_session
+from repro.faults.injector import FaultInjector
+from repro.faults.population import sample_population
+from repro.march.library import (
+    march_c_minus,
+    march_c_nw,
+    march_cw,
+    march_cw_nw,
+    march_ss,
+    march_with_retention_pauses,
+    mats_plus,
+)
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.rng import make_rng
+
+ALGORITHMS = [
+    mats_plus,
+    march_c_minus,
+    march_c_nw,
+    march_cw,
+    march_cw_nw,
+    march_ss,
+    march_with_retention_pauses,
+]
+
+#: Number of fuzz cases per suite run (each is an independent seed).
+CASES = 10
+
+
+def draw_case(case_index: int):
+    """One random (bank geometries, defect rate, algorithm) triple."""
+    rng = make_rng(0xD1FF + case_index)
+    memories = int(rng.integers(1, 4))
+    geometries = [
+        MemoryGeometry(
+            int(rng.integers(3, 25)), int(rng.integers(2, 11)), f"fuzz_{i}"
+        )
+        for i in range(memories)
+    ]
+    defect_rate = float(rng.uniform(0.0, 0.08))
+    algorithm = ALGORITHMS[int(rng.integers(len(ALGORITHMS)))]
+    seed = int(rng.integers(2**31))
+    return geometries, defect_rate, algorithm, seed
+
+
+def build_bank(geometries, defect_rate, seed):
+    bank = MemoryBank([SRAM(geometry) for geometry in geometries])
+    injector = FaultInjector()
+    for index, memory in enumerate(bank):
+        population = sample_population(memory.geometry, defect_rate, rng=seed + index)
+        injector.inject(memory, population.faults)
+    return bank, injector
+
+
+def assert_states_equal(reference_bank, fast_bank):
+    for reference_memory, fast_memory in zip(reference_bank, fast_bank):
+        assert fast_memory.dump() == reference_memory.dump()
+        assert fast_memory.timebase.cycles == reference_memory.timebase.cycles
+
+
+@pytest.mark.parametrize("case_index", range(CASES))
+class TestDifferentialFuzz:
+    def test_raw_march_backend(self, case_index):
+        geometries, defect_rate, algorithm, seed = draw_case(case_index)
+        reference_bank, _ = build_bank(geometries, defect_rate, seed)
+        fast_bank, _ = build_bank(geometries, defect_rate, seed)
+        for reference_memory, fast_memory in zip(reference_bank, fast_bank):
+            reference = ReferenceBackend().run(
+                reference_memory, algorithm(reference_memory.bits)
+            )
+            fast = get_backend("numpy").run(fast_memory, algorithm(fast_memory.bits))
+            assert fast.failures == reference.failures
+            assert fast.cycles == reference.cycles
+            assert fast.elapsed_ns == reference.elapsed_ns
+        assert_states_equal(reference_bank, fast_bank)
+
+    def test_proposed_session(self, case_index):
+        geometries, defect_rate, algorithm, seed = draw_case(case_index)
+        reference_bank, _ = build_bank(geometries, defect_rate, seed)
+        fast_bank, _ = build_bank(geometries, defect_rate, seed)
+        reference = FastDiagnosisScheme(
+            reference_bank, algorithm_factory=algorithm
+        ).diagnose()
+        fast = run_session(
+            FastDiagnosisScheme(fast_bank, algorithm_factory=algorithm),
+            backend="numpy",
+        )
+        assert fast.failures == reference.failures
+        assert fast.cycles == reference.cycles
+        assert fast.pause_ns == reference.pause_ns
+        assert fast.deliveries == reference.deliveries
+        assert fast.nwrc_ops == reference.nwrc_ops
+        assert fast.time_ns == reference.time_ns
+        assert_states_equal(reference_bank, fast_bank)
+
+    def test_baseline_session(self, case_index):
+        geometries, defect_rate, _, seed = draw_case(case_index)
+        reference_bank, reference_injector = build_bank(geometries, defect_rate, seed)
+        fast_bank, fast_injector = build_bank(geometries, defect_rate, seed)
+        reference = HuangJoneScheme(reference_bank).diagnose(
+            reference_injector, bit_accurate=True
+        )
+        fast = run_baseline_session(
+            HuangJoneScheme(fast_bank),
+            fast_injector,
+            backend="numpy",
+            bit_accurate=True,
+        )
+        assert fast.iterations == reference.iterations
+        assert fast.localized == reference.localized
+        assert [(n, f.describe()) for n, f in fast.missed] == [
+            (n, f.describe()) for n, f in reference.missed
+        ]
+        assert fast.cycles == reference.cycles
+        assert_states_equal(reference_bank, fast_bank)

@@ -79,10 +79,52 @@ class TestCampaign:
 
 
 class TestSweepAndArea:
-    def test_sweep(self, capsys):
-        assert main(["sweep", "--rates", "0.001,0.01"]) == 0
+    def test_sweep_analytic_only(self, capsys):
+        assert main(["sweep", "--analytic-only", "--rates", "0.001,0.01"]) == 0
         out = capsys.readouterr().out
         assert "defect rate" in out and "R (DRF)" in out
+
+    def test_sweep_analytic_only_respects_matrix(self, capsys):
+        assert main(
+            ["sweep", "--analytic-only", "--matrix", "geometry",
+             "--shapes", "64x16", "--defect-rate", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "64 x 16" in out and "R (DRF)" in out
+        assert main(
+            ["sweep", "--analytic-only", "--matrix", "fault-mix"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paper-equal" in out and "retention-heavy" in out
+
+    def test_sweep_bad_shapes_rejected_with_clear_error(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="expected WORDSxBITS"):
+            main(["sweep", "--matrix", "geometry", "--shapes", "512",
+                  "--analytic-only"])
+
+    def test_sweep_simulated_table(self, capsys):
+        assert main(
+            ["sweep", "--rates", "0.01", "--campaigns", "1",
+             "--memories", "2", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "R meas" in out and "R model (DRF)" in out
+
+    def test_sweep_simulated_json_has_measured_and_analytic(self, capsys):
+        import json
+
+        assert main(
+            ["sweep", "--json", "--rates", "0.01", "--campaigns", "1",
+             "--memories", "2", "--workers", "1"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matrix"] == "X1-defect-rate"
+        row = payload["rows"][0]
+        assert row["measured_r_mean"] > 1.0
+        assert row["analytic_r"] > 1.0 and row["analytic_r_drf"] > 1.0
+        assert row["measured_k_mean"] is not None
 
     def test_area(self, capsys):
         assert main(["area"]) == 0
