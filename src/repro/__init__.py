@@ -65,9 +65,10 @@ from repro.march import (
     march_cw_nw,
 )
 from repro.memory import MemoryBank, MemoryGeometry, SRAM
+from repro.scenarios import ScenarioSpec, run_scenario_fleet
 from repro.soc import SoCConfig, case_study_bank, case_study_population
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CampaignReport",
@@ -91,6 +92,7 @@ __all__ = [
     "ParallelToSerialConverter",
     "RepairController",
     "SRAM",
+    "ScenarioSpec",
     "SerialToParallelConverter",
     "SoCConfig",
     "StuckAtFault",
@@ -106,4 +108,5 @@ __all__ = [
     "proposed_diagnosis_time_ns",
     "reduction_factor",
     "reduction_factor_with_drf",
+    "run_scenario_fleet",
 ]

@@ -1,0 +1,155 @@
+"""Scenario sweep matrices: diagnosis quality vs. clustering/transients.
+
+The closed-form model (Eqs. (1)-(4)) has no notion of spatial
+correlation or intermittent upsets; the scenario engine does.  This
+module sweeps the scenario axes the way :mod:`repro.analysis.simsweep`
+sweeps the paper's X1-X3 matrices -- every row runs real multi-session
+flows through the fleet scheduler -- and reports how the scenario-level
+outcomes (escape rate, retest convergence, measured R under clustering)
+move along each axis:
+
+* **S1 -- cluster radius** (:func:`radius_matrix`): from near-point
+  defects (tiny radius) to die-wide correlation (radius >> die);
+* **S2 -- upset probability** (:func:`upset_matrix`): how hard the
+  burn-in stage must look to catch intermittent mechanisms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.engine.aggregate import FleetReport
+from repro.scenarios.runner import run_scenario_fleet
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.records import Record
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class ScenarioSweepPoint(Record):
+    """One cell of a scenario matrix: a label plus the fleet to run."""
+
+    matrix: str
+    label: str
+    spec: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioSweepRow(Record):
+    """Scenario outcomes of one sweep point."""
+
+    matrix: str
+    label: str
+    campaigns: int
+    total_faults: int
+    assigned_rate_mean: float | None
+    measured_r_mean: float | None
+    escape_rate_mean: float | None
+    retest_rounds_mean: float | None
+    retest_convergence: float | None
+    intermittent_detection_rate: float | None
+    elapsed_s: float
+    campaigns_per_sec: float
+
+    def to_table_row(self) -> dict[str, object]:
+        """Compact rendering for ``repro.util.records.format_table``."""
+
+        def fmt(value: float | None, spec: str = ".1f") -> str:
+            return "-" if value is None else format(value, spec)
+
+        return {
+            "point": self.label,
+            "campaigns": self.campaigns,
+            "faults": self.total_faults,
+            "rate": fmt(self.assigned_rate_mean, ".4f"),
+            "R meas": fmt(self.measured_r_mean),
+            "escape": fmt(self.escape_rate_mean, ".3f"),
+            "rounds": fmt(self.retest_rounds_mean),
+            "converged": fmt(self.retest_convergence, ".2f"),
+            "int. det": fmt(self.intermittent_detection_rate, ".2f"),
+        }
+
+    def to_json_dict(self) -> dict[str, object]:
+        """JSON-friendly rendering (all fields, plain types)."""
+        return dict(self.to_dict())
+
+
+def summarize_scenario_point(
+    point: ScenarioSweepPoint, report: FleetReport
+) -> ScenarioSweepRow:
+    """Fold one scenario fleet report into its sweep row."""
+
+    def mean(stats) -> float | None:
+        return stats.mean if stats.count else None
+
+    return ScenarioSweepRow(
+        matrix=point.matrix,
+        label=point.label,
+        campaigns=report.campaigns,
+        total_faults=report.total_faults,
+        assigned_rate_mean=mean(report.assigned_rate),
+        measured_r_mean=mean(report.reduction),
+        escape_rate_mean=mean(report.escape_rate),
+        retest_rounds_mean=mean(report.retest_rounds),
+        retest_convergence=report.retest_convergence,
+        intermittent_detection_rate=report.intermittent_detection_rate,
+        elapsed_s=report.elapsed_s,
+        campaigns_per_sec=report.campaigns_per_sec,
+    )
+
+
+def run_scenario_sweep(
+    points: Iterable[ScenarioSweepPoint],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[ScenarioSweepRow]:
+    """Run every sweep point's scenario fleet and summarize it."""
+    materialized = list(points)
+    rows = []
+    for index, point in enumerate(materialized):
+        report = run_scenario_fleet(
+            point.spec, workers=workers, chunk_size=chunk_size
+        )
+        rows.append(summarize_scenario_point(point, report))
+        if progress is not None:
+            progress(index + 1, len(materialized))
+    return rows
+
+
+def radius_matrix(
+    radii: Iterable[float], base: ScenarioSpec | None = None, **spec_kwargs
+) -> list[ScenarioSweepPoint]:
+    """S1: the cluster-radius axis over a common base spec."""
+    radii = list(radii)
+    require(bool(radii), "radius matrix needs at least one radius")
+    base = base or ScenarioSpec(**spec_kwargs)
+    return [
+        ScenarioSweepPoint(
+            matrix="S1-cluster-radius",
+            label=f"r={radius:g}",
+            spec=dataclasses.replace(base, cluster_radius=radius),
+        )
+        for radius in radii
+    ]
+
+
+def upset_matrix(
+    probabilities: Iterable[float],
+    base: ScenarioSpec | None = None,
+    **spec_kwargs,
+) -> list[ScenarioSweepPoint]:
+    """S2: the per-access upset-probability axis over a common base."""
+    probabilities = list(probabilities)
+    require(bool(probabilities), "upset matrix needs at least one probability")
+    base = base or ScenarioSpec(**spec_kwargs)
+    return [
+        ScenarioSweepPoint(
+            matrix="S2-upset-probability",
+            label=f"p={probability:g}",
+            spec=dataclasses.replace(base, upset_probability=probability),
+        )
+        for probability in probabilities
+    ]

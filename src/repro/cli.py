@@ -9,6 +9,7 @@ Subcommands::
     python -m repro area                  # Sec. 4.3 area/wire table
     python -m repro campaign ...          # one SoC campaign end to end
     python -m repro fleet ...             # batch campaigns over a worker pool
+    python -m repro scenario ...          # clustered/intermittent flow fleets
 """
 
 from __future__ import annotations
@@ -245,6 +246,93 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import preset_spec, run_scenario_fleet
+
+    overrides = dict(
+        soc=args.soc,
+        memories=args.memories,
+        campaigns=args.campaigns,
+        master_seed=args.seed,
+        spares_per_memory=args.spares,
+        backend=args.backend,
+        max_retest_rounds=args.max_retest_rounds,
+    )
+    # None-sentinel flags: only override the preset when actually passed,
+    # so each preset's cluster/intermittent shape survives by default.
+    optional = dict(
+        base_defect_rate=args.base_defect_rate,
+        cluster_count=args.clusters,
+        cluster_radius=args.cluster_radius,
+        cluster_peak_rate=args.cluster_peak_rate,
+        intermittent_rate=args.intermittent_rate,
+        upset_probability=args.upset_probability,
+    )
+    overrides.update(
+        (key, value) for key, value in optional.items() if value is not None
+    )
+    if args.no_baseline:
+        overrides["include_baseline"] = False
+    if args.no_burn_in:
+        overrides["burn_in"] = False
+    spec = preset_spec(args.preset, **overrides)
+
+    if args.sweep_radii:
+        from repro.analysis.scenario_sweep import radius_matrix, run_scenario_sweep
+
+        radii = [float(r) for r in args.sweep_radii.split(",")]
+        points = radius_matrix(radii, base=spec)
+        progress = None
+        if not args.json:
+            print(
+                f"scenario radius sweep: {len(points)} points x "
+                f"{spec.campaigns} campaigns"
+            )
+
+            def progress(done: int, total: int) -> None:
+                print(f"  {done}/{total} points done", flush=True)
+
+        rows = run_scenario_sweep(
+            points,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            progress=progress,
+        )
+        if args.json:
+            payload = {
+                "matrix": rows[0].matrix if rows else "S1-cluster-radius",
+                "campaigns_per_point": spec.campaigns,
+                "rows": [row.to_json_dict() for row in rows],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(format_table([row.to_table_row() for row in rows]))
+        return 0
+
+    progress = None
+    if not args.json:
+        print(
+            f"scenario {spec.name!r}: {spec.campaigns} flow campaigns on "
+            f"{spec.soc} ({spec.memories} memories), {spec.cluster_count} "
+            f"cluster(s) r={spec.cluster_radius:g}, backend={spec.backend}"
+        )
+
+        def progress(done: int, total: int) -> None:
+            print(f"  {done}/{total} campaigns done", flush=True)
+
+    report = run_scenario_fleet(
+        spec, workers=args.workers, chunk_size=args.chunk_size, progress=progress
+    )
+    if args.json:
+        payload = {"spec": spec.to_dict(), **report.to_json_dict()}
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n".join(report.summary_lines()))
+    return 0
+
+
 def _cmd_area(args: argparse.Namespace) -> int:
     geometry = MemoryGeometry(args.words, args.bits)
     paper = AreaModel(TransistorBudget.paper())
@@ -396,6 +484,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--json", action="store_true", help="emit JSON stats")
     fleet.set_defaults(func=_cmd_fleet)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="clustered-defect / intermittent-fault production-flow fleets",
+    )
+    scenario.add_argument(
+        "--preset",
+        choices=("clustered", "burn-in-soft-error", "intermittent-only"),
+        default="clustered",
+        help="scenario preset to start from (flags below override it)",
+    )
+    scenario.add_argument(
+        "--soc", choices=("buffer-cluster", "case-study"), default="case-study"
+    )
+    scenario.add_argument("--memories", type=int, default=8)
+    scenario.add_argument("--campaigns", type=int, default=8)
+    scenario.add_argument("--seed", type=int, default=0, help="master seed")
+    scenario.add_argument("--spares", type=int, default=32)
+    scenario.add_argument(
+        "--base-defect-rate", type=float, default=None,
+        help="uniform defect-rate floor (default: the preset's)",
+    )
+    scenario.add_argument(
+        "--clusters", type=int, default=None,
+        help="cluster centers per campaign (default: the preset's)",
+    )
+    scenario.add_argument(
+        "--cluster-radius", type=float, default=None,
+        help="decay radius (default: the preset's)",
+    )
+    scenario.add_argument(
+        "--cluster-peak-rate", type=float, default=None,
+        help="extra defect rate at a cluster center (default: the preset's)",
+    )
+    scenario.add_argument(
+        "--intermittent-rate", type=float, default=None,
+        help="fraction of cells with intermittent mechanisms at burn-in",
+    )
+    scenario.add_argument(
+        "--upset-probability", type=float, default=None,
+        help="per-access upset probability of intermittent faults",
+    )
+    scenario.add_argument("--max-retest-rounds", type=int, default=3)
+    scenario.add_argument("--no-baseline", action="store_true")
+    scenario.add_argument("--no-burn-in", action="store_true")
+    scenario.add_argument(
+        "--backend",
+        choices=("reference", "numpy", "fast", "auto"),
+        default="auto",
+    )
+    scenario.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores - 1)"
+    )
+    scenario.add_argument(
+        "--chunk-size", type=int, default=None, help="campaigns per work unit"
+    )
+    scenario.add_argument(
+        "--sweep-radii", default=None,
+        help="comma-separated radii: run the S1 cluster-radius matrix instead",
+    )
+    scenario.add_argument("--json", action="store_true", help="emit JSON stats")
+    scenario.set_defaults(func=_cmd_scenario)
     return parser
 
 

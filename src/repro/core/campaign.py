@@ -9,14 +9,16 @@ session, repair outcome, verification verdict).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.baseline.scheme import BaselineReport, HuangJoneScheme
 from repro.core.repair import RepairController, RepairResult
 from repro.core.report import ProposedReport
 from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.base import Fault
 from repro.faults.injector import FaultInjector
 from repro.faults.population import sample_population
+from repro.memory.sram import SRAM
 from repro.soc.chip import SoCConfig
 from repro.util.records import Record
 from repro.util.units import format_duration_ns
@@ -24,6 +26,12 @@ from repro.util.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.defects import DefectProfile
+    from repro.memory.bank import MemoryBank
+
+#: Population sampler: maps ``(bank_index, memory)`` to the faults to
+#: inject into that memory.  The default samples a uniform-rate
+#: population; scenario workloads plug in spatially-correlated samplers.
+PopulationSampler = Callable[[int, SRAM], "list[Fault]"]
 
 
 @dataclass
@@ -86,12 +94,17 @@ class DiagnosisCampaign:
         backend: str = "reference",
         profile: "DefectProfile | None" = None,
         baseline_bit_accurate: bool = False,
+        sampler: PopulationSampler | None = None,
     ) -> None:
         require(0.0 <= defect_rate <= 1.0, "defect_rate must be in [0, 1]")
         self.soc = soc
         self.defect_rate = defect_rate
         self.seed = seed
         self.spares_per_memory = spares_per_memory
+        #: Optional population-sampling strategy.  ``None`` keeps the
+        #: uniform-rate default; :mod:`repro.scenarios` plugs in
+        #: floorplan-driven clustered samplers here.
+        self.sampler = sampler
         #: March-simulation backend for the proposed-scheme *and* baseline
         #: sessions: ``reference`` (the classic cell-by-cell path),
         #: ``numpy``/``fast`` (vectorized, bit-identical results) or
@@ -105,18 +118,33 @@ class DiagnosisCampaign:
         #: ``O(k * n * c)`` -- intended for small geometries.
         self.baseline_bit_accurate = baseline_bit_accurate
 
-    def _faulty_bank(self):
+    def _default_sampler(self, index: int, memory: SRAM) -> list[Fault]:
+        """Uniform-rate population, seeded per bank position."""
+        return sample_population(
+            memory.geometry,
+            self.defect_rate,
+            profile=self.profile,
+            rng=self.seed + index,
+        ).faults
+
+    def faulty_bank(self) -> tuple["MemoryBank", FaultInjector]:
+        """Build a fresh bank with this campaign's faults injected.
+
+        Each call materializes new SRAM instances and new fault objects
+        (stateful fault models must not be shared between sessions), so
+        one campaign can drive independent proposed/baseline banks -- or,
+        for multi-session scenario flows, hand the bank out for chained
+        diagnose/repair/retest stages.
+        """
         bank = self.soc.build_bank()
+        sampler = self.sampler or self._default_sampler
         injector = FaultInjector()
         for index, memory in enumerate(bank):
-            population = sample_population(
-                memory.geometry,
-                self.defect_rate,
-                profile=self.profile,
-                rng=self.seed + index,
-            )
-            injector.inject(memory, population.faults)
+            injector.inject(memory, sampler(index, memory))
         return bank, injector
+
+    # Backwards-compatible private alias (pre-scenario API).
+    _faulty_bank = faulty_bank
 
     def run(
         self,
@@ -124,9 +152,9 @@ class DiagnosisCampaign:
         repair: bool = True,
     ) -> CampaignReport:
         """Execute the campaign and return the combined report."""
-        bank, injector = self._faulty_bank()
+        bank, injector = self.faulty_bank()
         scheme = FastDiagnosisScheme(bank, period_ns=self.soc.period_ns)
-        proposed = self._diagnose(scheme)
+        proposed = self.diagnose_proposed(scheme)
         report = CampaignReport(
             soc_name=self.soc.name,
             injected_faults=injector.total,
@@ -135,8 +163,8 @@ class DiagnosisCampaign:
         )
 
         if include_baseline:
-            baseline_bank, baseline_injector = self._faulty_bank()
-            report.baseline = self._diagnose_baseline(
+            baseline_bank, baseline_injector = self.faulty_bank()
+            report.baseline = self.diagnose_baseline(
                 HuangJoneScheme(baseline_bank, period_ns=self.soc.period_ns),
                 baseline_injector,
             )
@@ -144,10 +172,10 @@ class DiagnosisCampaign:
         if repair:
             controller = RepairController(bank, self.spares_per_memory)
             report.repair = controller.apply(proposed)
-            report.verification_passed = self._diagnose(scheme).passed
+            report.verification_passed = self.diagnose_proposed(scheme).passed
         return report
 
-    def _diagnose(self, scheme: FastDiagnosisScheme) -> ProposedReport:
+    def diagnose_proposed(self, scheme: FastDiagnosisScheme) -> ProposedReport:
         """Run one session through the configured backend."""
         if self.backend == "reference":
             return scheme.diagnose()
@@ -157,7 +185,7 @@ class DiagnosisCampaign:
 
         return run_session(scheme, backend=self.backend)
 
-    def _diagnose_baseline(
+    def diagnose_baseline(
         self, scheme: HuangJoneScheme, injector: FaultInjector
     ) -> BaselineReport:
         """Run the baseline session through the configured backend."""

@@ -37,6 +37,22 @@ class CampaignSummary(Record):
     repaired_words: int | None = None
     fully_repaired: bool | None = None
     verification_passed: bool | None = None
+    # Scenario-flow fields (None for plain fleet campaigns; populated by
+    # :mod:`repro.scenarios.flow` for multi-session production flows).
+    #: Scenario label the campaign belongs to.
+    scenario: str | None = None
+    #: Mean clustered defect rate the field assigned to the bank.
+    assigned_rate_mean: float | None = None
+    #: Manufacturing faults no session of the flow localized.
+    escaped_faults: int | None = None
+    escape_rate: float | None = None
+    #: Repair -> retest rounds executed after the initial test.
+    retest_rounds: int | None = None
+    #: Whether the retest loop reached a clean session.
+    retest_converged: bool | None = None
+    #: Intermittent faults injected at burn-in / detected there.
+    intermittent_faults: int | None = None
+    intermittent_detected: int | None = None
 
     @classmethod
     def from_report(
@@ -159,6 +175,14 @@ class FleetReport(Record):
     verified_pass_count: int = 0
     verified_total: int = 0
     elapsed_s: float = 0.0
+    # Scenario-flow aggregates (all zero/empty for plain fleets).
+    scenario_campaigns: int = 0
+    escape_rate: StreamingStats = field(default_factory=StreamingStats)
+    assigned_rate: StreamingStats = field(default_factory=StreamingStats)
+    retest_rounds: StreamingStats = field(default_factory=StreamingStats)
+    retest_converged_count: int = 0
+    intermittent_injected: int = 0
+    intermittent_detected: int = 0
 
     @property
     def campaigns_per_sec(self) -> float:
@@ -203,10 +227,36 @@ class FleetReport(Record):
             self.verified_total += 1
             if summary.verification_passed:
                 self.verified_pass_count += 1
+        if summary.scenario is not None:
+            self.scenario_campaigns += 1
+            if summary.escape_rate is not None:
+                self.escape_rate.add(summary.escape_rate)
+            if summary.assigned_rate_mean is not None:
+                self.assigned_rate.add(summary.assigned_rate_mean)
+            if summary.retest_rounds is not None:
+                self.retest_rounds.add(summary.retest_rounds)
+            if summary.retest_converged:
+                self.retest_converged_count += 1
+            self.intermittent_injected += summary.intermittent_faults or 0
+            self.intermittent_detected += summary.intermittent_detected or 0
+
+    @property
+    def retest_convergence(self) -> float | None:
+        """Fraction of scenario campaigns whose retest loop converged."""
+        if self.scenario_campaigns == 0:
+            return None
+        return self.retest_converged_count / self.scenario_campaigns
+
+    @property
+    def intermittent_detection_rate(self) -> float | None:
+        """Fraction of injected intermittent faults seen at burn-in."""
+        if self.intermittent_injected == 0:
+            return None
+        return self.intermittent_detected / self.intermittent_injected
 
     def to_json_dict(self) -> dict:
         """Serializable rendering for the CLI's ``--json`` mode."""
-        return {
+        payload = {
             "campaigns": self.campaigns,
             "elapsed_s": self.elapsed_s,
             "campaigns_per_sec": self.campaigns_per_sec,
@@ -225,6 +275,18 @@ class FleetReport(Record):
             "fully_repaired_count": self.fully_repaired_count,
             "yield_rate": self.yield_rate,
         }
+        if self.scenario_campaigns:
+            payload["scenario"] = {
+                "campaigns": self.scenario_campaigns,
+                "escape_rate": self.escape_rate.to_dict(),
+                "assigned_defect_rate": self.assigned_rate.to_dict(),
+                "retest_rounds": self.retest_rounds.to_dict(),
+                "retest_convergence": self.retest_convergence,
+                "intermittent_injected": self.intermittent_injected,
+                "intermittent_detected": self.intermittent_detected,
+                "intermittent_detection_rate": self.intermittent_detection_rate,
+            }
+        return payload
 
     def summary_lines(self) -> list[str]:
         """Human-readable fleet summary for the CLI."""
@@ -269,4 +331,29 @@ class FleetReport(Record):
                 f"  yield           : {self.yield_rate:.1%} "
                 f"({self.verified_pass_count}/{self.verified_total} verified clean)"
             )
+        if self.scenario_campaigns:
+            flows = f"  scenario flows  : {self.scenario_campaigns} campaigns"
+            if self.retest_rounds.count:
+                flows += (
+                    f", retest convergence {self.retest_convergence:.1%} "
+                    f"(mean {self.retest_rounds.mean:.1f} rounds)"
+                )
+            lines.append(flows)
+            if self.escape_rate.count:
+                lines.append(
+                    f"  escape rate     : mean {self.escape_rate.mean:.1%} "
+                    f"(max {self.escape_rate.maximum:.1%})"
+                )
+            if self.assigned_rate.count:
+                lines.append(
+                    f"  clustered rate  : mean {self.assigned_rate.mean:.3%} "
+                    f"(min {self.assigned_rate.minimum:.3%}, "
+                    f"max {self.assigned_rate.maximum:.3%})"
+                )
+            if self.intermittent_detection_rate is not None:
+                lines.append(
+                    f"  intermittent    : {self.intermittent_detected}/"
+                    f"{self.intermittent_injected} detected at burn-in "
+                    f"({self.intermittent_detection_rate:.1%})"
+                )
         return lines

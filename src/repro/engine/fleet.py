@@ -24,7 +24,7 @@ import os
 import time
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.core.campaign import DiagnosisCampaign
 from repro.engine.aggregate import CampaignSummary, FleetReport
@@ -149,16 +149,78 @@ def chunked_indices(campaigns: int, chunk_size: int) -> list[tuple[int, ...]]:
     ]
 
 
+def reorder_chunks(
+    completions: Iterable[tuple[int, list[CampaignSummary]]],
+    total_chunks: int,
+) -> Iterator[list[CampaignSummary]]:
+    """Re-emit completion-order chunk results in submission order.
+
+    Workers finish chunks in whatever order the pool schedules them;
+    aggregation must stay campaign-ordered to be deterministic.  This
+    buffer holds only the results that completed ahead of the
+    head-of-line chunk and flushes them as soon as the gap fills, so
+    parent-side memory stays bounded by the pool's natural skew.
+
+    Raises if a chunk index arrives twice or never arrives -- a worker
+    protocol violation that must not be silently aggregated over.
+    """
+    require(total_chunks >= 0, "total_chunks must be >= 0")
+    buffered: dict[int, list[CampaignSummary]] = {}
+    next_index = 0
+    for chunk_index, summaries in completions:
+        require(
+            0 <= chunk_index < total_chunks,
+            f"chunk index {chunk_index} outside [0, {total_chunks})",
+        )
+        require(
+            chunk_index >= next_index and chunk_index not in buffered,
+            f"chunk {chunk_index} completed twice",
+        )
+        buffered[chunk_index] = summaries
+        while next_index in buffered:
+            yield buffered.pop(next_index)
+            next_index += 1
+    require(
+        next_index == total_chunks and not buffered,
+        f"missing chunk results: got {next_index} of {total_chunks} "
+        f"contiguous chunks ({len(buffered)} stranded out of order)",
+    )
+
+
+def _run_indexed_chunk(
+    chunk_runner: "ChunkRunner",
+    spec,
+    item: tuple[int, tuple[int, ...]],
+) -> tuple[int, list[CampaignSummary]]:
+    """Pool task: run one chunk and tag it with its submission index."""
+    chunk_index, indices = item
+    return chunk_index, chunk_runner(spec, indices)
+
+
+#: A chunk runner maps ``(spec, campaign_indices)`` to summaries; it must
+#: be a picklable module-level callable so worker pools can import it.
+ChunkRunner = Callable[..., "list[CampaignSummary]"]
+
+
 class FleetScheduler:
-    """Executes a :class:`FleetSpec` over a local worker pool."""
+    """Executes a campaign population over a local worker pool.
+
+    The default configuration runs :class:`FleetSpec` campaigns via
+    :func:`run_chunk`; any spec-like object exposing ``campaigns`` can be
+    scheduled by passing a custom ``chunk_runner`` (the scenario engine
+    schedules :class:`~repro.scenarios.spec.ScenarioSpec` flows this way),
+    so seeding, chunking, pooling and ordered aggregation exist once.
+    """
 
     def __init__(
         self,
-        spec: FleetSpec,
+        spec,
         workers: int | None = None,
         chunk_size: int | None = None,
+        chunk_runner: ChunkRunner | None = None,
     ) -> None:
         self.spec = spec
+        self.chunk_runner: ChunkRunner = chunk_runner or run_chunk
         self.workers = self._resolve_workers(workers)
         if chunk_size is None:
             # Aim for a few chunks per worker so stragglers rebalance.
@@ -200,15 +262,20 @@ class FleetScheduler:
         """Yield chunk results in submission order (deterministic)."""
         if self.workers <= 1 or len(chunks) <= 1:
             for chunk in chunks:
-                yield run_chunk(self.spec, chunk)
+                yield self.chunk_runner(self.spec, chunk)
             return
         context = self._pool_context()
-        worker = partial(run_chunk, self.spec)
+        worker = partial(_run_indexed_chunk, self.chunk_runner, self.spec)
         with context.Pool(processes=min(self.workers, len(chunks))) as pool:
-            # imap (ordered) keeps aggregation deterministic; the pool still
-            # executes chunks concurrently and only the handful of results
-            # completed ahead of the head-of-line chunk are buffered.
-            yield from pool.imap(worker, chunks)
+            # imap_unordered lets the pool hand results back the moment
+            # they finish (no head-of-line blocking in the IPC queue);
+            # reorder_chunks restores submission order so aggregation
+            # stays deterministic, buffering only the results that
+            # completed ahead of the gap.
+            yield from reorder_chunks(
+                pool.imap_unordered(worker, list(enumerate(chunks))),
+                len(chunks),
+            )
 
     @staticmethod
     def _pool_context():

@@ -37,6 +37,11 @@ from repro.faults.dynamic import (
     WriteDisturbFault,
 )
 from repro.faults.injector import FaultInjector
+from repro.faults.intermittent import (
+    IntermittentReadFault,
+    SoftErrorUpsetFault,
+    sample_intermittent_population,
+)
 from repro.faults.population import FaultPopulation, sample_population
 from repro.faults.retention_fault import DataRetentionFault
 from repro.faults.stuck_at import StuckAtFault
@@ -63,10 +68,13 @@ __all__ = [
     "FaultInjector",
     "FaultPopulation",
     "IdempotentCouplingFault",
+    "IntermittentReadFault",
     "InversionCouplingFault",
+    "SoftErrorUpsetFault",
     "StateCouplingFault",
     "StuckAtFault",
     "TransitionFault",
     "WeakCellDefect",
+    "sample_intermittent_population",
     "sample_population",
 ]

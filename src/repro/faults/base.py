@@ -30,6 +30,8 @@ class FaultClass(enum.Enum):
     RDF = "read-destructive"
     DRDF = "deceptive-read-destructive"
     WDF = "write-disturb"
+    INT_READ = "intermittent-read"
+    SEU = "soft-error-upset"
 
     @property
     def is_retention(self) -> bool:
@@ -40,6 +42,17 @@ class FaultClass(enum.Enum):
     def is_reliability_only(self) -> bool:
         """Whether this class never misbehaves logically (NWRTM-only)."""
         return self is FaultClass.WEAK
+
+    @property
+    def is_intermittent(self) -> bool:
+        """Whether this class fires probabilistically per access.
+
+        Intermittent classes model transient/soft-error behaviour (event
+        upsets, marginal sense margins): detection is inherently
+        stochastic, so diagnosis scoring separates them from the
+        manufacturing-defect classes when computing escape rates.
+        """
+        return self in (FaultClass.INT_READ, FaultClass.SEU)
 
 
 #: Fault classes the baseline's M1 diagnosis kernel can localize.  The paper

@@ -1,0 +1,137 @@
+"""Intermittent and soft-error fault models (per-access upsets).
+
+Manufacturing defects are permanent: the existing fault library perturbs
+every access the same way.  Field behaviour adds a *transient* regime --
+alpha/neutron-induced single-event upsets and marginal cells whose sense
+amplifier loses races intermittently (the event-wise soft-error
+characterization of Gomi et al. observed one scanning error every ~125 ns
+in a 55-nm SRAM).  These classes extend the library with per-access
+Bernoulli behaviour:
+
+* **INT_READ** (:class:`IntermittentReadFault`) -- each read of the victim
+  returns the complement with probability ``upset_probability``; the
+  stored value is untouched (a transient sense failure);
+* **SEU** (:class:`SoftErrorUpsetFault`) -- each read of the victim flips
+  the *stored* bit with probability ``upset_probability`` and observes the
+  flipped value (a particle strike during the access window; persistent
+  until the next write refreshes the cell).
+
+Determinism contract
+--------------------
+Each fault owns a private :class:`~repro.util.rng.SplitMix64Stream` whose
+draws depend only on the fault's seed and on how many times its hooks have
+fired.  The engine's vectorized paths replay fault-hooked words in exact
+reference order (:mod:`repro.engine.kernel`, :mod:`repro.engine.serial_kernel`),
+so the reference and numpy backends see identical draw sequences and stay
+bit-exact -- the differential fuzz harness asserts this over random
+intermittent populations.  The streams are pure Python, so the fault
+library keeps working without the ``[fast]`` numpy extra.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import CellFault, FaultClass
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.util.rng import SplitMix64Stream, mix_seed
+from repro.util.validation import require_in_range
+
+
+class _PerAccessUpset(CellFault):
+    """Shared plumbing: a victim cell plus a private Bernoulli stream."""
+
+    def __init__(
+        self, cell: CellRef, upset_probability: float, seed: int = 0
+    ) -> None:
+        require_in_range(upset_probability, 0.0, 1.0, "upset_probability")
+        self.victims = (cell,)
+        self.upset_probability = upset_probability
+        self.seed = int(seed)
+        self._stream = SplitMix64Stream(self.seed)
+
+    def _upset(self) -> bool:
+        """Draw the next per-access Bernoulli outcome."""
+        return self._stream.next_float() < self.upset_probability
+
+    def describe(self) -> str:
+        return (
+            f"{self.fault_class.value} @ {self.victims[0]} "
+            f"(p={self.upset_probability:g})"
+        )
+
+
+class IntermittentReadFault(_PerAccessUpset):
+    """Transient read upset: the observed bit flips, the cell does not."""
+
+    def __init__(
+        self, cell: CellRef, upset_probability: float, seed: int = 0
+    ) -> None:
+        self.fault_class = FaultClass.INT_READ
+        super().__init__(cell, upset_probability, seed)
+
+    def on_read(self, memory, word, bit, stored_bit):
+        if self._upset():
+            return 1 - stored_bit
+        return stored_bit
+
+
+class SoftErrorUpsetFault(_PerAccessUpset):
+    """SEU: the stored bit flips during the access and is read flipped."""
+
+    def __init__(
+        self, cell: CellRef, upset_probability: float, seed: int = 0
+    ) -> None:
+        self.fault_class = FaultClass.SEU
+        super().__init__(cell, upset_probability, seed)
+
+    def on_read(self, memory, word, bit, stored_bit):
+        if self._upset():
+            flipped = 1 - stored_bit
+            memory.force_stored_bit(word, bit, flipped)
+            return flipped
+        return stored_bit
+
+
+#: Intermittent-class constructors in sampling order.
+INTERMITTENT_CLASSES = (IntermittentReadFault, SoftErrorUpsetFault)
+
+
+def sample_intermittent_population(
+    geometry: MemoryGeometry,
+    rate: float,
+    upset_probability: float,
+    seed: int = 0,
+) -> list[CellFault]:
+    """Sample a seeded intermittent/soft-error population for one memory.
+
+    ``rate`` is the fraction of cells carrying an intermittent mechanism
+    (``round(cells * rate)`` faults, victims drawn without replacement);
+    each fault alternates between the INT_READ and SEU classes and gets a
+    private stream seed derived from ``seed`` and its victim cell, so the
+    population is invariant under fault-list reordering.  Pure Python:
+    no numpy required.
+    """
+    require_in_range(rate, 0.0, 1.0, "rate")
+    require_in_range(upset_probability, 0.0, 1.0, "upset_probability")
+    count = round(geometry.cells * rate)
+    picker = SplitMix64Stream(mix_seed(seed, 0x1A7))
+    # Partial Fisher-Yates over cell indices: draw `count` distinct cells.
+    chosen: list[int] = []
+    swapped: dict[int, int] = {}
+    remaining = geometry.cells
+    for _ in range(count):
+        offset = picker.next_u64() % remaining
+        index = swapped.get(offset, offset)
+        last = remaining - 1
+        swapped[offset] = swapped.get(last, last)
+        chosen.append(index)
+        remaining -= 1
+    faults: list[CellFault] = []
+    for index in sorted(chosen):
+        cell = geometry.cell_at(index)
+        cls = INTERMITTENT_CLASSES[
+            mix_seed(seed, 0x5E0, index) % len(INTERMITTENT_CLASSES)
+        ]
+        faults.append(
+            cls(cell, upset_probability, seed=mix_seed(seed, index))
+        )
+    return faults

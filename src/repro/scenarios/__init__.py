@@ -1,0 +1,52 @@
+"""Scenario engine: fleet workloads beyond the paper's i.i.d. regime.
+
+The paper's evaluation assumes independent, uniformly distributed defects
+per SRAM.  This package opens the workloads where that assumption breaks:
+
+* :mod:`repro.scenarios.cluster` -- spatially-correlated defect placement
+  driven by die-floorplan distances (cluster centers with a decay
+  radius, so neighbouring memories share elevated defect rates);
+* :mod:`repro.scenarios.spec` -- the declarative, frozen
+  :class:`ScenarioSpec` describing a reproducible campaign population
+  (clustering x intermittent layer x production flow);
+* :mod:`repro.scenarios.flow` -- chained multi-session campaigns
+  (test -> repair -> retest -> burn-in re-diagnosis) with escape-rate and
+  convergence accounting;
+* :mod:`repro.scenarios.runner` -- execution over the shared
+  :class:`~repro.engine.fleet.FleetScheduler` with per-scenario derived
+  seeds and streaming aggregation.
+
+Intermittent/soft-error fault models live in the fault library proper
+(:mod:`repro.faults.intermittent`) so they compose with every scheme.
+"""
+
+from repro.scenarios.cluster import (
+    ClusterField,
+    assign_rates,
+    sample_cluster_centers,
+)
+from repro.scenarios.flow import (
+    ScenarioCampaignReport,
+    StageOutcome,
+    run_scenario_campaign,
+    run_scenario_chunk,
+    summarize_scenario_campaign,
+)
+from repro.scenarios.runner import run_scenario_fleet, scenario_scheduler
+from repro.scenarios.spec import SCENARIO_PRESETS, ScenarioSpec, preset_spec
+
+__all__ = [
+    "SCENARIO_PRESETS",
+    "ClusterField",
+    "ScenarioCampaignReport",
+    "ScenarioSpec",
+    "StageOutcome",
+    "assign_rates",
+    "preset_spec",
+    "run_scenario_campaign",
+    "run_scenario_chunk",
+    "run_scenario_fleet",
+    "sample_cluster_centers",
+    "scenario_scheduler",
+    "summarize_scenario_campaign",
+]

@@ -1,0 +1,122 @@
+"""Spatially-correlated defect placement over a die floorplan.
+
+The paper's evaluation (and :class:`~repro.engine.fleet.FleetSpec`)
+assumes one uniform defect rate for every memory; real manufacturing
+defects cluster.  This module models that regime as a *defect intensity
+field*: a small number of cluster centers on the die, each contributing a
+peak rate that decays exponentially with Manhattan distance (the same
+wire-length proxy :mod:`repro.soc.floorplan` uses), on top of a uniform
+base rate.  Memories placed near a center -- and therefore near each
+other -- share elevated defect rates, which is exactly the correlation
+structure the scenario workloads exercise.
+
+Everything is deterministic: centers derive from the scenario master seed
+and campaign index, placements from memory *names* (see
+:meth:`repro.soc.floorplan.Floorplan.name_seeded`), so results are
+independent of worker count, chunking and bank ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.soc.floorplan import Floorplan, Placement
+from repro.util.records import Record
+from repro.util.rng import SplitMix64Stream, mix_seed
+from repro.util.validation import require, require_in_range, require_positive
+
+#: Stream label for cluster-center sampling (keeps the center draw
+#: independent of every other per-campaign stream).
+_CENTER_STREAM = 0xC1
+
+#: Highest defect rate the field may assign to a memory.  Keeps the
+#: implied fault count below the sampler's faults <= cells bound even
+#: when several cluster centers stack on one placement.
+DEFAULT_MAX_RATE = 0.2
+
+
+@dataclass(frozen=True)
+class ClusterField(Record):
+    """A defect-intensity field: base rate plus decaying cluster peaks.
+
+    The rate at die position ``(x, y)`` is::
+
+        min(max_rate, base_rate + sum_i peak_rate * exp(-d_i / radius))
+
+    with ``d_i`` the Manhattan distance to cluster center ``i``.  The
+    field is monotone in ``radius``: growing the decay radius never
+    lowers the rate anywhere (a property test pins this).
+    """
+
+    centers: tuple[tuple[float, float], ...]
+    base_rate: float
+    peak_rate: float
+    radius: float
+    max_rate: float = DEFAULT_MAX_RATE
+
+    def __post_init__(self) -> None:
+        require_in_range(self.base_rate, 0.0, 1.0, "base_rate")
+        require_in_range(self.peak_rate, 0.0, 1.0, "peak_rate")
+        require_in_range(self.max_rate, 0.0, 1.0, "max_rate")
+        require_positive(self.radius, "radius")
+        require(
+            self.base_rate <= self.max_rate,
+            "base_rate must not exceed max_rate",
+        )
+
+    def rate_at(self, x: float, y: float) -> float:
+        """Defect rate the field assigns to a die position."""
+        rate = self.base_rate
+        for cx, cy in self.centers:
+            distance = abs(x - cx) + abs(y - cy)
+            rate += self.peak_rate * math.exp(-distance / self.radius)
+        return min(rate, self.max_rate)
+
+    def rate_for(self, placement: Placement) -> float:
+        """Defect rate of one placed memory."""
+        return self.rate_at(placement.x, placement.y)
+
+    def mean_rate(self, placements: list[Placement]) -> float:
+        """Mean assigned rate over a set of placements."""
+        require(bool(placements), "mean_rate needs at least one placement")
+        return sum(self.rate_for(p) for p in placements) / len(placements)
+
+
+def sample_cluster_centers(
+    count: int,
+    die_size: float,
+    master_seed: int,
+    campaign_index: int,
+) -> tuple[tuple[float, float], ...]:
+    """Draw cluster centers uniformly on the die, deterministically.
+
+    The stream depends only on ``(master_seed, campaign_index)`` -- never
+    on worker layout -- so a campaign's cluster geometry is reproducible
+    no matter how the fleet is scheduled.
+    """
+    require(count >= 0, "count must be >= 0")
+    require_positive(die_size, "die_size")
+    stream = SplitMix64Stream(
+        mix_seed(master_seed, _CENTER_STREAM, campaign_index)
+    )
+    return tuple(
+        (stream.next_float() * die_size, stream.next_float() * die_size)
+        for _ in range(count)
+    )
+
+
+def assign_rates(
+    field: ClusterField, floorplan: Floorplan
+) -> dict[str, float]:
+    """Per-memory defect rates: the field evaluated at each placement.
+
+    Keyed by memory name so downstream sampling is independent of bank
+    order; two floorplans that agree on distances to the centers (e.g.
+    after a die symmetry applied to placements *and* centers) produce
+    identical assignments.
+    """
+    return {
+        placement.memory_name: field.rate_for(placement)
+        for placement in floorplan.placements
+    }

@@ -1,0 +1,47 @@
+"""Scenario fleets: fan scenario flows out over the fleet scheduler.
+
+Scenario campaigns are scheduled exactly like plain fleet campaigns --
+deterministic per-campaign seeds derived from the master seed, chunked
+over a multiprocessing pool, summaries streamed into a
+:class:`~repro.engine.aggregate.FleetReport` in campaign order -- by
+plugging :func:`repro.scenarios.flow.run_scenario_chunk` into the
+generalized :class:`~repro.engine.fleet.FleetScheduler`.  The resulting
+report carries the scenario-level aggregates (escape rate, retest
+convergence, clustered defect rates, intermittent detection) next to the
+familiar fleet statistics (localization, measured R).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.aggregate import FleetReport
+from repro.engine.fleet import FleetScheduler
+from repro.scenarios.flow import run_scenario_chunk
+from repro.scenarios.spec import ScenarioSpec
+
+
+def scenario_scheduler(
+    spec: ScenarioSpec,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> FleetScheduler:
+    """A fleet scheduler wired to execute scenario flows."""
+    return FleetScheduler(
+        spec,
+        workers=workers,
+        chunk_size=chunk_size,
+        chunk_runner=run_scenario_chunk,
+    )
+
+
+def run_scenario_fleet(
+    spec: ScenarioSpec,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> FleetReport:
+    """Run every scenario campaign and aggregate the fleet report."""
+    return scenario_scheduler(spec, workers=workers, chunk_size=chunk_size).run(
+        progress
+    )

@@ -1,0 +1,240 @@
+"""Declarative scenario specifications (the fleet-of-flows analogue).
+
+A :class:`ScenarioSpec` is to :mod:`repro.scenarios` what
+:class:`~repro.engine.fleet.FleetSpec` is to the plain fleet: a frozen,
+primitives-only record describing a reproducible *population* of
+multi-session production flows.  On top of the fleet-shape fields it
+composes the three scenario axes:
+
+* **spatial clustering** -- a :class:`~repro.scenarios.cluster.ClusterField`
+  per campaign (centers derived from the master seed, placements from
+  memory names), assigning each memory its own manufacturing defect rate;
+* **intermittent faults** -- a per-cell rate of soft-error mechanisms
+  (:mod:`repro.faults.intermittent`) injected at the burn-in stage;
+* **production flow** -- the test -> repair -> retest -> burn-in chain
+  executed by :mod:`repro.scenarios.flow`, bounded by
+  ``max_retest_rounds``.
+
+Only primitives live here so the spec pickles cheaply to fleet workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.defects import DefectProfile, DefectType
+from repro.memory.geometry import MemoryGeometry
+from repro.scenarios.cluster import (
+    DEFAULT_MAX_RATE,
+    ClusterField,
+    sample_cluster_centers,
+)
+from repro.soc.case_study import case_study_soc
+from repro.soc.chip import SoCConfig
+from repro.soc.floorplan import Floorplan
+from repro.util.records import Record
+from repro.util.rng import derive_seed
+from repro.util.validation import require, require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(Record):
+    """A reproducible population of multi-session scenario campaigns."""
+
+    #: Scenario label carried into summaries and reports.
+    name: str = "clustered"
+    soc: str = "case-study"
+    memories: int = 8
+    heterogeneous: bool = True
+    period_ns: float = 10.0
+    campaigns: int = 8
+    master_seed: int = 0
+    spares_per_memory: int = 32
+    backend: str = "auto"
+    include_baseline: bool = True
+    baseline_bit_accurate: bool = False
+    #: Optional uniform geometry override (every memory ``words x bits``).
+    geometry: tuple[int, int] | None = None
+    #: Optional explicit bank: ``(words, bits, name)`` triples.  Overrides
+    #: ``soc``/``memories``/``geometry`` -- the handle the metamorphic
+    #: suite uses to permute memory order as a pure spec transformation.
+    shapes: tuple[tuple[int, int, str], ...] | None = None
+    #: Optional defect-class mix (one weight per DefectType, declaration
+    #: order), as in :class:`~repro.engine.fleet.FleetSpec`.
+    defect_weights: tuple[float, float, float, float] | None = None
+
+    # Spatial clustering -------------------------------------------------
+    die_size: float = 100.0
+    base_defect_rate: float = 0.002
+    cluster_count: int = 2
+    cluster_radius: float = 25.0
+    cluster_peak_rate: float = 0.03
+    max_defect_rate: float = DEFAULT_MAX_RATE
+    #: Explicit cluster centers shared by every campaign (``None`` samples
+    #: fresh centers per campaign from the master seed).
+    cluster_centers: tuple[tuple[float, float], ...] | None = None
+    #: Seed of the name-keyed floorplan placements.
+    placement_seed: int = 0
+
+    # Intermittent / soft-error layer ------------------------------------
+    #: Fraction of cells carrying an intermittent mechanism at burn-in.
+    intermittent_rate: float = 0.0
+    #: Per-access upset probability of each intermittent fault.
+    upset_probability: float = 0.05
+
+    # Production flow ----------------------------------------------------
+    #: Repair -> retest rounds to attempt after the first test session.
+    max_retest_rounds: int = 3
+    #: Whether to run the burn-in re-diagnosis stage.
+    burn_in: bool = True
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "scenario needs a name")
+        require(
+            self.soc in ("case-study", "buffer-cluster"),
+            f"unknown SoC {self.soc!r}",
+        )
+        require_positive(self.campaigns, "campaigns")
+        require_in_range(self.base_defect_rate, 0.0, 1.0, "base_defect_rate")
+        require_in_range(self.cluster_peak_rate, 0.0, 1.0, "cluster_peak_rate")
+        require_in_range(self.max_defect_rate, 0.0, 1.0, "max_defect_rate")
+        require_in_range(self.intermittent_rate, 0.0, 1.0, "intermittent_rate")
+        require_in_range(self.upset_probability, 0.0, 1.0, "upset_probability")
+        require(
+            self.base_defect_rate <= self.max_defect_rate,
+            "base_defect_rate must not exceed max_defect_rate",
+        )
+        require_positive(self.cluster_radius, "cluster_radius")
+        require_positive(self.die_size, "die_size")
+        require(self.cluster_count >= 0, "cluster_count must be >= 0")
+        require(self.max_retest_rounds >= 0, "max_retest_rounds must be >= 0")
+        if self.geometry is not None:
+            require(
+                len(self.geometry) == 2, "geometry must be a (words, bits) pair"
+            )
+        if self.shapes is not None:
+            require(bool(self.shapes), "shapes needs at least one memory")
+            require(
+                all(len(shape) == 3 for shape in self.shapes),
+                "shapes entries must be (words, bits, name) triples",
+            )
+            names = [name for _, _, name in self.shapes]
+            require(
+                len(set(names)) == len(names),
+                "shapes memory names must be unique",
+            )
+        if self.defect_weights is not None:
+            require(
+                len(self.defect_weights) == len(DefectType),
+                f"defect_weights needs one weight per defect class "
+                f"({len(DefectType)}), got {len(self.defect_weights)}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Materialization                                                    #
+    # ------------------------------------------------------------------ #
+    def build_soc(self) -> SoCConfig:
+        """Materialize the SoC configuration this scenario diagnoses."""
+        if self.shapes is not None:
+            return SoCConfig(
+                name=f"scenario-{self.name}",
+                geometries=[
+                    MemoryGeometry(words, bits, name)
+                    for words, bits, name in self.shapes
+                ],
+                period_ns=self.period_ns,
+            )
+        if self.geometry is not None:
+            words, bits = self.geometry
+            return SoCConfig(
+                name=f"uniform-{words}x{bits}",
+                geometries=[
+                    MemoryGeometry(words, bits, f"esram_{i}")
+                    for i in range(self.memories)
+                ],
+                period_ns=self.period_ns,
+            )
+        if self.soc == "buffer-cluster":
+            return SoCConfig.buffer_cluster(period_ns=self.period_ns)
+        return case_study_soc(
+            memories=self.memories,
+            heterogeneous=self.heterogeneous,
+            period_ns=self.period_ns,
+        )
+
+    def build_profile(self) -> DefectProfile | None:
+        """Materialize the defect-class profile (``None`` = paper default)."""
+        if self.defect_weights is None:
+            return None
+        return DefectProfile(weights=dict(zip(DefectType, self.defect_weights)))
+
+    def build_floorplan(self, soc: SoCConfig | None = None) -> Floorplan:
+        """The name-keyed floorplan every campaign of the scenario shares."""
+        return Floorplan.name_seeded(
+            soc or self.build_soc(), die_size=self.die_size, seed=self.placement_seed
+        )
+
+    def cluster_field(self, campaign_index: int) -> ClusterField:
+        """The defect-intensity field of campaign ``campaign_index``."""
+        centers = self.cluster_centers
+        if centers is None:
+            centers = sample_cluster_centers(
+                self.cluster_count,
+                self.die_size,
+                self.master_seed,
+                campaign_index,
+            )
+        return ClusterField(
+            centers=tuple(centers),
+            base_rate=self.base_defect_rate,
+            peak_rate=self.cluster_peak_rate,
+            radius=self.cluster_radius,
+            max_rate=self.max_defect_rate,
+        )
+
+    def campaign_seed(self, index: int) -> int:
+        """Deterministic seed of campaign ``index`` (worker-independent)."""
+        return derive_seed(self.master_seed, index)
+
+
+#: Named scenario presets for the CLI and smoke jobs.
+SCENARIO_PRESETS: dict[str, dict] = {
+    # Clustered manufacturing defects, full production flow.
+    "clustered": dict(
+        name="clustered",
+        cluster_count=2,
+        cluster_radius=25.0,
+        cluster_peak_rate=0.03,
+        base_defect_rate=0.002,
+        intermittent_rate=0.0,
+    ),
+    # Clustered defects plus a soft-error burn-in layer.
+    "burn-in-soft-error": dict(
+        name="burn-in-soft-error",
+        cluster_count=1,
+        cluster_radius=30.0,
+        cluster_peak_rate=0.02,
+        base_defect_rate=0.001,
+        intermittent_rate=0.002,
+        upset_probability=0.2,
+    ),
+    # Uniform rate, intermittent-only: isolates the transient regime.
+    "intermittent-only": dict(
+        name="intermittent-only",
+        cluster_count=0,
+        base_defect_rate=0.0,
+        intermittent_rate=0.004,
+        upset_probability=0.3,
+        include_baseline=False,
+    ),
+}
+
+
+def preset_spec(preset: str, **overrides) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from a named preset plus overrides."""
+    require(
+        preset in SCENARIO_PRESETS,
+        f"unknown scenario preset {preset!r}; "
+        f"known: {', '.join(sorted(SCENARIO_PRESETS))}",
+    )
+    return ScenarioSpec(**{**SCENARIO_PRESETS[preset], **overrides})

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.soc.chip import SoCConfig
-from repro.util.rng import make_rng
+from repro.util.rng import SplitMix64Stream, make_rng, mix_seed, name_seed
 from repro.util.validation import require_positive
 
 
@@ -51,12 +51,52 @@ class Floorplan:
             for geometry in soc.geometries
         ]
 
-    def distance_to_controller(self, memory_name: str) -> float:
-        """Manhattan distance from one memory to the BISD controller."""
+    @classmethod
+    def name_seeded(
+        cls,
+        soc: SoCConfig,
+        die_size: float = 100.0,
+        controller_xy: tuple[float, float] | None = None,
+        seed: int = 0,
+    ) -> "Floorplan":
+        """Floorplan whose placements depend only on (seed, memory name).
+
+        The default constructor draws positions from one shared stream in
+        geometry order, so reordering an SoC's memory list moves every
+        instance.  Scenario workloads (:mod:`repro.scenarios`) need the
+        opposite: the placement of ``esram_3`` must be a pure function of
+        its *name*, so that relabeling/permuting the bank is a behavioural
+        no-op (a metamorphic invariant of the cluster sampler).  Each
+        memory gets a private pure-Python stream derived from its name.
+        """
+        require_positive(die_size, "die_size")
+        plan = cls.__new__(cls)
+        plan.soc = soc
+        plan.die_size = die_size
+        plan.controller_xy = controller_xy or (die_size / 2.0, die_size / 2.0)
+        placements = []
+        for geometry in soc.geometries:
+            stream = SplitMix64Stream(mix_seed(seed, name_seed(geometry.name)))
+            placements.append(
+                Placement(
+                    geometry.name,
+                    stream.next_float() * die_size,
+                    stream.next_float() * die_size,
+                )
+            )
+        plan.placements = placements
+        return plan
+
+    def placement_of(self, memory_name: str) -> Placement:
+        """The placement record of one memory instance."""
         for placement in self.placements:
             if placement.memory_name == memory_name:
-                return placement.manhattan_to(*self.controller_xy)
+                return placement
         raise KeyError(f"no memory named {memory_name!r}")
+
+    def distance_to_controller(self, memory_name: str) -> float:
+        """Manhattan distance from one memory to the BISD controller."""
+        return self.placement_of(memory_name).manhattan_to(*self.controller_xy)
 
     def total_star_length(self) -> float:
         """Sum of controller-to-memory distances (star routing)."""

@@ -43,6 +43,79 @@ def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+_MASK64 = (1 << 64) - 1
+#: splitmix64 increment (Steele et al.); also used to mix path components.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(state: int) -> tuple[int, int]:
+    """One splitmix64 step: ``(next_state, output)``."""
+    state = (state + _SPLITMIX_GAMMA) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state, z ^ (z >> 31)
+
+
+class SplitMix64Stream:
+    """Tiny deterministic uniform stream, independent of numpy.
+
+    Per-access fault models (intermittent upsets, soft errors) need one
+    private stream per fault object whose draws depend only on how many
+    times *that fault's* hooks fired -- never on global state, worker
+    layout or numpy availability -- so that the vectorized engine paths,
+    which replay fault-hooked words in exact reference order, stay
+    bit-identical to the pure-Python reference.  splitmix64 is tiny,
+    portable and plenty for per-access Bernoulli draws.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        # One warm-up mix so consecutive seeds do not yield correlated
+        # first outputs.
+        self._state, _ = _splitmix64(int(seed) & _MASK64)
+
+    def next_u64(self) -> int:
+        """Next raw 64-bit output."""
+        self._state, output = _splitmix64(self._state)
+        return output
+
+    def next_float(self) -> float:
+        """Next uniform float in ``[0, 1)`` (53-bit resolution)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+
+def mix_seed(master: int, *path: int) -> int:
+    """Pure-Python stable child-seed derivation (no numpy required).
+
+    The splitmix64 analogue of :func:`derive_seed` for components that
+    must work without the ``[fast]`` extra (the intermittent fault
+    models).  Not interchangeable with :func:`derive_seed` -- both are
+    stable, but they derive different values.
+    """
+    state = int(master) & _MASK64
+    for component in path:
+        state ^= (int(component) & _MASK64) * _SPLITMIX_GAMMA & _MASK64
+        state, output = _splitmix64(state)
+        state = output
+    _, output = _splitmix64(state)
+    return output
+
+
+def name_seed(name: str) -> int:
+    """Stable integer seed component for a memory-instance name.
+
+    Scenario sampling derives per-memory streams from *names* instead of
+    bank positions, so relabeling/reordering the memories of an SoC never
+    changes which faults each instance receives (a metamorphic invariant
+    the scenario test suite checks).
+    """
+    import zlib
+
+    return zlib.crc32(name.encode("utf-8"))
+
+
 def derive_seed(master: int, *path: int) -> int:
     """Derive a deterministic child seed from a master seed and an index path.
 

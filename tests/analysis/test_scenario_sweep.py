@@ -1,0 +1,91 @@
+"""Scenario sweep matrices (S1 radius / S2 upset probability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scenario_sweep import (
+    ScenarioSweepPoint,
+    radius_matrix,
+    run_scenario_sweep,
+    summarize_scenario_point,
+    upset_matrix,
+)
+from repro.scenarios import ScenarioSpec, run_scenario_fleet
+
+BASE = ScenarioSpec(
+    shapes=((12, 6, "sw_a"), (10, 5, "sw_b")),
+    campaigns=1,
+    master_seed=3,
+    base_defect_rate=0.02,
+    cluster_count=1,
+    cluster_radius=20.0,
+    cluster_peak_rate=0.05,
+    intermittent_rate=0.02,
+    upset_probability=0.5,
+    spares_per_memory=16,
+    backend="auto",
+)
+
+
+class TestMatrices:
+    def test_radius_matrix_points(self):
+        points = radius_matrix([5.0, 40.0], base=BASE)
+        assert [p.label for p in points] == ["r=5", "r=40"]
+        assert all(p.matrix == "S1-cluster-radius" for p in points)
+        assert points[0].spec.cluster_radius == 5.0
+        assert points[1].spec.cluster_radius == 40.0
+        # Everything else inherits the base spec.
+        assert points[0].spec.master_seed == BASE.master_seed
+
+    def test_upset_matrix_points(self):
+        points = upset_matrix([0.1, 0.9], base=BASE)
+        assert [p.label for p in points] == ["p=0.1", "p=0.9"]
+        assert points[1].spec.upset_probability == 0.9
+
+    def test_matrices_from_kwargs(self):
+        points = radius_matrix([10.0], campaigns=2, soc="buffer-cluster")
+        assert points[0].spec.campaigns == 2
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            radius_matrix([])
+        with pytest.raises(ValueError):
+            upset_matrix([])
+
+
+class TestSweepExecution:
+    def test_rows_match_direct_fleet_runs(self):
+        points = radius_matrix([8.0, 45.0], base=BASE)
+        done: list[tuple[int, int]] = []
+        rows = run_scenario_sweep(
+            points, workers=1, progress=lambda d, t: done.append((d, t))
+        )
+        assert done == [(1, 2), (2, 2)]
+        for point, row in zip(points, rows):
+            direct = summarize_scenario_point(
+                point, run_scenario_fleet(point.spec, workers=1)
+            )
+            assert row.label == direct.label
+            assert row.total_faults == direct.total_faults
+            assert row.measured_r_mean == direct.measured_r_mean
+            assert row.escape_rate_mean == direct.escape_rate_mean
+            assert row.retest_convergence == direct.retest_convergence
+
+    def test_wider_radius_assigns_more_defects(self):
+        rows = run_scenario_sweep(radius_matrix([2.0, 80.0], base=BASE), workers=1)
+        assert rows[1].assigned_rate_mean > rows[0].assigned_rate_mean
+        assert rows[1].total_faults >= rows[0].total_faults
+
+    def test_row_renderings(self):
+        (row,) = run_scenario_sweep(radius_matrix([10.0], base=BASE), workers=1)
+        table = row.to_table_row()
+        assert table["point"] == "r=10"
+        assert "escape" in table and "converged" in table
+        payload = row.to_json_dict()
+        assert payload["matrix"] == "S1-cluster-radius"
+        assert "intermittent_detection_rate" in payload
+
+    def test_point_record_shape(self):
+        point = ScenarioSweepPoint("S1-cluster-radius", "r=1", BASE)
+        assert point.to_dict()["label"] == "r=1"

@@ -13,6 +13,15 @@ numpy path at three levels:
   iterate-repair) -- iteration count, localization records, missed
   faults, end state and clocking.
 
+A second suite layers *intermittent/soft-error* populations
+(:mod:`repro.faults.intermittent`) on top of the manufacturing faults:
+per-access upset draws come from each fault's private deterministic
+stream, and the vectorized paths replay fault-hooked words in exact
+reference order, so the numpy fast path must still match the pure-Python
+reference bit-exactly (there is no delegation for cell-level faults; the
+fast paths only delegate for whole-session features such as tracing or
+decoder faults, which these populations never draw).
+
 The generator is deterministic per case index, so failures reproduce
 exactly; widen ``CASES`` locally to fuzz harder.
 """
@@ -27,6 +36,7 @@ from repro.engine.backends import ReferenceBackend, get_backend
 from repro.engine.baseline_session import run_baseline_session
 from repro.engine.session import run_session
 from repro.faults.injector import FaultInjector
+from repro.faults.intermittent import sample_intermittent_population
 from repro.faults.population import sample_population
 from repro.march.library import (
     march_c_minus,
@@ -72,12 +82,24 @@ def draw_case(case_index: int):
     return geometries, defect_rate, algorithm, seed
 
 
-def build_bank(geometries, defect_rate, seed):
+def build_bank(geometries, defect_rate, seed, intermittent=None):
+    """A seeded faulty bank; ``intermittent=(rate, upset_p)`` layers the
+    per-access soft-error population on top of the manufacturing one."""
     bank = MemoryBank([SRAM(geometry) for geometry in geometries])
     injector = FaultInjector()
     for index, memory in enumerate(bank):
         population = sample_population(memory.geometry, defect_rate, rng=seed + index)
         injector.inject(memory, population.faults)
+        if intermittent is not None:
+            rate, upset_probability = intermittent
+            injector.inject(
+                memory,
+                list(
+                    sample_intermittent_population(
+                        memory.geometry, rate, upset_probability, seed=seed + index
+                    )
+                ),
+            )
     return bank, injector
 
 
@@ -85,6 +107,17 @@ def assert_states_equal(reference_bank, fast_bank):
     for reference_memory, fast_memory in zip(reference_bank, fast_bank):
         assert fast_memory.dump() == reference_memory.dump()
         assert fast_memory.timebase.cycles == reference_memory.timebase.cycles
+
+
+def draw_intermittent_case(case_index: int):
+    """Like :func:`draw_case`, plus an intermittent/soft-error layer."""
+    geometries, defect_rate, algorithm, seed = draw_case(case_index)
+    rng = make_rng(0x50F7 + case_index)
+    intermittent = (
+        float(rng.uniform(0.01, 0.15)),  # fraction of cells upset-prone
+        float(rng.uniform(0.05, 0.9)),  # per-access upset probability
+    )
+    return geometries, defect_rate, algorithm, seed, intermittent
 
 
 @pytest.mark.parametrize("case_index", range(CASES))
@@ -126,6 +159,73 @@ class TestDifferentialFuzz:
         geometries, defect_rate, _, seed = draw_case(case_index)
         reference_bank, reference_injector = build_bank(geometries, defect_rate, seed)
         fast_bank, fast_injector = build_bank(geometries, defect_rate, seed)
+        reference = HuangJoneScheme(reference_bank).diagnose(
+            reference_injector, bit_accurate=True
+        )
+        fast = run_baseline_session(
+            HuangJoneScheme(fast_bank),
+            fast_injector,
+            backend="numpy",
+            bit_accurate=True,
+        )
+        assert fast.iterations == reference.iterations
+        assert fast.localized == reference.localized
+        assert [(n, f.describe()) for n, f in fast.missed] == [
+            (n, f.describe()) for n, f in reference.missed
+        ]
+        assert fast.cycles == reference.cycles
+        assert_states_equal(reference_bank, fast_bank)
+
+
+@pytest.mark.parametrize("case_index", range(CASES))
+class TestDifferentialFuzzIntermittent:
+    """The same three equivalence levels over soft-error populations.
+
+    Intermittent hooks draw from per-fault deterministic streams, so the
+    fast paths -- which replay every fault-hooked word behaviourally in
+    exact reference order -- must reproduce the reference's stochastic
+    behaviour draw for draw.
+    """
+
+    def test_raw_march_backend(self, case_index):
+        geometries, defect_rate, algorithm, seed, layer = draw_intermittent_case(
+            case_index
+        )
+        reference_bank, _ = build_bank(geometries, defect_rate, seed, layer)
+        fast_bank, _ = build_bank(geometries, defect_rate, seed, layer)
+        for reference_memory, fast_memory in zip(reference_bank, fast_bank):
+            reference = ReferenceBackend().run(
+                reference_memory, algorithm(reference_memory.bits)
+            )
+            fast = get_backend("numpy").run(fast_memory, algorithm(fast_memory.bits))
+            assert fast.failures == reference.failures
+            assert fast.cycles == reference.cycles
+        assert_states_equal(reference_bank, fast_bank)
+
+    def test_proposed_session(self, case_index):
+        geometries, defect_rate, algorithm, seed, layer = draw_intermittent_case(
+            case_index
+        )
+        reference_bank, _ = build_bank(geometries, defect_rate, seed, layer)
+        fast_bank, _ = build_bank(geometries, defect_rate, seed, layer)
+        reference = FastDiagnosisScheme(
+            reference_bank, algorithm_factory=algorithm
+        ).diagnose()
+        fast = run_session(
+            FastDiagnosisScheme(fast_bank, algorithm_factory=algorithm),
+            backend="numpy",
+        )
+        assert fast.failures == reference.failures
+        assert fast.cycles == reference.cycles
+        assert fast.time_ns == reference.time_ns
+        assert_states_equal(reference_bank, fast_bank)
+
+    def test_baseline_session(self, case_index):
+        geometries, defect_rate, _, seed, layer = draw_intermittent_case(case_index)
+        reference_bank, reference_injector = build_bank(
+            geometries, defect_rate, seed, layer
+        )
+        fast_bank, fast_injector = build_bank(geometries, defect_rate, seed, layer)
         reference = HuangJoneScheme(reference_bank).diagnose(
             reference_injector, bit_accurate=True
         )

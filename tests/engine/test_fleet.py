@@ -18,6 +18,7 @@ from repro.engine.fleet import (
     FleetScheduler,
     FleetSpec,
     chunked_indices,
+    reorder_chunks,
     run_campaign,
     run_fleet,
 )
@@ -95,6 +96,95 @@ class TestSchedulerDeterminism:
     def test_worker_count_resolution(self):
         assert FleetScheduler(SPEC, workers=0).workers == 1
         assert FleetScheduler(SPEC, workers=3).workers == 3
+
+
+def _chunk_summaries(chunks: list[tuple[int, ...]]) -> list[list[CampaignSummary]]:
+    """Distinguishable synthetic summaries, one list per chunk."""
+    return [
+        [
+            CampaignSummary(
+                index=index,
+                seed=1000 + index,
+                soc_name="ooo",
+                injected_faults=index,
+                localization_rate=1.0,
+                total_failures=0,
+                reduction_factor=float(10 + index),
+            )
+            for index in chunk
+        ]
+        for chunk in chunks
+    ]
+
+
+class TestOutOfOrderChunks:
+    """The ordering buffer between pool completion and aggregation.
+
+    Workers may finish chunks in any order (``imap_unordered``); the
+    aggregation contract is that summaries reach the report in campaign
+    order regardless, so fleet statistics are identical to an inline run.
+    """
+
+    CHUNKS = chunked_indices(10, 3)  # [(0,1,2), (3,4,5), (6,7,8), (9,)]
+
+    def shuffled(self, order):
+        summaries = _chunk_summaries(self.CHUNKS)
+        return [(i, summaries[i]) for i in order]
+
+    @pytest.mark.parametrize(
+        "completion_order",
+        [(3, 2, 1, 0), (2, 0, 3, 1), (1, 3, 0, 2), (0, 1, 2, 3)],
+    )
+    def test_shuffled_completions_restore_campaign_order(self, completion_order):
+        ordered = list(
+            reorder_chunks(iter(self.shuffled(completion_order)), len(self.CHUNKS))
+        )
+        flattened = [summary.index for chunk in ordered for summary in chunk]
+        assert flattened == list(range(10))
+
+    @pytest.mark.parametrize("completion_order", [(3, 1, 0, 2), (2, 0, 3, 1)])
+    def test_aggregation_matches_in_order_delivery(self, completion_order):
+        in_order = FleetReport()
+        for chunk in _chunk_summaries(self.CHUNKS):
+            for summary in chunk:
+                in_order.add(summary)
+        out_of_order = FleetReport()
+        for chunk in reorder_chunks(
+            iter(self.shuffled(completion_order)), len(self.CHUNKS)
+        ):
+            for summary in chunk:
+                out_of_order.add(summary)
+        assert out_of_order.to_json_dict() == in_order.to_json_dict()
+
+    def test_buffer_flushes_as_gaps_fill(self):
+        # Chunk 0 last: everything must be buffered, then flushed at once.
+        stream = reorder_chunks(iter(self.shuffled((3, 2, 1, 0))), len(self.CHUNKS))
+        first = next(stream)
+        assert [s.index for s in first] == [0, 1, 2]
+        assert [s.index for chunk in stream for s in chunk] == list(range(3, 10))
+
+    def test_duplicate_chunk_rejected(self):
+        summaries = _chunk_summaries(self.CHUNKS)
+        completions = [(0, summaries[0]), (1, summaries[1]), (1, summaries[1])]
+        with pytest.raises(ValueError, match="completed twice"):
+            list(reorder_chunks(iter(completions), len(self.CHUNKS)))
+
+    def test_missing_chunk_rejected(self):
+        completions = self.shuffled((0, 2, 3))
+        with pytest.raises(ValueError, match="missing chunk results"):
+            list(reorder_chunks(iter(completions), len(self.CHUNKS)))
+
+    def test_out_of_range_chunk_rejected(self):
+        completions = [(7, [])]
+        with pytest.raises(ValueError, match="outside"):
+            list(reorder_chunks(iter(completions), len(self.CHUNKS)))
+
+    def test_pooled_unordered_execution_matches_inline(self):
+        # End to end through the real pool: the imap_unordered +
+        # reorder_chunks path must agree with inline execution exactly.
+        inline = run_fleet(SPEC, workers=1, chunk_size=1)
+        pooled = run_fleet(SPEC, workers=3, chunk_size=1)
+        assert comparable(pooled) == comparable(inline)
 
 
 class TestStreamingStats:

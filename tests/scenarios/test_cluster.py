@@ -1,0 +1,136 @@
+"""Cluster-field construction, rate assignment and name-keyed placement."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.scenarios.cluster import (
+    ClusterField,
+    assign_rates,
+    sample_cluster_centers,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.soc.floorplan import Floorplan
+
+
+class TestClusterField:
+    def test_base_rate_far_from_centers(self):
+        field = ClusterField(
+            centers=((0.0, 0.0),), base_rate=0.004, peak_rate=0.05, radius=2.0
+        )
+        assert field.rate_at(90.0, 90.0) == pytest.approx(0.004, abs=1e-6)
+
+    def test_peak_at_center(self):
+        field = ClusterField(
+            centers=((10.0, 10.0),), base_rate=0.004, peak_rate=0.05, radius=5.0
+        )
+        assert field.rate_at(10.0, 10.0) == pytest.approx(0.054)
+
+    def test_manhattan_decay(self):
+        field = ClusterField(
+            centers=((0.0, 0.0),), base_rate=0.0, peak_rate=0.1, radius=10.0
+        )
+        # (3, 4) is Manhattan distance 7, not Euclidean 5.
+        assert field.rate_at(3.0, 4.0) == pytest.approx(0.1 * math.exp(-0.7))
+
+    def test_centers_superpose(self):
+        single = ClusterField(
+            centers=((0.0, 0.0),), base_rate=0.0, peak_rate=0.02, radius=8.0
+        )
+        double = ClusterField(
+            centers=((0.0, 0.0), (0.0, 0.0)),
+            base_rate=0.0,
+            peak_rate=0.02,
+            radius=8.0,
+        )
+        assert double.rate_at(5.0, 0.0) == pytest.approx(
+            2 * single.rate_at(5.0, 0.0)
+        )
+
+    def test_no_centers_is_uniform(self):
+        field = ClusterField(centers=(), base_rate=0.01, peak_rate=0.5, radius=10.0)
+        assert field.rate_at(1.0, 2.0) == field.rate_at(80.0, 9.0) == 0.01
+
+    def test_mean_rate_over_placements(self):
+        spec = ScenarioSpec(shapes=((8, 4, "a"), (8, 4, "b")))
+        floorplan = spec.build_floorplan()
+        field = spec.cluster_field(0)
+        rates = assign_rates(field, floorplan)
+        assert field.mean_rate(floorplan.placements) == pytest.approx(
+            sum(rates.values()) / len(rates)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterField(centers=(), base_rate=-0.1, peak_rate=0.1, radius=1.0)
+        with pytest.raises(ValueError):
+            ClusterField(centers=(), base_rate=0.1, peak_rate=0.1, radius=0.0)
+        with pytest.raises(ValueError):
+            ClusterField(
+                centers=(), base_rate=0.3, peak_rate=0.1, radius=1.0, max_rate=0.2
+            )
+        with pytest.raises(ValueError):
+            ClusterField(centers=(), base_rate=0.0, peak_rate=0.1, radius=1.0).mean_rate([])
+
+
+class TestCenterSampling:
+    def test_deterministic_per_campaign(self):
+        assert sample_cluster_centers(3, 50.0, 7, 2) == sample_cluster_centers(
+            3, 50.0, 7, 2
+        )
+
+    def test_distinct_per_campaign_and_seed(self):
+        base = sample_cluster_centers(3, 50.0, 7, 2)
+        assert sample_cluster_centers(3, 50.0, 7, 3) != base
+        assert sample_cluster_centers(3, 50.0, 8, 2) != base
+
+    def test_zero_clusters(self):
+        assert sample_cluster_centers(0, 50.0, 7, 0) == ()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_cluster_centers(-1, 50.0, 0, 0)
+        with pytest.raises(ValueError):
+            sample_cluster_centers(1, 0.0, 0, 0)
+
+
+class TestNameSeededFloorplan:
+    def test_placement_depends_on_name_not_order(self):
+        forward = ScenarioSpec(shapes=((8, 4, "a"), (8, 4, "b"), (8, 4, "c")))
+        backward = ScenarioSpec(shapes=((8, 4, "c"), (8, 4, "b"), (8, 4, "a")))
+        fwd = forward.build_floorplan()
+        bwd = backward.build_floorplan()
+        for name in ("a", "b", "c"):
+            assert fwd.placement_of(name) == bwd.placement_of(name)
+
+    def test_placements_on_die(self):
+        plan = ScenarioSpec(shapes=tuple((8, 4, f"m{i}") for i in range(6))).build_floorplan()
+        for placement in plan.placements:
+            assert 0.0 <= placement.x <= 100.0
+            assert 0.0 <= placement.y <= 100.0
+
+    def test_seed_moves_placements(self):
+        spec_a = ScenarioSpec(shapes=((8, 4, "a"),), placement_seed=0)
+        spec_b = ScenarioSpec(shapes=((8, 4, "a"),), placement_seed=1)
+        assert spec_a.build_floorplan().placement_of("a") != (
+            spec_b.build_floorplan().placement_of("a")
+        )
+
+    def test_unknown_memory_raises(self):
+        plan = ScenarioSpec(shapes=((8, 4, "a"),)).build_floorplan()
+        with pytest.raises(KeyError):
+            plan.placement_of("nope")
+
+    def test_distance_helpers_still_work(self):
+        spec = ScenarioSpec(shapes=((8, 4, "a"), (8, 4, "b")))
+        plan = spec.build_floorplan()
+        assert plan.distance_to_controller("a") >= 0.0
+        assert plan.total_star_length() > 0.0
+
+    def test_default_floorplan_constructor_unchanged(self):
+        spec = ScenarioSpec(shapes=((8, 4, "a"), (8, 4, "b")))
+        plan = Floorplan(spec.build_soc(), die_size=60.0, rng=3)
+        assert len(plan.placements) == 2
+        assert plan.controller_xy == (30.0, 30.0)

@@ -1,0 +1,188 @@
+"""Scenario spec validation, flow staging and fleet-runner behaviour."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    ScenarioSpec,
+    preset_spec,
+    run_scenario_campaign,
+    run_scenario_fleet,
+    summarize_scenario_campaign,
+)
+
+SMALL = ScenarioSpec(
+    shapes=((16, 8, "fl_wide"), (12, 6, "fl_narrow")),
+    campaigns=2,
+    master_seed=5,
+    base_defect_rate=0.02,
+    cluster_count=1,
+    cluster_radius=25.0,
+    cluster_peak_rate=0.05,
+    intermittent_rate=0.02,
+    upset_probability=0.6,
+    spares_per_memory=16,
+    backend="auto",
+)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_values(self):
+        for kwargs in (
+            dict(campaigns=0),
+            dict(base_defect_rate=1.5),
+            dict(cluster_radius=0.0),
+            dict(cluster_count=-1),
+            dict(max_retest_rounds=-1),
+            dict(intermittent_rate=-0.1),
+            dict(upset_probability=2.0),
+            dict(soc="nonsense"),
+            dict(name=""),
+            dict(geometry=(8,)),
+            dict(shapes=()),
+            dict(shapes=((8, 4, "dup"), (8, 4, "dup"))),
+            dict(defect_weights=(1.0, 1.0)),
+            dict(base_defect_rate=0.3, max_defect_rate=0.2),
+        ):
+            with pytest.raises(ValueError):
+                ScenarioSpec(**kwargs)
+
+    def test_build_soc_variants(self):
+        assert ScenarioSpec(soc="buffer-cluster").build_soc().name == "buffer-cluster"
+        uniform = ScenarioSpec(geometry=(32, 8), memories=3).build_soc()
+        assert uniform.memory_count == 3
+        assert {(g.words, g.bits) for g in uniform.geometries} == {(32, 8)}
+        explicit = SMALL.build_soc()
+        assert [g.name for g in explicit.geometries] == ["fl_wide", "fl_narrow"]
+        default = ScenarioSpec(memories=4).build_soc()
+        assert default.memory_count == 4
+
+    def test_build_profile(self):
+        assert ScenarioSpec().build_profile() is None
+        profile = ScenarioSpec(defect_weights=(1.0, 0.0, 0.0, 0.0)).build_profile()
+        assert profile is not None
+
+    def test_explicit_centers_override_sampling(self):
+        spec = dataclasses.replace(SMALL, cluster_centers=((1.0, 2.0),))
+        assert spec.cluster_field(0).centers == ((1.0, 2.0),)
+        assert spec.cluster_field(5).centers == ((1.0, 2.0),)
+
+    def test_presets(self):
+        for name in SCENARIO_PRESETS:
+            spec = preset_spec(name, campaigns=1)
+            assert spec.campaigns == 1
+            assert spec.name == name
+        with pytest.raises(ValueError, match="unknown scenario preset"):
+            preset_spec("nope")
+
+
+class TestFlowStaging:
+    def test_flow_runs_all_stages(self):
+        report = run_scenario_campaign(SMALL, 0)
+        stage_names = [stage.stage for stage in report.stages]
+        assert stage_names[0] == "test"
+        assert "burn-in" in stage_names
+        assert report.injected_faults > 0
+        assert report.baseline is not None
+        assert report.reduction_factor > 1.0
+        assert 0.0 <= report.escape_rate <= 1.0
+        assert report.intermittent_faults > 0
+        assert len(report.summary_lines()) >= 4
+
+    def test_no_baseline_and_no_burn_in(self):
+        spec = dataclasses.replace(
+            SMALL, include_baseline=False, burn_in=False, intermittent_rate=0.0
+        )
+        report = run_scenario_campaign(spec, 0)
+        assert report.baseline is None
+        assert report.reduction_factor is None
+        assert report.intermittent_faults == 0
+        assert all(stage.stage != "burn-in" for stage in report.stages)
+
+    def test_clean_bank_converges_immediately(self):
+        spec = dataclasses.replace(
+            SMALL,
+            base_defect_rate=0.0,
+            cluster_peak_rate=0.0,
+            cluster_count=0,
+            intermittent_rate=0.0,
+            include_baseline=False,
+        )
+        report = run_scenario_campaign(spec, 0)
+        assert report.injected_faults == 0
+        assert report.retest_rounds == 0
+        assert report.retest_converged
+        assert report.escape_rate == 0.0
+        assert report.localization_rate == 1.0
+
+    def test_spare_exhaustion_stalls_without_burning_rounds(self):
+        spec = dataclasses.replace(
+            SMALL,
+            spares_per_memory=0,
+            include_baseline=False,
+            burn_in=False,
+            max_retest_rounds=5,
+        )
+        report = run_scenario_campaign(spec, 0)
+        assert not report.retest_converged
+        # The zero-progress repair round stalls the loop immediately.
+        assert report.retest_rounds == 1
+        repair_stages = [s for s in report.stages if s.stage == "repair"]
+        assert repair_stages[-1].repaired_words == 0
+        assert all(s.stage != "retest" for s in report.stages)
+
+    def test_zero_retest_rounds_allowed(self):
+        spec = dataclasses.replace(SMALL, max_retest_rounds=0, burn_in=False)
+        report = run_scenario_campaign(spec, 0)
+        assert report.retest_rounds == 0
+        assert not report.retest_converged
+
+    def test_summary_reduction(self):
+        report = run_scenario_campaign(SMALL, 1)
+        summary = summarize_scenario_campaign(report)
+        assert summary.scenario == SMALL.name
+        assert summary.index == 1
+        assert summary.seed == SMALL.campaign_seed(1)
+        assert summary.escape_rate == report.escape_rate
+        assert summary.retest_rounds == report.retest_rounds
+        assert summary.assigned_rate_mean == pytest.approx(
+            report.mean_assigned_rate
+        )
+        assert summary.intermittent_faults == report.intermittent_faults
+
+
+class TestScenarioFleet:
+    def test_fleet_report_carries_scenario_aggregates(self):
+        report = run_scenario_fleet(SMALL, workers=1)
+        assert report.campaigns == SMALL.campaigns
+        assert report.scenario_campaigns == SMALL.campaigns
+        assert report.escape_rate.count == SMALL.campaigns
+        assert report.assigned_rate.count == SMALL.campaigns
+        assert report.retest_convergence is not None
+        assert report.intermittent_injected > 0
+        payload = report.to_json_dict()
+        assert payload["scenario"]["campaigns"] == SMALL.campaigns
+        text = "\n".join(report.summary_lines())
+        assert "scenario flows" in text and "clustered rate" in text
+
+    def test_plain_fleet_report_has_no_scenario_block(self):
+        from repro.engine import FleetSpec, run_fleet
+
+        report = run_fleet(
+            FleetSpec(memories=2, campaigns=1, defect_rate=0.004), workers=1
+        )
+        assert report.scenario_campaigns == 0
+        assert "scenario" not in report.to_json_dict()
+        assert report.retest_convergence is None
+        assert report.intermittent_detection_rate is None
+
+    def test_campaign_summary_independent_of_position(self):
+        direct = run_scenario_campaign(SMALL, 1)
+        fleet_equivalent = run_scenario_campaign(SMALL, 1)
+        assert summarize_scenario_campaign(direct) == summarize_scenario_campaign(
+            fleet_equivalent
+        )
