@@ -203,10 +203,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_checkpoint_args(args: argparse.Namespace) -> tuple[str | None, bool] | int:
+    """Validate the --checkpoint/--resume pair (returns an exit code on error)."""
+    import sys
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    return args.checkpoint, args.resume
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
+    import sys
 
-    from repro.engine import FleetSpec, available_backends, run_fleet
+    from repro.engine import (
+        CheckpointError,
+        FleetSpec,
+        available_backends,
+        run_fleet,
+    )
+
+    checkpointing = _resolve_checkpoint_args(args)
+    if isinstance(checkpointing, int):
+        return checkpointing
+    checkpoint, resume = checkpointing
 
     spec = FleetSpec(
         soc=args.soc,
@@ -235,9 +256,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         def progress(done: int, total: int) -> None:
             print(f"  {done}/{total} campaigns done", flush=True)
 
-    report = run_fleet(
-        spec, workers=args.workers, chunk_size=args.chunk_size, progress=progress
-    )
+    try:
+        report = run_fleet(
+            spec,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            progress=progress,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
     if args.json:
         payload = {"spec": spec.to_dict(), **report.to_json_dict()}
         print(json.dumps(payload, indent=2))
@@ -248,8 +278,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
     import json
+    import sys
 
+    from repro.engine import CheckpointError
     from repro.scenarios import preset_spec, run_scenario_fleet
+
+    checkpointing = _resolve_checkpoint_args(args)
+    if isinstance(checkpointing, int):
+        return checkpointing
+    checkpoint, resume = checkpointing
+    if checkpoint and args.sweep_radii:
+        print(
+            "error: --checkpoint/--resume apply to single scenario fleets, "
+            "not --sweep-radii matrices",
+            file=sys.stderr,
+        )
+        return 2
 
     overrides = dict(
         soc=args.soc,
@@ -322,9 +366,18 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         def progress(done: int, total: int) -> None:
             print(f"  {done}/{total} campaigns done", flush=True)
 
-    report = run_scenario_fleet(
-        spec, workers=args.workers, chunk_size=args.chunk_size, progress=progress
-    )
+    try:
+        report = run_scenario_fleet(
+            spec,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            progress=progress,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
     if args.json:
         payload = {"spec": spec.to_dict(), **report.to_json_dict()}
         print(json.dumps(payload, indent=2))
@@ -414,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0, help="master seed")
     sweep.add_argument(
         "--backend",
-        choices=("reference", "numpy", "fast", "auto"),
+        choices=("reference", "numpy", "fast", "batched", "auto"),
         default="auto",
     )
     sweep.add_argument(
@@ -450,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-baseline", action="store_true")
     campaign.add_argument(
         "--backend",
-        choices=("reference", "numpy", "fast", "auto"),
+        choices=("reference", "numpy", "fast", "batched", "auto"),
         default="reference",
         help="march-simulation backend for the proposed-scheme sessions",
     )
@@ -473,7 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--no-repair", action="store_true")
     fleet.add_argument(
         "--backend",
-        choices=("reference", "numpy", "fast", "auto"),
+        choices=("reference", "numpy", "fast", "batched", "auto"),
         default="auto",
     )
     fleet.add_argument(
@@ -481,6 +534,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--chunk-size", type=int, default=None, help="campaigns per work unit"
+    )
+    fleet.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist finished chunks into DIR (one directory per spec)",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="skip chunks already present in --checkpoint DIR",
     )
     fleet.add_argument("--json", action="store_true", help="emit JSON stats")
     fleet.set_defaults(func=_cmd_fleet)
@@ -531,7 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--no-burn-in", action="store_true")
     scenario.add_argument(
         "--backend",
-        choices=("reference", "numpy", "fast", "auto"),
+        choices=("reference", "numpy", "fast", "batched", "auto"),
         default="auto",
     )
     scenario.add_argument(
@@ -543,6 +604,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--sweep-radii", default=None,
         help="comma-separated radii: run the S1 cluster-radius matrix instead",
+    )
+    scenario.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist finished chunks into DIR (one directory per spec)",
+    )
+    scenario.add_argument(
+        "--resume", action="store_true",
+        help="skip chunks already present in --checkpoint DIR",
     )
     scenario.add_argument("--json", action="store_true", help="emit JSON stats")
     scenario.set_defaults(func=_cmd_scenario)

@@ -107,8 +107,10 @@ class DiagnosisCampaign:
         self.sampler = sampler
         #: March-simulation backend for the proposed-scheme *and* baseline
         #: sessions: ``reference`` (the classic cell-by-cell path),
-        #: ``numpy``/``fast`` (vectorized, bit-identical results) or
-        #: ``auto``.  See :mod:`repro.engine.backends`.
+        #: ``numpy``/``fast`` (vectorized, bit-identical results),
+        #: ``batched`` (same-geometry memories swept as one stacked array
+        #: per vector op, bit-identical again) or ``auto``.  See
+        #: :mod:`repro.engine.backends` and :mod:`repro.engine.batched`.
         self.backend = backend
         #: Defect-class mix for fault sampling (defaults to the paper's
         #: equal-likelihood profile).
@@ -176,7 +178,12 @@ class DiagnosisCampaign:
         return report
 
     def diagnose_proposed(self, scheme: FastDiagnosisScheme) -> ProposedReport:
-        """Run one session through the configured backend."""
+        """Run one session through the configured backend.
+
+        ``run_session`` dispatches the ``batched`` backend to the
+        fleet-batched stacked sweep and everything else to the per-memory
+        fast path or the reference, all bit-identical.
+        """
         if self.backend == "reference":
             return scheme.diagnose()
         # Imported lazily: repro.engine imports this module for the fleet

@@ -4,6 +4,9 @@ The engine is the execution layer above the paper's single-session models:
 
 * :mod:`repro.engine.backends` -- registry of interchangeable march
   simulation backends (pure-Python reference, numpy bit-parallel);
+* :mod:`repro.engine.batched` -- the fleet tier: same-geometry memories
+  stacked into one ``(n_mem, words, lanes)`` array, each march element a
+  single fleet-wide vector op, selected by the geometry-bucketing planner;
 * :mod:`repro.engine.session` -- fast, bit-exact execution of a full
   proposed-scheme diagnosis session;
 * :mod:`repro.engine.baseline_session` -- fast, bit-exact execution of the
@@ -11,6 +14,8 @@ The engine is the execution layer above the paper's single-session models:
   via :mod:`repro.engine.serial_kernel`);
 * :mod:`repro.engine.fleet` -- campaign fan-out over a multiprocessing
   worker pool with deterministic per-campaign seeding;
+* :mod:`repro.engine.checkpoint` -- content-addressed persistence of
+  finished chunks, making fleet and scenario runs resumable;
 * :mod:`repro.engine.aggregate` -- streaming reduction of campaign results
   into fleet-level statistics.
 """
@@ -29,9 +34,18 @@ from repro.engine.backends import (
     register_backend,
     resolve_backend,
 )
+from repro.engine.batched import (
+    BatchedBackend,
+    GeometryBucket,
+    geometry_buckets,
+    plan_session_buckets,
+    run_batched_session,
+)
+from repro.engine.checkpoint import CheckpointError, CheckpointStore
 from repro.engine.fleet import (
     FleetScheduler,
     FleetSpec,
+    plan_spec_backend,
     run_campaign,
     run_fleet,
 )
@@ -40,19 +54,27 @@ from repro.engine.packing import HAVE_NUMPY
 from repro.engine.session import run_session
 
 __all__ = [
+    "BatchedBackend",
     "CampaignSummary",
+    "CheckpointError",
+    "CheckpointStore",
     "FleetReport",
     "FleetScheduler",
     "FleetSpec",
+    "GeometryBucket",
     "HAVE_NUMPY",
     "MarchBackend",
     "NumpyBackend",
     "ReferenceBackend",
     "StreamingStats",
     "available_backends",
+    "geometry_buckets",
     "get_backend",
+    "plan_session_buckets",
+    "plan_spec_backend",
     "register_backend",
     "resolve_backend",
+    "run_batched_session",
     "run_baseline_session",
     "run_campaign",
     "run_fleet",

@@ -288,6 +288,27 @@ class FleetReport(Record):
             }
         return payload
 
+    def deterministic_dict(self) -> dict:
+        """The report's *result* content, without wall-clock measurements.
+
+        ``elapsed_s``/``campaigns_per_sec`` describe the run, not the
+        fleet; everything else is a pure function of the spec.  This is
+        the payload the checkpoint/resume contract guarantees byte-for-
+        byte: a resumed run and an uninterrupted run agree on it exactly.
+        """
+        payload = self.to_json_dict()
+        payload.pop("elapsed_s")
+        payload.pop("campaigns_per_sec")
+        return payload
+
+    def canonical_json(self) -> str:
+        """Canonical byte-comparable rendering of the deterministic content."""
+        import json
+
+        return json.dumps(
+            self.deterministic_dict(), sort_keys=True, separators=(",", ":")
+        )
+
     def summary_lines(self) -> list[str]:
         """Human-readable fleet summary for the CLI."""
         lines = [

@@ -19,6 +19,14 @@ backends ship:
     configurations the vector path cannot represent (decoder/column-mux
     faults, access tracing, stop-on-first-failure).
 
+``batched``
+    The fleet tier (:mod:`repro.engine.batched`, registered on import of
+    :mod:`repro.engine`): identical to ``numpy`` for raw single-memory
+    runs, but diagnosis sessions stack all same-geometry memories of the
+    bank into one ``(n_mem, words, lanes)`` array and sweep each march
+    element fleet-wide.  The fleet scheduler upgrades ``auto`` to it when
+    geometry bucketing pays off.
+
 The registry maps names to backend factories so later PRs (and user code)
 can plug in further implementations::
 
@@ -38,6 +46,22 @@ from repro.march.element import AddressOrder
 from repro.march.simulator import MarchResult, MarchSimulator
 from repro.memory.sram import SRAM
 from repro.util.validation import require
+
+
+def vector_capable(memory: SRAM) -> bool:
+    """Whether the bit-parallel paths can represent ``memory`` natively.
+
+    The single source of truth for the vector precondition: an ideal
+    address decoder and column mux, and no access tracing.  Shared by the
+    numpy backend's ``supports`` checks, the per-memory session runner and
+    the batched tier's geometry planner, so a new capability condition
+    only needs to land here.
+    """
+    return (
+        not memory.trace
+        and not memory.decoder.is_faulty
+        and not memory.column_mux.is_faulty
+    )
 
 
 class MarchBackend:
@@ -106,22 +130,13 @@ class NumpyBackend(MarchBackend):
         return HAVE_NUMPY
 
     def supports(self, memory: SRAM) -> bool:
-        return (
-            not self.stop_on_first_failure
-            and not memory.trace
-            and not memory.decoder.is_faulty
-            and not memory.column_mux.is_faulty
-        )
+        return not self.stop_on_first_failure and vector_capable(memory)
 
     def supports_baseline(self, memory: SRAM) -> bool:
         # The sparse serial replay assumes an ideal address/column path and
         # no access tracing; early-stop has no serial-path meaning, so it
         # does not disqualify a memory here.
-        return (
-            not memory.trace
-            and not memory.decoder.is_faulty
-            and not memory.column_mux.is_faulty
-        )
+        return vector_capable(memory)
 
     def run(self, memory: SRAM, algorithm: MarchAlgorithm) -> MarchResult:
         if not self.supports(memory):

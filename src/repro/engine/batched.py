@@ -1,0 +1,330 @@
+"""Fleet-batched march execution: whole geometry buckets per vector op.
+
+The numpy backend vectorizes *within* one SRAM; a fleet session over
+hundreds of distributed small memories still pays the full Python
+per-memory cost (plan construction, per-block array dispatch) once per
+instance per element.  This tier removes that multiplier:
+
+* the **geometry-bucketing planner** (:func:`geometry_buckets`,
+  :func:`plan_session_buckets`) groups the vector-capable memories of a
+  bank by ``(words, bits)``;
+* each bucket is packed into one stacked ``(n_mem, words, lanes)`` uint64
+  array (:func:`repro.engine.packing.pack_bank`) and every march element
+  is applied to the whole stack as single fleet-wide ops -- one write
+  assignment and one compare per operation per wrap-around block,
+  regardless of how many SRAMs share the geometry;
+* element plans are built once per bucket instead of once per memory
+  (plans are pure functions of the widths, see
+  :func:`repro.engine.session.session_step_plans`);
+* fault-hooked words keep the behavioural replay of
+  :func:`repro.engine.kernel.replay_dirty_rows` -- exact sweep order and
+  clocking per memory -- so stateful mechanisms (retention decay,
+  coupling, intermittent/soft-error streams with their per-fault
+  deterministic draws) observe reference-identical times.  Session
+  wrap-around is handled by the same block decomposition as the
+  single-memory kernel.
+
+The result is bit-exact against the reference and numpy paths (validated
+by the differential fuzz matrix) while the Python overhead amortizes over
+the bucket population.  ``BatchedBackend`` subclasses the numpy backend,
+so raw single-memory march runs and the baseline's iterate-repair sparse
+serial replay (:mod:`repro.engine.baseline_session`) run unchanged
+through it; the batched win applies to full diagnosis sessions, where
+:func:`repro.engine.session.run_session` dispatches here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import ProposedReport
+from repro.core.scheme import FastDiagnosisScheme
+from repro.engine.backends import NumpyBackend, register_backend, vector_capable
+from repro.engine.kernel import (
+    ElementPlan,
+    _record,
+    replay_dirty_positions,
+    sync_clean_rows,
+)
+from repro.engine.packing import lanes_to_word, np, pack_bank, word_to_lanes
+from repro.engine.session import (
+    _run_memory_session,
+    begin_session,
+    finalize_memory_counters,
+    finish_session,
+    session_step_plans,
+)
+from repro.march.algorithm import PauseStep
+from repro.march.simulator import FailureRecord
+from repro.memory.sram import SRAM
+
+
+class BatchedBackend(NumpyBackend):
+    """Numpy backend whose sessions sweep geometry buckets as one array.
+
+    For raw single-memory march runs this is exactly the numpy backend;
+    selecting it for a session (``run_session`` / campaigns / fleets)
+    activates the stacked execution of :func:`run_batched_session`.
+    """
+
+    name = "batched"
+
+
+# --------------------------------------------------------------------- #
+# Geometry-bucketing planner                                            #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GeometryBucket:
+    """One same-geometry group of bank positions."""
+
+    words: int
+    bits: int
+    indices: tuple[int, ...]
+
+
+def geometry_buckets(geometries) -> dict[tuple[int, int], list[int]]:
+    """Group indices of ``(words, bits)``-shaped entries by geometry.
+
+    Accepts anything with ``words``/``bits`` attributes (geometries,
+    SRAMs).  Bucket order follows first appearance, so planning is
+    deterministic for a given bank order.
+    """
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for index, geometry in enumerate(geometries):
+        buckets.setdefault((geometry.words, geometry.bits), []).append(index)
+    return buckets
+
+
+def plan_session_buckets(bank) -> tuple[list[GeometryBucket], list[int]]:
+    """Split a bank into batched geometry buckets and fallback positions.
+
+    Memories the vector path cannot represent (access tracing, decoder or
+    column-mux faults) fall back to the per-memory session path; everyone
+    else joins the bucket of its geometry, single-memory buckets included
+    (a stack of one is still the vector path, just without amortization).
+    """
+    capable: list[int] = []
+    fallback: list[int] = []
+    for index, memory in enumerate(bank):
+        if vector_capable(memory):
+            capable.append(index)
+        else:
+            fallback.append(index)
+    grouped = geometry_buckets([bank[index] for index in capable])
+    buckets = [
+        GeometryBucket(words, bits, tuple(capable[i] for i in members))
+        for (words, bits), members in grouped.items()
+    ]
+    return buckets, fallback
+
+
+def batched_backend_pays_off(geometries) -> bool:
+    """Whether geometry bucketing amortizes anything for this bank shape.
+
+    The fleet scheduler's ``auto`` planning upgrades to the batched
+    backend exactly when some bucket holds at least two memories --
+    otherwise every stack has depth one and the per-memory numpy path is
+    the same work with less indirection.
+    """
+    return any(
+        len(members) >= 2 for members in geometry_buckets(geometries).values()
+    )
+
+
+# --------------------------------------------------------------------- #
+# Stacked session execution                                             #
+# --------------------------------------------------------------------- #
+def run_batched_session(scheme: FastDiagnosisScheme) -> ProposedReport:
+    """Run one diagnosis session with geometry-bucketed stacked sweeps.
+
+    Produces the same :class:`~repro.core.report.ProposedReport` as the
+    reference and per-memory numpy paths, bit for bit (failure records in
+    identical order, cycle and time accounting included).
+    """
+    algorithm, report, deliveries, nwrc_ops = begin_session(scheme)
+    reads_per_word = algorithm.reads_per_word()
+    buckets, fallback = plan_session_buckets(scheme.bank)
+    for bucket in buckets:
+        memories = [scheme.bank[index] for index in bucket.indices]
+        for memory, failures in zip(
+            memories, _run_bucket_session(scheme, memories, algorithm)
+        ):
+            report.failures[memory.name] = failures
+    for index in fallback:
+        memory = scheme.bank[index]
+        report.failures[memory.name] = _run_memory_session(
+            scheme, memory, algorithm
+        )
+    for memory in scheme.bank:
+        finalize_memory_counters(
+            scheme, memory, report.failures[memory.name], reads_per_word
+        )
+    return finish_session(scheme, report, deliveries, nwrc_ops)
+
+
+class BucketSweep:
+    """Per-bucket sweep geometry, resolved once for a whole session.
+
+    Every element of a session sweeps the same controller address span,
+    so the position/local-row maps (one per direction) and each memory's
+    dirty sweep positions (dirty masks are static within a session) are
+    computed here exactly once instead of once per element per memory.
+    """
+
+    def __init__(self, words: int, sweep: int, dirty_masks) -> None:
+        self.words = words
+        self.sweep = sweep
+        positions = np.arange(sweep)
+        self.positions = positions
+        descending = (sweep - 1) - positions
+        self.local_rows = {
+            True: positions % words if sweep != words else positions,
+            False: descending % words if sweep != words else descending,
+        }
+        self.dirty_positions = {
+            ascending: [
+                positions[dirty_masks[member][rows]].tolist()
+                for member in range(dirty_masks.shape[0])
+            ]
+            for ascending, rows in self.local_rows.items()
+        }
+        # Row -> in-block offset for *full* blocks.  Full blocks all start
+        # at a multiple of ``words``, so the offset of a row inside the
+        # block is direction-dependent but block-independent: a row's
+        # sweep position is ``block_start + offset``.
+        rows = np.arange(words)
+        self.full_block_offsets = {
+            True: rows,
+            False: (sweep - 1 - rows) % words,
+        }
+
+
+def _run_bucket_session(
+    scheme: FastDiagnosisScheme, memories: list[SRAM], algorithm
+) -> list[list[FailureRecord]]:
+    """Run every element of the session over one stacked geometry bucket."""
+    plans = session_step_plans(scheme, memories[0], algorithm)
+    states, clean_masks, dirty_masks, lanes = pack_bank(memories)
+    sweep = BucketSweep(memories[0].words, scheme.controller_words, dirty_masks)
+    failures: list[list[FailureRecord]] = [[] for _ in memories]
+    for plan in plans:
+        if isinstance(plan, PauseStep):
+            for memory in memories:
+                memory.pause(plan.duration_ns)
+            continue
+        for member, records in enumerate(
+            run_element_batched(memories, states, clean_masks, plan, lanes, sweep)
+        ):
+            failures[member].extend(records)
+    for member, memory in enumerate(memories):
+        sync_clean_rows(memory, states[member], clean_masks[member])
+    return failures
+
+
+def run_element_batched(
+    memories: list[SRAM],
+    states,
+    clean_masks,
+    plan: ElementPlan,
+    lanes: int,
+    sweep_plan: BucketSweep,
+) -> list[list[FailureRecord]]:
+    """Execute one element over a same-geometry stack of memories.
+
+    ``states`` is the packed ``(n_mem, words, lanes)`` array --
+    authoritative for clean rows only.  Returns one reference-ordered
+    failure list per memory, exactly what
+    :func:`repro.engine.kernel.run_element` would produce memory by
+    memory.
+    """
+    words = sweep_plan.words
+    sweep = sweep_plan.sweep
+    ops = plan.ops
+    per_address = sum(op.tick_cost for op in ops)
+    records: list[list[tuple[int, int, FailureRecord]]] = [[] for _ in memories]
+
+    positions = sweep_plan.positions
+    local_rows = sweep_plan.local_rows[plan.ascending]
+    dirty_positions = sweep_plan.dirty_positions[plan.ascending]
+
+    # Dirty rows: per-memory behavioural replay in exact sweep order and
+    # time; the clean rows' share of each schedule is pure clocking.
+    for member, memory in enumerate(memories):
+        timebase = memory.timebase
+        if plan.deliver_ticks:
+            timebase.tick(plan.deliver_ticks)
+        base_cycles = timebase.cycles
+        if dirty_positions[member]:
+            records[member].extend(
+                replay_dirty_positions(
+                    memory, plan, dirty_positions[member], base_cycles, per_address
+                )
+            )
+        timebase.tick(base_cycles + sweep * per_address - timebase.cycles)
+
+    # Clean rows: fleet-wide vector ops, block-wise so wrap-around
+    # revisits never touch a row twice inside one assignment/compare.
+    if clean_masks.any():
+        for block_start in range(0, sweep, words):
+            block_end = min(block_start + words, sweep)
+            wrapped = block_start >= words
+            full = block_end - block_start == words
+            block_rows = local_rows[block_start:block_end]
+            block_positions = positions[block_start:block_end]
+            # A full block visits every row exactly once, so the whole
+            # slab can be addressed in natural row order; rows map back
+            # to sweep positions through the precomputed offsets only
+            # when a mismatch is recorded.
+            offsets = sweep_plan.full_block_offsets[plan.ascending]
+            for op_index, op_plan in enumerate(ops):
+                if op_plan.op.is_read:
+                    expected = (
+                        op_plan.expected_wrapped if wrapped else op_plan.expected_plain
+                    )
+                    expected_lanes = word_to_lanes(expected, lanes)
+                    if full:
+                        mismatch = (states != expected_lanes).any(axis=2)
+                        mismatch &= clean_masks
+                    else:
+                        mismatch = (states[:, block_rows] != expected_lanes).any(axis=2)
+                        mismatch &= clean_masks[:, block_rows]
+                    if mismatch.any():
+                        for member, hit in zip(*np.nonzero(mismatch)):
+                            member = int(member)
+                            row = int(block_rows[hit]) if not full else int(hit)
+                            position = (
+                                block_start + int(offsets[row])
+                                if full
+                                else int(block_positions[hit])
+                            )
+                            records[member].append(
+                                (
+                                    position,
+                                    op_index,
+                                    _record(
+                                        memories[member],
+                                        plan,
+                                        op_plan,
+                                        op_index,
+                                        row,
+                                        expected,
+                                        lanes_to_word(states[member, row]),
+                                    ),
+                                )
+                            )
+                else:
+                    # Dirty rows are never read from the packed state and
+                    # never synced back, so writing the whole block (or
+                    # slab) is safe and avoids a mask gather per memory.
+                    write_lanes = word_to_lanes(op_plan.write_word, lanes)
+                    if full:
+                        states[:] = write_lanes
+                    else:
+                        states[:, block_rows] = write_lanes
+
+    for member_records in records:
+        member_records.sort(key=lambda item: (item[0], item[1]))
+    return [[record for _, _, record in member] for member in records]
+
+
+register_backend("batched", BatchedBackend)

@@ -1,0 +1,257 @@
+"""Campaign checkpointing: resumable fleet runs with content-addressed chunks.
+
+A long fleet (or scenario) run is a deterministic function of its spec:
+chunk ``i`` always contains the same campaign indices and always reduces
+to the same :class:`~repro.engine.aggregate.CampaignSummary` list.  The
+:class:`CheckpointStore` exploits that to make runs resumable: every
+completed chunk is persisted the moment it finishes, and a ``--resume``
+run loads finished chunks instead of recomputing them, reproducing the
+uninterrupted run's deterministic report content byte for byte (wall-clock
+fields -- ``elapsed_s``, ``campaigns_per_sec`` -- are measurements of the
+run, not results of it, and are excluded from that contract; see
+:meth:`~repro.engine.aggregate.FleetReport.deterministic_dict`).
+
+**Digest scheme.**  One checkpoint directory holds exactly one campaign
+identity.  The identity digest is::
+
+    sha256(canonical_json({
+        "format": FORMAT_VERSION,        # layout revision of this module
+        "spec_type": type(spec).__name__,  # FleetSpec vs ScenarioSpec etc.
+        "spec": spec.to_dict(),          # includes master seed and backend
+        "chunk_size": chunk_size,        # chunk -> campaign-index mapping
+        "total_chunks": total_chunks,
+    }))
+
+where ``canonical_json`` is ``json.dumps(..., sort_keys=True)`` with
+compact separators.  Because the spec dict covers the population shape,
+the master seed *and* the backend, and the chunking fields pin the
+index partition, two runs share a digest exactly when their chunk results
+are interchangeable.  ``manifest.json`` records the digest (plus the spec,
+for humans); every ``chunk_*.json`` records the digest again and a
+``sha256`` checksum of its canonical summary payload.  A manifest or
+chunk whose digest does not match the active spec is *stale*, a chunk
+whose checksum does not match its content is *corrupt* -- both are
+rejected with :class:`CheckpointError` rather than silently aggregated.
+
+Chunk files are written atomically (temp file + ``os.replace``) and
+contain no timestamps, so an interrupted-then-resumed run leaves the
+store byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.engine.aggregate import CampaignSummary
+from repro.util.validation import require
+
+#: Bump when the on-disk layout changes; old stores then read as stale.
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint store rejected stale or corrupt contents."""
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON rendering used for digests and checksums."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_digest(spec, chunk_size: int, total_chunks: int) -> str:
+    """Content digest identifying one resumable campaign population."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "spec_type": type(spec).__name__,
+        "spec": spec.to_dict(),
+        "chunk_size": chunk_size,
+        "total_chunks": total_chunks,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _summary_payload(summaries: list[CampaignSummary]) -> list[dict]:
+    return [summary.to_dict() for summary in summaries]
+
+
+def _summaries_checksum(payload: list[dict]) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """One directory holding the completed chunks of one campaign spec.
+
+    Parameters
+    ----------
+    root:
+        Directory of the store (created if missing).  One directory maps
+        to one ``(spec, seed, backend, chunking)`` identity; pointing a
+        different spec at an existing store raises :class:`CheckpointError`.
+    spec:
+        The fleet/scenario spec being executed (anything with
+        ``to_dict()``; the scheduler passes its *planned* spec so an
+        ``auto`` backend resolves identically on resume).
+    chunk_size / total_chunks:
+        The chunk partition of the run, pinned into the digest.
+    """
+
+    def __init__(self, root: str | os.PathLike, spec, chunk_size: int, total_chunks: int) -> None:
+        require(dataclasses.is_dataclass(spec), "checkpoint spec must be a dataclass record")
+        self.root = Path(root)
+        self.digest = spec_digest(spec, chunk_size, total_chunks)
+        self.chunk_size = chunk_size
+        self.total_chunks = total_chunks
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._adopt_manifest(spec, chunk_size)
+
+    def _adopt_manifest(self, spec, chunk_size: int) -> None:
+        path = self.root / _MANIFEST
+        if path.exists():
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as error:
+                raise CheckpointError(
+                    f"corrupt checkpoint manifest {path}: {error}"
+                ) from error
+            recorded = manifest.get("digest")
+            if recorded != self.digest:
+                raise CheckpointError(
+                    f"stale checkpoint at {self.root}: it was written for a "
+                    f"different (spec, seed, backend, chunking) -- digest "
+                    f"{recorded!r} != expected {self.digest!r}.  Use a fresh "
+                    f"--checkpoint directory or rerun with the original spec."
+                )
+            return
+        self._write_json(
+            path,
+            {
+                "format": FORMAT_VERSION,
+                "digest": self.digest,
+                "spec_type": type(spec).__name__,
+                "spec": spec.to_dict(),
+                "chunk_size": chunk_size,
+                "total_chunks": self.total_chunks,
+            },
+        )
+
+    @staticmethod
+    def peek_manifest(root: str | os.PathLike) -> dict | None:
+        """The manifest of an existing store, or ``None`` when absent.
+
+        Used by the fleet scheduler to adopt a store's recorded
+        ``chunk_size`` before re-deriving its own default: the default
+        depends on the worker count (and so on the machine), and a resume
+        must reproduce the original chunk partition to find its chunks.
+        Corruption is not raised here -- constructing the store reports it
+        with full context.
+        """
+        path = Path(root) / _MANIFEST
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Chunk persistence                                                  #
+    # ------------------------------------------------------------------ #
+    def _chunk_path(self, chunk_index: int) -> Path:
+        return self.root / f"chunk_{chunk_index:05d}.json"
+
+    def has(self, chunk_index: int) -> bool:
+        """Whether chunk ``chunk_index`` has a persisted result."""
+        return self._chunk_path(chunk_index).exists()
+
+    def completed_chunks(self) -> list[int]:
+        """Sorted indices of every persisted chunk."""
+        return sorted(
+            index for index in range(self.total_chunks) if self.has(index)
+        )
+
+    def save(
+        self,
+        chunk_index: int,
+        indices: tuple[int, ...],
+        summaries: list[CampaignSummary],
+    ) -> None:
+        """Persist one finished chunk atomically."""
+        payload = _summary_payload(summaries)
+        self._write_json(
+            self._chunk_path(chunk_index),
+            {
+                "digest": self.digest,
+                "chunk_index": chunk_index,
+                "indices": list(indices),
+                "checksum": _summaries_checksum(payload),
+                "summaries": payload,
+            },
+        )
+
+    def load(
+        self,
+        chunk_index: int,
+        expected_indices: tuple[int, ...] | None = None,
+    ) -> list[CampaignSummary]:
+        """Load one persisted chunk, verifying digest and checksum.
+
+        ``expected_indices`` (the campaign indices the caller assigns to
+        this chunk) is validated against the recorded ones when given,
+        so a chunk file can never be aggregated under the wrong campaign
+        positions.
+        """
+        path = self._chunk_path(chunk_index)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint for chunk {chunk_index} at {path}")
+        except json.JSONDecodeError as error:
+            raise CheckpointError(f"corrupt checkpoint chunk {path}: {error}") from error
+        if payload.get("digest") != self.digest:
+            raise CheckpointError(
+                f"stale checkpoint chunk {path}: digest "
+                f"{payload.get('digest')!r} != expected {self.digest!r}"
+            )
+        if payload.get("chunk_index") != chunk_index:
+            raise CheckpointError(
+                f"corrupt checkpoint chunk {path}: records chunk "
+                f"{payload.get('chunk_index')!r}, expected {chunk_index}"
+            )
+        if (
+            expected_indices is not None
+            and payload.get("indices") != list(expected_indices)
+        ):
+            raise CheckpointError(
+                f"corrupt checkpoint chunk {path}: records campaign indices "
+                f"{payload.get('indices')!r}, expected {list(expected_indices)}"
+            )
+        summaries = payload.get("summaries")
+        if (
+            not isinstance(summaries, list)
+            or payload.get("checksum") != _summaries_checksum(summaries)
+        ):
+            raise CheckpointError(
+                f"corrupt checkpoint chunk {path}: summary checksum mismatch"
+            )
+        try:
+            return [CampaignSummary(**entry) for entry in summaries]
+        except TypeError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint chunk {path}: {error}"
+            ) from error
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        # Atomic publish: a reader (or a resumed run) never observes a
+        # half-written chunk, even if this process dies mid-write.
+        temporary = path.with_suffix(".tmp")
+        temporary.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(temporary, path)

@@ -11,14 +11,24 @@ same SoC shape and defect rate, one derived seed per campaign -- and the
   how many workers run or which worker picks up which chunk;
 * campaigns are grouped into chunks that a ``multiprocessing`` pool
   consumes (``workers <= 1`` runs inline, which is also the fallback when
-  a pool cannot be spawned);
+  a pool cannot be spawned); the pool is closed and joined on every exit
+  path, including worker failures and consumers abandoning the stream;
 * finished chunks stream into a :class:`~repro.engine.aggregate.FleetReport`
   in campaign order (out-of-order chunks are buffered briefly), keeping
-  aggregation deterministic and memory bounded.
+  aggregation deterministic and memory bounded;
+* an ``auto`` backend is resolved once per run through the
+  geometry-bucketing planner (:mod:`repro.engine.batched`): SoCs where
+  several memories share a geometry upgrade to the fleet-batched backend,
+  everything else keeps the per-memory numpy/reference choice;
+* with a :class:`~repro.engine.checkpoint.CheckpointStore` attached,
+  every finished chunk is persisted immediately and ``resume=True`` skips
+  chunks the store already holds, reproducing the uninterrupted run's
+  deterministic report content exactly.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
@@ -28,6 +38,8 @@ from typing import Callable, Iterable, Iterator
 
 from repro.core.campaign import DiagnosisCampaign
 from repro.engine.aggregate import CampaignSummary, FleetReport
+from repro.engine.checkpoint import CheckpointError, CheckpointStore, spec_digest
+from repro.engine.packing import HAVE_NUMPY
 from repro.faults.defects import DefectProfile, DefectType
 from repro.memory.geometry import MemoryGeometry
 from repro.soc.case_study import case_study_soc
@@ -202,6 +214,30 @@ def _run_indexed_chunk(
 ChunkRunner = Callable[..., "list[CampaignSummary]"]
 
 
+def plan_spec_backend(spec):
+    """Resolve a spec's ``auto`` backend through the geometry planner.
+
+    Returns the spec itself unless it asks for ``auto``, numpy is
+    importable and the SoC has at least one geometry bucket of two or
+    more memories -- in which case a copy requesting the fleet-batched
+    backend is returned (bit-exact, so only throughput changes).  Spec-like
+    objects without a ``backend``/``build_soc`` contract pass through
+    untouched.
+    """
+    if (
+        getattr(spec, "backend", None) != "auto"
+        or not HAVE_NUMPY
+        or not dataclasses.is_dataclass(spec)
+        or not hasattr(spec, "build_soc")
+    ):
+        return spec
+    from repro.engine.batched import batched_backend_pays_off
+
+    if batched_backend_pays_off(spec.build_soc().geometries):
+        return dataclasses.replace(spec, backend="batched")
+    return spec
+
+
 class FleetScheduler:
     """Executes a campaign population over a local worker pool.
 
@@ -209,7 +245,14 @@ class FleetScheduler:
     :func:`run_chunk`; any spec-like object exposing ``campaigns`` can be
     scheduled by passing a custom ``chunk_runner`` (the scenario engine
     schedules :class:`~repro.scenarios.spec.ScenarioSpec` flows this way),
-    so seeding, chunking, pooling and ordered aggregation exist once.
+    so seeding, chunking, pooling, checkpointing and ordered aggregation
+    exist once.
+
+    ``checkpoint`` (a directory path or a prepared
+    :class:`~repro.engine.checkpoint.CheckpointStore`) persists every
+    finished chunk; ``resume=True`` additionally loads chunks the store
+    already holds instead of recomputing them.  Stale or corrupt stores
+    raise :class:`~repro.engine.checkpoint.CheckpointError` up front.
     """
 
     def __init__(
@@ -218,15 +261,53 @@ class FleetScheduler:
         workers: int | None = None,
         chunk_size: int | None = None,
         chunk_runner: ChunkRunner | None = None,
+        checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+        resume: bool = False,
     ) -> None:
-        self.spec = spec
+        # An ``auto`` backend is pinned here, before chunks fan out, so
+        # every worker -- and the checkpoint digest -- sees one concrete
+        # backend choice.
+        self.spec = plan_spec_backend(spec)
         self.chunk_runner: ChunkRunner = chunk_runner or run_chunk
         self.workers = self._resolve_workers(workers)
+        if chunk_size is None and checkpoint is not None:
+            # The implicit default below depends on the worker count (and
+            # so on the machine); a resume must reproduce the original
+            # chunk partition, so adopt the store's recorded chunk size.
+            if isinstance(checkpoint, CheckpointStore):
+                chunk_size = checkpoint.chunk_size
+            else:
+                manifest = CheckpointStore.peek_manifest(checkpoint)
+                if manifest is not None and isinstance(
+                    manifest.get("chunk_size"), int
+                ):
+                    chunk_size = manifest["chunk_size"]
         if chunk_size is None:
             # Aim for a few chunks per worker so stragglers rebalance.
-            chunk_size = max(1, spec.campaigns // max(1, self.workers * 4))
+            chunk_size = max(1, self.spec.campaigns // max(1, self.workers * 4))
         require_positive(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
+        self.resume = resume
+        if checkpoint is None:
+            require(not resume, "resume=True requires a checkpoint store")
+            self.checkpoint: CheckpointStore | None = None
+        elif isinstance(checkpoint, CheckpointStore):
+            # A prepared store must still belong to *this* run: loading
+            # another spec's chunks would silently aggregate wrong data.
+            total = len(chunked_indices(self.spec.campaigns, self.chunk_size))
+            expected = spec_digest(self.spec, self.chunk_size, total)
+            if checkpoint.digest != expected:
+                raise CheckpointError(
+                    f"checkpoint store digest {checkpoint.digest!r} does not "
+                    f"match this scheduler's spec/chunking digest "
+                    f"{expected!r}; build the store from the same spec"
+                )
+            self.checkpoint = checkpoint
+        else:
+            total = len(chunked_indices(self.spec.campaigns, self.chunk_size))
+            self.checkpoint = CheckpointStore(
+                checkpoint, self.spec, self.chunk_size, total
+            )
 
     @staticmethod
     def _resolve_workers(workers: int | None) -> int:
@@ -247,12 +328,18 @@ class FleetScheduler:
         report = FleetReport()
         started = time.perf_counter()
         done = 0
-        for chunk in self._stream_chunks(chunks):
-            for summary in chunk:
-                report.add(summary)
-            done += len(chunk)
-            if progress is not None:
-                progress(done, self.spec.campaigns)
+        stream = self._stream_chunks(chunks)
+        try:
+            for chunk in stream:
+                for summary in chunk:
+                    report.add(summary)
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, self.spec.campaigns)
+        finally:
+            # Deterministically unwind the stream (and with it the worker
+            # pool) even when aggregation or the progress callback raises.
+            stream.close()
         report.elapsed_s = time.perf_counter() - started
         return report
 
@@ -260,22 +347,80 @@ class FleetScheduler:
         self, chunks: list[tuple[int, ...]]
     ) -> Iterator[list[CampaignSummary]]:
         """Yield chunk results in submission order (deterministic)."""
-        if self.workers <= 1 or len(chunks) <= 1:
-            for chunk in chunks:
-                yield self.chunk_runner(self.spec, chunk)
+        loaded: set[int] = set()
+        if self.checkpoint is not None and self.resume:
+            loaded = set(self.checkpoint.completed_chunks())
+        pending = [
+            (index, chunk)
+            for index, chunk in enumerate(chunks)
+            if index not in loaded
+        ]
+        ranks = {index: rank for rank, (index, _) in enumerate(pending)}
+        executor = self._execute_pending(pending, chunks)
+        # Pending results arrive in completion order; reorder_chunks
+        # (over the dense pending ranks) restores their submission order
+        # lazily, and persisted chunks are read only when the head of
+        # line reaches them -- so the pool spins up immediately and
+        # parent-side buffering stays bounded by pool skew, however the
+        # loaded and freshly-run chunks interleave.
+        pending_ordered = reorder_chunks(
+            ((ranks[index], summaries) for index, summaries in executor),
+            len(pending),
+        )
+        try:
+            for index, chunk in enumerate(chunks):
+                if index in loaded:
+                    yield self.checkpoint.load(index, expected_indices=chunk)
+                else:
+                    yield next(pending_ordered)
+            for _ in pending_ordered:  # runs reorder_chunks' completeness check
+                raise ValueError("chunk stream yielded more chunks than submitted")
+        finally:
+            pending_ordered.close()
+            executor.close()
+
+    def _execute_pending(
+        self,
+        pending: list[tuple[int, tuple[int, ...]]],
+        chunks: list[tuple[int, ...]],
+    ) -> Iterator[tuple[int, list[CampaignSummary]]]:
+        """Run the not-yet-persisted chunks, saving each as it completes."""
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) <= 1:
+            for index, chunk in pending:
+                summaries = self.chunk_runner(self.spec, chunk)
+                self._persist(index, chunk, summaries)
+                yield index, summaries
             return
         context = self._pool_context()
         worker = partial(_run_indexed_chunk, self.chunk_runner, self.spec)
-        with context.Pool(processes=min(self.workers, len(chunks))) as pool:
-            # imap_unordered lets the pool hand results back the moment
-            # they finish (no head-of-line blocking in the IPC queue);
-            # reorder_chunks restores submission order so aggregation
-            # stays deterministic, buffering only the results that
-            # completed ahead of the gap.
-            yield from reorder_chunks(
-                pool.imap_unordered(worker, list(enumerate(chunks))),
-                len(chunks),
-            )
+        # imap_unordered lets the pool hand results back the moment they
+        # finish (no head-of-line blocking in the IPC queue); checkpoints
+        # are written here, in completion order, so an interrupt loses at
+        # most the chunks still in flight.
+        pool = context.Pool(processes=min(self.workers, len(pending)))
+        try:
+            for index, summaries in pool.imap_unordered(worker, pending):
+                self._persist(index, chunks[index], summaries)
+                yield index, summaries
+            pool.close()
+        except BaseException:
+            # Worker failures and abandoned streams (GeneratorExit) both
+            # land here: terminate so no orphaned workers outlive the run.
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+
+    def _persist(
+        self,
+        index: int,
+        chunk: tuple[int, ...],
+        summaries: list[CampaignSummary],
+    ) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.save(index, chunk, summaries)
 
     @staticmethod
     def _pool_context():
@@ -289,6 +434,14 @@ def run_fleet(
     workers: int | None = None,
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+    resume: bool = False,
 ) -> FleetReport:
     """Convenience wrapper: schedule ``spec`` and aggregate the results."""
-    return FleetScheduler(spec, workers=workers, chunk_size=chunk_size).run(progress)
+    return FleetScheduler(
+        spec,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint=checkpoint,
+        resume=resume,
+    ).run(progress)

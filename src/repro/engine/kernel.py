@@ -61,8 +61,26 @@ def pack_memory(memory: SRAM):
 
 def sync_clean_rows(memory: SRAM, state, clean_mask) -> None:
     """Write the packed clean rows back into the behavioural memory."""
-    for row in np.nonzero(clean_mask)[0]:
-        memory.force_store_word(int(row), lanes_to_word(state[row]))
+    rows = np.nonzero(clean_mask)[0].tolist()
+    if not rows:
+        return
+    values = unpack_columns(state)
+    memory.force_store_rows(rows, values)
+
+
+def unpack_columns(state) -> list[int]:
+    """Reassemble a packed ``(words, lanes)`` array into Python-int words.
+
+    Bulk counterpart of :func:`repro.engine.packing.lanes_to_word`: one
+    C-level ``tolist`` per lane instead of one array slice per row.
+    """
+    lanes = state.shape[1]
+    values = state[:, 0].tolist()
+    for lane in range(1, lanes):
+        shift = 64 * lane
+        column = state[:, lane].tolist()
+        values = [value | (high << shift) for value, high in zip(values, column)]
+    return values
 
 
 @dataclass(frozen=True)
@@ -99,6 +117,112 @@ class ElementPlan:
     sweep_length: int
     ops: tuple[OpPlan, ...]
 
+    def __post_init__(self) -> None:
+        # Flat per-op tuples so the behavioural replay's hot loop skips
+        # attribute/property dispatch: (is_read, is_nwrc, write_word,
+        # expected_plain, expected_wrapped, extra_ticks, op_plan).
+        object.__setattr__(
+            self,
+            "compiled_ops",
+            tuple(
+                (
+                    op_plan.op.is_read,
+                    op_plan.op.is_nwrc,
+                    op_plan.write_word,
+                    op_plan.expected_plain,
+                    op_plan.expected_wrapped,
+                    op_plan.tick_cost - 1,
+                    op_plan,
+                )
+                for op_plan in self.ops
+            ),
+        )
+
+
+def replay_dirty_rows(
+    memory: SRAM,
+    dirty_mask,
+    plan: ElementPlan,
+    positions,
+    local_rows,
+    base_cycles: int,
+    per_address: int,
+) -> list[tuple[int, int, FailureRecord]]:
+    """Behavioural replay of fault-hooked rows in exact sweep order.
+
+    The shared time base is fast-forwarded to the cycle the reference
+    implementation would show at each visit, so stateful faults observe
+    identical times and orderings.  Returns ``(position, op_index,
+    record)`` triples for merging back into reference order.
+    """
+    return replay_dirty_positions(
+        memory,
+        plan,
+        positions[dirty_mask[local_rows]].tolist(),
+        base_cycles,
+        per_address,
+    )
+
+
+def replay_dirty_positions(
+    memory: SRAM,
+    plan: ElementPlan,
+    dirty_positions: list[int],
+    base_cycles: int,
+    per_address: int,
+) -> list[tuple[int, int, FailureRecord]]:
+    """:func:`replay_dirty_rows` with the sweep positions pre-resolved.
+
+    The batched tier precomputes each memory's dirty positions once per
+    session (they depend only on the static dirty mask and the sweep
+    direction) instead of re-masking the whole sweep per element; local
+    rows fall out of the position arithmetically.
+
+    Accesses go through the memory's ideal-periphery replay lane
+    (:meth:`repro.memory.sram.SRAM.replay_read` /
+    :meth:`~repro.memory.sram.SRAM.replay_write`), which is exact because
+    every caller of the vector path has already established the
+    fault-free-decoder/mux, no-tracing preconditions.
+    """
+    timebase = memory.timebase
+    tick = timebase.tick
+    read = memory.replay_read
+    write = memory.replay_write
+    compiled = plan.compiled_ops
+    words = memory.words
+    ascending = plan.ascending
+    last = plan.sweep_length - 1
+    records: list[tuple[int, int, FailureRecord]] = []
+    for position in dirty_positions:
+        local = (position if ascending else last - position) % words
+        wrapped = position >= words
+        tick(base_cycles + position * per_address - timebase.cycles)
+        for op_index, (
+            is_read,
+            is_nwrc,
+            write_word,
+            expected_plain,
+            expected_wrapped,
+            extra_ticks,
+            op_plan,
+        ) in enumerate(compiled):
+            if is_read:
+                observed = read(local)
+                if extra_ticks:
+                    tick(extra_ticks)
+                expected = expected_wrapped if wrapped else expected_plain
+                if observed != expected:
+                    records.append(
+                        (
+                            position,
+                            op_index,
+                            _record(memory, plan, op_plan, op_index, local, expected, observed),
+                        )
+                    )
+            else:
+                write(local, write_word, is_nwrc)
+    return records
+
 
 def run_element(
     memory: SRAM,
@@ -129,32 +253,11 @@ def run_element(
 
     # Dirty rows: behavioural replay in exact sweep order and time.
     if dirty_mask.any():
-        for position in positions[dirty_mask[local_rows]]:
-            position = int(position)
-            local = int(local_rows[position])
-            wrapped = position >= words
-            timebase.tick(base_cycles + position * per_address - timebase.cycles)
-            for op_index, op_plan in enumerate(ops):
-                operation = op_plan.op
-                if operation.is_read:
-                    observed = memory.read(local)
-                    if op_plan.tick_cost > 1:
-                        timebase.tick(op_plan.tick_cost - 1)
-                    expected = (
-                        op_plan.expected_wrapped if wrapped else op_plan.expected_plain
-                    )
-                    if observed != expected:
-                        records.append(
-                            (
-                                position,
-                                op_index,
-                                _record(memory, plan, op_plan, op_index, local, expected, observed),
-                            )
-                        )
-                elif operation.is_nwrc:
-                    memory.nwrc_write(local, op_plan.write_word)
-                else:
-                    memory.write(local, op_plan.write_word)
+        records.extend(
+            replay_dirty_rows(
+                memory, dirty_mask, plan, positions, local_rows, base_cycles, per_address
+            )
+        )
 
     # The clean rows' share of the schedule is pure clocking.
     timebase.tick(base_cycles + sweep * per_address - timebase.cycles)

@@ -21,6 +21,7 @@ __all__ = [
     "lanes_for",
     "lanes_to_word",
     "np",
+    "pack_bank",
     "pack_state",
     "require_numpy",
     "word_to_lanes",
@@ -54,8 +55,43 @@ def lanes_to_word(row) -> int:
 
 def pack_state(words: list[int], lanes: int):
     """Pack a full memory dump into a ``(len(words), lanes)`` uint64 array."""
+    if lanes == 1:
+        # Words already fit one lane: a single C-level conversion.
+        return np.fromiter(words, dtype=np.uint64, count=len(words)).reshape(-1, 1)
     state = np.empty((len(words), lanes), dtype=np.uint64)
     for lane in range(lanes):
         shift = LANE_BITS * lane
         state[:, lane] = [(w >> shift) & _LANE_MASK for w in words]
     return state
+
+
+def pack_bank(memories):
+    """Pack same-geometry memories into one stacked fleet array.
+
+    Returns ``(states, clean_masks, dirty_masks, lanes)`` where ``states``
+    is ``(n_mem, words, lanes)`` uint64 and the masks are ``(n_mem,
+    words)`` bool (dirty = some fault hook can fire on that word).  Row
+    ``states[i]`` is authoritative for memory ``i``'s *clean* words only,
+    exactly like the single-memory packing in
+    :func:`repro.engine.kernel.pack_memory`; hand each slice back through
+    :func:`repro.engine.kernel.sync_clean_rows` when the run finishes.
+
+    All memories must share ``(words, bits)`` -- the geometry-bucketing
+    planner in :mod:`repro.engine.batched` guarantees that.
+    """
+    from repro.util.validation import require
+
+    require(bool(memories), "pack_bank needs at least one memory")
+    words, bits = memories[0].words, memories[0].bits
+    require(
+        all(m.words == words and m.bits == bits for m in memories),
+        "pack_bank requires a same-geometry bucket",
+    )
+    lanes = lanes_for(bits)
+    states = np.empty((len(memories), words, lanes), dtype=np.uint64)
+    dirty_masks = np.zeros((len(memories), words), dtype=bool)
+    for index, memory in enumerate(memories):
+        states[index] = pack_state(memory.dump(), lanes)
+        for word in memory.hooked_words():
+            dirty_masks[index, word] = True
+    return states, ~dirty_masks, dirty_masks, lanes

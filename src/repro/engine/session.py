@@ -20,6 +20,11 @@ the behavioural access path.  Memories the vector path cannot represent
 that mirrors the reference loop exactly, and whole-session features the
 fast path does not model (``bit_accurate``, ``early_abort``, protocol
 monitors, missing numpy) delegate to ``scheme.diagnose`` itself.
+
+The fleet-batched tier (:mod:`repro.engine.batched`) shares this module's
+plan building and schedule accounting but sweeps *stacks* of same-geometry
+memories per vector op; ``run_session`` dispatches to it when the resolved
+backend is the batched one.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.engine.backends import (
     NumpyBackend,
     ReferenceBackend,
     resolve_backend,
+    vector_capable,
 )
 from repro.engine.kernel import (
     ElementPlan,
@@ -60,9 +66,11 @@ def run_session(
     With the reference backend (or any session feature the fast path does
     not model) this is exactly ``scheme.diagnose()``; with the numpy
     backend the same report is produced bit-identically but the per-word
-    work is vectorized.  Session execution only knows these two
-    strategies, so other (custom-registered) backend types are rejected
-    rather than silently substituted -- use them through
+    work is vectorized, and with the batched backend same-geometry
+    memories are additionally swept as one stacked array per vector op.
+    Session execution only knows these strategies, so other
+    (custom-registered) backend types are rejected rather than silently
+    substituted -- use them through
     :meth:`~repro.engine.backends.MarchBackend.run` for raw march runs.
     """
     resolved = resolve_backend(backend)
@@ -77,16 +85,29 @@ def run_session(
         and scheme.control.drf_screening
     )
     if fast:
+        # Imported lazily: batched builds on this module's helpers.
+        from repro.engine.batched import BatchedBackend, run_batched_session
+
+        if isinstance(resolved, BatchedBackend):
+            return run_batched_session(scheme)
         return _run_fast_session(scheme)
     require(
         isinstance(resolved, (NumpyBackend, ReferenceBackend)),
-        f"run_session supports the 'reference' and 'numpy' backends, "
-        f"got {type(resolved).__name__}",
+        f"run_session supports the 'reference', 'numpy' and 'batched' "
+        f"backends, got {type(resolved).__name__}",
     )
     return scheme.diagnose(bit_accurate=bit_accurate, early_abort=early_abort)
 
 
-def _run_fast_session(scheme: FastDiagnosisScheme) -> ProposedReport:
+def begin_session(scheme: FastDiagnosisScheme):
+    """Common session shell: validate, reset, account the schedule.
+
+    Returns ``(algorithm, report, deliveries, nwrc_ops)`` with the
+    closed-form cycle schedule (identical to the reference's
+    per-operation increments, summed) already folded into ``report`` and
+    the element-start handshake counters fired.  Shared by the per-memory
+    fast session below and the fleet-batched session runner.
+    """
     algorithm = scheme.algorithm_factory(scheme.controller_bits)
     require(
         algorithm.bits == scheme.controller_bits,
@@ -102,8 +123,6 @@ def _run_fast_session(scheme: FastDiagnosisScheme) -> ProposedReport:
         failures={memory.name: [] for memory in scheme.bank},
     )
 
-    # Closed-form schedule accounting (identical to the reference's
-    # per-operation increments, summed).
     controller_words = scheme.controller_words
     controller_bits = scheme.controller_bits
     deliveries = 0
@@ -127,18 +146,17 @@ def _run_fast_session(scheme: FastDiagnosisScheme) -> ProposedReport:
                 report.cycles += controller_words
                 if op.is_nwrc:
                     nwrc_ops += controller_words
+    return algorithm, report, deliveries, nwrc_ops
 
-    for memory in scheme.bank:
-        failures = _run_memory_session(scheme, memory, algorithm)
-        report.failures[memory.name] = failures
-        comparator = scheme.comparators[memory.name]
-        comparator.failures.extend(failures)
-        comparator.comparisons += controller_words * algorithm.reads_per_word()
-        psc = scheme.pscs[memory.name]
-        psc.captures += controller_words * algorithm.reads_per_word()
-        psc.cycles += controller_words * algorithm.reads_per_word() * memory.bits
 
-    scheme.background_gen.cycles += deliveries * controller_bits
+def finish_session(
+    scheme: FastDiagnosisScheme,
+    report: ProposedReport,
+    deliveries: int,
+    nwrc_ops: int,
+) -> ProposedReport:
+    """Fold the shared controller counters and close the report."""
+    scheme.background_gen.cycles += deliveries * scheme.controller_bits
     scheme.background_gen.deliveries += deliveries
     scheme.nwrtm.nwrc_ops += nwrc_ops
     report.deliveries = scheme.background_gen.deliveries
@@ -146,26 +164,40 @@ def _run_fast_session(scheme: FastDiagnosisScheme) -> ProposedReport:
     return report
 
 
-def _run_memory_session(
+def finalize_memory_counters(
+    scheme: FastDiagnosisScheme,
+    memory: SRAM,
+    failures: list[FailureRecord],
+    reads_per_word: int,
+) -> None:
+    """Per-memory comparator/PSC bookkeeping, identical to the reference."""
+    comparator = scheme.comparators[memory.name]
+    comparator.failures.extend(failures)
+    comparator.comparisons += scheme.controller_words * reads_per_word
+    psc = scheme.pscs[memory.name]
+    psc.captures += scheme.controller_words * reads_per_word
+    psc.cycles += scheme.controller_words * reads_per_word * memory.bits
+
+
+def session_step_plans(
     scheme: FastDiagnosisScheme, memory: SRAM, algorithm: MarchAlgorithm
-) -> list[FailureRecord]:
-    """Simulate one memory through the whole session, fast where possible."""
+) -> list[PauseStep | ElementPlan]:
+    """Resolve every algorithm step against one memory's width.
+
+    Plans depend only on the memory's ``(words, bits)`` and the controller
+    dimensions (SPC adaptation and comparator expectations are pure
+    functions of the widths), so one memory's plan list is valid for every
+    same-geometry memory in the bank -- the fact the batched tier builds
+    each geometry bucket's plans exactly once from.
+    """
     bits = memory.bits
     comparator = scheme.comparators[memory.name]
     spc = scheme.spcs[memory.name]
     word_mask = mask(bits)
-    vector = (
-        not memory.trace
-        and not memory.decoder.is_faulty
-        and not memory.column_mux.is_faulty
-    )
-    if vector:
-        state, clean_mask, dirty_mask, lanes = pack_memory(memory)
-
-    failures: list[FailureRecord] = []
+    plans: list[PauseStep | ElementPlan] = []
     for step_index, step in enumerate(algorithm.steps):
         if isinstance(step, PauseStep):
-            memory.pause(step.duration_ns)
+            plans.append(step)
             continue
         element = step.element
         adapted = spc.expected_pattern(step.background, scheme.controller_bits)
@@ -189,15 +221,43 @@ def _run_memory_session(
             )
             for op_index, op in enumerate(element.operations)
         )
-        plan = ElementPlan(
-            step_index=step_index,
-            step_label=step.label or element.notation(),
-            record_background=correct,
-            deliver_ticks=scheme.controller_bits if element.writes_anything else 0,
-            ascending=element.order is not AddressOrder.DOWN,
-            sweep_length=scheme.controller_words,
-            ops=ops,
+        plans.append(
+            ElementPlan(
+                step_index=step_index,
+                step_label=step.label or element.notation(),
+                record_background=correct,
+                deliver_ticks=scheme.controller_bits if element.writes_anything else 0,
+                ascending=element.order is not AddressOrder.DOWN,
+                sweep_length=scheme.controller_words,
+                ops=ops,
+            )
         )
+    return plans
+
+
+def _run_fast_session(scheme: FastDiagnosisScheme) -> ProposedReport:
+    algorithm, report, deliveries, nwrc_ops = begin_session(scheme)
+    reads_per_word = algorithm.reads_per_word()
+    for memory in scheme.bank:
+        failures = _run_memory_session(scheme, memory, algorithm)
+        report.failures[memory.name] = failures
+        finalize_memory_counters(scheme, memory, failures, reads_per_word)
+    return finish_session(scheme, report, deliveries, nwrc_ops)
+
+
+def _run_memory_session(
+    scheme: FastDiagnosisScheme, memory: SRAM, algorithm: MarchAlgorithm
+) -> list[FailureRecord]:
+    """Simulate one memory through the whole session, fast where possible."""
+    vector = vector_capable(memory)
+    if vector:
+        state, clean_mask, dirty_mask, lanes = pack_memory(memory)
+
+    failures: list[FailureRecord] = []
+    for plan in session_step_plans(scheme, memory, algorithm):
+        if isinstance(plan, PauseStep):
+            memory.pause(plan.duration_ns)
+            continue
         if vector:
             failures.extend(
                 run_element(memory, state, clean_mask, dirty_mask, plan, lanes)

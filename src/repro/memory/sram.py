@@ -254,6 +254,45 @@ class SRAM:
                 AccessRecord(AccessKind.NWRC_WRITE, address, value, self.now_ns)
             )
 
+    # ------------------------------------------------------------------ #
+    # Ideal-periphery replay path (vectorized-engine fast lane)          #
+    # ------------------------------------------------------------------ #
+    def replay_read(self, address: int) -> int:
+        """One read cycle assuming an ideal periphery.
+
+        Semantically identical to :meth:`read` when the decoder and the
+        column mux are fault-free and tracing is off -- exactly the
+        preconditions under which the vectorized backends
+        (:mod:`repro.engine`) replay fault-hooked words behaviourally.
+        Cell-fault hooks fire exactly as in :meth:`read`; only the ideal
+        decoder/mux indirection and the trace check are skipped.  Callers
+        must guarantee the preconditions (the engine's ``supports`` checks
+        do).
+        """
+        self.timebase.tick()
+        return self._read_word(address)
+
+    def replay_write(self, address: int, value: int, nwrc: bool = False) -> None:
+        """One write cycle assuming an ideal periphery (see :meth:`replay_read`)."""
+        self.timebase.tick()
+        self._write_word(address, value, nwrc)
+
+    def force_store_rows(self, rows: Iterable[int], values: list[int]) -> None:
+        """Bulk :meth:`force_store_word`: ``rows[i]`` takes ``values[row]``.
+
+        ``values`` is indexed *by row*, so callers hand over a full packed
+        column and the row subset to publish.  Rows must be valid
+        addresses (the engine derives them from mask indices); values are
+        width-checked like any store.
+        """
+        state = self._state
+        word_mask = self._word_mask
+        for row in rows:
+            value = values[row]
+            if not 0 <= value <= word_mask:
+                raise ValueError(f"value {value:#x} too wide for {self.bits} bits")
+            state[row] = value
+
     def idle(self) -> None:
         """Execute one idle/no-op cycle (or a read-ignored cycle).
 

@@ -13,9 +13,11 @@ familiar fleet statistics (localization, measured R).
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 from repro.engine.aggregate import FleetReport
+from repro.engine.checkpoint import CheckpointStore
 from repro.engine.fleet import FleetScheduler
 from repro.scenarios.flow import run_scenario_chunk
 from repro.scenarios.spec import ScenarioSpec
@@ -25,6 +27,8 @@ def scenario_scheduler(
     spec: ScenarioSpec,
     workers: int | None = None,
     chunk_size: int | None = None,
+    checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+    resume: bool = False,
 ) -> FleetScheduler:
     """A fleet scheduler wired to execute scenario flows."""
     return FleetScheduler(
@@ -32,6 +36,8 @@ def scenario_scheduler(
         workers=workers,
         chunk_size=chunk_size,
         chunk_runner=run_scenario_chunk,
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 
@@ -40,8 +46,20 @@ def run_scenario_fleet(
     workers: int | None = None,
     chunk_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+    resume: bool = False,
 ) -> FleetReport:
-    """Run every scenario campaign and aggregate the fleet report."""
-    return scenario_scheduler(spec, workers=workers, chunk_size=chunk_size).run(
-        progress
-    )
+    """Run every scenario campaign and aggregate the fleet report.
+
+    ``checkpoint``/``resume`` behave exactly as in
+    :class:`~repro.engine.fleet.FleetScheduler`: finished chunks persist
+    immediately and a resumed run skips them, reproducing the
+    uninterrupted report's deterministic content.
+    """
+    return scenario_scheduler(
+        spec,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint=checkpoint,
+        resume=resume,
+    ).run(progress)

@@ -13,6 +13,12 @@ numpy path at three levels:
   iterate-repair) -- iteration count, localization records, missed
   faults, end state and clocking.
 
+A third axis runs the *fleet-batched* tier through the same matrix:
+banks drawn with deliberately duplicated geometries (so the geometry
+buckets actually stack), asserting ``reference == numpy == batched`` on
+fault maps, cycle accounting, end state, baseline iterate-repair output
+(k-counts and localization records) and scenario/fleet aggregates.
+
 A second suite layers *intermittent/soft-error* populations
 (:mod:`repro.faults.intermittent`) on top of the manufacturing faults:
 per-access upset draws come from each fault's private deterministic
@@ -118,6 +124,30 @@ def draw_intermittent_case(case_index: int):
         float(rng.uniform(0.05, 0.9)),  # per-access upset probability
     )
     return geometries, defect_rate, algorithm, seed, intermittent
+
+
+def draw_bucketed_case(case_index: int):
+    """A fuzz case whose bank repeats geometries (non-trivial buckets).
+
+    Draws 1-2 distinct shapes and assigns 2-5 memories to them round
+    robin, so at least one geometry bucket stacks several memories --
+    the configuration the batched tier's fleet-wide ops actually
+    amortize over.
+    """
+    rng = make_rng(0xBA7C + case_index)
+    shapes = [
+        (int(rng.integers(3, 25)), int(rng.integers(2, 11)))
+        for _ in range(int(rng.integers(1, 3)))
+    ]
+    memories = int(rng.integers(2, 6))
+    geometries = [
+        MemoryGeometry(*shapes[i % len(shapes)], f"fuzz_{i}")
+        for i in range(memories)
+    ]
+    defect_rate = float(rng.uniform(0.0, 0.08))
+    algorithm = ALGORITHMS[int(rng.integers(len(ALGORITHMS)))]
+    seed = int(rng.integers(2**31))
+    return geometries, defect_rate, algorithm, seed
 
 
 @pytest.mark.parametrize("case_index", range(CASES))
@@ -242,3 +272,143 @@ class TestDifferentialFuzzIntermittent:
         ]
         assert fast.cycles == reference.cycles
         assert_states_equal(reference_bank, fast_bank)
+
+
+@pytest.mark.parametrize("case_index", range(CASES))
+class TestDifferentialFuzzBatched:
+    """reference == numpy == batched over bucket-stacking banks.
+
+    Banks repeat geometries so the batched tier's stacked sweeps cover
+    multi-memory buckets (plus the occasional single-memory bucket); the
+    assertions are the full three-way report, fault-map and end-state
+    comparison, manufacturing-only and with the intermittent layer.
+    """
+
+    @staticmethod
+    def intermittent_layer(case_index):
+        rng = make_rng(0xBEA7 + case_index)
+        # Roughly half the cases add the soft-error population.
+        if rng.integers(2) == 0:
+            return None
+        return (
+            float(rng.uniform(0.01, 0.15)),
+            float(rng.uniform(0.05, 0.9)),
+        )
+
+    def test_proposed_session_three_way(self, case_index):
+        geometries, defect_rate, algorithm, seed = draw_bucketed_case(case_index)
+        layer = self.intermittent_layer(case_index)
+        banks = {
+            backend: build_bank(geometries, defect_rate, seed, layer)[0]
+            for backend in ("reference", "numpy", "batched")
+        }
+        reference = FastDiagnosisScheme(
+            banks["reference"], algorithm_factory=algorithm
+        ).diagnose()
+        reports = {
+            backend: run_session(
+                FastDiagnosisScheme(banks[backend], algorithm_factory=algorithm),
+                backend=backend,
+            )
+            for backend in ("numpy", "batched")
+        }
+        for backend, fast in reports.items():
+            assert fast.failures == reference.failures, backend
+            assert fast.cycles == reference.cycles, backend
+            assert fast.pause_ns == reference.pause_ns, backend
+            assert fast.deliveries == reference.deliveries, backend
+            assert fast.nwrc_ops == reference.nwrc_ops, backend
+            assert fast.time_ns == reference.time_ns, backend
+            assert_states_equal(banks["reference"], banks[backend])
+
+    def test_raw_march_backend(self, case_index):
+        geometries, defect_rate, algorithm, seed = draw_bucketed_case(case_index)
+        reference_bank, _ = build_bank(geometries, defect_rate, seed)
+        fast_bank, _ = build_bank(geometries, defect_rate, seed)
+        for reference_memory, fast_memory in zip(reference_bank, fast_bank):
+            reference = ReferenceBackend().run(
+                reference_memory, algorithm(reference_memory.bits)
+            )
+            fast = get_backend("batched").run(fast_memory, algorithm(fast_memory.bits))
+            assert fast.failures == reference.failures
+            assert fast.cycles == reference.cycles
+            assert fast.elapsed_ns == reference.elapsed_ns
+        assert_states_equal(reference_bank, fast_bank)
+
+    def test_baseline_session(self, case_index):
+        geometries, defect_rate, _, seed = draw_bucketed_case(case_index)
+        layer = self.intermittent_layer(case_index)
+        reference_bank, reference_injector = build_bank(
+            geometries, defect_rate, seed, layer
+        )
+        fast_bank, fast_injector = build_bank(geometries, defect_rate, seed, layer)
+        reference = HuangJoneScheme(reference_bank).diagnose(
+            reference_injector, bit_accurate=True
+        )
+        fast = run_baseline_session(
+            HuangJoneScheme(fast_bank),
+            fast_injector,
+            backend="batched",
+            bit_accurate=True,
+        )
+        assert fast.iterations == reference.iterations
+        assert fast.localized == reference.localized
+        assert [(n, f.describe()) for n, f in fast.missed] == [
+            (n, f.describe()) for n, f in reference.missed
+        ]
+        assert fast.cycles == reference.cycles
+        assert_states_equal(reference_bank, fast_bank)
+
+
+class TestAggregateParity:
+    """Fleet and scenario aggregates agree across all three backends."""
+
+    @staticmethod
+    def comparable(report):
+        return report.deterministic_dict()
+
+    def test_fleet_report_parity(self):
+        from repro.engine.fleet import FleetSpec, run_fleet
+
+        reports = {}
+        for backend in ("reference", "numpy", "batched"):
+            spec = FleetSpec(
+                soc="case-study",
+                memories=4,
+                campaigns=3,
+                defect_rate=0.004,
+                master_seed=11,
+                backend=backend,
+            )
+            reports[backend] = self.comparable(run_fleet(spec, workers=1))
+        assert reports["numpy"] == reports["reference"]
+        assert reports["batched"] == reports["reference"]
+
+    def test_scenario_report_parity(self):
+        from repro.scenarios import run_scenario_fleet
+        from repro.scenarios.spec import ScenarioSpec
+
+        shapes = (
+            (12, 6, "s0"),
+            (12, 6, "s1"),
+            (8, 4, "s2"),
+            (12, 6, "s3"),
+        )
+        reports = {}
+        for backend in ("reference", "numpy", "batched"):
+            spec = ScenarioSpec(
+                campaigns=2,
+                shapes=shapes,
+                master_seed=5,
+                backend=backend,
+                base_defect_rate=0.01,
+                cluster_count=1,
+                intermittent_rate=0.01,
+                upset_probability=0.4,
+                max_retest_rounds=2,
+            )
+            reports[backend] = self.comparable(
+                run_scenario_fleet(spec, workers=1)
+            )
+        assert reports["numpy"] == reports["reference"]
+        assert reports["batched"] == reports["reference"]

@@ -1,9 +1,11 @@
-"""Fleet scheduler determinism and streaming aggregation."""
+"""Fleet scheduler determinism, streaming aggregation and pool hygiene."""
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 import statistics
+import time
 
 import pytest
 
@@ -20,6 +22,7 @@ from repro.engine.fleet import (
     chunked_indices,
     reorder_chunks,
     run_campaign,
+    run_chunk,
     run_fleet,
 )
 from repro.util.rng import derive_seed
@@ -185,6 +188,65 @@ class TestOutOfOrderChunks:
         inline = run_fleet(SPEC, workers=1, chunk_size=1)
         pooled = run_fleet(SPEC, workers=3, chunk_size=1)
         assert comparable(pooled) == comparable(inline)
+
+
+def _boom_chunk_runner(spec, indices):
+    """Module-level (picklable) runner that fails on the chunk holding 2."""
+    if 2 in indices:
+        raise RuntimeError("chunk runner boom")
+    return run_chunk(spec, indices)
+
+
+def _assert_no_orphaned_workers(before: set) -> None:
+    """The pool's processes must all be reaped shortly after the failure."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leftover = {p for p in multiprocessing.active_children() if p not in before}
+        if not leftover:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"orphaned pool workers: {leftover}")
+
+
+class TestPoolTeardown:
+    """Worker pools are closed and joined on every exit path.
+
+    Regression tests for the teardown leak: a failing chunk runner (or a
+    consumer abandoning the result stream) used to leave the pool to the
+    garbage collector, orphaning its workers.
+    """
+
+    def test_failing_chunk_runner_does_not_orphan_workers(self):
+        before = set(multiprocessing.active_children())
+        scheduler = FleetScheduler(
+            SPEC, workers=2, chunk_size=1, chunk_runner=_boom_chunk_runner
+        )
+        with pytest.raises(RuntimeError, match="chunk runner boom"):
+            scheduler.run()
+        _assert_no_orphaned_workers(before)
+
+    def test_failing_inline_runner_also_raises(self):
+        scheduler = FleetScheduler(
+            SPEC, workers=1, chunk_size=1, chunk_runner=_boom_chunk_runner
+        )
+        with pytest.raises(RuntimeError, match="chunk runner boom"):
+            scheduler.run()
+
+    def test_raising_progress_callback_does_not_orphan_workers(self):
+        before = set(multiprocessing.active_children())
+
+        def bail_out(done, total):
+            raise KeyboardInterrupt("operator stopped watching")
+
+        scheduler = FleetScheduler(SPEC, workers=2, chunk_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            scheduler.run(progress=bail_out)
+        _assert_no_orphaned_workers(before)
+
+    def test_successful_pooled_run_leaves_no_workers(self):
+        before = set(multiprocessing.active_children())
+        run_fleet(SPEC, workers=2, chunk_size=1)
+        _assert_no_orphaned_workers(before)
 
 
 class TestStreamingStats:
