@@ -1,7 +1,8 @@
 """Engine throughput: numpy backend speedup and fleet campaigns/sec.
 
-Emits one JSON document so future PRs can track the performance
-trajectory::
+Thin wrapper over :mod:`repro.analysis.bench` (the measurement library
+behind ``repro bench``).  Emits one JSON document so future PRs can track
+the performance trajectory::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
 
@@ -13,81 +14,17 @@ The headline measurements:
   seeds.  Results are asserted equal before the ratio is reported, so the
   speedup is for *bit-identical* work.
 * **fleet throughput** -- campaigns/sec of the fleet scheduler with the
-  numpy backend over the local worker pool.
+  numpy backend over the local worker pool (including the session
+  plan-cache hit rate across campaigns).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-import time
 
-from repro.core.campaign import DiagnosisCampaign
-from repro.engine.fleet import FleetSpec, run_fleet
-from repro.soc.case_study import case_study_soc
-
-
-def time_campaign(soc, defect_rate: float, seed: int, backend: str):
-    """Run one campaign and return (elapsed_s, report)."""
-    campaign = DiagnosisCampaign(
-        soc, defect_rate=defect_rate, seed=seed, backend=backend
-    )
-    started = time.perf_counter()
-    report = campaign.run(include_baseline=True, repair=True)
-    return time.perf_counter() - started, report
-
-
-def measure(memories: int, defect_rate: float, fleet_campaigns: int, workers: int):
-    """Collect every metric of the benchmark."""
-    soc = case_study_soc(memories=memories)
-    seed = 2005
-
-    reference_s, reference_report = time_campaign(soc, defect_rate, seed, "reference")
-    numpy_s, numpy_report = time_campaign(soc, defect_rate, seed, "numpy")
-
-    assert (
-        reference_report.proposed.failures == numpy_report.proposed.failures
-    ), "backends diverged: failure maps differ"
-    assert reference_report.localization_rate == numpy_report.localization_rate
-    assert reference_report.reduction_factor == numpy_report.reduction_factor
-
-    spec = FleetSpec(
-        soc="case-study",
-        memories=memories,
-        campaigns=fleet_campaigns,
-        defect_rate=defect_rate,
-        master_seed=seed,
-        backend="numpy",
-    )
-    fleet_report = run_fleet(spec, workers=workers)
-
-    return {
-        "config": {
-            "soc": "case-study",
-            "memories": memories,
-            "defect_rate": defect_rate,
-            "seed": seed,
-            "fleet_campaigns": fleet_campaigns,
-            "fleet_workers": workers,
-        },
-        "single_campaign": {
-            "reference_s": reference_s,
-            "numpy_s": numpy_s,
-            "speedup": reference_s / numpy_s,
-            "bit_identical": True,
-            "injected_faults": reference_report.injected_faults,
-            "localization_rate": reference_report.localization_rate,
-        },
-        "fleet": {
-            "backend": "numpy",
-            "campaigns": fleet_report.campaigns,
-            "elapsed_s": fleet_report.elapsed_s,
-            "campaigns_per_sec": fleet_report.campaigns_per_sec,
-            "mean_reduction_factor": fleet_report.reduction.mean,
-        },
-    }
+from repro.analysis.bench import engine_gate_failures, measure_engine_throughput
 
 
 def main(argv=None) -> int:
@@ -101,27 +38,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
-        memories, fleet_campaigns = 8, 4
+        results = measure_engine_throughput(memories=8, fleet_campaigns=4)
     else:
-        memories, fleet_campaigns = 64, 16
-    workers = max(1, (os.cpu_count() or 2) - 1)
-
-    results = measure(
-        memories=memories,
-        defect_rate=0.005,
-        fleet_campaigns=fleet_campaigns,
-        workers=workers,
-    )
+        results = measure_engine_throughput()
     payload = json.dumps(results, indent=2)
     print(payload)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
 
-    speedup = results["single_campaign"]["speedup"]
-    if not args.quick and speedup < 5.0:
-        print(f"WARNING: numpy backend speedup {speedup:.1f}x below 5x target", file=sys.stderr)
-        return 1
+    if not args.quick:
+        failures = engine_gate_failures(results)
+        for failure in failures:
+            print(f"WARNING: {failure}", file=sys.stderr)
+        if failures:
+            return 1
     return 0
 
 

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro campaign ...          # one SoC campaign end to end
     python -m repro fleet ...             # batch campaigns over a worker pool
     python -m repro scenario ...          # clustered/intermittent flow fleets
+    python -m repro bench ...             # reproducible throughput benchmarks
 """
 
 from __future__ import annotations
@@ -386,6 +387,57 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import sys
+
+    from repro.analysis.bench import SUITES, run_suites
+
+    suites = SUITES if args.suite == "all" else (args.suite,)
+    payload, failures = run_suites(suites, quick=args.quick)
+    rendered = json.dumps(payload, indent=2)
+    if args.json:
+        print(rendered)
+    else:
+        for name, results in payload["suites"].items():
+            print(f"suite: {name}")
+            if name == "batched-fleet":
+                rows = [
+                    {
+                        "regime": row["regime"],
+                        "defect rate": f"{row['defect_rate']:.2%}",
+                        "numpy (s)": f"{row['numpy_s']:.3f}",
+                        "batched (s)": f"{row['batched_s']:.3f}",
+                        "speedup": f"{row['speedup']:.2f}x",
+                        "target": (
+                            f">={row['speedup_target']:.1f}x"
+                            if row["gated"]
+                            else "-"
+                        ),
+                    }
+                    for row in results["rows"]
+                ]
+                print(format_table(rows))
+            else:
+                single = results["single_campaign"]
+                fleet = results["fleet"]
+                print(
+                    f"  campaign speedup : {single['speedup']:.2f}x "
+                    f"(reference {single['reference_s']:.3f} s, "
+                    f"numpy {single['numpy_s']:.3f} s)"
+                )
+                print(
+                    f"  fleet throughput : {fleet['campaigns_per_sec']:.2f} "
+                    f"campaigns/s over {fleet['campaigns']} campaigns"
+                )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    for failure in failures:
+        print(f"WARNING: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_area(args: argparse.Namespace) -> int:
     geometry = MemoryGeometry(args.words, args.bits)
     paper = AreaModel(TransistorBudget.paper())
@@ -615,6 +667,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("--json", action="store_true", help="emit JSON stats")
     scenario.set_defaults(func=_cmd_scenario)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the throughput benchmark suites (see repro.analysis.bench)",
+    )
+    bench.add_argument(
+        "--suite",
+        choices=("all", "batched-fleet", "engine"),
+        default="all",
+        help="which benchmark suite to run",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-smoke configurations; parity asserted, speedup "
+        "targets not enforced",
+    )
+    bench.add_argument("--json", action="store_true", help="emit the JSON document")
+    bench.add_argument("--out", help="also write the JSON to this path")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -42,6 +42,12 @@ from repro.engine.batched import (
     run_batched_session,
 )
 from repro.engine.checkpoint import CheckpointError, CheckpointStore
+from repro.engine.fault_table import (
+    BucketLanes,
+    CompiledFaultTable,
+    lower_bucket,
+    partition_faults,
+)
 from repro.engine.fleet import (
     FleetScheduler,
     FleetSpec,
@@ -51,13 +57,15 @@ from repro.engine.fleet import (
 )
 from repro.engine.baseline_session import run_baseline_session
 from repro.engine.packing import HAVE_NUMPY
-from repro.engine.session import run_session
+from repro.engine.session import plan_cache_stats, reset_plan_cache, run_session
 
 __all__ = [
     "BatchedBackend",
+    "BucketLanes",
     "CampaignSummary",
     "CheckpointError",
     "CheckpointStore",
+    "CompiledFaultTable",
     "FleetReport",
     "FleetScheduler",
     "FleetSpec",
@@ -70,9 +78,13 @@ __all__ = [
     "available_backends",
     "geometry_buckets",
     "get_backend",
+    "lower_bucket",
+    "partition_faults",
+    "plan_cache_stats",
     "plan_session_buckets",
     "plan_spec_backend",
     "register_backend",
+    "reset_plan_cache",
     "resolve_backend",
     "run_batched_session",
     "run_baseline_session",

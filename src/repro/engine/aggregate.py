@@ -53,16 +53,27 @@ class CampaignSummary(Record):
     #: Intermittent faults injected at burn-in / detected there.
     intermittent_faults: int | None = None
     intermittent_detected: int | None = None
+    #: Session plan-cache traffic attributed to this campaign (run-side
+    #: performance metadata; excluded from deterministic report content).
+    plan_cache_hits: int | None = None
+    plan_cache_misses: int | None = None
 
     @classmethod
     def from_report(
-        cls, index: int, seed: int, report: CampaignReport
+        cls,
+        index: int,
+        seed: int,
+        report: CampaignReport,
+        plan_cache_hits: int | None = None,
+        plan_cache_misses: int | None = None,
     ) -> "CampaignSummary":
         """Reduce a full campaign report to its fleet summary."""
         proposed = report.proposed
         baseline = report.baseline
         repair = report.repair
         return cls(
+            plan_cache_hits=plan_cache_hits,
+            plan_cache_misses=plan_cache_misses,
             index=index,
             seed=seed,
             soc_name=report.soc_name,
@@ -183,6 +194,10 @@ class FleetReport(Record):
     retest_converged_count: int = 0
     intermittent_injected: int = 0
     intermittent_detected: int = 0
+    # Session plan-cache traffic (run metadata, like ``elapsed_s``: the
+    # counts depend on worker layout and resume state, never on results).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def campaigns_per_sec(self) -> float:
@@ -227,6 +242,10 @@ class FleetReport(Record):
             self.verified_total += 1
             if summary.verification_passed:
                 self.verified_pass_count += 1
+        if summary.plan_cache_hits is not None:
+            self.plan_cache_hits += summary.plan_cache_hits
+        if summary.plan_cache_misses is not None:
+            self.plan_cache_misses += summary.plan_cache_misses
         if summary.scenario is not None:
             self.scenario_campaigns += 1
             if summary.escape_rate is not None:
@@ -254,6 +273,14 @@ class FleetReport(Record):
             return None
         return self.intermittent_detected / self.intermittent_injected
 
+    @property
+    def plan_cache_hit_rate(self) -> float | None:
+        """Fraction of session plan lookups served from the LRU cache."""
+        lookups = self.plan_cache_hits + self.plan_cache_misses
+        if lookups == 0:
+            return None
+        return self.plan_cache_hits / lookups
+
     def to_json_dict(self) -> dict:
         """Serializable rendering for the CLI's ``--json`` mode."""
         payload = {
@@ -274,6 +301,11 @@ class FleetReport(Record):
             "repaired_words": self.repaired_words,
             "fully_repaired_count": self.fully_repaired_count,
             "yield_rate": self.yield_rate,
+            "plan_cache": {
+                "hits": self.plan_cache_hits,
+                "misses": self.plan_cache_misses,
+                "hit_rate": self.plan_cache_hit_rate,
+            },
         }
         if self.scenario_campaigns:
             payload["scenario"] = {
@@ -291,14 +323,17 @@ class FleetReport(Record):
     def deterministic_dict(self) -> dict:
         """The report's *result* content, without wall-clock measurements.
 
-        ``elapsed_s``/``campaigns_per_sec`` describe the run, not the
-        fleet; everything else is a pure function of the spec.  This is
-        the payload the checkpoint/resume contract guarantees byte-for-
-        byte: a resumed run and an uninterrupted run agree on it exactly.
+        ``elapsed_s``/``campaigns_per_sec``/``plan_cache`` describe the
+        run, not the fleet (cache traffic depends on worker layout and on
+        how many chunks a resume skipped); everything else is a pure
+        function of the spec.  This is the payload the checkpoint/resume
+        contract guarantees byte-for-byte: a resumed run and an
+        uninterrupted run agree on it exactly.
         """
         payload = self.to_json_dict()
         payload.pop("elapsed_s")
         payload.pop("campaigns_per_sec")
+        payload.pop("plan_cache")
         return payload
 
     def canonical_json(self) -> str:
@@ -351,6 +386,12 @@ class FleetReport(Record):
             lines.append(
                 f"  yield           : {self.yield_rate:.1%} "
                 f"({self.verified_pass_count}/{self.verified_total} verified clean)"
+            )
+        if self.plan_cache_hit_rate is not None:
+            lines.append(
+                f"  plan cache      : {self.plan_cache_hit_rate:.1%} hit rate "
+                f"({self.plan_cache_hits} hits, "
+                f"{self.plan_cache_misses} misses)"
             )
         if self.scenario_campaigns:
             flows = f"  scenario flows  : {self.scenario_campaigns} campaigns"

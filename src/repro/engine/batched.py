@@ -15,13 +15,19 @@ instance per element.  This tier removes that multiplier:
   regardless of how many SRAMs share the geometry;
 * element plans are built once per bucket instead of once per memory
   (plans are pure functions of the widths, see
-  :func:`repro.engine.session.session_step_plans`);
-* fault-hooked words keep the behavioural replay of
+  :func:`repro.engine.session.session_step_plans`) and cached across
+  campaigns sharing a (march, geometry) pair;
+* *deterministic* cell faults (stuck-at, transition, read/write-disturb,
+  NWRC-weak, inter-word coupling) are lowered into a compiled fault table
+  (:mod:`repro.engine.fault_table`) and evaluated fleet-wide as masked
+  vector ops inside the same block decomposition -- the dense-defect fast
+  path;
+* the remaining fault-hooked words keep the behavioural replay of
   :func:`repro.engine.kernel.replay_dirty_rows` -- exact sweep order and
   clocking per memory -- so stateful mechanisms (retention decay,
-  coupling, intermittent/soft-error streams with their per-fault
-  deterministic draws) observe reference-identical times.  Session
-  wrap-around is handled by the same block decomposition as the
+  intra-word coupling, intermittent/soft-error streams with their
+  per-fault deterministic draws) observe reference-identical times.
+  Session wrap-around is handled by the same block decomposition as the
   single-memory kernel.
 
 The result is bit-exact against the reference and numpy paths (validated
@@ -40,7 +46,9 @@ from dataclasses import dataclass
 from repro.core.report import ProposedReport
 from repro.core.scheme import FastDiagnosisScheme
 from repro.engine.backends import NumpyBackend, register_backend, vector_capable
+from repro.engine.fault_table import TableEvaluator, lower_bucket
 from repro.engine.kernel import (
+    CleanWordTracker,
     ElementPlan,
     _record,
     replay_dirty_positions,
@@ -204,20 +212,42 @@ def _run_bucket_session(
 ) -> list[list[FailureRecord]]:
     """Run every element of the session over one stacked geometry bucket."""
     plans = session_step_plans(scheme, memories[0], algorithm)
-    states, clean_masks, dirty_masks, lanes = pack_bank(memories)
-    sweep = BucketSweep(memories[0].words, scheme.controller_words, dirty_masks)
+    states, _, _, lanes = pack_bank(memories)
+    # Three-way row partition: ideal rows take the block-op path, rows
+    # whose faults all lower take the compiled-table path, and the rest
+    # keep the behavioural replay lane.
+    lanes_split = lower_bucket(memories)
+    sweep = BucketSweep(
+        memories[0].words, scheme.controller_words, lanes_split.replay_masks
+    )
+    evaluator = (
+        TableEvaluator(lanes_split.table, sweep, states)
+        if lanes_split.table is not None
+        else None
+    )
     failures: list[list[FailureRecord]] = [[] for _ in memories]
+    tracker = CleanWordTracker()
     for plan in plans:
         if isinstance(plan, PauseStep):
             for memory in memories:
                 memory.pause(plan.duration_ns)
             continue
         for member, records in enumerate(
-            run_element_batched(memories, states, clean_masks, plan, lanes, sweep)
+            run_element_batched(
+                memories,
+                states,
+                lanes_split.clean_masks,
+                plan,
+                lanes,
+                sweep,
+                evaluator,
+                tracker,
+            )
         ):
             failures[member].extend(records)
+    vector_masks = lanes_split.vector_masks
     for member, memory in enumerate(memories):
-        sync_clean_rows(memory, states[member], clean_masks[member])
+        sync_clean_rows(memory, states[member], vector_masks[member])
     return failures
 
 
@@ -228,12 +258,18 @@ def run_element_batched(
     plan: ElementPlan,
     lanes: int,
     sweep_plan: BucketSweep,
+    evaluator: "TableEvaluator | None" = None,
+    tracker: CleanWordTracker | None = None,
 ) -> list[list[FailureRecord]]:
     """Execute one element over a same-geometry stack of memories.
 
     ``states`` is the packed ``(n_mem, words, lanes)`` array --
-    authoritative for clean rows only.  Returns one reference-ordered
-    failure list per memory, exactly what
+    authoritative for clean and fault-table rows (behavioural-replay rows
+    live in the memory objects).  ``evaluator`` is the bucket's compiled
+    fault table (:mod:`repro.engine.fault_table`), evaluated inside the
+    same block decomposition as the clean rows; ``tracker`` (one per
+    bucket session) skips clean compares that provably cannot mismatch.
+    Returns one reference-ordered failure list per memory, exactly what
     :func:`repro.engine.kernel.run_element` would produce memory by
     memory.
     """
@@ -247,8 +283,8 @@ def run_element_batched(
     local_rows = sweep_plan.local_rows[plan.ascending]
     dirty_positions = sweep_plan.dirty_positions[plan.ascending]
 
-    # Dirty rows: per-memory behavioural replay in exact sweep order and
-    # time; the clean rows' share of each schedule is pure clocking.
+    # Replay rows: per-memory behavioural replay in exact sweep order and
+    # time; every other row's share of each schedule is pure clocking.
     for member, memory in enumerate(memories):
         timebase = memory.timebase
         if plan.deliver_ticks:
@@ -262,9 +298,16 @@ def run_element_batched(
             )
         timebase.tick(base_cycles + sweep * per_address - timebase.cycles)
 
-    # Clean rows: fleet-wide vector ops, block-wise so wrap-around
-    # revisits never touch a row twice inside one assignment/compare.
-    if clean_masks.any():
+    # Clean and table rows: fleet-wide vector ops, block-wise so
+    # wrap-around revisits never touch a row twice inside one
+    # assignment/compare.
+    write_lanes_per_op = [
+        None if op_plan.op.is_read else word_to_lanes(op_plan.write_word, lanes)
+        for op_plan in ops
+    ]
+    if evaluator is not None:
+        evaluator.start_element(plan, write_lanes_per_op)
+    if clean_masks.any() or evaluator is not None:
         for block_start in range(0, sweep, words):
             block_end = min(block_start + words, sweep)
             wrapped = block_start >= words
@@ -276,19 +319,30 @@ def run_element_batched(
             # to sweep positions through the precomputed offsets only
             # when a mismatch is recorded.
             offsets = sweep_plan.full_block_offsets[plan.ascending]
+            ctx = (
+                evaluator.start_block(plan, block_start, block_end - block_start)
+                if evaluator is not None
+                else None
+            )
             for op_index, op_plan in enumerate(ops):
                 if op_plan.op.is_read:
                     expected = (
                         op_plan.expected_wrapped if wrapped else op_plan.expected_plain
                     )
-                    expected_lanes = word_to_lanes(expected, lanes)
-                    if full:
-                        mismatch = (states != expected_lanes).any(axis=2)
-                        mismatch &= clean_masks
+                    expected_lanes = None
+                    if tracker is None or tracker.value != expected:
+                        expected_lanes = word_to_lanes(expected, lanes)
+                        if full:
+                            mismatch = (states != expected_lanes).any(axis=2)
+                            mismatch &= clean_masks
+                        else:
+                            mismatch = (states[:, block_rows] != expected_lanes).any(
+                                axis=2
+                            )
+                            mismatch &= clean_masks[:, block_rows]
                     else:
-                        mismatch = (states[:, block_rows] != expected_lanes).any(axis=2)
-                        mismatch &= clean_masks[:, block_rows]
-                    if mismatch.any():
+                        mismatch = None
+                    if mismatch is not None and mismatch.any():
                         for member, hit in zip(*np.nonzero(mismatch)):
                             member = int(member)
                             row = int(block_rows[hit]) if not full else int(hit)
@@ -312,15 +366,49 @@ def run_element_batched(
                                     ),
                                 )
                             )
+                    if ctx is not None:
+                        if expected_lanes is None:
+                            expected_lanes = word_to_lanes(expected, lanes)
+                        for member, row, position, observed in evaluator.read_op(
+                            ctx, expected_lanes
+                        ):
+                            records[member].append(
+                                (
+                                    position,
+                                    op_index,
+                                    _record(
+                                        memories[member],
+                                        plan,
+                                        op_plan,
+                                        op_index,
+                                        row,
+                                        expected,
+                                        observed,
+                                    ),
+                                )
+                            )
                 else:
-                    # Dirty rows are never read from the packed state and
+                    # Replay rows are never read from the packed state and
                     # never synced back, so writing the whole block (or
-                    # slab) is safe and avoids a mask gather per memory.
-                    write_lanes = word_to_lanes(op_plan.write_word, lanes)
+                    # slab) is safe and avoids a mask gather per memory;
+                    # table rows are re-published right after with their
+                    # fault-corrected values.
+                    write_lanes = write_lanes_per_op[op_index]
+                    corrected = (
+                        evaluator.prepare_write(ctx, write_lanes, op_plan.op.is_nwrc)
+                        if ctx is not None
+                        else None
+                    )
                     if full:
                         states[:] = write_lanes
                     else:
                         states[:, block_rows] = write_lanes
+                    if tracker is not None:
+                        tracker.value = op_plan.write_word
+                    if ctx is not None:
+                        evaluator.commit_write(ctx, corrected)
+            if ctx is not None:
+                evaluator.end_block(ctx)
 
     for member_records in records:
         member_records.sort(key=lambda item: (item[0], item[1]))

@@ -76,8 +76,20 @@ def spec_digest(spec, chunk_size: int, total_chunks: int) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+#: Summary fields describing the *run* rather than its results (cache
+#: traffic depends on how warm the executing process was); persisting
+#: them would break the store's byte-for-byte reproducibility contract.
+_VOLATILE_SUMMARY_FIELDS = ("plan_cache_hits", "plan_cache_misses")
+
+
 def _summary_payload(summaries: list[CampaignSummary]) -> list[dict]:
-    return [summary.to_dict() for summary in summaries]
+    payload = []
+    for summary in summaries:
+        record = summary.to_dict()
+        for field in _VOLATILE_SUMMARY_FIELDS:
+            record[field] = None
+        payload.append(record)
+    return payload
 
 
 def _summaries_checksum(payload: list[dict]) -> str:

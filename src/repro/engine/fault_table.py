@@ -1,0 +1,609 @@
+"""Compiled fault tables: vectorized evaluation of deterministic cell faults.
+
+The behavioural replay lane (:func:`repro.engine.kernel.replay_dirty_positions`)
+is exact for *every* fault class but costs one Python dispatch per access --
+which makes dense-defect diagnostic campaigns replay-bound: the batched
+tier's fleet-wide block ops win ~4x in sparse screening and decay toward 1x
+as the defect rate grows.  This module removes that tail for the
+*deterministic* majority of the fault library.
+
+At session-plan time each memory's cell faults are partitioned by the
+lowering protocol (:meth:`repro.faults.base.Fault.vector_lowerable` /
+:meth:`~repro.faults.base.Fault.lower`):
+
+* **Lowerable faults** (stuck-at, transition, incorrect/destructive/
+  deceptive reads, write disturbs, NWRC-weak cells, inter-word coupling)
+  compile into structured numpy columns -- per-fault ``(row, lane,
+  bitmask, kind, aux-cell, parameters)`` -- grouped into per-row mask
+  planes and per-entry coupling groups.  A whole march element is then
+  evaluated over *all* fault-hooked rows of a geometry bucket (stacked
+  ``(n_mem, words, lanes)`` state) as a handful of select/mask vector ops
+  per operation, inside the same wrap-around block decomposition the
+  clean-row path uses.
+* **Non-lowerable faults** (intermittent/soft-error streams with their
+  per-access RNG draws, retention faults with their wall-clock decay,
+  intra-word coupling with its intra-visit transition interleaving)
+  keep the exact behavioural replay lane.
+
+Lane cohesion makes the split sound: coupling links its victim and
+aggressor words, so a word with any behavioural hook *taints* every word
+reachable through coupling edges, and any cell touched by two faults
+(whose hooks would chain in attachment order) keeps all involved faults
+behavioural.  The result is bit-exact against the reference by
+construction and validated by the round-trip property suite and the
+three-way differential fuzz matrix.
+
+Inter-word coupling is expressible because the aggressor word and the
+victim word sit at *different* sweep positions: within one block every
+row is visited exactly once, so the victim observes either the
+aggressor's pre-block state or its post-element trajectory, decided by a
+static visit-order bit, and inversion/idempotent flips collapse to a
+parity/any aggregate applied before or after the block's op loop.
+Address-decoder and column-mux faults are not expressible (they rewire
+whole access paths); memories carrying them keep the reference fallback,
+exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.packing import lanes_for, lanes_to_word, np
+from repro.faults.base import (
+    KIND_CF_ID,
+    KIND_CF_IN,
+    KIND_CF_ST,
+    KIND_DRDF,
+    KIND_IRF,
+    KIND_RDF,
+    KIND_STUCK,
+    KIND_TF,
+    KIND_WDF,
+    KIND_WEAK,
+    LoweredFault,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.kernel import ElementPlan
+    from repro.memory.sram import SRAM
+
+
+def partition_faults(memory: "SRAM") -> tuple[list[LoweredFault], set[int]]:
+    """Split one memory's cell faults into table and replay populations.
+
+    Returns ``(lowered, replay_words)``: the lowered records of every
+    fault the table may evaluate, and the word indices that must stay on
+    the behavioural replay lane.  Beyond each fault's own
+    ``vector_lowerable()`` vote, two structural constraints apply:
+
+    * **cell uniqueness** -- a cell touched by two faults keeps every
+      involved fault behavioural, because their hooks chain sequentially
+      in attachment order;
+    * **lane cohesion** -- coupling ties its victim word to its aggressor
+      word (transitions on one mutate the other), so taint propagates
+      across coupling edges until both endpoints share a lane.
+    """
+    faults = memory.cell_faults
+    participation: dict[tuple[int, int], int] = {}
+    for fault in faults:
+        for cell in fault.cells:
+            key = (cell.word, cell.bit)
+            participation[key] = participation.get(key, 0) + 1
+
+    candidates: list = []
+    tainted: set[int] = set()
+    edges: list[tuple[int, ...]] = []
+    for fault in faults:
+        words = {cell.word for cell in fault.cells}
+        if fault.aggressors:
+            edges.append(tuple(words))
+        lowerable = fault.vector_lowerable() and all(
+            participation[(cell.word, cell.bit)] == 1 for cell in fault.cells
+        )
+        if lowerable:
+            candidates.append(fault)
+        else:
+            tainted |= words
+
+    changed = True
+    while changed:
+        changed = False
+        for words in edges:
+            if any(word in tainted for word in words) and not tainted.issuperset(
+                words
+            ):
+                tainted.update(words)
+                changed = True
+
+    lowered = [
+        fault.lower()
+        for fault in candidates
+        if all(cell.word not in tainted for cell in fault.cells)
+    ]
+    return lowered, tainted
+
+
+@dataclass
+class BucketLanes:
+    """Three-way row partition of one geometry bucket.
+
+    ``replay_masks`` rows take the behavioural replay lane (authoritative
+    state in the memory objects), ``table_masks`` rows are evaluated by
+    the compiled fault table, and ``clean_masks`` rows (including
+    untainted aggressor-only rows, whose accesses are ideal) take the
+    plain block-op path.  Table and clean rows are authoritative in the
+    packed state and must be synced back after the session.
+    """
+
+    replay_masks: "np.ndarray"
+    table_masks: "np.ndarray"
+    clean_masks: "np.ndarray"
+    table: "CompiledFaultTable | None"
+
+    @property
+    def vector_masks(self) -> "np.ndarray":
+        """Rows whose packed state is authoritative (clean + table)."""
+        return ~self.replay_masks
+
+
+def lower_bucket(memories: "list[SRAM]") -> BucketLanes:
+    """Partition a same-geometry bucket and compile its fault table."""
+    n_mem = len(memories)
+    words = memories[0].words
+    bits = memories[0].bits
+    replay = np.zeros((n_mem, words), dtype=bool)
+    table_rows = np.zeros((n_mem, words), dtype=bool)
+    lowered_by_member: list[list[LoweredFault]] = []
+    for member, memory in enumerate(memories):
+        lowered, tainted = partition_faults(memory)
+        for word in tainted:
+            replay[member, word] = True
+        for spec in lowered:
+            table_rows[member, spec.victim.word] = True
+        lowered_by_member.append(lowered)
+    table = None
+    if any(lowered_by_member):
+        table = CompiledFaultTable(lowered_by_member, words, bits)
+    return BucketLanes(replay, table_rows, ~(replay | table_rows), table)
+
+
+class _CouplingGroup:
+    """Structure-of-arrays for one coupling kind's lowered entries.
+
+    ``vic_flat``/``agg_flat`` index the bucket state flattened to
+    ``(n_mem * words, lanes)`` -- one gather/scatter index instead of a
+    (member, word) pair.
+    """
+
+    def __init__(self, entries, row_index, lanes_of, words):
+        self.size = len(entries)
+        if not self.size:
+            return
+        self.vic_row = np.array(
+            [row_index[(m, s.victim.word)] for m, s in entries], dtype=np.int64
+        )
+        self.vic_flat = np.array(
+            [m * words + s.victim.word for m, s in entries], dtype=np.int64
+        )
+        self.vic_word = np.array([s.victim.word for _, s in entries], dtype=np.int64)
+        self.vic_lane = np.array(
+            [lanes_of(s.victim.bit)[0] for _, s in entries], dtype=np.int64
+        )
+        self.vic_mask = np.array(
+            [lanes_of(s.victim.bit)[1] for _, s in entries], dtype=np.uint64
+        )
+        self.agg_flat = np.array(
+            [m * words + s.aggressor.word for m, s in entries], dtype=np.int64
+        )
+        self.agg_word = np.array(
+            [s.aggressor.word for _, s in entries], dtype=np.int64
+        )
+        self.agg_lane = np.array(
+            [lanes_of(s.aggressor.bit)[0] for _, s in entries], dtype=np.int64
+        )
+        self.agg_mask = np.array(
+            [lanes_of(s.aggressor.bit)[1] for _, s in entries], dtype=np.uint64
+        )
+        self.rising = np.array([s.rising for _, s in entries], dtype=bool)
+        self.forced = np.array([s.value == 1 for _, s in entries], dtype=bool)
+        self.state = np.array(
+            [s.aggressor_state == 1 for _, s in entries], dtype=bool
+        )
+        self.affects_write = np.array(
+            [s.affects_write for _, s in entries], dtype=bool
+        )
+
+
+@dataclass
+class _BlockContext:
+    """Per-block scratch: row subset, positions and coupling schedules."""
+
+    idx: "np.ndarray"
+    positions: "np.ndarray"
+    cf_in_deferred: "np.ndarray | None" = None
+    cf_id_deferred: "np.ndarray | None" = None
+    cfst_active: "np.ndarray | None" = None
+    cfst_vic_in: "np.ndarray | None" = None
+    cfst_vic_sub: "np.ndarray | None" = None
+
+
+class CompiledFaultTable:
+    """Per-bucket structured arrays for the lowerable fault population.
+
+    Rows (distinct ``(member, word)`` pairs carrying at least one lowered
+    victim fault) index per-row uint64 mask planes -- one plane per
+    behaviour family -- while the coupling kinds keep per-entry columns
+    (the aux aggressor cell breaks the one-mask-per-row shape).
+    """
+
+    def __init__(self, lowered_by_member, words: int, bits: int) -> None:
+        self.words = words
+        self.lanes = lanes_for(bits)
+
+        def lanes_of(bit: int) -> tuple[int, int]:
+            return bit // 64, 1 << (bit % 64)
+
+        row_keys = sorted(
+            {
+                (member, spec.victim.word)
+                for member, lowered in enumerate(lowered_by_member)
+                for spec in lowered
+            }
+        )
+        self.n_rows = len(row_keys)
+        row_index = {key: i for i, key in enumerate(row_keys)}
+        self.rows_member = np.array([m for m, _ in row_keys], dtype=np.int64)
+        self.rows_word = np.array([w for _, w in row_keys], dtype=np.int64)
+        self.rows_flat = self.rows_member * words + self.rows_word
+        self._all_idx = np.arange(self.n_rows, dtype=np.int64)
+
+        planes = (
+            "stuck_set",
+            "stuck_clear",
+            "tf_rise",
+            "tf_fall",
+            "wdf_any",
+            "wdf_one",
+            "wdf_zero",
+            "weak_one",
+            "weak_zero",
+            "irf",
+            "rdf",
+            "drdf",
+        )
+        for name in planes:
+            setattr(
+                self, name, np.zeros((self.n_rows, self.lanes), dtype=np.uint64)
+            )
+
+        coupling: dict[str, list] = {
+            KIND_CF_IN: [],
+            KIND_CF_ID: [],
+            KIND_CF_ST: [],
+        }
+        for member, lowered in enumerate(lowered_by_member):
+            for spec in lowered:
+                if spec.kind in coupling:
+                    coupling[spec.kind].append((member, spec))
+                    continue
+                row = row_index[(member, spec.victim.word)]
+                lane, mask = lanes_of(spec.victim.bit)
+                plane = self._plane_for(spec)
+                plane[row, lane] |= np.uint64(mask)
+
+        self.cf_in = _CouplingGroup(coupling[KIND_CF_IN], row_index, lanes_of, words)
+        self.cf_id = _CouplingGroup(coupling[KIND_CF_ID], row_index, lanes_of, words)
+        self.cf_st = _CouplingGroup(coupling[KIND_CF_ST], row_index, lanes_of, words)
+
+        self.has_stuck = bool(self.stuck_set.any() or self.stuck_clear.any())
+        self.has_tf_rise = bool(self.tf_rise.any())
+        self.has_tf_fall = bool(self.tf_fall.any())
+        self.has_wdf = bool(
+            self.wdf_any.any() or self.wdf_one.any() or self.wdf_zero.any()
+        )
+        self.has_weak_one = bool(self.weak_one.any())
+        self.has_weak_zero = bool(self.weak_zero.any())
+        self.has_irf = bool(self.irf.any())
+        self.has_rdf = bool(self.rdf.any())
+        self.has_drdf = bool(self.drdf.any())
+
+    def _plane_for(self, spec: LoweredFault):
+        if spec.kind == KIND_STUCK:
+            return self.stuck_set if spec.value else self.stuck_clear
+        if spec.kind == KIND_TF:
+            return self.tf_rise if spec.rising else self.tf_fall
+        if spec.kind == KIND_WDF:
+            if spec.value < 0:
+                return self.wdf_any
+            return self.wdf_one if spec.value else self.wdf_zero
+        if spec.kind == KIND_WEAK:
+            return self.weak_one if spec.value else self.weak_zero
+        if spec.kind == KIND_IRF:
+            return self.irf
+        if spec.kind == KIND_RDF:
+            return self.rdf
+        if spec.kind == KIND_DRDF:
+            return self.drdf
+        raise ValueError(f"unknown lowered-fault kind {spec.kind!r}")
+
+
+class TableEvaluator:
+    """Evaluates a compiled table element by element over a bucket session.
+
+    Drives the same block decomposition as the clean-row path: the caller
+    announces each element (:meth:`start_element`) and each block
+    (:meth:`start_block`), brackets every write op with
+    :meth:`prepare_write` / :meth:`commit_write` around its slab
+    assignment, collects read mismatches from :meth:`read_op`, and closes
+    the block with :meth:`end_block` (deferred coupling flips).
+    """
+
+    def __init__(self, table: CompiledFaultTable, sweep_plan, states) -> None:
+        self.table = table
+        self.words = table.words
+        # The bucket's stacked state, bound once per session: the flat
+        # (n_mem * words, lanes) view turns every gather/scatter into a
+        # single-index fancy operation.
+        self._states = states
+        self._flat = states.reshape(-1, states.shape[2])
+        self._identity_sub = np.arange(table.n_rows, dtype=np.int64)
+        # Per-direction sweep offsets of every table row and coupling
+        # endpoint (block-independent for the blocks of one sweep; see
+        # BucketSweep.full_block_offsets).
+        self.row_off = {
+            asc: offsets[table.rows_word]
+            for asc, offsets in sweep_plan.full_block_offsets.items()
+        }
+        self._group_off = {}
+        for name in ("cf_in", "cf_id", "cf_st"):
+            group = getattr(table, name)
+            if not group.size:
+                continue
+            self._group_off[name] = {
+                asc: (
+                    offsets[group.agg_word],
+                    offsets[group.vic_word],
+                    offsets[group.agg_word] < offsets[group.vic_word],
+                )
+                for asc, offsets in sweep_plan.full_block_offsets.items()
+            }
+        self._element_write_lanes: list = []
+
+    # ------------------------------------------------------------------ #
+    # Element / block lifecycle                                          #
+    # ------------------------------------------------------------------ #
+    def start_element(self, plan: "ElementPlan", write_lanes_per_op) -> None:
+        """Cache the element's per-op write lanes for coupling schedules."""
+        self._element_write_lanes = write_lanes_per_op
+
+    def start_block(self, plan, block_start: int, block_len: int):
+        """Resolve the block's row subset and coupling schedules.
+
+        Applies the coupling flips that the reference would fire *before*
+        the victim's visit (aggressor earlier in the sweep) and defers the
+        rest to :meth:`end_block`.
+        """
+        table = self.table
+        asc = plan.ascending
+        off = self.row_off[asc]
+        full = block_len == self.words
+        if full:
+            idx = table._all_idx
+            positions = block_start + off
+        else:
+            sel = off < block_len
+            idx = table._all_idx[sel]
+            positions = block_start + off[sel]
+        ctx = _BlockContext(idx=idx, positions=positions)
+
+        if not self._group_off:
+            return ctx
+        if full:
+            sub_map = self._identity_sub
+        else:
+            sub_map = np.full(table.n_rows, -1, dtype=np.int64)
+            sub_map[idx] = np.arange(idx.size, dtype=np.int64)
+
+        for name, mode in (("cf_in", "xor"), ("cf_id", "or")):
+            group = getattr(table, name)
+            if not group.size:
+                continue
+            agg_off, vic_off, before = self._group_off[name][asc]
+            agg_in = agg_off < block_len
+            vic_in = vic_off < block_len
+            agg_pre = self._gather_agg(group)
+            events, _ = self._schedule(group, agg_pre, agg_in, mode)
+            immediate = events & agg_in & vic_in & before
+            deferred = events & agg_in & ~(vic_in & before)
+            if name == "cf_in":
+                self._flip_victims(group, immediate)
+                ctx.cf_in_deferred = deferred
+            else:
+                self._force_victims(group, immediate)
+                ctx.cf_id_deferred = deferred
+
+        group = table.cf_st
+        if group.size:
+            agg_off, vic_off, before = self._group_off["cf_st"][asc]
+            agg_in = agg_off < block_len
+            vic_in = vic_off < block_len
+            agg_pre = self._gather_agg(group)
+            _, agg_post = self._schedule(group, agg_pre, agg_in, None)
+            use_post = agg_in & vic_in & before
+            effective = np.where(use_post, agg_post, agg_pre)
+            ctx.cfst_active = effective == group.state
+            ctx.cfst_vic_in = vic_in
+            ctx.cfst_vic_sub = sub_map[group.vic_row]
+        return ctx
+
+    def end_block(self, ctx: _BlockContext) -> None:
+        """Apply coupling flips the reference fires after the victim visit."""
+        if ctx.cf_in_deferred is not None:
+            self._flip_victims(self.table.cf_in, ctx.cf_in_deferred)
+        if ctx.cf_id_deferred is not None:
+            self._force_victims(self.table.cf_id, ctx.cf_id_deferred)
+
+    # ------------------------------------------------------------------ #
+    # Operations                                                         #
+    # ------------------------------------------------------------------ #
+    def prepare_write(self, ctx: _BlockContext, write_lanes, is_nwrc):
+        """Corrected post-write state of the block's table rows.
+
+        Gathers the *old* state (call before the caller's slab
+        assignment clobbers it), applies the per-kind write formulas and
+        returns the rows to scatter back via :meth:`commit_write`.
+        """
+        table = self.table
+        idx = ctx.idx
+        if not idx.size:
+            return None
+        old = self._flat[table.rows_flat[idx]]
+        new = np.broadcast_to(write_lanes, old.shape).astype(np.uint64, copy=True)
+        if table.has_tf_rise:
+            mask = table.tf_rise[idx]
+            new = (new & ~mask) | (write_lanes & old & mask)
+        if table.has_tf_fall:
+            mask = table.tf_fall[idx]
+            new = (new & ~mask) | ((write_lanes | old) & mask)
+        if table.has_wdf:
+            effective = (
+                table.wdf_any[idx]
+                | (table.wdf_one[idx] & write_lanes)
+                | (table.wdf_zero[idx] & ~write_lanes)
+            )
+            new ^= ~(write_lanes ^ old) & effective
+        if is_nwrc:
+            if table.has_weak_one:
+                mask = table.weak_one[idx]
+                new = (new & ~mask) | (write_lanes & old & mask)
+            if table.has_weak_zero:
+                mask = table.weak_zero[idx]
+                new = (new & ~mask) | ((write_lanes | old) & mask)
+        if table.has_stuck:
+            new = (new | table.stuck_set[idx]) & ~table.stuck_clear[idx]
+        group = table.cf_st
+        if group.size and ctx.cfst_active is not None:
+            sel = ctx.cfst_active & group.affects_write & ctx.cfst_vic_in
+            if sel.any():
+                self._scatter_forced(
+                    new,
+                    (ctx.cfst_vic_sub[sel], group.vic_lane[sel]),
+                    group.vic_mask[sel],
+                    group.forced[sel],
+                )
+        return new
+
+    def commit_write(self, ctx: _BlockContext, corrected) -> None:
+        """Publish :meth:`prepare_write`'s rows over the slab assignment."""
+        if corrected is None:
+            return
+        self._flat[self.table.rows_flat[ctx.idx]] = corrected
+
+    def read_op(self, ctx: _BlockContext, expected_lanes):
+        """Evaluate one read over the block's table rows.
+
+        Commits destructive-read flips to the packed state and returns
+        ``(member, row, position, observed_word)`` tuples for every
+        mismatching row, for the caller to turn into failure records.
+        """
+        table = self.table
+        idx = ctx.idx
+        if not idx.size:
+            return ()
+        stored = self._flat[table.rows_flat[idx]]
+        observed = stored.copy()
+        if table.has_irf:
+            observed ^= table.irf[idx]
+        if table.has_rdf:
+            observed ^= table.rdf[idx]
+        if table.has_stuck:
+            observed = (observed | table.stuck_set[idx]) & ~table.stuck_clear[idx]
+        group = table.cf_st
+        if group.size and ctx.cfst_active is not None:
+            sel = ctx.cfst_active & ctx.cfst_vic_in
+            if sel.any():
+                self._scatter_forced(
+                    observed,
+                    (ctx.cfst_vic_sub[sel], group.vic_lane[sel]),
+                    group.vic_mask[sel],
+                    group.forced[sel],
+                )
+        if table.has_rdf or table.has_drdf:
+            flips = table.rdf[idx] | table.drdf[idx]
+            self._flat[table.rows_flat[idx]] = stored ^ flips
+        mismatch = (observed != expected_lanes).any(axis=1)
+        if not mismatch.any():
+            return ()
+        hits = []
+        for hit in np.nonzero(mismatch)[0]:
+            row = idx[hit]
+            hits.append(
+                (
+                    int(table.rows_member[row]),
+                    int(table.rows_word[row]),
+                    int(ctx.positions[hit]),
+                    lanes_to_word(observed[hit]),
+                )
+            )
+        return hits
+
+    # ------------------------------------------------------------------ #
+    # Coupling internals                                                 #
+    # ------------------------------------------------------------------ #
+    def _gather_agg(self, group: _CouplingGroup):
+        """Current aggressor bits as booleans (entries,)."""
+        lanes = self._flat[group.agg_flat, group.agg_lane]
+        return (lanes & group.agg_mask) != 0
+
+    def _schedule(self, group: _CouplingGroup, agg_pre, agg_in, mode):
+        """Analytic aggressor trajectory over the element's write ops.
+
+        Sound because a lowered coupling's aggressor cell carries no
+        fault of its own (cell uniqueness): its bit simply tracks each
+        write word.  Returns the aggregated trigger events (parity for
+        ``"xor"``, any-fired for ``"or"``, ``None`` otherwise) and the
+        post-element bits.
+        """
+        current = agg_pre.copy()
+        events = None if mode is None else np.zeros(group.size, dtype=bool)
+        for write_lanes in self._element_write_lanes:
+            if write_lanes is None:
+                continue
+            new = (write_lanes[group.agg_lane] & group.agg_mask) != 0
+            if mode is not None:
+                match = np.where(group.rising, ~current & new, current & ~new)
+                match &= agg_in
+                if mode == "xor":
+                    events ^= match
+                else:
+                    events |= match
+            current = np.where(agg_in, new, current)
+        return events, current
+
+    def _flip_victims(self, group: _CouplingGroup, sel) -> None:
+        if not sel.any():
+            return
+        np.bitwise_xor.at(
+            self._flat,
+            (group.vic_flat[sel], group.vic_lane[sel]),
+            group.vic_mask[sel],
+        )
+
+    def _force_victims(self, group: _CouplingGroup, sel) -> None:
+        if not sel.any():
+            return
+        self._scatter_forced(
+            self._flat,
+            (group.vic_flat[sel], group.vic_lane[sel]),
+            group.vic_mask[sel],
+            group.forced[sel],
+        )
+
+    @staticmethod
+    def _scatter_forced(target, index, masks, forced) -> None:
+        """Set/clear per-entry bit masks at ``index`` according to ``forced``."""
+        set_masks = np.where(forced, masks, np.uint64(0))
+        clear_masks = np.where(forced, np.uint64(0), masks)
+        np.bitwise_or.at(target, index, set_masks)
+        np.bitwise_and.at(target, index, ~clear_masks)

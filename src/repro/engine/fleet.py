@@ -131,6 +131,8 @@ class FleetSpec(Record):
 
 def run_campaign(spec: FleetSpec, index: int) -> CampaignSummary:
     """Execute one campaign of the fleet and summarize it."""
+    from repro.engine.session import plan_cache_stats
+
     seed = spec.campaign_seed(index)
     campaign = DiagnosisCampaign(
         spec.build_soc(),
@@ -141,10 +143,18 @@ def run_campaign(spec: FleetSpec, index: int) -> CampaignSummary:
         profile=spec.build_profile(),
         baseline_bit_accurate=spec.baseline_bit_accurate,
     )
+    hits_before, misses_before = plan_cache_stats()
     report = campaign.run(
         include_baseline=spec.include_baseline, repair=spec.repair
     )
-    return CampaignSummary.from_report(index, seed, report)
+    hits_after, misses_after = plan_cache_stats()
+    return CampaignSummary.from_report(
+        index,
+        seed,
+        report,
+        plan_cache_hits=hits_after - hits_before,
+        plan_cache_misses=misses_after - misses_before,
+    )
 
 
 def run_chunk(spec: FleetSpec, indices: tuple[int, ...]) -> list[CampaignSummary]:

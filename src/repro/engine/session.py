@@ -29,6 +29,8 @@ backend is the batched one.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.core.report import ProposedReport
 from repro.core.scheme import FastDiagnosisScheme
 from repro.engine.backends import (
@@ -179,6 +181,32 @@ def finalize_memory_counters(
     psc.cycles += scheme.controller_words * reads_per_word * memory.bits
 
 
+# --------------------------------------------------------------------- #
+# Session plan cache                                                    #
+# --------------------------------------------------------------------- #
+#: LRU of session plan lists keyed on (march fingerprint, widths).  Plans
+#: are pure values (frozen dataclasses over ints/strings), so sharing one
+#: list across campaigns -- and across the memories of a bucket -- is
+#: safe; the bound keeps long heterogeneous sweeps from hoarding memory.
+_PLAN_CACHE: "OrderedDict[tuple, list]" = OrderedDict()
+_PLAN_CACHE_MAX = 128
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def plan_cache_stats() -> tuple[int, int]:
+    """Cumulative (hits, misses) of this process's session plan cache."""
+    return _plan_cache_hits, _plan_cache_misses
+
+
+def reset_plan_cache() -> None:
+    """Clear the plan cache and its counters (test isolation helper)."""
+    global _plan_cache_hits, _plan_cache_misses
+    _PLAN_CACHE.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+
+
 def session_step_plans(
     scheme: FastDiagnosisScheme, memory: SRAM, algorithm: MarchAlgorithm
 ) -> list[PauseStep | ElementPlan]:
@@ -186,10 +214,38 @@ def session_step_plans(
 
     Plans depend only on the memory's ``(words, bits)`` and the controller
     dimensions (SPC adaptation and comparator expectations are pure
-    functions of the widths), so one memory's plan list is valid for every
-    same-geometry memory in the bank -- the fact the batched tier builds
-    each geometry bucket's plans exactly once from.
+    functions of the widths and the delivery order), so one memory's plan
+    list is valid for every same-geometry memory in the bank -- the fact
+    the batched tier builds each geometry bucket's plans exactly once
+    from.  Lists are additionally memoized across sessions *and
+    campaigns* in a process-wide LRU keyed on the algorithm's structural
+    fingerprint plus every width the plan embeds; the fleet scheduler
+    surfaces the hit rate in its report.
     """
+    global _plan_cache_hits, _plan_cache_misses
+    key = (
+        algorithm.plan_fingerprint(),
+        memory.bits,
+        scheme.controller_words,
+        scheme.controller_bits,
+        scheme.msb_first,
+    )
+    cached = _PLAN_CACHE.get(key)
+    if cached is not None:
+        _plan_cache_hits += 1
+        _PLAN_CACHE.move_to_end(key)
+        return cached
+    _plan_cache_misses += 1
+    plans = _build_step_plans(scheme, memory, algorithm)
+    _PLAN_CACHE[key] = plans
+    if len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+    return plans
+
+
+def _build_step_plans(
+    scheme: FastDiagnosisScheme, memory: SRAM, algorithm: MarchAlgorithm
+) -> list[PauseStep | ElementPlan]:
     bits = memory.bits
     comparator = scheme.comparators[memory.name]
     spc = scheme.spcs[memory.name]

@@ -23,7 +23,7 @@ from repro.faults.address_fault import (
     ColumnOpenFault,
     ColumnSwapFault,
 )
-from repro.faults.base import CellFault, Fault, FaultClass
+from repro.faults.base import CellFault, Fault, FaultClass, LoweredFault
 from repro.faults.coupling import (
     IdempotentCouplingFault,
     InversionCouplingFault,
@@ -70,6 +70,7 @@ __all__ = [
     "IdempotentCouplingFault",
     "IntermittentReadFault",
     "InversionCouplingFault",
+    "LoweredFault",
     "SoftErrorUpsetFault",
     "StateCouplingFault",
     "StuckAtFault",

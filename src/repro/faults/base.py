@@ -1,8 +1,9 @@
-"""Fault base classes and the fault-class taxonomy."""
+"""Fault base classes, the fault-class taxonomy and the lowering protocol."""
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.memory.geometry import CellRef
@@ -72,6 +73,52 @@ M1_LOCALIZABLE_CLASSES = frozenset(
 )
 
 
+#: Lowered-fault kind codes understood by the compiled fault table
+#: (:mod:`repro.engine.fault_table`).  One code per distinct per-access
+#: behaviour, not per :class:`FaultClass` -- e.g. both SAF0 and SAF1 lower
+#: to ``KIND_STUCK`` with different ``value`` parameters.
+KIND_STUCK = "stuck"
+KIND_TF = "tf"
+KIND_IRF = "irf"
+KIND_RDF = "rdf"
+KIND_DRDF = "drdf"
+KIND_WDF = "wdf"
+KIND_WEAK = "weak"
+KIND_CF_IN = "cf-in"
+KIND_CF_ID = "cf-id"
+KIND_CF_ST = "cf-st"
+
+
+@dataclass(frozen=True)
+class LoweredFault:
+    """One fault's behaviour compiled to table-evaluable parameters.
+
+    The structured-array columns of the compiled fault table are built
+    from these records: the victim cell locates the (row, lane, bitmask)
+    triple, ``aggressor`` the aux cell of coupling kinds, and the scalar
+    parameters select the per-kind select/mask formula.  Field meaning by
+    ``kind``:
+
+    ``stuck``   ``value`` = stuck level.
+    ``tf``      ``rising`` = the transition the cell cannot make.
+    ``irf``/``rdf``/``drdf``  no parameters.
+    ``wdf``     ``value`` = disturb polarity (``-1`` = both).
+    ``weak``    ``value`` = the NWRC-weak side.
+    ``cf-in``   ``rising`` = triggering aggressor transition.
+    ``cf-id``   ``rising`` = trigger, ``value`` = forced victim value.
+    ``cf-st``   ``aggressor_state``/``value`` (= forced value) /
+                ``affects_write``.
+    """
+
+    kind: str
+    victim: CellRef
+    aggressor: CellRef | None = None
+    value: int = 0
+    rising: bool = True
+    aggressor_state: int = 0
+    affects_write: bool = True
+
+
 class Fault:
     """Common base for every injectable fault.
 
@@ -88,6 +135,31 @@ class Fault:
     def attach(self, memory: "SRAM") -> None:
         """Install this fault into ``memory``."""
         raise NotImplementedError
+
+    def vector_lowerable(self) -> bool:
+        """Whether this fault can be compiled into the vectorized table.
+
+        The contract: a lowerable fault's per-access behaviour must be a
+        deterministic, time-independent function of (a) the victim cell's
+        stored bit, (b) the access kind and written bit, and -- for
+        coupling kinds -- (c) one aggressor cell's stored bit, with all
+        cross-cell interaction expressible through the block-ordered
+        aggressor trajectory.  Faults that draw per-access randomness
+        (intermittent streams), consult wall-clock time (retention decay)
+        or rewire the periphery (decoder/column faults) return ``False``
+        and keep the exact behavioural replay lane.  The conservative
+        default is non-lowerable, so new fault classes opt *in*.
+        """
+        return False
+
+    def lower(self) -> LoweredFault:
+        """Compile this fault to its :class:`LoweredFault` record.
+
+        Only meaningful when :meth:`vector_lowerable` returns ``True``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not lower to the fault table"
+        )
 
     @property
     def cells(self) -> tuple[CellRef, ...]:

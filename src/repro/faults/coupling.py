@@ -8,7 +8,14 @@ expose -- the reason March CW adds its extra data backgrounds (Sec. 3.1).
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import (
+    KIND_CF_ID,
+    KIND_CF_IN,
+    KIND_CF_ST,
+    CellFault,
+    FaultClass,
+    LoweredFault,
+)
 from repro.memory.geometry import CellRef
 from repro.util.validation import require
 
@@ -17,7 +24,23 @@ def _check_distinct(aggressor: CellRef, victim: CellRef) -> None:
     require(aggressor != victim, "aggressor and victim must be distinct cells")
 
 
-class InversionCouplingFault(CellFault):
+class _CouplingFault(CellFault):
+    """Shared lowering policy for the two-cell coupling models.
+
+    Only the *inter-word* arrangement lowers to the fault table: the
+    aggressor word and the victim word are then visited at distinct sweep
+    positions, so the victim-relative effect of a whole march element
+    reduces to the aggressor's write trajectory plus a before/after
+    ordering bit -- exactly what the table's block evaluation computes.
+    Intra-word coupling interleaves aggressor transitions *between* the
+    operations of one visit and stays on the behavioural replay lane.
+    """
+
+    def vector_lowerable(self) -> bool:
+        return self.aggressors[0].word != self.victims[0].word
+
+
+class InversionCouplingFault(_CouplingFault):
     """CFin: a matching transition of the aggressor *inverts* the victim.
 
     ``trigger_rising`` selects which aggressor transition (0->1 or 1->0)
@@ -39,8 +62,16 @@ class InversionCouplingFault(CellFault):
         current = memory.stored_bit(victim.word, victim.bit)
         memory.force_stored_bit(victim.word, victim.bit, 1 - current)
 
+    def lower(self) -> LoweredFault:
+        return LoweredFault(
+            KIND_CF_IN,
+            self.victims[0],
+            aggressor=self.aggressors[0],
+            rising=self.trigger_rising,
+        )
 
-class IdempotentCouplingFault(CellFault):
+
+class IdempotentCouplingFault(_CouplingFault):
     """CFid: a matching aggressor transition *forces* the victim to a value."""
 
     def __init__(
@@ -65,8 +96,17 @@ class IdempotentCouplingFault(CellFault):
         victim = self.victims[0]
         memory.force_stored_bit(victim.word, victim.bit, self.forced_value)
 
+    def lower(self) -> LoweredFault:
+        return LoweredFault(
+            KIND_CF_ID,
+            self.victims[0],
+            aggressor=self.aggressors[0],
+            rising=self.trigger_rising,
+            value=self.forced_value,
+        )
 
-class StateCouplingFault(CellFault):
+
+class StateCouplingFault(_CouplingFault):
     """CFst: the victim is forced to a value while the aggressor holds a state.
 
     While the aggressor cell stores ``aggressor_state``, the victim reads as
@@ -113,3 +153,13 @@ class StateCouplingFault(CellFault):
         if self.affects_write and self._active(memory):
             return self.forced_value
         return new_bit
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(
+            KIND_CF_ST,
+            self.victims[0],
+            aggressor=self.aggressors[0],
+            value=self.forced_value,
+            aggressor_state=self.aggressor_state,
+            affects_write=self.affects_write,
+        )

@@ -20,7 +20,15 @@ algorithm library (:func:`repro.march.library.march_ss`) demonstrates.
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import (
+    KIND_DRDF,
+    KIND_IRF,
+    KIND_RDF,
+    KIND_WDF,
+    CellFault,
+    FaultClass,
+    LoweredFault,
+)
 from repro.memory.geometry import CellRef
 from repro.util.validation import require
 
@@ -35,6 +43,12 @@ class IncorrectReadFault(CellFault):
     def on_read(self, memory, word, bit, stored_bit):
         return 1 - stored_bit
 
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(KIND_IRF, self.victims[0])
+
 
 class ReadDestructiveFault(CellFault):
     """RDF: the read flips the cell and returns the flipped value."""
@@ -47,6 +61,12 @@ class ReadDestructiveFault(CellFault):
         flipped = 1 - stored_bit
         memory.force_stored_bit(word, bit, flipped)
         return flipped
+
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(KIND_RDF, self.victims[0])
 
 
 class DeceptiveReadDestructiveFault(CellFault):
@@ -64,6 +84,12 @@ class DeceptiveReadDestructiveFault(CellFault):
     def on_read(self, memory, word, bit, stored_bit):
         memory.force_stored_bit(word, bit, 1 - stored_bit)
         return stored_bit
+
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(KIND_DRDF, self.victims[0])
 
 
 class WriteDisturbFault(CellFault):
@@ -83,3 +109,13 @@ class WriteDisturbFault(CellFault):
         if old_bit == new_bit and (self.polarity is None or new_bit == self.polarity):
             return 1 - new_bit
         return new_bit
+
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(
+            KIND_WDF,
+            self.victims[0],
+            value=-1 if self.polarity is None else self.polarity,
+        )

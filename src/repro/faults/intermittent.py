@@ -52,6 +52,15 @@ class _PerAccessUpset(CellFault):
         """Draw the next per-access Bernoulli outcome."""
         return self._stream.next_float() < self.upset_probability
 
+    def vector_lowerable(self) -> bool:
+        """Never lowerable: each access consumes one private stream draw.
+
+        The draw sequence is part of the determinism contract, so these
+        classes always take the behavioural replay lane, which fires every
+        hook in exact reference order.
+        """
+        return False
+
     def describe(self) -> str:
         return (
             f"{self.fault_class.value} @ {self.victims[0]} "

@@ -56,6 +56,16 @@ class DataRetentionFault(CellFault):
             return False
         return memory.now_ns - self._written_at_ns >= self.retention_ns
 
+    def vector_lowerable(self) -> bool:
+        """Never lowerable: decay depends on the wall-clock write time.
+
+        The fault table evaluates block-ordered accesses without touching
+        the shared time base, so the NWRTM/retention timing semantics stay
+        on the behavioural replay lane (which fast-forwards the clock to
+        the exact reference cycle of every access).
+        """
+        return False
+
     def on_write(self, memory, word, bit, old_bit, new_bit):
         if new_bit == self.fragile_value:
             # The bitline charges the node; the clock for decay starts now.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import KIND_STUCK, CellFault, FaultClass, LoweredFault
 from repro.memory.geometry import CellRef
 from repro.util.validation import require
 
@@ -26,3 +26,9 @@ class StuckAtFault(CellFault):
 
     def on_write(self, memory, word, bit, old_bit, new_bit):
         return self.value
+
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(KIND_STUCK, self.victims[0], value=self.value)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import KIND_TF, CellFault, FaultClass, LoweredFault
 from repro.memory.geometry import CellRef
 from repro.util.validation import require
 
@@ -28,3 +28,9 @@ class TransitionFault(CellFault):
         if not self.rising and old_bit == 1 and new_bit == 0:
             return 1
         return new_bit
+
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(KIND_TF, self.victims[0], rising=self.rising)

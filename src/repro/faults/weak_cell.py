@@ -14,7 +14,7 @@ claimed by the proposed scheme.
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import KIND_WEAK, CellFault, FaultClass, LoweredFault
 from repro.memory.geometry import CellRef
 from repro.util.validation import require
 
@@ -36,3 +36,9 @@ class WeakCellDefect(CellFault):
         if new_bit == self.weak_value and old_bit != new_bit:
             return old_bit
         return new_bit
+
+    def vector_lowerable(self) -> bool:
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(KIND_WEAK, self.victims[0], value=self.weak_value)

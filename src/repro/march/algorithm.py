@@ -70,6 +70,38 @@ class MarchAlgorithm:
         """Sum of all retention pauses."""
         return sum(p.duration_ns for p in self.pause_steps)
 
+    def plan_fingerprint(self) -> tuple:
+        """Structural identity of this algorithm for plan caching.
+
+        Two algorithm instances with equal fingerprints produce identical
+        session element plans for any given memory/controller widths (the
+        plans depend only on the step structure captured here), so the
+        session plan cache (:mod:`repro.engine.session`) can key on the
+        fingerprint instead of the instance.  Computed once per instance.
+        """
+        cached = getattr(self, "_plan_fingerprint", None)
+        if cached is None:
+            signature: list[tuple] = []
+            for step in self.steps:
+                if isinstance(step, PauseStep):
+                    signature.append(("pause", step.duration_ns, step.label))
+                    continue
+                signature.append(
+                    (
+                        "element",
+                        step.element.order.value,
+                        tuple(
+                            (op.kind.value, op.data)
+                            for op in step.element.operations
+                        ),
+                        step.background,
+                        step.label,
+                    )
+                )
+            cached = (self.name, self.bits, tuple(signature))
+            self._plan_fingerprint = cached
+        return cached
+
     def operations_per_word(self) -> int:
         """Total March operations applied to each address (the "10n" count)."""
         return sum(step.element.op_count for step in self.march_steps)

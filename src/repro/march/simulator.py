@@ -19,13 +19,15 @@ from repro.util.records import Record
 from repro.util.validation import require
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailureRecord(Record):
     """One mismatching read observed during a March run.
 
     This is the diagnosis information of the paper (Sec. 3.1): failing
     address, applied background, expected vs observed data -- everything the
     BISD controller registers for on-chip repair or off-line analysis.
+    Slotted: dense diagnostic campaigns construct hundreds of thousands of
+    these, so per-instance dict allocation is measurable.
     """
 
     memory_name: str

@@ -71,6 +71,12 @@ class SRAM:
         self._faulty_bits_by_word: dict[int, set[int]] = {}
         self._watched_bits_by_word: dict[int, set[int]] = {}
         self._cell_faults: list[Any] = []
+        # Pre-bound hook lists per victim cell, maintained alongside
+        # ``_victim_faults`` (same attachment order).  The replay lane
+        # walks these directly, saving a getattr per fault per access.
+        self._read_hooks: dict[tuple[int, int], list[Any]] = {}
+        self._write_hooks: dict[tuple[int, int], list[Any]] = {}
+        self._nwrc_hooks: dict[tuple[int, int], list[Any]] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection                                                      #
@@ -119,6 +125,14 @@ class SRAM:
             key = (cell.word, cell.bit)
             self._victim_faults.setdefault(key, []).append(fault)
             self._faulty_bits_by_word.setdefault(cell.word, set()).add(cell.bit)
+            for hook, hooks in (
+                ("on_read", self._read_hooks),
+                ("on_write", self._write_hooks),
+                ("on_nwrc_write", self._nwrc_hooks),
+            ):
+                handler = getattr(fault, hook, None)
+                if handler is not None:
+                    hooks.setdefault(key, []).append(handler)
         for cell in getattr(fault, "aggressors", ()):
             self.geometry.check_cell(cell)
             key = (cell.word, cell.bit)
@@ -142,6 +156,15 @@ class SRAM:
                 self._victim_faults[key] = [
                     f for f in self._victim_faults[key] if f is not fault
                 ]
+                for hooks in (self._read_hooks, self._write_hooks, self._nwrc_hooks):
+                    if key in hooks:
+                        hooks[key] = [
+                            h
+                            for h in hooks[key]
+                            if getattr(h, "__self__", None) is not fault
+                        ]
+                        if not hooks[key]:
+                            del hooks[key]
                 if not self._victim_faults[key]:
                     del self._victim_faults[key]
                     bits = self._faulty_bits_by_word.get(cell.word)
@@ -170,6 +193,9 @@ class SRAM:
         self._faulty_bits_by_word.clear()
         self._watched_bits_by_word.clear()
         self._cell_faults.clear()
+        self._read_hooks.clear()
+        self._write_hooks.clear()
+        self._nwrc_hooks.clear()
         self.decoder.reset()
         self.column_mux.reset()
 
@@ -265,17 +291,56 @@ class SRAM:
         preconditions under which the vectorized backends
         (:mod:`repro.engine`) replay fault-hooked words behaviourally.
         Cell-fault hooks fire exactly as in :meth:`read`; only the ideal
-        decoder/mux indirection and the trace check are skipped.  Callers
-        must guarantee the preconditions (the engine's ``supports`` checks
+        decoder/mux indirection (an identity on a fault-free mux), the
+        address checks and the trace check are skipped.  Callers must
+        guarantee the preconditions (the engine's ``supports`` checks
         do).
         """
-        self.timebase.tick()
-        return self._read_word(address)
+        self.timebase.tick_one()
+        physical = self._state[address]
+        faulty_bits = self._faulty_bits_by_word.get(address)
+        if faulty_bits:
+            read_hooks = self._read_hooks
+            for bit in faulty_bits:
+                stored = (physical >> bit) & 1
+                observed = stored
+                for handler in read_hooks.get((address, bit), ()):
+                    observed = handler(self, address, bit, observed)
+                if observed != stored:
+                    physical = (physical & ~(1 << bit)) | (observed << bit)
+        return physical
 
     def replay_write(self, address: int, value: int, nwrc: bool = False) -> None:
         """One write cycle assuming an ideal periphery (see :meth:`replay_read`)."""
-        self.timebase.tick()
-        self._write_word(address, value, nwrc)
+        self.timebase.tick_one()
+        old_physical = self._state[address]
+        faulty_bits = self._faulty_bits_by_word.get(address)
+        watched_bits = self._watched_bits_by_word.get(address)
+        if not faulty_bits and not watched_bits:
+            self._state[address] = value
+            return
+
+        write_hooks = self._nwrc_hooks if nwrc else self._write_hooks
+        effective = value
+        if faulty_bits:
+            for bit in faulty_bits:
+                old_bit = (old_physical >> bit) & 1
+                new_bit = (value >> bit) & 1
+                for handler in write_hooks.get((address, bit), ()):
+                    new_bit = handler(self, address, bit, old_bit, new_bit)
+                effective = (effective & ~(1 << bit)) | (new_bit << bit)
+        self._state[address] = effective
+
+        if watched_bits:
+            for bit in watched_bits:
+                old_bit = (old_physical >> bit) & 1
+                new_bit = (effective >> bit) & 1
+                if old_bit == new_bit:
+                    continue
+                for fault in self._aggressor_faults[(address, bit)]:
+                    handler = getattr(fault, "on_aggressor_transition", None)
+                    if handler is not None:
+                        handler(self, address, bit, old_bit, new_bit)
 
     def force_store_rows(self, rows: Iterable[int], values: list[int]) -> None:
         """Bulk :meth:`force_store_word`: ``rows[i]`` takes ``values[row]``.

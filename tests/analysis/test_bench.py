@@ -1,0 +1,88 @@
+"""Tests for the benchmark measurement library behind ``repro bench``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bench import (
+    BATCHED_REGIMES,
+    ENGINE_SPEEDUP_TARGET,
+    batched_fleet_gate_failures,
+    engine_gate_failures,
+    measure_batched_fleet,
+    measure_engine_throughput,
+    run_suites,
+)
+
+
+class TestMeasureBatchedFleet:
+    def test_tiny_configuration_reports_all_regimes(self):
+        results = measure_batched_fleet(memories=4, repeats=1, warmup=False)
+        assert results["config"]["memories"] == 4
+        assert [row["regime"] for row in results["rows"]] == [
+            regime for regime, _, _ in BATCHED_REGIMES
+        ]
+        for row in results["rows"]:
+            assert row["bit_identical"] is True
+            assert row["numpy_s"] > 0 and row["batched_s"] > 0
+            assert row["speedup"] == row["numpy_s"] / row["batched_s"]
+        gated = [row for row in results["rows"] if row["gated"]]
+        assert {row["regime"] for row in gated} == {"screening", "diagnostic"}
+
+
+class TestGateFailures:
+    @staticmethod
+    def row(regime="diagnostic", speedup=3.0, target=2.5, gated=True):
+        return {
+            "regime": regime,
+            "gated": gated,
+            "speedup_target": target,
+            "speedup": speedup,
+        }
+
+    def test_passing_rows_produce_no_failures(self):
+        assert batched_fleet_gate_failures({"rows": [self.row()]}) == []
+
+    def test_missed_target_reported(self):
+        failures = batched_fleet_gate_failures({"rows": [self.row(speedup=1.1)]})
+        assert len(failures) == 1
+        assert "below the 2.5x target" in failures[0]
+
+    def test_ungated_rows_never_fail(self):
+        rows = [self.row(regime="heavy-diagnostic", speedup=0.5, target=None,
+                         gated=False)]
+        assert batched_fleet_gate_failures({"rows": rows}) == []
+
+    def test_engine_gate_enforces_speedup_floor(self):
+        passing = {"single_campaign": {"speedup": ENGINE_SPEEDUP_TARGET + 1}}
+        failing = {"single_campaign": {"speedup": 2.0}}
+        assert engine_gate_failures(passing) == []
+        failures = engine_gate_failures(failing)
+        assert len(failures) == 1 and "below the 5x target" in failures[0]
+
+
+class TestRunSuites:
+    def test_engine_suite_quick(self):
+        payload, failures = run_suites(("engine",), quick=True)
+        assert failures == []
+        engine = payload["suites"]["engine"]
+        assert engine["single_campaign"]["bit_identical"] is True
+        assert engine["single_campaign"]["speedup"] > 1.0
+        assert engine["fleet"]["campaigns"] == 4
+        assert engine["fleet"]["campaigns_per_sec"] > 0
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suites(("nope",))
+
+
+class TestMeasureEngineThroughput:
+    def test_records_plan_cache_hit_rate(self):
+        results = measure_engine_throughput(
+            memories=2, fleet_campaigns=2, workers=1
+        )
+        assert results["config"]["fleet_workers"] == 1
+        fleet = results["fleet"]
+        assert fleet["plan_cache_hit_rate"] is None or (
+            0.0 <= fleet["plan_cache_hit_rate"] <= 1.0
+        )

@@ -28,6 +28,12 @@ reference bit-exactly (there is no delegation for cell-level faults; the
 fast paths only delegate for whole-session features such as tracing or
 decoder faults, which these populations never draw).
 
+A fourth axis (:class:`TestDifferentialFuzzDense`) drives the *dense*
+diagnostic regimes (0.5-12 % defect rates plus a read/write-disturb +
+weak-cell layer and a mandatory intermittent layer), so the compiled
+fault table's mixed lowerable/behavioural partition is fuzzed with every
+table-lowerable class present.
+
 The generator is deterministic per case index, so failures reproduce
 exactly; widen ``CASES`` locally to fuzz harder.
 """
@@ -88,14 +94,48 @@ def draw_case(case_index: int):
     return geometries, defect_rate, algorithm, seed
 
 
-def build_bank(geometries, defect_rate, seed, intermittent=None):
+def sample_dynamic_population(geometry, rate, rng):
+    """Seeded read/write-disturb and weak-cell faults (table classes the
+    manufacturing sampler never draws)."""
+    from repro.faults.dynamic import (
+        DeceptiveReadDestructiveFault,
+        IncorrectReadFault,
+        ReadDestructiveFault,
+        WriteDisturbFault,
+    )
+    from repro.faults.weak_cell import WeakCellDefect
+
+    count = max(1, int(geometry.cells * rate))
+    cells = rng.choice(geometry.cells, size=min(count, geometry.cells), replace=False)
+    classes = (
+        lambda cell: IncorrectReadFault(cell),
+        lambda cell: ReadDestructiveFault(cell),
+        lambda cell: DeceptiveReadDestructiveFault(cell),
+        lambda cell: WriteDisturbFault(cell, [None, 0, 1][int(rng.integers(3))]),
+        lambda cell: WeakCellDefect(cell, int(rng.integers(2))),
+    )
+    return [
+        classes[int(rng.integers(len(classes)))](geometry.cell_at(int(index)))
+        for index in cells
+    ]
+
+
+def build_bank(geometries, defect_rate, seed, intermittent=None, dynamic_rate=None):
     """A seeded faulty bank; ``intermittent=(rate, upset_p)`` layers the
-    per-access soft-error population on top of the manufacturing one."""
+    per-access soft-error population on top of the manufacturing one and
+    ``dynamic_rate`` a read/write-disturb + weak-cell population."""
     bank = MemoryBank([SRAM(geometry) for geometry in geometries])
     injector = FaultInjector()
     for index, memory in enumerate(bank):
         population = sample_population(memory.geometry, defect_rate, rng=seed + index)
         injector.inject(memory, population.faults)
+        if dynamic_rate is not None:
+            injector.inject(
+                memory,
+                sample_dynamic_population(
+                    memory.geometry, dynamic_rate, make_rng(seed + 31 * index)
+                ),
+            )
         if intermittent is not None:
             rate, upset_probability = intermittent
             injector.inject(
@@ -356,6 +396,99 @@ class TestDifferentialFuzzBatched:
         assert [(n, f.describe()) for n, f in fast.missed] == [
             (n, f.describe()) for n, f in reference.missed
         ]
+        assert fast.cycles == reference.cycles
+        assert_states_equal(reference_bank, fast_bank)
+
+
+def draw_dense_case(case_index: int):
+    """A bucket-stacking case in the dense diagnostic regime.
+
+    Defect rates are drawn from [0.5 %, 12 %] (the paper's diagnostic and
+    heavy-diagnostic regimes and beyond), a read/write-disturb + weak-cell
+    layer covers every remaining table-lowerable class, and a mandatory
+    intermittent layer forces the mixed table/behavioural partition --
+    the configuration the compiled fault table was built for.
+    """
+    rng = make_rng(0xDE5E + case_index)
+    shapes = [
+        (int(rng.integers(4, 30)), int(rng.integers(2, 11)))
+        for _ in range(int(rng.integers(1, 3)))
+    ]
+    memories = int(rng.integers(2, 6))
+    geometries = [
+        MemoryGeometry(*shapes[i % len(shapes)], f"dense_{i}")
+        for i in range(memories)
+    ]
+    defect_rate = float(rng.uniform(0.005, 0.12))
+    dynamic_rate = float(rng.uniform(0.01, 0.08))
+    intermittent = (
+        float(rng.uniform(0.01, 0.1)),
+        float(rng.uniform(0.05, 0.9)),
+    )
+    algorithm = ALGORITHMS[int(rng.integers(len(ALGORITHMS)))]
+    seed = int(rng.integers(2**31))
+    return geometries, defect_rate, dynamic_rate, intermittent, algorithm, seed
+
+
+@pytest.mark.parametrize("case_index", range(CASES))
+class TestDifferentialFuzzDense:
+    """reference == numpy == batched in the dense-defect regimes.
+
+    Dense populations push most words onto the compiled-table lane while
+    the intermittent layer keeps a behavioural population interleaved on
+    the same memories, so these cases exercise the three-way lane
+    partition (clean / table / replay), taint propagation across coupling
+    edges and the wrap-around block evaluation together.
+    """
+
+    def test_proposed_session_three_way(self, case_index):
+        (
+            geometries,
+            defect_rate,
+            dynamic_rate,
+            intermittent,
+            algorithm,
+            seed,
+        ) = draw_dense_case(case_index)
+        banks = {
+            backend: build_bank(
+                geometries, defect_rate, seed, intermittent, dynamic_rate
+            )[0]
+            for backend in ("reference", "numpy", "batched")
+        }
+        reference = FastDiagnosisScheme(
+            banks["reference"], algorithm_factory=algorithm
+        ).diagnose()
+        for backend in ("numpy", "batched"):
+            fast = run_session(
+                FastDiagnosisScheme(banks[backend], algorithm_factory=algorithm),
+                backend=backend,
+            )
+            assert fast.failures == reference.failures, backend
+            assert fast.cycles == reference.cycles, backend
+            assert fast.deliveries == reference.deliveries, backend
+            assert fast.nwrc_ops == reference.nwrc_ops, backend
+            assert fast.time_ns == reference.time_ns, backend
+            assert_states_equal(banks["reference"], banks[backend])
+
+    def test_dense_manufacturing_only(self, case_index):
+        geometries, defect_rate, dynamic_rate, _, algorithm, seed = draw_dense_case(
+            case_index
+        )
+        reference_bank, _ = build_bank(
+            geometries, defect_rate, seed, dynamic_rate=dynamic_rate
+        )
+        fast_bank, _ = build_bank(
+            geometries, defect_rate, seed, dynamic_rate=dynamic_rate
+        )
+        reference = FastDiagnosisScheme(
+            reference_bank, algorithm_factory=algorithm
+        ).diagnose()
+        fast = run_session(
+            FastDiagnosisScheme(fast_bank, algorithm_factory=algorithm),
+            backend="batched",
+        )
+        assert fast.failures == reference.failures
         assert fast.cycles == reference.cycles
         assert_states_equal(reference_bank, fast_bank)
 

@@ -1,0 +1,413 @@
+"""Compiled fault table: lowering protocol, partition and round-trips.
+
+The contract under test: for every lowerable fault class, evaluating the
+lowered table representation over a geometry bucket produces *bit-identical*
+sessions to the behavioural object replay (the reference scheme), on
+randomized populations -- dense ones included -- while non-lowerable
+faults (retention timing, intermittent streams, intra-word coupling)
+stay on the exact behavioural lane via the taint partition.
+
+The plan-cache tests pin the second half of the dense-regime work: session
+element plans are memoized across campaigns sharing a (march, geometry)
+pair, with the hit rate surfaced through ``FleetReport``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheme import FastDiagnosisScheme
+from repro.engine.fault_table import lower_bucket, partition_faults
+from repro.engine.session import (
+    plan_cache_stats,
+    reset_plan_cache,
+    run_session,
+    session_step_plans,
+)
+from repro.faults.base import KIND_CF_ST, KIND_STUCK
+from repro.faults.coupling import (
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    StateCouplingFault,
+)
+from repro.faults.dynamic import (
+    DeceptiveReadDestructiveFault,
+    IncorrectReadFault,
+    ReadDestructiveFault,
+    WriteDisturbFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.intermittent import IntermittentReadFault
+from repro.faults.retention_fault import DataRetentionFault
+from repro.faults.stuck_at import StuckAtFault
+from repro.faults.transition import TransitionFault
+from repro.faults.weak_cell import WeakCellDefect
+from repro.march.library import march_c_minus, march_cw_nw, march_ss
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+from repro.util.rng import make_rng
+
+
+def cell_picker(geometry, rng):
+    """Draw distinct cells of ``geometry`` on demand."""
+    order = rng.permutation(geometry.cells)
+    cursor = iter(order)
+
+    def pick() -> CellRef:
+        return geometry.cell_at(int(next(cursor)))
+
+    return pick
+
+
+def other_word_cell(geometry, cell, rng) -> CellRef:
+    word = int(rng.integers(geometry.words - 1))
+    if word >= cell.word:
+        word += 1
+    return CellRef(word, int(rng.integers(geometry.bits)))
+
+
+#: label -> factory(geometry, pick, rng) for each lowerable class.
+LOWERABLE_CLASSES = {
+    "stuck-at": lambda g, pick, rng: StuckAtFault(pick(), int(rng.integers(2))),
+    "transition": lambda g, pick, rng: TransitionFault(
+        pick(), bool(rng.integers(2))
+    ),
+    "incorrect-read": lambda g, pick, rng: IncorrectReadFault(pick()),
+    "read-destructive": lambda g, pick, rng: ReadDestructiveFault(pick()),
+    "deceptive-read-destructive": lambda g, pick, rng: (
+        DeceptiveReadDestructiveFault(pick())
+    ),
+    "write-disturb": lambda g, pick, rng: WriteDisturbFault(
+        pick(), [None, 0, 1][int(rng.integers(3))]
+    ),
+    "weak-cell": lambda g, pick, rng: WeakCellDefect(pick(), int(rng.integers(2))),
+    "cf-inversion": lambda g, pick, rng: InversionCouplingFault(
+        other_word_cell(g, c := pick(), rng), c, bool(rng.integers(2))
+    ),
+    "cf-idempotent": lambda g, pick, rng: IdempotentCouplingFault(
+        other_word_cell(g, c := pick(), rng),
+        c,
+        bool(rng.integers(2)),
+        int(rng.integers(2)),
+    ),
+    "cf-state": lambda g, pick, rng: StateCouplingFault(
+        other_word_cell(g, c := pick(), rng),
+        c,
+        int(rng.integers(2)),
+        int(rng.integers(2)),
+        bool(rng.integers(2)),
+    ),
+}
+
+ALGORITHMS = (march_cw_nw, march_ss, march_c_minus)
+
+
+def bucket_bank(seed: int) -> MemoryBank:
+    """A bank whose geometries force stacking *and* sweep wrap-around."""
+    rng = make_rng(seed)
+    words, bits = int(rng.integers(4, 20)), int(rng.integers(2, 10))
+    shapes = [(words, bits)] * int(rng.integers(2, 4))
+    # A larger outlier memory widens the controller span so the bucket's
+    # sweep wraps (partial trailing block) half of the time.
+    if rng.integers(2):
+        shapes.append((words * 2 + 1, bits))
+    return MemoryBank(
+        [SRAM(MemoryGeometry(w, b, f"m{i}")) for i, (w, b) in enumerate(shapes)]
+    )
+
+
+def inject_class(bank, label, seed) -> None:
+    injector = FaultInjector()
+    for index, memory in enumerate(bank):
+        rng = make_rng(seed * 1000 + index)
+        pick = cell_picker(memory.geometry, rng)
+        count = max(1, memory.geometry.cells // 4)
+        faults = []
+        for _ in range(count):
+            try:
+                faults.append(LOWERABLE_CLASSES[label](memory.geometry, pick, rng))
+            except StopIteration:
+                break
+        injector.inject(memory, faults)
+
+
+def assert_sessions_identical(label, algorithm, seed, inject):
+    banks = {}
+    for backend in ("reference", "batched"):
+        bank = bucket_bank(seed)
+        inject(bank)
+        banks[backend] = bank
+    reference = FastDiagnosisScheme(
+        banks["reference"], algorithm_factory=algorithm
+    ).diagnose()
+    batched = run_session(
+        FastDiagnosisScheme(banks["batched"], algorithm_factory=algorithm),
+        backend="batched",
+    )
+    assert batched.failures == reference.failures, label
+    assert batched.cycles == reference.cycles, label
+    assert batched.time_ns == reference.time_ns, label
+    for ref_mem, fast_mem in zip(banks["reference"], banks["batched"]):
+        assert fast_mem.dump() == ref_mem.dump(), (label, ref_mem.name)
+        assert fast_mem.timebase.cycles == ref_mem.timebase.cycles, label
+
+
+class TestLoweringProtocol:
+    def test_lowerable_classes_opt_in(self):
+        cell = CellRef(1, 0)
+        assert StuckAtFault(cell, 1).vector_lowerable()
+        assert TransitionFault(cell, True).vector_lowerable()
+        assert IncorrectReadFault(cell).vector_lowerable()
+        assert ReadDestructiveFault(cell).vector_lowerable()
+        assert DeceptiveReadDestructiveFault(cell).vector_lowerable()
+        assert WriteDisturbFault(cell).vector_lowerable()
+        assert WeakCellDefect(cell).vector_lowerable()
+
+    def test_sequential_classes_stay_behavioural(self):
+        cell = CellRef(1, 0)
+        assert not DataRetentionFault(cell, 1).vector_lowerable()
+        assert not IntermittentReadFault(cell, 0.5).vector_lowerable()
+
+    def test_coupling_lowerable_only_inter_word(self):
+        inter = InversionCouplingFault(CellRef(0, 1), CellRef(2, 1))
+        intra = InversionCouplingFault(CellRef(0, 1), CellRef(0, 2))
+        assert inter.vector_lowerable()
+        assert not intra.vector_lowerable()
+
+    def test_lower_payloads(self):
+        stuck = StuckAtFault(CellRef(3, 2), 1).lower()
+        assert (stuck.kind, stuck.victim, stuck.value) == (
+            KIND_STUCK,
+            CellRef(3, 2),
+            1,
+        )
+        cf = StateCouplingFault(
+            CellRef(0, 1), CellRef(2, 3), aggressor_state=0, forced_value=1,
+            affects_write=False,
+        ).lower()
+        assert cf.kind == KIND_CF_ST
+        assert cf.aggressor == CellRef(0, 1)
+        assert (cf.aggressor_state, cf.value, cf.affects_write) == (0, 1, False)
+
+    def test_base_fault_defaults_conservative(self):
+        from repro.faults.base import Fault
+
+        fault = Fault()
+        assert not fault.vector_lowerable()
+        with pytest.raises(NotImplementedError):
+            fault.lower()
+
+
+class TestPartition:
+    @staticmethod
+    def memory(words=8, bits=4) -> SRAM:
+        return SRAM(MemoryGeometry(words, bits, "part"))
+
+    def test_pure_lowerable_population_has_no_replay_words(self):
+        memory = self.memory()
+        FaultInjector().inject(
+            memory,
+            [StuckAtFault(CellRef(1, 0), 1), TransitionFault(CellRef(5, 2), False)],
+        )
+        lowered, tainted = partition_faults(memory)
+        assert {spec.victim.word for spec in lowered} == {1, 5}
+        assert tainted == set()
+
+    def test_non_lowerable_fault_taints_its_word(self):
+        memory = self.memory()
+        FaultInjector().inject(
+            memory,
+            [DataRetentionFault(CellRef(2, 1), 1), StuckAtFault(CellRef(3, 0), 0)],
+        )
+        lowered, tainted = partition_faults(memory)
+        assert tainted == {2}
+        assert {spec.victim.word for spec in lowered} == {3}
+
+    def test_taint_propagates_across_coupling_edges(self):
+        # DRF on word 4 (the coupling's aggressor word) must drag the
+        # victim word 6 onto the behavioural lane with it -- and vice
+        # versa, a tainted victim word pins its aggressor word.
+        memory = self.memory()
+        FaultInjector().inject(
+            memory,
+            [
+                DataRetentionFault(CellRef(4, 1), 1),
+                InversionCouplingFault(CellRef(4, 2), CellRef(6, 0)),
+            ],
+        )
+        lowered, tainted = partition_faults(memory)
+        assert tainted == {4, 6}
+        assert lowered == []
+
+    def test_taint_propagates_transitively(self):
+        memory = self.memory()
+        FaultInjector().inject(
+            memory,
+            [
+                IntermittentReadFault(CellRef(0, 0), 0.5),
+                IdempotentCouplingFault(CellRef(0, 1), CellRef(2, 1)),
+                StateCouplingFault(CellRef(2, 3), CellRef(7, 0)),
+                StuckAtFault(CellRef(5, 1), 1),
+            ],
+        )
+        lowered, tainted = partition_faults(memory)
+        assert tainted == {0, 2, 7}
+        assert {spec.victim.word for spec in lowered} == {5}
+
+    def test_shared_cell_keeps_both_faults_behavioural(self):
+        memory = self.memory()
+        FaultInjector().inject(
+            memory,
+            [StuckAtFault(CellRef(1, 2), 1), TransitionFault(CellRef(1, 2), True)],
+        )
+        lowered, tainted = partition_faults(memory)
+        assert lowered == []
+        assert tainted == {1}
+
+    def test_intra_word_coupling_stays_behavioural(self):
+        memory = self.memory()
+        FaultInjector().inject(
+            memory, [InversionCouplingFault(CellRef(3, 0), CellRef(3, 2))]
+        )
+        lowered, tainted = partition_faults(memory)
+        assert lowered == []
+        assert tainted == {3}
+
+    def test_lower_bucket_partitions_three_ways(self):
+        memories = [self.memory(), self.memory()]
+        FaultInjector().inject(
+            memories[0],
+            [
+                StuckAtFault(CellRef(1, 0), 1),
+                DataRetentionFault(CellRef(2, 0), 0),
+                # Untainted inter-word coupling: aggressor word 6 carries
+                # only the watch and stays on the *clean* lane.
+                InversionCouplingFault(CellRef(6, 1), CellRef(4, 1)),
+            ],
+        )
+        lanes = lower_bucket(memories)
+        assert lanes.table is not None
+        assert lanes.replay_masks[0].nonzero()[0].tolist() == [2]
+        assert lanes.table_masks[0].nonzero()[0].tolist() == [1, 4]
+        assert lanes.clean_masks[0, 6]
+        assert not lanes.replay_masks[1].any()
+        assert not lanes.table_masks[1].any()
+        assert lanes.vector_masks[0].sum() == 7
+        assert lanes.vector_masks[1].all()
+
+
+@pytest.mark.parametrize("label", sorted(LOWERABLE_CLASSES))
+@pytest.mark.parametrize("case", range(3))
+class TestLoweredRoundTrip:
+    """Lowered table evaluation == behavioural object replay, per class."""
+
+    def test_class_population_round_trips(self, label, case):
+        algorithm = ALGORITHMS[case % len(ALGORITHMS)]
+        assert_sessions_identical(
+            label,
+            algorithm,
+            seed=0xFA0 + case * 17,
+            inject=lambda bank: inject_class(bank, label, 0xFA0 + case),
+        )
+
+
+class TestMixedRoundTrip:
+    """All lowerable classes together, plus behavioural-lane neighbours."""
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_mixed_population_round_trips(self, case):
+        def inject(bank):
+            for label in sorted(LOWERABLE_CLASSES):
+                inject_class(bank, label, 0xABC + case)
+            injector = FaultInjector()
+            for index, memory in enumerate(bank):
+                rng = make_rng(0xDEF + case * 100 + index)
+                pick = cell_picker(memory.geometry, rng)
+                injector.inject(
+                    memory,
+                    [
+                        DataRetentionFault(pick(), int(rng.integers(2))),
+                        IntermittentReadFault(pick(), 0.4, seed=case),
+                    ],
+                )
+
+        assert_sessions_identical(
+            "mixed", ALGORITHMS[case % len(ALGORITHMS)], 0x31 + case, inject
+        )
+
+
+class TestPlanCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        reset_plan_cache()
+        yield
+        reset_plan_cache()
+
+    @staticmethod
+    def scheme(words=6, bits=4, count=2) -> FastDiagnosisScheme:
+        bank = MemoryBank(
+            [SRAM(MemoryGeometry(words, bits, f"c{i}")) for i in range(count)]
+        )
+        return FastDiagnosisScheme(bank)
+
+    def test_same_march_and_geometry_hits(self):
+        scheme = self.scheme()
+        algorithm = scheme.algorithm_factory(scheme.controller_bits)
+        first = session_step_plans(scheme, scheme.bank[0], algorithm)
+        assert plan_cache_stats() == (0, 1)
+        # Same widths, different session, different algorithm *instance*.
+        other = self.scheme()
+        second = session_step_plans(
+            other, other.bank[0], other.algorithm_factory(other.controller_bits)
+        )
+        assert plan_cache_stats() == (1, 1)
+        assert second is first
+
+    def test_distinct_widths_miss(self):
+        scheme = self.scheme()
+        algorithm = scheme.algorithm_factory(scheme.controller_bits)
+        session_step_plans(scheme, scheme.bank[0], algorithm)
+        narrow = self.scheme(bits=3)
+        session_step_plans(
+            narrow, narrow.bank[0], narrow.algorithm_factory(narrow.controller_bits)
+        )
+        assert plan_cache_stats() == (0, 2)
+
+    def test_delivery_order_is_part_of_the_key(self):
+        msb = self.scheme()
+        session_step_plans(
+            msb, msb.bank[0], msb.algorithm_factory(msb.controller_bits)
+        )
+        lsb = self.scheme()
+        lsb.msb_first = False
+        session_step_plans(
+            lsb, lsb.bank[0], lsb.algorithm_factory(lsb.controller_bits)
+        )
+        assert plan_cache_stats() == (0, 2)
+
+    def test_lru_bound(self):
+        from repro.engine import session as session_module
+
+        for bits in range(2, 2 + session_module._PLAN_CACHE_MAX + 10):
+            scheme = self.scheme(bits=bits, count=1)
+            session_step_plans(
+                scheme,
+                scheme.bank[0],
+                scheme.algorithm_factory(scheme.controller_bits),
+            )
+        assert len(session_module._PLAN_CACHE) == session_module._PLAN_CACHE_MAX
+
+    def test_fleet_report_surfaces_hit_rate(self):
+        from repro.engine.fleet import FleetSpec, run_fleet
+
+        spec = FleetSpec(memories=2, campaigns=3, defect_rate=0.004)
+        report = run_fleet(spec, workers=1)
+        assert report.plan_cache_misses >= 1
+        assert report.plan_cache_hits > 0  # later campaigns reuse plans
+        assert 0.0 < report.plan_cache_hit_rate < 1.0
+        payload = report.to_json_dict()
+        assert payload["plan_cache"]["hits"] == report.plan_cache_hits
+        assert payload["plan_cache"]["hit_rate"] == report.plan_cache_hit_rate
+        assert "plan_cache" not in report.deterministic_dict()
+        assert any("plan cache" in line for line in report.summary_lines())

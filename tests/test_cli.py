@@ -130,3 +130,64 @@ class TestSweepAndArea:
         assert main(["area"]) == 0
         out = capsys.readouterr().out
         assert "3.0" in out and "scan_en" in out
+
+
+class TestBench:
+    def test_quick_batched_fleet_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--suite", "batched-fleet", "--quick", "--json",
+             "--out", str(out_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quick"] is True
+        rows = payload["suites"]["batched-fleet"]["rows"]
+        assert [row["regime"] for row in rows] == [
+            "screening", "diagnostic", "heavy-diagnostic",
+        ]
+        assert all(row["bit_identical"] for row in rows)
+        assert all(row["speedup"] > 0 for row in rows)
+        gated = {row["regime"]: row["gated"] for row in rows}
+        assert gated == {
+            "screening": True, "diagnostic": True, "heavy-diagnostic": False,
+        }
+        assert json.loads(out_path.read_text()) == payload
+
+    def test_quick_table_rendering(self, capsys):
+        assert main(["bench", "--suite", "batched-fleet", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "suite: batched-fleet" in out
+        assert "diagnostic" in out and ">=2.5x" in out
+
+    def test_gate_failures_exit_nonzero(self, capsys, monkeypatch):
+        import repro.analysis.bench as bench_module
+
+        monkeypatch.setattr(
+            bench_module,
+            "measure_batched_fleet",
+            lambda **kwargs: {
+                "config": {},
+                "rows": [
+                    {
+                        "regime": "diagnostic",
+                        "defect_rate": 0.001,
+                        "gated": True,
+                        "speedup_target": 2.5,
+                        "numpy_s": 1.0,
+                        "batched_s": 1.0,
+                        "speedup": 1.0,
+                        "failing_reads": 1,
+                        "bit_identical": True,
+                    }
+                ],
+            },
+        )
+        assert main(["bench", "--suite", "batched-fleet", "--json"]) == 1
+        captured = capsys.readouterr()
+        assert "below the 2.5x target" in captured.err
+
+    def test_unknown_suite_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--suite", "nope"])

@@ -81,7 +81,9 @@ def strip_timing(payload: dict) -> dict:
     return {
         key: value
         for key, value in payload.items()
-        if key not in ("elapsed_s", "campaigns_per_sec")
+        # Run metadata: wall clock and plan-cache traffic are not part of
+        # the deterministic report contract.
+        if key not in ("elapsed_s", "campaigns_per_sec", "plan_cache")
     }
 
 
