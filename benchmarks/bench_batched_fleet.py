@@ -49,12 +49,20 @@ def main(argv=None) -> int:
         "parity asserted but the speedup targets not enforced)",
     )
     parser.add_argument("--out", help="also write the JSON to this path")
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="also run one instrumented session per regime (outside the "
+        "timed loop) and record per-lane time/word attribution",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
-        results = measure_batched_fleet(memories=32, repeats=1, warmup=False)
+        results = measure_batched_fleet(
+            memories=32, repeats=1, warmup=False, telemetry=args.telemetry
+        )
     else:
-        results = measure_batched_fleet()
+        results = measure_batched_fleet(telemetry=args.telemetry)
     payload = json.dumps(results, indent=2)
     print(payload)
     if args.out:

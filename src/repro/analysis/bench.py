@@ -27,14 +27,18 @@ full curve stays visible.
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.core.campaign import DiagnosisCampaign
 from repro.core.scheme import FastDiagnosisScheme
 from repro.engine.fleet import FleetSpec, run_fleet
 from repro.engine.session import run_session
 from repro.soc.case_study import case_study_soc
+from repro.telemetry.core import activate, deactivate
+from repro.telemetry.report import TelemetryReport
 
 #: (label, defect rate, batched-vs-numpy speedup target or None).
 BATCHED_REGIMES: tuple[tuple[str, float, float | None], ...] = (
@@ -63,13 +67,25 @@ def _timed_session(soc, defect_rate: float, seed: int, backend: str):
 
 
 def measure_batched_fleet(
-    memories: int = 256, repeats: int = 5, seed: int = 2026, warmup: bool = True
+    memories: int = 256,
+    repeats: int = 5,
+    seed: int = 2026,
+    warmup: bool = True,
+    telemetry: bool = False,
+    collector: "TelemetryReport | None" = None,
 ) -> dict:
     """Batched-vs-numpy session times per defect regime (interleaved).
 
     One untimed warmup session per backend precedes the timed repeats of
     each regime, so allocator and import cold-start effects never land in
     a timed region; best-of-``repeats`` suppresses shared-machine spikes.
+
+    With ``telemetry=True`` each regime runs one *additional* batched
+    session under an active tracer -- outside the timed loop, so the
+    comparison numbers stay uninstrumented -- and its per-lane attribution
+    (replay vs table vs clean share of march time and words) lands in the
+    regime's row.  ``collector`` (optional) accumulates the raw spans and
+    counters across regimes for trace export.
     """
     soc = case_study_soc(memories=memories)
     rows = []
@@ -89,22 +105,33 @@ def measure_batched_fleet(
             reports["numpy"].failures == reports["batched"].failures
         ), f"backends diverged in the {label} regime"
         assert reports["numpy"].cycles == reports["batched"].cycles
-        rows.append(
-            {
-                "regime": label,
-                "defect_rate": defect_rate,
-                "gated": target is not None,
-                "speedup_target": target,
-                "numpy_s": best["numpy"],
-                "batched_s": best["batched"],
-                "speedup": best["numpy"] / best["batched"],
-                "failing_reads": sum(
-                    len(records)
-                    for records in reports["numpy"].failures.values()
-                ),
-                "bit_identical": True,
-            }
-        )
+        row = {
+            "regime": label,
+            "defect_rate": defect_rate,
+            "gated": target is not None,
+            "speedup_target": target,
+            "numpy_s": best["numpy"],
+            "batched_s": best["batched"],
+            "speedup": best["numpy"] / best["batched"],
+            "failing_reads": sum(
+                len(records)
+                for records in reports["numpy"].failures.values()
+            ),
+            "bit_identical": True,
+        }
+        if telemetry:
+            tracer = activate()
+            try:
+                with tracer.span("bench.regime", "bench", regime=label):
+                    _timed_session(soc, defect_rate, seed, "batched")
+            finally:
+                deactivate()
+            regime_report = TelemetryReport()
+            regime_report.merge_tracer(tracer)
+            row["lane_attribution"] = regime_report.lane_attribution()
+            if collector is not None:
+                collector.merge_tracer(tracer)
+        rows.append(row)
     return {
         "config": {
             "soc": "case-study",
@@ -216,21 +243,37 @@ def measure_engine_throughput(
     }
 
 
-def run_suites(suites, quick: bool = False) -> tuple[dict, list[str]]:
+def run_suites(
+    suites,
+    quick: bool = False,
+    telemetry: bool = False,
+    collector: "TelemetryReport | None" = None,
+) -> tuple[dict, list[str]]:
     """Run the selected benchmark suites.
 
     Returns ``(payload, gate_failures)``; ``gate_failures`` is empty in
     quick mode (small configurations assert parity but are too short to
-    gate on throughput).
+    gate on throughput).  With ``telemetry=True`` the batched-fleet rows
+    gain per-lane attribution and the payload a merged ``telemetry``
+    document; pass a :class:`~repro.telemetry.report.TelemetryReport` as
+    ``collector`` to additionally keep the raw spans for trace export.
     """
+    if telemetry and collector is None:
+        collector = TelemetryReport()
     payload: dict = {"quick": quick, "suites": {}}
     failures: list[str] = []
     for suite in suites:
         if suite == "batched-fleet":
             results = (
-                measure_batched_fleet(memories=32, repeats=1, warmup=False)
+                measure_batched_fleet(
+                    memories=32,
+                    repeats=1,
+                    warmup=False,
+                    telemetry=telemetry,
+                    collector=collector,
+                )
                 if quick
-                else measure_batched_fleet()
+                else measure_batched_fleet(telemetry=telemetry, collector=collector)
             )
             payload["suites"][suite] = results
             if not quick:
@@ -246,4 +289,85 @@ def run_suites(suites, quick: bool = False) -> tuple[dict, list[str]]:
                 failures.extend(engine_gate_failures(results))
         else:
             raise ValueError(f"unknown bench suite {suite!r}; known: {SUITES}")
+    if telemetry and collector is not None:
+        payload["telemetry"] = collector.to_json_dict()
     return payload, failures
+
+
+# --------------------------------------------------------------------- #
+# Performance trajectory                                                 #
+# --------------------------------------------------------------------- #
+def git_revision(repo_root: "str | os.PathLike | None" = None) -> str | None:
+    """The working tree's short commit hash, or ``None`` outside git."""
+    import subprocess
+
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def trajectory_entry(payload: dict, timestamp: str) -> dict:
+    """Reduce one ``run_suites`` payload to a trajectory record.
+
+    ``timestamp`` is passed in (not sampled here) so callers control the
+    clock -- the CLI stamps wall time, tests stamp fixed strings.  Records
+    the per-regime speedups and, when the run was telemetry-instrumented,
+    the heavy-diagnostic replay-lane time share (the number the compiled
+    kernel roadmap item is tracked by).
+    """
+    entry: dict = {
+        "timestamp": timestamp,
+        "git_rev": git_revision(),
+        "quick": bool(payload.get("quick")),
+        "regimes": {},
+    }
+    batched = payload.get("suites", {}).get("batched-fleet")
+    if batched:
+        for row in batched["rows"]:
+            regime: dict = {"speedup": row["speedup"]}
+            attribution = row.get("lane_attribution")
+            if attribution:
+                regime["replay_time_share"] = attribution["lanes"]["replay"][
+                    "time_share"
+                ]
+                regime["march_time_s"] = attribution["march_time_s"]
+            entry["regimes"][row["regime"]] = regime
+    engine = payload.get("suites", {}).get("engine")
+    if engine:
+        entry["engine_speedup"] = engine["single_campaign"]["speedup"]
+    return entry
+
+
+def append_trajectory(path: "str | os.PathLike", entry: dict) -> list[dict]:
+    """Append one record to the append-only trajectory file.
+
+    The file holds a JSON list of entries, oldest first.  A missing file
+    starts a new trajectory; an unreadable one raises rather than
+    silently truncating history.  Returns the full trajectory.
+    """
+    target = Path(path)
+    if target.exists():
+        history = json.loads(target.read_text(encoding="utf-8"))
+        if not isinstance(history, list):
+            raise ValueError(
+                f"trajectory file {target} does not hold a JSON list"
+            )
+    else:
+        history = []
+    history.append(entry)
+    temporary = target.with_suffix(".tmp")
+    temporary.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(temporary, target)
+    return history

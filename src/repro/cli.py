@@ -214,6 +214,27 @@ def _resolve_checkpoint_args(args: argparse.Namespace) -> tuple[str | None, bool
     return args.checkpoint, args.resume
 
 
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    """True when telemetry collection is on (export flags imply it)."""
+    return bool(
+        args.telemetry or args.trace_out or getattr(args, "metrics_out", None)
+    )
+
+
+def _export_telemetry(telemetry, args: argparse.Namespace, quiet: bool) -> None:
+    """Write the requested trace/metrics files from a telemetry report."""
+    from repro.telemetry.export import write_chrome_trace, write_metrics_json
+
+    if args.trace_out:
+        write_chrome_trace(telemetry, args.trace_out)
+        if not quiet:
+            print(f"chrome trace written to {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(telemetry, args.metrics_out)
+        if not quiet:
+            print(f"telemetry metrics written to {args.metrics_out}")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
     import sys
@@ -265,6 +286,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             progress=progress,
             checkpoint=checkpoint,
             resume=resume,
+            telemetry=_telemetry_requested(args),
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
@@ -274,6 +296,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print("\n".join(report.summary_lines()))
+        if report.telemetry is not None:
+            print("\n".join(report.telemetry.summary_lines()))
+    if report.telemetry is not None:
+        _export_telemetry(report.telemetry, args, quiet=args.json)
     return 0
 
 
@@ -375,6 +401,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             progress=progress,
             checkpoint=checkpoint,
             resume=resume,
+            telemetry=_telemetry_requested(args),
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
@@ -384,6 +411,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print("\n".join(report.summary_lines()))
+        if report.telemetry is not None:
+            print("\n".join(report.telemetry.summary_lines()))
+    if report.telemetry is not None:
+        _export_telemetry(report.telemetry, args, quiet=args.json)
     return 0
 
 
@@ -391,10 +422,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import sys
 
-    from repro.analysis.bench import SUITES, run_suites
+    from repro.analysis.bench import (
+        SUITES,
+        append_trajectory,
+        run_suites,
+        trajectory_entry,
+    )
 
+    telemetry = bool(args.telemetry or args.trace_out)
+    collector = None
+    if telemetry:
+        from repro.telemetry.report import TelemetryReport
+
+        collector = TelemetryReport()
     suites = SUITES if args.suite == "all" else (args.suite,)
-    payload, failures = run_suites(suites, quick=args.quick)
+    payload, failures = run_suites(
+        suites, quick=args.quick, telemetry=telemetry, collector=collector
+    )
     rendered = json.dumps(payload, indent=2)
     if args.json:
         print(rendered)
@@ -418,6 +462,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     for row in results["rows"]
                 ]
                 print(format_table(rows))
+                if telemetry:
+                    print("  lane attribution (instrumented batched session):")
+                    lane_rows = []
+                    for row in results["rows"]:
+                        attribution = row.get("lane_attribution")
+                        if not attribution:
+                            continue
+                        lanes = attribution["lanes"]
+
+                        def _share(lane: dict) -> str:
+                            share = lane["time_share"]
+                            return "-" if share is None else f"{share:.1%}"
+
+                        lane_rows.append(
+                            {
+                                "regime": row["regime"],
+                                "march (s)": f"{attribution['march_time_s']:.3f}",
+                                "replay": _share(lanes["replay"]),
+                                "table": _share(lanes["table"]),
+                                "clean": _share(lanes["clean"]),
+                                "replay accesses": str(
+                                    attribution["replay_accesses"]
+                                ),
+                            }
+                        )
+                    if lane_rows:
+                        print(format_table(lane_rows))
             else:
                 single = results["single_campaign"]
                 fleet = results["fleet"]
@@ -433,6 +504,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
+    if args.trace_out and collector is not None:
+        from repro.telemetry.export import write_chrome_trace
+
+        write_chrome_trace(collector, args.trace_out)
+        if not args.json:
+            print(f"chrome trace written to {args.trace_out}")
+    if args.trajectory:
+        from datetime import datetime, timezone
+
+        timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        append_trajectory(args.trajectory, trajectory_entry(payload, timestamp))
+        if not args.json:
+            print(f"trajectory entry appended to {args.trajectory}")
     for failure in failures:
         print(f"WARNING: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -464,6 +550,25 @@ def _cmd_area(args: argparse.Namespace) -> int:
     ]
     print(format_table(rows))
     return 0
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by the fleet-shaped subcommands."""
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect engine spans and counters; prints a telemetry summary "
+        "(and includes a 'telemetry' document under --json)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write spans as a Chrome trace_event JSON (implies --telemetry; "
+        "load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write merged counters and span stats as flat JSON "
+        "(implies --telemetry)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -596,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip chunks already present in --checkpoint DIR",
     )
     fleet.add_argument("--json", action="store_true", help="emit JSON stats")
+    _add_telemetry_args(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
     scenario = sub.add_parser(
@@ -666,6 +772,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip chunks already present in --checkpoint DIR",
     )
     scenario.add_argument("--json", action="store_true", help="emit JSON stats")
+    _add_telemetry_args(scenario)
     scenario.set_defaults(func=_cmd_scenario)
 
     bench = sub.add_parser(
@@ -686,6 +793,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="emit the JSON document")
     bench.add_argument("--out", help="also write the JSON to this path")
+    bench.add_argument(
+        "--telemetry", action="store_true",
+        help="run one instrumented session per regime and report per-lane "
+        "attribution (outside the timed loop; comparison numbers stay clean)",
+    )
+    bench.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the instrumented sessions as a Chrome trace_event JSON "
+        "(implies --telemetry; load in chrome://tracing or Perfetto)",
+    )
+    bench.add_argument(
+        "--trajectory", metavar="FILE", default=None,
+        help="append this run's speedups (and lane shares when instrumented) "
+        "to the JSON trajectory file",
+    )
+    bench.add_argument(
+        "--timestamp", default=None,
+        help="ISO timestamp recorded in the trajectory entry "
+        "(default: current UTC time)",
+    )
     bench.set_defaults(func=_cmd_bench)
     return parser
 

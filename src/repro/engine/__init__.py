@@ -18,6 +18,11 @@ The engine is the execution layer above the paper's single-session models:
   finished chunks, making fleet and scenario runs resumable;
 * :mod:`repro.engine.aggregate` -- streaming reduction of campaign results
   into fleet-level statistics.
+
+Every layer is instrumented with :mod:`repro.telemetry` sites (spans and
+counters behind one ``if tracer.enabled`` gate); scheduling a fleet with
+``telemetry=True`` attaches the merged per-lane attribution and
+scheduler stats to the returned report.
 """
 
 from repro.engine.aggregate import (

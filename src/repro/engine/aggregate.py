@@ -198,6 +198,10 @@ class FleetReport(Record):
     # counts depend on worker layout and resume state, never on results).
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Merged engine telemetry (:class:`repro.telemetry.TelemetryReport`)
+    #: when the run was scheduled with telemetry enabled.  Run metadata:
+    #: excluded from ``deterministic_dict()`` and never checkpointed.
+    telemetry: object | None = None
 
     @property
     def campaigns_per_sec(self) -> float:
@@ -307,6 +311,8 @@ class FleetReport(Record):
                 "hit_rate": self.plan_cache_hit_rate,
             },
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry.to_json_dict()
         if self.scenario_campaigns:
             payload["scenario"] = {
                 "campaigns": self.scenario_campaigns,
@@ -323,9 +329,10 @@ class FleetReport(Record):
     def deterministic_dict(self) -> dict:
         """The report's *result* content, without wall-clock measurements.
 
-        ``elapsed_s``/``campaigns_per_sec``/``plan_cache`` describe the
-        run, not the fleet (cache traffic depends on worker layout and on
-        how many chunks a resume skipped); everything else is a pure
+        ``elapsed_s``/``campaigns_per_sec``/``plan_cache``/``telemetry``
+        describe the run, not the fleet (cache traffic depends on worker
+        layout and on how many chunks a resume skipped; telemetry is the
+        run's own performance measurement); everything else is a pure
         function of the spec.  This is the payload the checkpoint/resume
         contract guarantees byte-for-byte: a resumed run and an
         uninterrupted run agree on it exactly.
@@ -334,6 +341,7 @@ class FleetReport(Record):
         payload.pop("elapsed_s")
         payload.pop("campaigns_per_sec")
         payload.pop("plan_cache")
+        payload.pop("telemetry", None)
         return payload
 
     def canonical_json(self) -> str:

@@ -41,6 +41,7 @@ through it; the batched win applies to full diagnosis sessions, where
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.report import ProposedReport
@@ -65,6 +66,7 @@ from repro.engine.session import (
 from repro.march.algorithm import PauseStep
 from repro.march.simulator import FailureRecord
 from repro.memory.sram import SRAM
+from repro.telemetry.core import tracer as _tracer
 
 
 class BatchedBackend(NumpyBackend):
@@ -207,6 +209,58 @@ class BucketSweep:
         }
 
 
+class _TimedEvaluator:
+    """:class:`TableEvaluator` proxy attributing its time to the table lane.
+
+    Brackets every evaluator call with the monotonic clock, accumulating
+    into ``lane.table.ns`` (and counting each block's visited table rows
+    into ``lane.table.words``), so the vector section's remainder is the
+    clean lane's share.  Constructed only when telemetry is enabled; the
+    normal path keeps the bare evaluator.
+    """
+
+    __slots__ = ("_inner", "_counters")
+
+    def __init__(self, inner: TableEvaluator, counters) -> None:
+        self._inner = inner
+        self._counters = counters
+
+    def start_element(self, plan, write_lanes_per_op) -> None:
+        started = time.perf_counter_ns()
+        self._inner.start_element(plan, write_lanes_per_op)
+        self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
+
+    def start_block(self, plan, block_start, block_len):
+        started = time.perf_counter_ns()
+        ctx = self._inner.start_block(plan, block_start, block_len)
+        counters = self._counters
+        counters.add("lane.table.ns", time.perf_counter_ns() - started)
+        counters.add("lane.table.words", int(ctx.idx.size))
+        return ctx
+
+    def read_op(self, ctx, expected_lanes):
+        started = time.perf_counter_ns()
+        hits = self._inner.read_op(ctx, expected_lanes)
+        self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
+        return hits
+
+    def prepare_write(self, ctx, write_lanes, is_nwrc):
+        started = time.perf_counter_ns()
+        corrected = self._inner.prepare_write(ctx, write_lanes, is_nwrc)
+        self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
+        return corrected
+
+    def commit_write(self, ctx, corrected) -> None:
+        started = time.perf_counter_ns()
+        self._inner.commit_write(ctx, corrected)
+        self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
+
+    def end_block(self, ctx) -> None:
+        started = time.perf_counter_ns()
+        self._inner.end_block(ctx)
+        self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
+
+
 def _run_bucket_session(
     scheme: FastDiagnosisScheme, memories: list[SRAM], algorithm
 ) -> list[list[FailureRecord]]:
@@ -225,6 +279,16 @@ def _run_bucket_session(
         if lanes_split.table is not None
         else None
     )
+    tr = _tracer()
+    if tr.enabled:
+        counters = tr.counters
+        counters.add("bucket.sessions")
+        counters.add("bucket.memories", len(memories))
+        counters.add("bucket.replay_rows", int(lanes_split.replay_masks.sum()))
+        counters.add("bucket.table_rows", int(lanes_split.table_masks.sum()))
+        counters.add("bucket.clean_rows", int(lanes_split.clean_masks.sum()))
+        if evaluator is not None:
+            evaluator = _TimedEvaluator(evaluator, counters)
     failures: list[list[FailureRecord]] = [[] for _ in memories]
     tracker = CleanWordTracker()
     for plan in plans:
@@ -232,18 +296,27 @@ def _run_bucket_session(
             for memory in memories:
                 memory.pause(plan.duration_ns)
             continue
-        for member, records in enumerate(
-            run_element_batched(
-                memories,
-                states,
-                lanes_split.clean_masks,
-                plan,
-                lanes,
-                sweep,
-                evaluator,
-                tracker,
-            )
-        ):
+        element_args = (
+            memories,
+            states,
+            lanes_split.clean_masks,
+            plan,
+            lanes,
+            sweep,
+            evaluator,
+            tracker,
+        )
+        if tr.enabled:
+            with tr.span(
+                "march.element",
+                "march",
+                step=plan.step_label,
+                memories=len(memories),
+            ):
+                member_failures = run_element_batched(*element_args)
+        else:
+            member_failures = run_element_batched(*element_args)
+        for member, records in enumerate(member_failures):
             failures[member].extend(records)
     vector_masks = lanes_split.vector_masks
     for member, memory in enumerate(memories):
@@ -283,6 +356,13 @@ def run_element_batched(
     local_rows = sweep_plan.local_rows[plan.ascending]
     dirty_positions = sweep_plan.dirty_positions[plan.ascending]
 
+    tr = _tracer()
+    telem = tr.enabled
+    if telem:
+        counters = tr.counters
+        clean_total = int(clean_masks.sum())
+        replay_started = time.perf_counter_ns()
+
     # Replay rows: per-memory behavioural replay in exact sweep order and
     # time; every other row's share of each schedule is pure clocking.
     for member, memory in enumerate(memories):
@@ -297,6 +377,14 @@ def run_element_batched(
                 )
             )
         timebase.tick(base_cycles + sweep * per_address - timebase.cycles)
+
+    if telem:
+        vector_started = time.perf_counter_ns()
+        replay_words = sum(len(member) for member in dirty_positions)
+        counters.add("lane.replay.ns", vector_started - replay_started)
+        counters.add("lane.replay.words", replay_words)
+        table_ns_before = counters.get("lane.table.ns")
+        table_words_before = counters.get("lane.table.words")
 
     # Clean and table rows: fleet-wide vector ops, block-wise so
     # wrap-around revisits never touch a row twice inside one
@@ -324,6 +412,10 @@ def run_element_batched(
                 if evaluator is not None
                 else None
             )
+            if telem:
+                block_clean = (
+                    clean_total if full else int(clean_masks[:, block_rows].sum())
+                )
             for op_index, op_plan in enumerate(ops):
                 if op_plan.op.is_read:
                     expected = (
@@ -340,8 +432,12 @@ def run_element_batched(
                                 axis=2
                             )
                             mismatch &= clean_masks[:, block_rows]
+                        if telem:
+                            counters.add("clean.compares_done", block_clean)
                     else:
                         mismatch = None
+                        if telem:
+                            counters.add("clean.compares_skipped", block_clean)
                     if mismatch is not None and mismatch.any():
                         for member, hit in zip(*np.nonzero(mismatch)):
                             member = int(member)
@@ -409,6 +505,18 @@ def run_element_batched(
                         evaluator.commit_write(ctx, corrected)
             if ctx is not None:
                 evaluator.end_block(ctx)
+
+    if telem:
+        # The vector section's time minus the evaluator's accumulated
+        # share is the clean lane's; the word balance mirrors it.
+        vector_ns = time.perf_counter_ns() - vector_started
+        table_ns = counters.get("lane.table.ns") - table_ns_before
+        table_words = counters.get("lane.table.words") - table_words_before
+        counters.add("lane.clean.ns", max(0, vector_ns - table_ns))
+        counters.add(
+            "lane.clean.words",
+            sweep * len(memories) - replay_words - table_words,
+        )
 
     for member_records in records:
         member_records.sort(key=lambda item: (item[0], item[1]))

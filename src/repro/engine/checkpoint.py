@@ -44,9 +44,11 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.engine.aggregate import CampaignSummary
+from repro.telemetry.core import tracer as _tracer
 from repro.util.validation import require
 
 #: Bump when the on-disk layout changes; old stores then read as stale.
@@ -194,6 +196,9 @@ class CheckpointStore:
         summaries: list[CampaignSummary],
     ) -> None:
         """Persist one finished chunk atomically."""
+        tr = _tracer()
+        if tr.enabled:
+            started = time.perf_counter_ns()
         payload = _summary_payload(summaries)
         self._write_json(
             self._chunk_path(chunk_index),
@@ -205,6 +210,9 @@ class CheckpointStore:
                 "summaries": payload,
             },
         )
+        if tr.enabled:
+            tr.counters.add("checkpoint.save.ns", time.perf_counter_ns() - started)
+            tr.counters.add("checkpoint.saves")
 
     def load(
         self,
@@ -218,6 +226,9 @@ class CheckpointStore:
         so a chunk file can never be aggregated under the wrong campaign
         positions.
         """
+        tr = _tracer()
+        if tr.enabled:
+            started = time.perf_counter_ns()
         path = self._chunk_path(chunk_index)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -252,11 +263,15 @@ class CheckpointStore:
                 f"corrupt checkpoint chunk {path}: summary checksum mismatch"
             )
         try:
-            return [CampaignSummary(**entry) for entry in summaries]
+            loaded = [CampaignSummary(**entry) for entry in summaries]
         except TypeError as error:
             raise CheckpointError(
                 f"corrupt checkpoint chunk {path}: {error}"
             ) from error
+        if tr.enabled:
+            tr.counters.add("checkpoint.load.ns", time.perf_counter_ns() - started)
+            tr.counters.add("checkpoint.loads")
+        return loaded
 
     @staticmethod
     def _write_json(path: Path, payload: dict) -> None:

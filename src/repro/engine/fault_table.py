@@ -46,10 +46,12 @@ exactly as before.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.engine.packing import lanes_for, lanes_to_word, np
+from repro.telemetry.core import tracer as _tracer
 from repro.faults.base import (
     KIND_CF_ID,
     KIND_CF_IN,
@@ -149,6 +151,9 @@ class BucketLanes:
 
 def lower_bucket(memories: "list[SRAM]") -> BucketLanes:
     """Partition a same-geometry bucket and compile its fault table."""
+    tr = _tracer()
+    if tr.enabled:
+        started = time.perf_counter_ns()
     n_mem = len(memories)
     words = memories[0].words
     bits = memories[0].bits
@@ -165,6 +170,12 @@ def lower_bucket(memories: "list[SRAM]") -> BucketLanes:
     table = None
     if any(lowered_by_member):
         table = CompiledFaultTable(lowered_by_member, words, bits)
+    if tr.enabled:
+        counters = tr.counters
+        counters.add("table.compile.ns", time.perf_counter_ns() - started)
+        counters.add(
+            "table.lowered_faults", sum(len(l) for l in lowered_by_member)
+        )
     return BucketLanes(replay, table_rows, ~(replay | table_rows), table)
 
 

@@ -44,6 +44,9 @@ from repro.faults.defects import DefectProfile, DefectType
 from repro.memory.geometry import MemoryGeometry
 from repro.soc.case_study import case_study_soc
 from repro.soc.chip import SoCConfig
+from repro.telemetry.core import Tracer, activate, deactivate, set_tracer
+from repro.telemetry.core import tracer as _tracer
+from repro.telemetry.report import TelemetryReport
 from repro.util.records import Record
 from repro.util.rng import derive_seed
 from repro.util.validation import require, require_positive
@@ -172,9 +175,9 @@ def chunked_indices(campaigns: int, chunk_size: int) -> list[tuple[int, ...]]:
 
 
 def reorder_chunks(
-    completions: Iterable[tuple[int, list[CampaignSummary]]],
+    completions: Iterable[tuple[int, "list[CampaignSummary]"]],
     total_chunks: int,
-) -> Iterator[list[CampaignSummary]]:
+) -> Iterator["list[CampaignSummary]"]:
     """Re-emit completion-order chunk results in submission order.
 
     Workers finish chunks in whatever order the pool schedules them;
@@ -212,11 +215,33 @@ def reorder_chunks(
 def _run_indexed_chunk(
     chunk_runner: "ChunkRunner",
     spec,
+    telemetry_enabled: bool,
     item: tuple[int, tuple[int, ...]],
-) -> tuple[int, list[CampaignSummary]]:
-    """Pool task: run one chunk and tag it with its submission index."""
+) -> tuple[int, list[CampaignSummary], dict | None]:
+    """Pool task: run one chunk and tag it with its submission index.
+
+    With telemetry enabled the worker activates a *fresh* tracer for the
+    chunk (fork inherits the parent's tracer object; reusing it would
+    double-count the parent's spans in every snapshot), traces the chunk
+    as one ``fleet.chunk`` span and ships the tracer snapshot back with
+    the summaries for the scheduler to merge.
+    """
     chunk_index, indices = item
-    return chunk_index, chunk_runner(spec, indices)
+    if not telemetry_enabled:
+        return chunk_index, chunk_runner(spec, indices), None
+    tracer = activate()
+    try:
+        started = time.perf_counter_ns()
+        with tracer.span(
+            "fleet.chunk", "fleet", chunk=chunk_index, campaigns=len(indices)
+        ):
+            summaries = chunk_runner(spec, indices)
+        tracer.counters.add(
+            "fleet.worker_busy.ns", time.perf_counter_ns() - started
+        )
+        return chunk_index, summaries, tracer.snapshot()
+    finally:
+        deactivate()
 
 
 #: A chunk runner maps ``(spec, campaign_indices)`` to summaries; it must
@@ -263,6 +288,14 @@ class FleetScheduler:
     finished chunk; ``resume=True`` additionally loads chunks the store
     already holds instead of recomputing them.  Stale or corrupt stores
     raise :class:`~repro.engine.checkpoint.CheckpointError` up front.
+
+    ``telemetry=True`` traces the run -- engine spans and counters in
+    every worker, scheduler-level utilization and queue-wait accounting
+    in the parent -- and attaches the merged
+    :class:`~repro.telemetry.report.TelemetryReport` to the returned
+    report.  Telemetry is deliberately *not* part of the spec: it changes
+    no result byte and no checkpoint byte, so a run may toggle it freely
+    across interrupt/resume cycles.
     """
 
     def __init__(
@@ -273,6 +306,7 @@ class FleetScheduler:
         chunk_runner: ChunkRunner | None = None,
         checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
         resume: bool = False,
+        telemetry: bool = False,
     ) -> None:
         # An ``auto`` backend is pinned here, before chunks fan out, so
         # every worker -- and the checkpoint digest -- sees one concrete
@@ -280,6 +314,8 @@ class FleetScheduler:
         self.spec = plan_spec_backend(spec)
         self.chunk_runner: ChunkRunner = chunk_runner or run_chunk
         self.workers = self._resolve_workers(workers)
+        self.telemetry = bool(telemetry)
+        self._telemetry_report: TelemetryReport | None = None
         if chunk_size is None and checkpoint is not None:
             # The implicit default below depends on the worker count (and
             # so on the machine); a resume must reproduce the original
@@ -336,6 +372,16 @@ class FleetScheduler:
         """
         chunks = chunked_indices(self.spec.campaigns, self.chunk_size)
         report = FleetReport()
+        parent_tracer: Tracer | None = None
+        previous_tracer = None
+        if self.telemetry:
+            # The parent traces checkpoint reads, inline chunks and its
+            # own queue waits; workers ship their snapshots via the chunk
+            # protocol.  The previous tracer is restored on every exit so
+            # nested/bench-driven runs compose.
+            self._telemetry_report = TelemetryReport()
+            parent_tracer = Tracer()
+            previous_tracer = set_tracer(parent_tracer)
         started = time.perf_counter()
         done = 0
         stream = self._stream_chunks(chunks)
@@ -350,7 +396,23 @@ class FleetScheduler:
             # Deterministically unwind the stream (and with it the worker
             # pool) even when aggregation or the progress callback raises.
             stream.close()
+            if previous_tracer is not None:
+                set_tracer(previous_tracer)
         report.elapsed_s = time.perf_counter() - started
+        if parent_tracer is not None:
+            telemetry_report = self._telemetry_report
+            self._telemetry_report = None
+            counters = parent_tracer.counters
+            counters.add("fleet.workers", self.workers)
+            counters.add("fleet.elapsed.ns", int(report.elapsed_s * 1e9))
+            telemetry_report.merge_tracer(parent_tracer)
+            # Promote the plan-cache traffic into the telemetry channel
+            # (the FleetReport fields stay as aliases for --json users).
+            telemetry_report.counters.add("plan_cache.hits", report.plan_cache_hits)
+            telemetry_report.counters.add(
+                "plan_cache.misses", report.plan_cache_misses
+            )
+            report.telemetry = telemetry_report
         return report
 
     def _stream_chunks(
@@ -365,6 +427,10 @@ class FleetScheduler:
             for index, chunk in enumerate(chunks)
             if index not in loaded
         ]
+        tr = _tracer()
+        if tr.enabled:
+            tr.counters.add("fleet.chunks", len(chunks))
+            tr.counters.add("fleet.chunks_resumed", len(loaded))
         ranks = {index: rank for rank, (index, _) in enumerate(pending)}
         executor = self._execute_pending(pending, chunks)
         # Pending results arrive in completion order; reorder_chunks
@@ -372,15 +438,33 @@ class FleetScheduler:
         # lazily, and persisted chunks are read only when the head of
         # line reaches them -- so the pool spins up immediately and
         # parent-side buffering stays bounded by pool skew, however the
-        # loaded and freshly-run chunks interleave.
-        pending_ordered = reorder_chunks(
-            ((ranks[index], summaries) for index, summaries in executor),
-            len(pending),
-        )
+        # loaded and freshly-run chunks interleave.  Worker telemetry
+        # snapshots are merged here, in completion order (merging is
+        # order-insensitive), before the ordering buffer.
+        report = self._telemetry_report
+
+        def completions():
+            for index, summaries, snapshot in executor:
+                if snapshot is not None and report is not None:
+                    report.merge_snapshot(snapshot)
+                yield ranks[index], summaries
+
+        pending_ordered = reorder_chunks(completions(), len(pending))
         try:
             for index, chunk in enumerate(chunks):
                 if index in loaded:
                     yield self.checkpoint.load(index, expected_indices=chunk)
+                elif tr.enabled:
+                    # Parent time blocked on the pool (for inline runs
+                    # this equals execution time; with a pool it is the
+                    # scheduler's idle wait for the head-of-line chunk).
+                    wait_started = time.perf_counter_ns()
+                    result = next(pending_ordered)
+                    tr.counters.add(
+                        "fleet.queue_wait.ns",
+                        time.perf_counter_ns() - wait_started,
+                    )
+                    yield result
                 else:
                     yield next(pending_ordered)
             for _ in pending_ordered:  # runs reorder_chunks' completeness check
@@ -393,27 +477,43 @@ class FleetScheduler:
         self,
         pending: list[tuple[int, tuple[int, ...]]],
         chunks: list[tuple[int, ...]],
-    ) -> Iterator[tuple[int, list[CampaignSummary]]]:
+    ) -> Iterator[tuple[int, list[CampaignSummary], dict | None]]:
         """Run the not-yet-persisted chunks, saving each as it completes."""
         if not pending:
             return
         if self.workers <= 1 or len(pending) <= 1:
+            # Inline chunks run under the parent's tracer directly (no
+            # snapshot shipping), so spans nest into the parent timeline.
+            tr = _tracer()
             for index, chunk in pending:
-                summaries = self.chunk_runner(self.spec, chunk)
+                if tr.enabled:
+                    busy_started = time.perf_counter_ns()
+                    with tr.span(
+                        "fleet.chunk", "fleet", chunk=index, campaigns=len(chunk)
+                    ):
+                        summaries = self.chunk_runner(self.spec, chunk)
+                    tr.counters.add(
+                        "fleet.worker_busy.ns",
+                        time.perf_counter_ns() - busy_started,
+                    )
+                else:
+                    summaries = self.chunk_runner(self.spec, chunk)
                 self._persist(index, chunk, summaries)
-                yield index, summaries
+                yield index, summaries, None
             return
         context = self._pool_context()
-        worker = partial(_run_indexed_chunk, self.chunk_runner, self.spec)
+        worker = partial(
+            _run_indexed_chunk, self.chunk_runner, self.spec, self.telemetry
+        )
         # imap_unordered lets the pool hand results back the moment they
         # finish (no head-of-line blocking in the IPC queue); checkpoints
         # are written here, in completion order, so an interrupt loses at
         # most the chunks still in flight.
         pool = context.Pool(processes=min(self.workers, len(pending)))
         try:
-            for index, summaries in pool.imap_unordered(worker, pending):
+            for index, summaries, snapshot in pool.imap_unordered(worker, pending):
                 self._persist(index, chunks[index], summaries)
-                yield index, summaries
+                yield index, summaries, snapshot
             pool.close()
         except BaseException:
             # Worker failures and abandoned streams (GeneratorExit) both
@@ -446,6 +546,7 @@ def run_fleet(
     progress: Callable[[int, int], None] | None = None,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
+    telemetry: bool = False,
 ) -> FleetReport:
     """Convenience wrapper: schedule ``spec`` and aggregate the results."""
     return FleetScheduler(
@@ -454,4 +555,5 @@ def run_fleet(
         chunk_size=chunk_size,
         checkpoint=checkpoint,
         resume=resume,
+        telemetry=telemetry,
     ).run(progress)

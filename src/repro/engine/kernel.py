@@ -28,6 +28,7 @@ address-major order, so result equality is exact down to list order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.engine.packing import (
@@ -40,6 +41,7 @@ from repro.engine.packing import (
 from repro.march.ops import Operation
 from repro.march.simulator import FailureRecord
 from repro.memory.sram import SRAM
+from repro.telemetry.core import tracer as _tracer
 
 
 def pack_memory(memory: SRAM):
@@ -204,6 +206,13 @@ def replay_dirty_positions(
     every caller of the vector path has already established the
     fault-free-decoder/mux, no-tracing preconditions.
     """
+    tr = _tracer()
+    if tr.enabled and dirty_positions:
+        # One access per operation per replayed sweep position -- the
+        # behavioural-replay traffic the lane attribution quantifies.
+        tr.counters.add(
+            "replay.accesses", len(dirty_positions) * len(plan.compiled_ops)
+        )
     timebase = memory.timebase
     seek = timebase.seek_cycles
     tick = timebase.tick
@@ -272,8 +281,16 @@ def run_element(
     addresses = positions if plan.ascending else (sweep - 1) - positions
     local_rows = addresses % words if sweep != words else addresses
 
+    tr = _tracer()
+    telem = tr.enabled
+    if telem:
+        replay_started = time.perf_counter_ns()
+
     # Dirty rows: behavioural replay in exact sweep order and time.
+    replay_words = 0
     if dirty_mask.any():
+        if telem:
+            replay_words = int(dirty_mask[local_rows].sum())
         records.extend(
             replay_dirty_rows(
                 memory, dirty_mask, plan, positions, local_rows, base_cycles, per_address
@@ -282,6 +299,13 @@ def run_element(
 
     # The clean rows' share of the schedule is pure clocking.
     timebase.tick(base_cycles + sweep * per_address - timebase.cycles)
+
+    if telem:
+        clean_started = time.perf_counter_ns()
+        counters = tr.counters
+        counters.add("lane.replay.ns", clean_started - replay_started)
+        counters.add("lane.replay.words", replay_words)
+        counters.add("lane.clean.words", sweep - replay_words)
 
     # Clean rows: block-wise vector ops (a block never revisits a row).
     if clean_mask.any():
@@ -321,6 +345,9 @@ def run_element(
                             )
                 else:
                     state[rows] = word_to_lanes(op_plan.write_word, lanes)
+
+    if telem:
+        counters.add("lane.clean.ns", time.perf_counter_ns() - clean_started)
 
     records.sort(key=lambda item: (item[0], item[1]))
     return [record for _, _, record in records]

@@ -29,6 +29,7 @@ from repro.engine.packing import np
 from repro.serial.bidirectional import BidirectionalSerialInterface
 from repro.serial.shift_register import ShiftDirection
 from repro.memory.sram import SRAM
+from repro.telemetry.core import tracer as _tracer
 
 __all__ = [
     "expected_stream",
@@ -71,6 +72,9 @@ def serial_fill_sweep(
     sweep's value is observable, so callers sync it once per probe via
     :func:`sync_clean_serial_words`.
     """
+    tr = _tracer()
+    if tr.enabled and dirty_rows:
+        tr.counters.add("serial.fill_words", len(dirty_rows))
     per_word = TICKS_PER_SERIAL_CYCLE * memory.bits
     timebase = memory.timebase
     base = timebase.cycles
@@ -98,6 +102,9 @@ def serial_observe_sweep(
     leave stale state behind for the next probe's state-dependent
     faults).
     """
+    tr = _tracer()
+    if tr.enabled and dirty_rows:
+        tr.counters.add("serial.observe_words", len(dirty_rows))
     per_word = TICKS_PER_SERIAL_CYCLE * memory.bits
     timebase = memory.timebase
     base = timebase.cycles

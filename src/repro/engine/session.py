@@ -53,6 +53,7 @@ from repro.march.algorithm import MarchAlgorithm, PauseStep
 from repro.march.element import AddressOrder
 from repro.march.simulator import FailureRecord
 from repro.memory.sram import SRAM
+from repro.telemetry.core import tracer as _tracer
 from repro.util.bitops import mask
 from repro.util.validation import require
 
@@ -309,12 +310,23 @@ def _run_memory_session(
     if vector:
         state, clean_mask, dirty_mask, lanes = pack_memory(memory)
 
+    tr = _tracer()
     failures: list[FailureRecord] = []
     for plan in session_step_plans(scheme, memory, algorithm):
         if isinstance(plan, PauseStep):
             memory.pause(plan.duration_ns)
             continue
-        if vector:
+        if tr.enabled:
+            with tr.span(
+                "march.element", "march", step=plan.step_label, memory=memory.name
+            ):
+                if vector:
+                    failures.extend(
+                        run_element(memory, state, clean_mask, dirty_mask, plan, lanes)
+                    )
+                else:
+                    failures.extend(run_element_slow(memory, plan))
+        elif vector:
             failures.extend(
                 run_element(memory, state, clean_mask, dirty_mask, plan, lanes)
             )

@@ -29,6 +29,7 @@ def scenario_scheduler(
     chunk_size: int | None = None,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
+    telemetry: bool = False,
 ) -> FleetScheduler:
     """A fleet scheduler wired to execute scenario flows."""
     return FleetScheduler(
@@ -38,6 +39,7 @@ def scenario_scheduler(
         chunk_runner=run_scenario_chunk,
         checkpoint=checkpoint,
         resume=resume,
+        telemetry=telemetry,
     )
 
 
@@ -48,13 +50,15 @@ def run_scenario_fleet(
     progress: Callable[[int, int], None] | None = None,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
+    telemetry: bool = False,
 ) -> FleetReport:
     """Run every scenario campaign and aggregate the fleet report.
 
     ``checkpoint``/``resume`` behave exactly as in
     :class:`~repro.engine.fleet.FleetScheduler`: finished chunks persist
     immediately and a resumed run skips them, reproducing the
-    uninterrupted report's deterministic content.
+    uninterrupted report's deterministic content.  ``telemetry=True``
+    attaches the merged telemetry report, exactly as for plain fleets.
     """
     return scenario_scheduler(
         spec,
@@ -62,4 +66,5 @@ def run_scenario_fleet(
         chunk_size=chunk_size,
         checkpoint=checkpoint,
         resume=resume,
+        telemetry=telemetry,
     ).run(progress)

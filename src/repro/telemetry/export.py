@@ -1,0 +1,84 @@
+"""Telemetry exporters: Chrome ``trace_event`` JSON and flat metrics JSON.
+
+The trace exporter emits the *JSON Object Format* of the Chrome trace
+event specification -- a ``traceEvents`` list of matched ``B``/``E``
+duration events -- loadable directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Each traced process becomes one ``pid``/``tid``
+track (the engine's workers are processes, not threads), timestamps are
+re-zeroed to the earliest span and converted to microseconds, and events
+are sorted so that every ``B`` strictly nests: ties are broken end-first,
+then by span depth, which is exactly the order a correctly nested LIFO
+tracer produced them in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.report import TelemetryReport
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_metrics_json",
+]
+
+
+def chrome_trace_events(report: TelemetryReport) -> list[dict]:
+    """Render every retained span as a matched B/E event pair.
+
+    Events are sorted by timestamp; at equal timestamps ``E`` events come
+    first (a sibling ending exactly where the next begins must close
+    before it opens), ``B`` events of shallower spans precede deeper ones
+    and ``E`` events of deeper spans precede shallower ones, preserving
+    strict nesting per track.
+    """
+    if not report.spans:
+        return []
+    origin_ns = min(start for _, (_, _, start, _, _, _) in report.spans)
+    keyed: list[tuple[tuple, dict]] = []
+    for pid, (name, category, start_ns, duration_ns, depth, args) in report.spans:
+        begin = {
+            "name": name,
+            "cat": category,
+            "ph": "B",
+            "ts": (start_ns - origin_ns) / 1000.0,
+            "pid": pid,
+            "tid": pid,
+        }
+        if args:
+            begin["args"] = dict(args)
+        end = {
+            "name": name,
+            "cat": category,
+            "ph": "E",
+            "ts": (start_ns + duration_ns - origin_ns) / 1000.0,
+            "pid": pid,
+            "tid": pid,
+        }
+        keyed.append(((begin["ts"], 1, depth), begin))
+        keyed.append(((end["ts"], 0, -depth), end))
+    keyed.sort(key=lambda item: item[0])
+    return [event for _, event in keyed]
+
+
+def write_chrome_trace(report: TelemetryReport, path) -> None:
+    """Write the Chrome trace JSON document to ``path``."""
+    document = {
+        "traceEvents": chrome_trace_events(report),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "processes": sorted(report.processes),
+            "dropped_spans": report.dropped_spans,
+        },
+    }
+    Path(path).write_text(json.dumps(document) + "\n", encoding="utf-8")
+
+
+def write_metrics_json(report: TelemetryReport, path) -> None:
+    """Write the flat metrics JSON document to ``path``."""
+    Path(path).write_text(
+        json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -2,17 +2,23 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.bench import (
     BATCHED_REGIMES,
     ENGINE_SPEEDUP_TARGET,
+    append_trajectory,
     batched_fleet_gate_failures,
     engine_gate_failures,
+    git_revision,
     measure_batched_fleet,
     measure_engine_throughput,
     run_suites,
+    trajectory_entry,
 )
+from repro.telemetry.report import TelemetryReport
 
 
 class TestMeasureBatchedFleet:
@@ -74,6 +80,95 @@ class TestRunSuites:
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):
             run_suites(("nope",))
+
+
+class TestBenchTelemetry:
+    def test_instrumented_rows_carry_lane_attribution(self):
+        collector = TelemetryReport()
+        results = measure_batched_fleet(
+            memories=4, repeats=1, warmup=False, telemetry=True,
+            collector=collector,
+        )
+        for row in results["rows"]:
+            attribution = row["lane_attribution"]
+            assert attribution["march_time_s"] > 0
+            assert set(attribution["lanes"]) == {"replay", "table", "clean"}
+        # The collector accumulated all three regimes' spans.
+        assert collector.span_stats["bench.regime"][0] == len(BATCHED_REGIMES)
+        assert collector.counters.get("lane.replay.ns") > 0
+
+    def test_uninstrumented_rows_have_no_attribution(self):
+        results = measure_batched_fleet(memories=4, repeats=1, warmup=False)
+        assert all("lane_attribution" not in row for row in results["rows"])
+
+    def test_run_suites_attaches_telemetry_document(self):
+        payload, _ = run_suites(("engine",), quick=True, telemetry=True)
+        assert "telemetry" in payload
+        plain, _ = run_suites(("engine",), quick=True)
+        assert "telemetry" not in plain
+
+
+def synthetic_payload() -> dict:
+    return {
+        "quick": True,
+        "suites": {
+            "batched-fleet": {
+                "rows": [
+                    {
+                        "regime": "screening",
+                        "speedup": 3.5,
+                    },
+                    {
+                        "regime": "heavy-diagnostic",
+                        "speedup": 1.4,
+                        "lane_attribution": {
+                            "march_time_s": 0.25,
+                            "lanes": {
+                                "replay": {"time_share": 0.62},
+                                "table": {"time_share": 0.2},
+                                "clean": {"time_share": 0.18},
+                            },
+                        },
+                    },
+                ]
+            },
+            "engine": {"single_campaign": {"speedup": 9.0}},
+        },
+    }
+
+
+class TestTrajectory:
+    def test_entry_records_speedups_and_replay_share(self):
+        entry = trajectory_entry(synthetic_payload(), "2026-08-08T00:00:00")
+        assert entry["timestamp"] == "2026-08-08T00:00:00"
+        assert entry["quick"] is True
+        assert entry["regimes"]["screening"] == {"speedup": 3.5}
+        heavy = entry["regimes"]["heavy-diagnostic"]
+        assert heavy["speedup"] == 1.4
+        assert heavy["replay_time_share"] == 0.62
+        assert heavy["march_time_s"] == 0.25
+        assert entry["engine_speedup"] == 9.0
+
+    def test_append_creates_and_extends(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        first = append_trajectory(path, {"timestamp": "t0"})
+        assert first == [{"timestamp": "t0"}]
+        second = append_trajectory(path, {"timestamp": "t1"})
+        assert [e["timestamp"] for e in second] == ["t0", "t1"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk == second
+
+    def test_append_rejects_non_list_file(self, tmp_path):
+        path = tmp_path / "trajectory.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="JSON list"):
+            append_trajectory(path, {"timestamp": "t0"})
+
+    def test_git_revision_in_a_repo(self, tmp_path):
+        # The repo under test is a git repository; outside one, None.
+        rev = git_revision()
+        assert rev is None or (isinstance(rev, str) and rev)
+        assert git_revision(tmp_path) is None
 
 
 class TestMeasureEngineThroughput:

@@ -200,6 +200,66 @@ def _boom_chunk_runner(spec, indices):
     return run_chunk(spec, indices)
 
 
+def _reversed_finish_chunk_runner(spec, indices):
+    """Picklable runner whose chunks finish in reverse submission order.
+
+    Later chunks sleep less, so ``imap_unordered`` hands them back first
+    and the scheduler's ordering buffer does real work.
+    """
+    time.sleep(0.03 * (spec.campaigns - 1 - indices[0]))
+    return [
+        CampaignSummary(
+            index=index,
+            seed=spec.campaign_seed(index),
+            soc_name="sleepy",
+            injected_faults=0,
+            localization_rate=1.0,
+            total_failures=0,
+        )
+        for index in indices
+    ]
+
+
+class TestProgressCallback:
+    """The (done, total) contract: exactly once per chunk, monotone.
+
+    Regression tests: progress must never regress, repeat, skip or report
+    before the chunk's summaries were aggregated -- even when the pool
+    completes chunks out of order or a resume serves chunks from disk.
+    """
+
+    def collect(self, **scheduler_kwargs) -> list[tuple[int, int]]:
+        calls: list[tuple[int, int]] = []
+        scheduler = FleetScheduler(SPEC, **scheduler_kwargs)
+        scheduler.run(progress=lambda done, total: calls.append((done, total)))
+        return calls
+
+    def test_inline_progress_once_per_chunk(self):
+        calls = self.collect(workers=1, chunk_size=1)
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_chunked_progress_counts_campaigns(self):
+        calls = self.collect(workers=1, chunk_size=3)
+        assert calls == [(3, 4), (4, 4)]
+
+    def test_pooled_out_of_order_completion_stays_monotone(self):
+        calls = self.collect(
+            workers=4, chunk_size=1, chunk_runner=_reversed_finish_chunk_runner
+        )
+        # Chunks complete roughly in reverse; delivery must not.
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_resume_reports_loaded_chunks_too(self, tmp_path):
+        store = tmp_path / "store"
+        full = self.collect(workers=1, chunk_size=1, checkpoint=store)
+        resumed = self.collect(
+            workers=1, chunk_size=1, checkpoint=store, resume=True
+        )
+        # A fully-persisted resume replays every chunk from disk; the
+        # progress stream is indistinguishable from the original run's.
+        assert resumed == full == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
 def _assert_no_orphaned_workers(before: set) -> None:
     """The pool's processes must all be reaped shortly after the failure."""
     deadline = time.monotonic() + 5.0

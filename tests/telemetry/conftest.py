@@ -1,0 +1,13 @@
+"""Telemetry test hygiene: never leak an active tracer between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.core import NULL_TRACER, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def restore_null_tracer():
+    yield
+    set_tracer(NULL_TRACER)

@@ -191,3 +191,69 @@ class TestBench:
     def test_unknown_suite_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--suite", "nope"])
+
+    def test_telemetry_lane_attribution_and_trajectory(self, capsys, tmp_path):
+        import json
+
+        trajectory = tmp_path / "trajectory.json"
+        assert main(
+            ["bench", "--suite", "batched-fleet", "--quick", "--telemetry",
+             "--trajectory", str(trajectory),
+             "--timestamp", "2026-08-08T00:00:00+00:00"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lane attribution" in out
+        assert "replay accesses" in out
+        history = json.loads(trajectory.read_text())
+        assert len(history) == 1
+        entry = history[0]
+        assert entry["timestamp"] == "2026-08-08T00:00:00+00:00"
+        assert set(entry["regimes"]) == {
+            "screening", "diagnostic", "heavy-diagnostic",
+        }
+        assert "replay_time_share" in entry["regimes"]["heavy-diagnostic"]
+
+
+class TestTelemetryFlags:
+    def test_fleet_telemetry_summary_and_exports(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["fleet", "--memories", "2", "--campaigns", "2", "--workers", "1",
+             "--defect-rate", "0.004", "--telemetry",
+             "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "replay lane" in out
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert events
+        begins = sum(1 for e in events if e["ph"] == "B")
+        ends = sum(1 for e in events if e["ph"] == "E")
+        assert begins == ends
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        flat = json.loads(metrics.read_text())
+        assert "lane_attribution" in flat and "counters" in flat
+
+    def test_trace_out_implies_telemetry_in_json_mode(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["fleet", "--memories", "2", "--campaigns", "2", "--workers", "1",
+             "--defect-rate", "0.004", "--json", "--trace-out", str(trace)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "telemetry" in payload
+        assert trace.exists()
+
+    def test_scenario_telemetry_summary(self, capsys):
+        assert main(
+            ["scenario", "--memories", "2", "--campaigns", "2",
+             "--workers", "1", "--telemetry"]
+        ) == 0
+        assert "telemetry:" in capsys.readouterr().out
