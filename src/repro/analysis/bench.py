@@ -18,11 +18,10 @@ far too slow to repeat) and gates the full-size ratio at
 The headline suite (``batched-fleet``) times the proposed-scheme
 diagnosis session of a 256-SRAM mixed-geometry campaign per defect
 regime and asserts the reports bit-identical before reporting the
-ratio.  Since the compiled fault table
-(:mod:`repro.engine.fault_table`), two regimes carry speedup targets:
-screening (>= 3x, the amortization win) and diagnostic (>= 2.5x, the
-dense-defect table win); heavy-diagnostic is reported ungated so the
-full curve stays visible.
+ratio.  All three regimes carry speedup targets: screening (>= 3x, the
+amortization win), diagnostic (>= 2.5x, the dense-defect table win) and
+heavy-diagnostic (>= 3x since the counter-based intermittent/retention
+lowering emptied most of the behavioural replay lane).
 """
 
 from __future__ import annotations
@@ -44,7 +43,7 @@ from repro.telemetry.report import TelemetryReport
 BATCHED_REGIMES: tuple[tuple[str, float, float | None], ...] = (
     ("screening", 0.0002, 3.0),
     ("diagnostic", 0.001, 2.5),
-    ("heavy-diagnostic", 0.005, None),
+    ("heavy-diagnostic", 0.005, 3.0),
 )
 
 #: Full-run numpy-vs-reference campaign speedup floor (engine suite).
@@ -309,7 +308,7 @@ def git_revision(repo_root: "str | os.PathLike | None" = None) -> str | None:
             text=True,
             timeout=10,
         )
-    except (OSError, subprocess.TimeoutExpired):
+    except (OSError, ValueError, subprocess.SubprocessError):
         return None
     if result.returncode != 0:
         return None
@@ -323,11 +322,17 @@ def trajectory_entry(payload: dict, timestamp: str) -> dict:
     clock -- the CLI stamps wall time, tests stamp fixed strings.  Records
     the per-regime speedups and, when the run was telemetry-instrumented,
     the heavy-diagnostic replay-lane time share (the number the compiled
-    kernel roadmap item is tracked by).
+    kernel roadmap item is tracked by).  Outside a git checkout (or with
+    a broken ``git``) the record degrades to ``git_rev: null`` rather
+    than failing the bench run.
     """
+    try:
+        rev = git_revision()
+    except Exception:  # pragma: no cover - belt and braces
+        rev = None
     entry: dict = {
         "timestamp": timestamp,
-        "git_rev": git_revision(),
+        "git_rev": rev,
         "quick": bool(payload.get("quick")),
         "regimes": {},
     }

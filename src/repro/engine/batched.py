@@ -17,16 +17,19 @@ instance per element.  This tier removes that multiplier:
   (plans are pure functions of the widths, see
   :func:`repro.engine.session.session_step_plans`) and cached across
   campaigns sharing a (march, geometry) pair;
-* *deterministic* cell faults (stuck-at, transition, read/write-disturb,
-  NWRC-weak, inter-word coupling) are lowered into a compiled fault table
+* *analytically evaluable* cell faults -- the deterministic kinds
+  (stuck-at, transition, read/write-disturb, NWRC-weak, inter-word
+  coupling) plus the stateful-but-closed-form ones (counter-based
+  intermittent/soft-error upsets, retention decay with its analytic
+  visit clock) -- are lowered into a compiled fault table
   (:mod:`repro.engine.fault_table`) and evaluated fleet-wide as masked
   vector ops inside the same block decomposition -- the dense-defect fast
   path;
 * the remaining fault-hooked words keep the behavioural replay of
   :func:`repro.engine.kernel.replay_dirty_rows` -- exact sweep order and
-  clocking per memory -- so stateful mechanisms (retention decay,
-  intra-word coupling, intermittent/soft-error streams with their
-  per-fault deterministic draws) observe reference-identical times.
+  clocking per memory -- so the mechanisms with genuinely sequential
+  state (intra-word coupling, legacy-stream intermittent faults behind
+  the ``legacy_stream`` compat flag) observe reference-identical times.
   Session wrap-around is handled by the same block decomposition as the
   single-memory kernel.
 
@@ -225,9 +228,15 @@ class _TimedEvaluator:
         self._inner = inner
         self._counters = counters
 
-    def start_element(self, plan, write_lanes_per_op) -> None:
+    @property
+    def needs_timing(self) -> bool:
+        return self._inner.needs_timing
+
+    def start_element(
+        self, plan, write_lanes_per_op, base_now=None, periods=None
+    ) -> None:
         started = time.perf_counter_ns()
-        self._inner.start_element(plan, write_lanes_per_op)
+        self._inner.start_element(plan, write_lanes_per_op, base_now, periods)
         self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
 
     def start_block(self, plan, block_start, block_len):
@@ -238,15 +247,15 @@ class _TimedEvaluator:
         counters.add("lane.table.words", int(ctx.idx.size))
         return ctx
 
-    def read_op(self, ctx, expected_lanes):
+    def read_op(self, ctx, expected_lanes, op_index=0):
         started = time.perf_counter_ns()
-        hits = self._inner.read_op(ctx, expected_lanes)
+        hits = self._inner.read_op(ctx, expected_lanes, op_index)
         self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
         return hits
 
-    def prepare_write(self, ctx, write_lanes, is_nwrc):
+    def prepare_write(self, ctx, write_lanes, is_nwrc, op_index=0):
         started = time.perf_counter_ns()
-        corrected = self._inner.prepare_write(ctx, write_lanes, is_nwrc)
+        corrected = self._inner.prepare_write(ctx, write_lanes, is_nwrc, op_index)
         self._counters.add("lane.table.ns", time.perf_counter_ns() - started)
         return corrected
 
@@ -318,6 +327,11 @@ def _run_bucket_session(
             member_failures = run_element_batched(*element_args)
         for member, records in enumerate(member_failures):
             failures[member].extend(records)
+    if lanes_split.table is not None:
+        # Multi-session flows (test -> repair -> retest) reuse fault
+        # objects: hand the advanced draw counters / decay clocks back so
+        # the next session resumes the decision sequences exactly.
+        lanes_split.table.sync_fault_state()
     vector_masks = lanes_split.vector_masks
     for member, memory in enumerate(memories):
         sync_clean_rows(memory, states[member], vector_masks[member])
@@ -349,12 +363,30 @@ def run_element_batched(
     words = sweep_plan.words
     sweep = sweep_plan.sweep
     ops = plan.ops
-    per_address = sum(op.tick_cost for op in ops)
+    per_address = plan.per_address_ticks
     records: list[list[tuple[int, int, FailureRecord]]] = [[] for _ in memories]
 
     positions = sweep_plan.positions
     local_rows = sweep_plan.local_rows[plan.ascending]
     dirty_positions = sweep_plan.dirty_positions[plan.ascending]
+
+    # Retention entries need each member's element-start wall clock and
+    # cycle period, captured *before* the replay loop below advances the
+    # time bases to end-of-element.  The expression mirrors the replay
+    # lane's ``tick(deliver_ticks)`` float arithmetic exactly.
+    base_now = periods = None
+    if evaluator is not None and evaluator.needs_timing:
+        base_now = np.array(
+            [
+                memory.timebase.now_ns
+                + plan.deliver_ticks * memory.timebase.period_ns
+                for memory in memories
+            ],
+            dtype=np.float64,
+        )
+        periods = np.array(
+            [memory.timebase.period_ns for memory in memories], dtype=np.float64
+        )
 
     tr = _tracer()
     telem = tr.enabled
@@ -394,7 +426,7 @@ def run_element_batched(
         for op_plan in ops
     ]
     if evaluator is not None:
-        evaluator.start_element(plan, write_lanes_per_op)
+        evaluator.start_element(plan, write_lanes_per_op, base_now, periods)
     if clean_masks.any() or evaluator is not None:
         for block_start in range(0, sweep, words):
             block_end = min(block_start + words, sweep)
@@ -466,7 +498,7 @@ def run_element_batched(
                         if expected_lanes is None:
                             expected_lanes = word_to_lanes(expected, lanes)
                         for member, row, position, observed in evaluator.read_op(
-                            ctx, expected_lanes
+                            ctx, expected_lanes, op_index
                         ):
                             records[member].append(
                                 (
@@ -491,7 +523,9 @@ def run_element_batched(
                     # fault-corrected values.
                     write_lanes = write_lanes_per_op[op_index]
                     corrected = (
-                        evaluator.prepare_write(ctx, write_lanes, op_plan.op.is_nwrc)
+                        evaluator.prepare_write(
+                            ctx, write_lanes, op_plan.op.is_nwrc, op_index
+                        )
                         if ctx is not None
                         else None
                     )

@@ -20,10 +20,22 @@ lowering protocol (:meth:`repro.faults.base.Fault.vector_lowerable` /
   ``(n_mem, words, lanes)`` state) as a handful of select/mask vector ops
   per operation, inside the same wrap-around block decomposition the
   clean-row path uses.
-* **Non-lowerable faults** (intermittent/soft-error streams with their
-  per-access RNG draws, retention faults with their wall-clock decay,
-  intra-word coupling with its intra-visit transition interleaving)
-  keep the exact behavioural replay lane.
+* **Stateful-but-analytic faults** also lower: intermittent/soft-error
+  upsets key their Bernoulli decisions on a *counter-based* hash (draw
+  ``k`` of fault ``f`` is a pure function of ``(f.seed, k)``,
+  :func:`repro.util.rng.counter_hash`), so the per-visit upset masks are
+  computed directly from the plan's per-cell access counts -- SEU
+  persistence falls out of committing each visit's flips to the packed
+  state before the next gather, the XOR-prefix over visit masks.
+  Retention decay is evaluated by computing the elapsed time between the
+  last fragile write and each read analytically from the element plan's
+  visit clock offsets (:attr:`~repro.engine.kernel.ElementPlan.access_ticks`)
+  and the time base's cycle model; the final draw counters / decay
+  clocks are published back to the fault objects after the session.
+* **Non-lowerable faults** (legacy sequential-stream intermittent faults
+  behind the ``legacy_stream`` compat flag, intra-word coupling with its
+  intra-visit transition interleaving) keep the exact behavioural replay
+  lane.
 
 Lane cohesion makes the split sound: coupling links its victim and
 aggressor words, so a word with any behavioural hook *taints* every word
@@ -46,6 +58,7 @@ exactly as before.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -57,8 +70,11 @@ from repro.faults.base import (
     KIND_CF_IN,
     KIND_CF_ST,
     KIND_DRDF,
+    KIND_DRF,
+    KIND_INT_READ,
     KIND_IRF,
     KIND_RDF,
+    KIND_SEU,
     KIND_STUCK,
     KIND_TF,
     KIND_WDF,
@@ -69,6 +85,35 @@ from repro.faults.base import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.kernel import ElementPlan
     from repro.memory.sram import SRAM
+
+# splitmix64 constants, mirrored from repro.util.rng for the vectorized
+# counter hash below (kept as Python ints so importing this module does
+# not require numpy to be usable at definition time).
+_GAMMA64 = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_FLOAT_SCALE = 1.0 / float(1 << 53)
+
+
+def _mix64(z):
+    """Vectorized splitmix64 finalizer over uint64 arrays (mod-2^64)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
+    return z ^ (z >> np.uint64(31))
+
+
+def _counter_bernoulli_mask(seeds, counters, probabilities):
+    """Vectorized :func:`repro.util.rng.counter_bernoulli` over parallel arrays.
+
+    Bit-identical to the scalar helper: numpy uint64 arithmetic wraps
+    mod 2^64 exactly like the masked Python-int version, and scaling the
+    53-bit draw by ``2**-53`` is an exact power-of-two operation, so the
+    float compared against ``probabilities`` matches the scalar division.
+    """
+    gamma = np.uint64(_GAMMA64)
+    state = (seeds ^ (counters * gamma)) + gamma
+    draw = _mix64(_mix64(state) + gamma)
+    return (draw >> np.uint64(11)).astype(np.float64) * _FLOAT_SCALE < probabilities
 
 
 def partition_faults(memory: "SRAM") -> tuple[list[LoweredFault], set[int]]:
@@ -226,6 +271,56 @@ class _CouplingGroup:
         )
 
 
+class _StatelessGroup:
+    """Structure-of-arrays for one stateful-but-analytic fault kind.
+
+    Beyond the victim coordinates this carries the analytic state the
+    evaluator advances in place -- Bernoulli draw counters for the
+    intermittent kinds, decay clocks (``written_at``, NaN = no pending
+    fragile write) for retention -- plus the source fault objects so
+    :meth:`CompiledFaultTable.sync_fault_state` can publish the final
+    state back after the session.
+    """
+
+    def __init__(self, entries, row_index, lanes_of, words):
+        self.size = len(entries)
+        if not self.size:
+            return
+        self.vic_row = np.array(
+            [row_index[(m, s.victim.word)] for m, s in entries], dtype=np.int64
+        )
+        self.vic_flat = np.array(
+            [m * words + s.victim.word for m, s in entries], dtype=np.int64
+        )
+        self.vic_word = np.array([s.victim.word for _, s in entries], dtype=np.int64)
+        self.vic_lane = np.array(
+            [lanes_of(s.victim.bit)[0] for _, s in entries], dtype=np.int64
+        )
+        self.vic_mask = np.array(
+            [lanes_of(s.victim.bit)[1] for _, s in entries], dtype=np.uint64
+        )
+        self.member = np.array([m for m, _ in entries], dtype=np.int64)
+        self.seed = np.array([s.seed for _, s in entries], dtype=np.uint64)
+        self.probability = np.array(
+            [s.probability for _, s in entries], dtype=np.float64
+        )
+        self.counter = np.array(
+            [s.counter_base for _, s in entries], dtype=np.uint64
+        )
+        self.fragile = np.array([s.value == 1 for _, s in entries], dtype=bool)
+        self.retention_ns = np.array(
+            [s.retention_ns for _, s in entries], dtype=np.float64
+        )
+        self.written_at = np.array(
+            [
+                math.nan if s.written_at_ns is None else s.written_at_ns
+                for _, s in entries
+            ],
+            dtype=np.float64,
+        )
+        self.sources = [s.source for _, s in entries]
+
+
 @dataclass
 class _BlockContext:
     """Per-block scratch: row subset, positions and coupling schedules."""
@@ -237,6 +332,11 @@ class _BlockContext:
     cfst_active: "np.ndarray | None" = None
     cfst_vic_in: "np.ndarray | None" = None
     cfst_vic_sub: "np.ndarray | None" = None
+    int_in: "np.ndarray | None" = None
+    int_sub: "np.ndarray | None" = None
+    seu_in: "np.ndarray | None" = None
+    ret_in: "np.ndarray | None" = None
+    ret_pos: "np.ndarray | None" = None
 
 
 class CompiledFaultTable:
@@ -293,10 +393,28 @@ class CompiledFaultTable:
             KIND_CF_ID: [],
             KIND_CF_ST: [],
         }
+        stateless: dict[str, list] = {
+            KIND_INT_READ: [],
+            KIND_SEU: [],
+            KIND_DRF: [],
+        }
         for member, lowered in enumerate(lowered_by_member):
             for spec in lowered:
                 if spec.kind in coupling:
                     coupling[spec.kind].append((member, spec))
+                    continue
+                if spec.kind in stateless:
+                    stateless[spec.kind].append((member, spec))
+                    if spec.kind == KIND_DRF:
+                        # A DRF cell's *write* behaviour is exactly the
+                        # NWRC-weak-cell formulas (the floating bitline
+                        # cannot flip the cell toward the fragile value),
+                        # so its mask rides the weak planes; the decay
+                        # clock lives in the retention group below.
+                        row = row_index[(member, spec.victim.word)]
+                        lane, mask = lanes_of(spec.victim.bit)
+                        plane = self.weak_one if spec.value else self.weak_zero
+                        plane[row, lane] |= np.uint64(mask)
                     continue
                 row = row_index[(member, spec.victim.word)]
                 lane, mask = lanes_of(spec.victim.bit)
@@ -306,6 +424,16 @@ class CompiledFaultTable:
         self.cf_in = _CouplingGroup(coupling[KIND_CF_IN], row_index, lanes_of, words)
         self.cf_id = _CouplingGroup(coupling[KIND_CF_ID], row_index, lanes_of, words)
         self.cf_st = _CouplingGroup(coupling[KIND_CF_ST], row_index, lanes_of, words)
+        self.int_read = _StatelessGroup(
+            stateless[KIND_INT_READ], row_index, lanes_of, words
+        )
+        self.seu = _StatelessGroup(stateless[KIND_SEU], row_index, lanes_of, words)
+        self.retention = _StatelessGroup(
+            stateless[KIND_DRF], row_index, lanes_of, words
+        )
+        self.has_stateless = bool(
+            self.int_read.size or self.seu.size or self.retention.size
+        )
 
         self.has_stuck = bool(self.stuck_set.any() or self.stuck_clear.any())
         self.has_tf_rise = bool(self.tf_rise.any())
@@ -337,6 +465,29 @@ class CompiledFaultTable:
         if spec.kind == KIND_DRDF:
             return self.drdf
         raise ValueError(f"unknown lowered-fault kind {spec.kind!r}")
+
+    def sync_fault_state(self) -> None:
+        """Publish the advanced analytic state back to the fault objects.
+
+        Scenario flows reuse fault objects across sessions, so the draw
+        counters the evaluator consumed and the decay clocks it moved
+        must land back on the behavioural faults once the batched session
+        ends -- a later session (batched *or* reference) then resumes the
+        decision sequence exactly where this one left off.
+        """
+        for group in (self.int_read, self.seu):
+            if not group.size:
+                continue
+            for i, fault in enumerate(group.sources):
+                if fault is not None:
+                    fault._draws = int(group.counter[i])
+        group = self.retention
+        if group.size:
+            for i, fault in enumerate(group.sources):
+                if fault is None:
+                    continue
+                written = float(group.written_at[i])
+                fault._written_at_ns = None if math.isnan(written) else written
 
 
 class TableEvaluator:
@@ -379,14 +530,51 @@ class TableEvaluator:
                 )
                 for asc, offsets in sweep_plan.full_block_offsets.items()
             }
+        # Per-direction sweep offsets of the stateless stateful groups.
+        self._stateless_off = {}
+        for name in ("int_read", "seu", "retention"):
+            group = getattr(table, name)
+            if not group.size:
+                continue
+            self._stateless_off[name] = {
+                asc: offsets[group.vic_word]
+                for asc, offsets in sweep_plan.full_block_offsets.items()
+            }
         self._element_write_lanes: list = []
+        self._access_ticks: tuple = ()
+        self._per_address = 0
+        self._ret_base_now = None
+        self._ret_period = None
+
+    @property
+    def needs_timing(self) -> bool:
+        """Whether :meth:`start_element` needs analytic clock parameters.
+
+        True when retention entries are compiled: their decay decisions
+        need each member's element-start wall clock (``base_now``) and
+        cycle period, captured *before* the replay lane advances the
+        time bases to end-of-element.
+        """
+        return self.table.retention.size > 0
 
     # ------------------------------------------------------------------ #
     # Element / block lifecycle                                          #
     # ------------------------------------------------------------------ #
-    def start_element(self, plan: "ElementPlan", write_lanes_per_op) -> None:
-        """Cache the element's per-op write lanes for coupling schedules."""
+    def start_element(
+        self, plan: "ElementPlan", write_lanes_per_op, base_now=None, periods=None
+    ) -> None:
+        """Cache the element's write lanes, tick offsets and clock bases."""
         self._element_write_lanes = write_lanes_per_op
+        self._access_ticks = plan.access_ticks
+        self._per_address = plan.per_address_ticks
+        ret = self.table.retention
+        if ret.size:
+            if base_now is None or periods is None:
+                raise ValueError(
+                    "retention entries require base_now/periods timing arrays"
+                )
+            self._ret_base_now = base_now[ret.member]
+            self._ret_period = periods[ret.member]
 
     def start_block(self, plan, block_start: int, block_len: int):
         """Resolve the block's row subset and coupling schedules.
@@ -408,13 +596,28 @@ class TableEvaluator:
             positions = block_start + off[sel]
         ctx = _BlockContext(idx=idx, positions=positions)
 
-        if not self._group_off:
+        if not self._group_off and not self._stateless_off:
             return ctx
         if full:
             sub_map = self._identity_sub
         else:
             sub_map = np.full(table.n_rows, -1, dtype=np.int64)
             sub_map[idx] = np.arange(idx.size, dtype=np.int64)
+
+        if "int_read" in self._stateless_off:
+            ctx.int_in = self._stateless_off["int_read"][asc] < block_len
+            ctx.int_sub = sub_map[table.int_read.vic_row]
+        if "seu" in self._stateless_off:
+            ctx.seu_in = self._stateless_off["seu"][asc] < block_len
+        if "retention" in self._stateless_off:
+            ret_off = self._stateless_off["retention"][asc]
+            ctx.ret_in = ret_off < block_len
+            # Sweep positions are only meaningful where ret_in holds; the
+            # consumers mask with it before using the analytic clock.
+            ctx.ret_pos = block_start + ret_off
+
+        if not self._group_off:
+            return ctx
 
         for name, mode in (("cf_in", "xor"), ("cf_id", "or")):
             group = getattr(table, name)
@@ -458,12 +661,13 @@ class TableEvaluator:
     # ------------------------------------------------------------------ #
     # Operations                                                         #
     # ------------------------------------------------------------------ #
-    def prepare_write(self, ctx: _BlockContext, write_lanes, is_nwrc):
+    def prepare_write(self, ctx: _BlockContext, write_lanes, is_nwrc, op_index=0):
         """Corrected post-write state of the block's table rows.
 
         Gathers the *old* state (call before the caller's slab
-        assignment clobbers it), applies the per-kind write formulas and
-        returns the rows to scatter back via :meth:`commit_write`.
+        assignment clobbers it), applies the per-kind write formulas,
+        moves the retention decay clocks and returns the rows to scatter
+        back via :meth:`commit_write`.
         """
         table = self.table
         idx = ctx.idx
@@ -503,6 +707,20 @@ class TableEvaluator:
                     group.vic_mask[sel],
                     group.forced[sel],
                 )
+        ret = table.retention
+        if ret.size and ctx.ret_in is not None:
+            new_bits = (write_lanes[ret.vic_lane] & ret.vic_mask) != 0
+            to_fragile = new_bits == ret.fragile
+            if is_nwrc:
+                # The floating-bitline NWRC write cannot recharge the
+                # leaking node: a fragile-value write leaves the clock
+                # untouched; a successful flip away clears it.
+                ret.written_at[ctx.ret_in & ~to_fragile] = math.nan
+            else:
+                now = self._op_now(ctx, op_index)
+                start = ctx.ret_in & to_fragile
+                ret.written_at[start] = now[start]
+                ret.written_at[ctx.ret_in & ~to_fragile] = math.nan
         return new
 
     def commit_write(self, ctx: _BlockContext, corrected) -> None:
@@ -511,17 +729,55 @@ class TableEvaluator:
             return
         self._flat[self.table.rows_flat[ctx.idx]] = corrected
 
-    def read_op(self, ctx: _BlockContext, expected_lanes):
+    def read_op(self, ctx: _BlockContext, expected_lanes, op_index=0):
         """Evaluate one read over the block's table rows.
 
-        Commits destructive-read flips to the packed state and returns
-        ``(member, row, position, observed_word)`` tuples for every
-        mismatching row, for the caller to turn into failure records.
+        Order mirrors the reference hook chain: retention decay and SEU
+        strikes commit to the packed state *before* the stored gather (so
+        every downstream plane sees the flipped cell, and destructive
+        reads preserve the flip), intermittent read upsets perturb only
+        the observed word.  Commits destructive-read flips to the packed
+        state and returns ``(member, row, position, observed_word)``
+        tuples for every mismatching row, for the caller to turn into
+        failure records.
         """
         table = self.table
         idx = ctx.idx
         if not idx.size:
             return ()
+        ret = table.retention
+        if ret.size and ctx.ret_in is not None:
+            live = ctx.ret_in & np.isfinite(ret.written_at)
+            if live.any():
+                now = self._op_now(ctx, op_index)
+                stored_bits = (
+                    self._flat[ret.vic_flat, ret.vic_lane] & ret.vic_mask
+                ) != 0
+                decayed = (
+                    live
+                    & (stored_bits == ret.fragile)
+                    & (now - ret.written_at >= ret.retention_ns)
+                )
+                if decayed.any():
+                    np.bitwise_xor.at(
+                        self._flat,
+                        (ret.vic_flat[decayed], ret.vic_lane[decayed]),
+                        ret.vic_mask[decayed],
+                    )
+                    ret.written_at[decayed] = math.nan
+        seu = table.seu
+        if seu.size and ctx.seu_in is not None:
+            upset = (
+                _counter_bernoulli_mask(seu.seed, seu.counter, seu.probability)
+                & ctx.seu_in
+            )
+            seu.counter[ctx.seu_in] += np.uint64(1)
+            if upset.any():
+                np.bitwise_xor.at(
+                    self._flat,
+                    (seu.vic_flat[upset], seu.vic_lane[upset]),
+                    seu.vic_mask[upset],
+                )
         stored = self._flat[table.rows_flat[idx]]
         observed = stored.copy()
         if table.has_irf:
@@ -539,6 +795,19 @@ class TableEvaluator:
                     (ctx.cfst_vic_sub[sel], group.vic_lane[sel]),
                     group.vic_mask[sel],
                     group.forced[sel],
+                )
+        intg = table.int_read
+        if intg.size and ctx.int_in is not None:
+            upset = (
+                _counter_bernoulli_mask(intg.seed, intg.counter, intg.probability)
+                & ctx.int_in
+            )
+            intg.counter[ctx.int_in] += np.uint64(1)
+            if upset.any():
+                np.bitwise_xor.at(
+                    observed,
+                    (ctx.int_sub[upset], intg.vic_lane[upset]),
+                    intg.vic_mask[upset],
                 )
         if table.has_rdf or table.has_drdf:
             flips = table.rdf[idx] | table.drdf[idx]
@@ -558,6 +827,20 @@ class TableEvaluator:
                 )
             )
         return hits
+
+    def _op_now(self, ctx: _BlockContext, op_index: int):
+        """Analytic wall clock of op ``op_index`` at each retention entry.
+
+        Replay ticks the time base *before* each access, so op ``j`` at
+        sweep position ``p`` lands at ``element_base + p * per_address +
+        access_ticks[j]`` cycles; ``base_now`` is each member's wall
+        clock at element start (including delivery ticks), captured
+        before the replay lane advanced it.  For the power-of-two-scaled
+        periods the configurations use, the single multiply-add below
+        reproduces the replay lane's accumulated float bit-for-bit.
+        """
+        ticks = ctx.ret_pos * self._per_address + self._access_ticks[op_index]
+        return self._ret_base_now + ticks.astype(np.float64) * self._ret_period
 
     # ------------------------------------------------------------------ #
     # Coupling internals                                                 #

@@ -159,6 +159,19 @@ class ElementPlan:
                 for op_plan in self.ops
             ),
         )
+        # Analytic clock offsets: the replay lane executes op ``j`` of
+        # sweep position ``p`` on cycle ``element_base + p * per_address
+        # + access_ticks[j]`` (each access ticks once *before* it fires,
+        # reads then consume their extra compare ticks).  The compiled
+        # fault table uses these to evaluate time-dependent faults
+        # (retention decay) without replaying.
+        per_address = 0
+        access_ticks = []
+        for op_plan in self.ops:
+            access_ticks.append(per_address + 1)
+            per_address += op_plan.tick_cost
+        object.__setattr__(self, "per_address_ticks", per_address)
+        object.__setattr__(self, "access_ticks", tuple(access_ticks))
 
 
 def replay_dirty_rows(

@@ -87,6 +87,9 @@ KIND_WEAK = "weak"
 KIND_CF_IN = "cf-in"
 KIND_CF_ID = "cf-id"
 KIND_CF_ST = "cf-st"
+KIND_INT_READ = "int-read"
+KIND_SEU = "seu"
+KIND_DRF = "drf"
 
 
 @dataclass(frozen=True)
@@ -108,6 +111,17 @@ class LoweredFault:
     ``cf-id``   ``rising`` = trigger, ``value`` = forced victim value.
     ``cf-st``   ``aggressor_state``/``value`` (= forced value) /
                 ``affects_write``.
+    ``int-read``/``seu``  ``probability``/``seed``/``counter_base`` of the
+                counter-based Bernoulli stream (``counter_base`` = draws
+                already consumed when the session lowered the fault).
+    ``drf``     ``value`` = fragile side, ``retention_ns`` the decay
+                threshold, ``written_at_ns`` the pending fragile-write
+                time (``None`` = no charge to lose).
+
+    Stateful kinds (``int-read``/``seu``/``drf``) also carry ``source``,
+    the originating fault object, so the evaluator can publish its final
+    draw counter / decay clock back after the session -- multi-session
+    flows (test, repair, retest, burn-in) reuse the same fault objects.
     """
 
     kind: str
@@ -117,6 +131,12 @@ class LoweredFault:
     rising: bool = True
     aggressor_state: int = 0
     affects_write: bool = True
+    probability: float = 0.0
+    seed: int = 0
+    counter_base: int = 0
+    retention_ns: float = 0.0
+    written_at_ns: float | None = None
+    source: object | None = None
 
 
 class Fault:
@@ -140,15 +160,20 @@ class Fault:
         """Whether this fault can be compiled into the vectorized table.
 
         The contract: a lowerable fault's per-access behaviour must be a
-        deterministic, time-independent function of (a) the victim cell's
-        stored bit, (b) the access kind and written bit, and -- for
-        coupling kinds -- (c) one aggressor cell's stored bit, with all
-        cross-cell interaction expressible through the block-ordered
-        aggressor trajectory.  Faults that draw per-access randomness
-        (intermittent streams), consult wall-clock time (retention decay)
-        or rewire the periphery (decoder/column faults) return ``False``
-        and keep the exact behavioural replay lane.  The conservative
-        default is non-lowerable, so new fault classes opt *in*.
+        pure function of (a) the victim cell's stored bit, (b) the access
+        kind and written bit, (c) for coupling kinds one aggressor cell's
+        stored bit (cross-cell interaction expressible through the
+        block-ordered aggressor trajectory), and (d) for the stateful
+        kinds a quantity the table can compute *analytically* from the
+        visit schedule -- the per-fault access counter of the
+        counter-based Bernoulli streams (intermittent/SEU) or the elapsed
+        time since the last fragile write (retention decay), both of
+        which are closed-form in the march plan's per-cell visit orders
+        and the time base's cycle model.  Faults whose randomness is a
+        *sequential* stream (the legacy intermittent compat mode) or that
+        rewire the periphery (decoder/column faults) return ``False`` and
+        keep the exact behavioural replay lane.  The conservative default
+        is non-lowerable, so new fault classes opt *in*.
         """
         return False
 

@@ -18,48 +18,91 @@ Bernoulli behaviour:
 
 Determinism contract
 --------------------
-Each fault owns a private :class:`~repro.util.rng.SplitMix64Stream` whose
-draws depend only on the fault's seed and on how many times its hooks have
-fired.  The engine's vectorized paths replay fault-hooked words in exact
-reference order (:mod:`repro.engine.kernel`, :mod:`repro.engine.serial_kernel`),
-so the reference and numpy backends see identical draw sequences and stay
-bit-exact -- the differential fuzz harness asserts this over random
-intermittent populations.  The streams are pure Python, so the fault
-library keeps working without the ``[fast]`` numpy extra.
+The upset decision for the ``k``-th read of a fault is the *counter-based*
+draw ``counter_bernoulli(fault_seed, k, p)`` (:mod:`repro.util.rng`) -- a
+pure function of the fault's seed and its access index, never of global
+state, worker layout or numpy availability.  Every engine path agrees on
+how many times each cell has been read and in what order, so the decision
+sequence is identical whether the hooks fire behaviourally (reference,
+replay lane) or the compiled fault table computes whole visit schedules
+analytically from the march plan (:mod:`repro.engine.fault_table`); the
+differential fuzz harness asserts this bit-exactly over random
+intermittent populations.
+
+``legacy_stream=True`` restores the pre-counter behaviour: a private
+sequential :class:`~repro.util.rng.SplitMix64Stream` whose k-th draw
+requires the k-1 draws before it.  Legacy faults are *not* lowerable and
+always take the behavioural replay lane; the flag exists so populations
+sampled against the old stream reproduce historical results.  The hash
+helpers are pure Python, so the fault library keeps working without the
+``[fast]`` numpy extra.
 """
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import (
+    KIND_INT_READ,
+    KIND_SEU,
+    CellFault,
+    FaultClass,
+    LoweredFault,
+)
 from repro.memory.geometry import CellRef, MemoryGeometry
-from repro.util.rng import SplitMix64Stream, mix_seed
+from repro.util.rng import SplitMix64Stream, counter_bernoulli, mix_seed
+from repro.util.rounding import round_half_up
 from repro.util.validation import require_in_range
 
 
 class _PerAccessUpset(CellFault):
-    """Shared plumbing: a victim cell plus a private Bernoulli stream."""
+    """Shared plumbing: a victim cell plus a counter-based Bernoulli stream."""
 
     def __init__(
-        self, cell: CellRef, upset_probability: float, seed: int = 0
+        self,
+        cell: CellRef,
+        upset_probability: float,
+        seed: int = 0,
+        legacy_stream: bool = False,
     ) -> None:
         require_in_range(upset_probability, 0.0, 1.0, "upset_probability")
         self.victims = (cell,)
         self.upset_probability = upset_probability
         self.seed = int(seed)
-        self._stream = SplitMix64Stream(self.seed)
+        self.legacy_stream = bool(legacy_stream)
+        self._stream = SplitMix64Stream(self.seed) if legacy_stream else None
+        #: Number of Bernoulli decisions consumed so far (the counter of
+        #: the next draw).  The compiled fault table advances this
+        #: analytically and publishes the final value back after each
+        #: batched session, so mixed table/replay flows stay in step.
+        self._draws = 0
 
     def _upset(self) -> bool:
         """Draw the next per-access Bernoulli outcome."""
-        return self._stream.next_float() < self.upset_probability
+        if self._stream is not None:
+            return self._stream.next_float() < self.upset_probability
+        counter = self._draws
+        self._draws = counter + 1
+        return counter_bernoulli(self.seed, counter, self.upset_probability)
 
     def vector_lowerable(self) -> bool:
-        """Never lowerable: each access consumes one private stream draw.
+        """Counter-mode faults lower; the legacy stream stays behavioural.
 
-        The draw sequence is part of the determinism contract, so these
-        classes always take the behavioural replay lane, which fires every
-        hook in exact reference order.
+        A counter-based decision is a pure function of ``(seed, k)``, so
+        the table evaluator computes each visit's draw directly from the
+        march plan's per-cell access counts.  The sequential legacy
+        stream has no such closed form and keeps the replay lane, which
+        fires every hook in exact reference order.
         """
-        return False
+        return not self.legacy_stream
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(
+            self._LOWERED_KIND,
+            self.victims[0],
+            probability=self.upset_probability,
+            seed=self.seed,
+            counter_base=self._draws,
+            source=self,
+        )
 
     def describe(self) -> str:
         return (
@@ -71,11 +114,17 @@ class _PerAccessUpset(CellFault):
 class IntermittentReadFault(_PerAccessUpset):
     """Transient read upset: the observed bit flips, the cell does not."""
 
+    _LOWERED_KIND = KIND_INT_READ
+
     def __init__(
-        self, cell: CellRef, upset_probability: float, seed: int = 0
+        self,
+        cell: CellRef,
+        upset_probability: float,
+        seed: int = 0,
+        legacy_stream: bool = False,
     ) -> None:
         self.fault_class = FaultClass.INT_READ
-        super().__init__(cell, upset_probability, seed)
+        super().__init__(cell, upset_probability, seed, legacy_stream)
 
     def on_read(self, memory, word, bit, stored_bit):
         if self._upset():
@@ -86,11 +135,17 @@ class IntermittentReadFault(_PerAccessUpset):
 class SoftErrorUpsetFault(_PerAccessUpset):
     """SEU: the stored bit flips during the access and is read flipped."""
 
+    _LOWERED_KIND = KIND_SEU
+
     def __init__(
-        self, cell: CellRef, upset_probability: float, seed: int = 0
+        self,
+        cell: CellRef,
+        upset_probability: float,
+        seed: int = 0,
+        legacy_stream: bool = False,
     ) -> None:
         self.fault_class = FaultClass.SEU
-        super().__init__(cell, upset_probability, seed)
+        super().__init__(cell, upset_probability, seed, legacy_stream)
 
     def on_read(self, memory, word, bit, stored_bit):
         if self._upset():
@@ -109,19 +164,24 @@ def sample_intermittent_population(
     rate: float,
     upset_probability: float,
     seed: int = 0,
+    legacy_stream: bool = False,
 ) -> list[CellFault]:
     """Sample a seeded intermittent/soft-error population for one memory.
 
     ``rate`` is the fraction of cells carrying an intermittent mechanism
-    (``round(cells * rate)`` faults, victims drawn without replacement);
-    each fault alternates between the INT_READ and SEU classes and gets a
-    private stream seed derived from ``seed`` and its victim cell, so the
-    population is invariant under fault-list reordering.  Pure Python:
-    no numpy required.
+    (``round_half_up(cells * rate)`` faults, victims drawn without
+    replacement); each fault's class is a seeded per-cell selection --
+    ``mix_seed(seed, 0x5E0, cell_index)`` picks INT_READ or SEU, so the
+    choice depends only on the master seed and the victim's cell index,
+    roughly half-and-half over large populations and invariant under
+    fault-list reordering.  Each fault gets a private stream seed derived
+    from ``seed`` and its victim cell.  ``legacy_stream`` threads the
+    sequential-stream compat flag through to every sampled fault.  Pure
+    Python: no numpy required.
     """
     require_in_range(rate, 0.0, 1.0, "rate")
     require_in_range(upset_probability, 0.0, 1.0, "upset_probability")
-    count = round(geometry.cells * rate)
+    count = round_half_up(geometry.cells * rate)
     picker = SplitMix64Stream(mix_seed(seed, 0x1A7))
     # Partial Fisher-Yates over cell indices: draw `count` distinct cells.
     chosen: list[int] = []
@@ -141,6 +201,11 @@ def sample_intermittent_population(
             mix_seed(seed, 0x5E0, index) % len(INTERMITTENT_CLASSES)
         ]
         faults.append(
-            cls(cell, upset_probability, seed=mix_seed(seed, index))
+            cls(
+                cell,
+                upset_probability,
+                seed=mix_seed(seed, index),
+                legacy_stream=legacy_stream,
+            )
         )
     return faults

@@ -17,6 +17,7 @@ from repro.faults.defects import DefectProfile, fault_for_defect
 from repro.memory.geometry import MemoryGeometry
 from repro.util.records import Record
 from repro.util.rng import make_rng
+from repro.util.rounding import round_half_up
 from repro.util.validation import require, require_in_range
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (numpy is the [fast] extra)
@@ -63,12 +64,17 @@ def expected_fault_count(
 ) -> int:
     """Closed-form fault count for a defect rate (case study: 256).
 
+    Counts round **half up** (:func:`repro.util.rounding.round_half_up`),
+    the explicit convention shared with the intermittent-population
+    sampler -- built-in ``round`` would send exact-``.5`` populations to
+    the nearest even count instead.
+
     >>> from repro.memory.geometry import MemoryGeometry
     >>> expected_fault_count(MemoryGeometry(512, 100), 0.01)
     256
     """
     require_in_range(defect_rate, 0.0, 1.0, "defect_rate")
-    return round(geometry.cells * defect_rate / cells_per_fault)
+    return round_half_up(geometry.cells * defect_rate / cells_per_fault)
 
 
 def sample_population(

@@ -18,7 +18,7 @@ Two detection mechanisms exist, and this model reproduces both:
 
 from __future__ import annotations
 
-from repro.faults.base import CellFault, FaultClass
+from repro.faults.base import KIND_DRF, CellFault, FaultClass, LoweredFault
 from repro.memory.geometry import CellRef
 from repro.util.units import NS_PER_MS
 from repro.util.validation import require, require_positive
@@ -57,14 +57,26 @@ class DataRetentionFault(CellFault):
         return memory.now_ns - self._written_at_ns >= self.retention_ns
 
     def vector_lowerable(self) -> bool:
-        """Never lowerable: decay depends on the wall-clock write time.
+        """Lowerable: the decay clock is closed-form in the visit schedule.
 
-        The fault table evaluates block-ordered accesses without touching
-        the shared time base, so the NWRTM/retention timing semantics stay
-        on the behavioural replay lane (which fast-forwards the clock to
-        the exact reference cycle of every access).
+        The access time of every table-lane visit is analytic in the
+        element plan (``base + position * per_address + op tick``) and
+        the time base's cycle model, so the evaluator computes the
+        elapsed time between the last fragile write and each read without
+        replaying -- the same float arithmetic the behavioural clock
+        accumulates, hence bit-exact decay decisions.
         """
-        return False
+        return True
+
+    def lower(self) -> LoweredFault:
+        return LoweredFault(
+            KIND_DRF,
+            self.victims[0],
+            value=self.fragile_value,
+            retention_ns=self.retention_ns,
+            written_at_ns=self._written_at_ns,
+            source=self,
+        )
 
     def on_write(self, memory, word, bit, old_bit, new_bit):
         if new_bit == self.fragile_value:
@@ -75,9 +87,11 @@ class DataRetentionFault(CellFault):
         return new_bit
 
     def on_nwrc_write(self, memory, word, bit, old_bit, new_bit):
-        if new_bit == self.fragile_value and old_bit != new_bit:
+        if new_bit == self.fragile_value:
             # Floating-GND bitline cannot pull the node up and the pull-up
-            # is open: the cell fails to flip (the NWRTM detection event).
+            # is open: a flip fails (the NWRTM detection event) and a
+            # rewrite of the already-stored fragile value cannot recharge
+            # the leaking node either -- the decay clock must NOT restart.
             return old_bit
         return self.on_write(memory, word, bit, old_bit, new_bit)
 

@@ -103,6 +103,35 @@ def mix_seed(master: int, *path: int) -> int:
     return output
 
 
+def counter_hash(seed: int, counter: int) -> int:
+    """The ``counter``-th output of a counter-based splitmix64 stream.
+
+    Unlike :class:`SplitMix64Stream`, whose k-th draw requires the k-1
+    draws before it, the counter construction is *stateless*: draw ``k``
+    is a pure function of ``(seed, k)``.  Per-access fault models key
+    their Bernoulli decisions on this (the decision for access ``k`` of
+    fault ``f`` is ``counter_hash(f.seed, k) < p``), which is what lets
+    the compiled fault table evaluate whole visit schedules analytically
+    instead of replaying access by access.  Identical to
+    ``mix_seed(seed, counter)`` -- the engine's vectorized evaluator
+    reproduces exactly this arithmetic in uint64 lanes.
+    """
+    return mix_seed(seed, counter)
+
+
+def counter_bernoulli(seed: int, counter: int, probability: float) -> bool:
+    """Stateless Bernoulli draw ``k`` of the fault stream ``seed``.
+
+    The 53-bit uniform is formed exactly like
+    :meth:`SplitMix64Stream.next_float` (top 53 bits over ``2**53``), so
+    the comparison is bit-for-bit reproducible by the vectorized table
+    evaluator: the numerator is an exactly-representable integer below
+    ``2**53`` and the denominator a power of two, making the float
+    division exact in IEEE-754 on every path.
+    """
+    return (counter_hash(seed, counter) >> 11) / float(1 << 53) < probability
+
+
 def name_seed(name: str) -> int:
     """Stable integer seed component for a memory-instance name.
 

@@ -1,0 +1,29 @@
+"""Population-count rounding shared by the fault samplers.
+
+Python's built-in ``round`` uses banker's rounding (ties to even), so two
+samplers that both call it on exact ``.5`` products still agree -- until
+one of them switches idiom.  Every population sampler therefore shares
+this single explicit rule: **round half up** (``2.5 -> 3``), the
+convention fault-count expectations are documented and tested against.
+Pure Python: the samplers must keep working without the ``[fast]`` numpy
+extra.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def round_half_up(value: float) -> int:
+    """Round ``value`` to the nearest integer, ties away from zero-half up.
+
+    >>> round_half_up(2.4)
+    2
+    >>> round_half_up(2.5)
+    3
+    >>> round_half_up(3.5)
+    4
+    >>> round_half_up(2.6)
+    3
+    """
+    return int(math.floor(value + 0.5))

@@ -33,7 +33,11 @@ class TestMeasureBatchedFleet:
             assert row["numpy_s"] > 0 and row["batched_s"] > 0
             assert row["speedup"] == row["numpy_s"] / row["batched_s"]
         gated = [row for row in results["rows"] if row["gated"]]
-        assert {row["regime"] for row in gated} == {"screening", "diagnostic"}
+        assert {row["regime"] for row in gated} == {
+            "screening",
+            "diagnostic",
+            "heavy-diagnostic",
+        }
 
 
 class TestGateFailures:
@@ -169,6 +173,23 @@ class TestTrajectory:
         rev = git_revision()
         assert rev is None or (isinstance(rev, str) and rev)
         assert git_revision(tmp_path) is None
+
+    def test_entry_outside_git_checkout_records_null_rev(
+        self, tmp_path, monkeypatch
+    ):
+        # Run from a non-git directory: the trajectory entry must degrade
+        # to git_rev: null instead of failing the bench run.
+        monkeypatch.chdir(tmp_path)
+        entry = trajectory_entry(synthetic_payload(), "2026-08-08T00:00:00")
+        assert entry["git_rev"] is None
+        assert entry["regimes"]["screening"] == {"speedup": 3.5}
+
+    def test_entry_survives_a_broken_git_binary(self, monkeypatch):
+        # A git that cannot even spawn (PATH damage, sandboxes) degrades
+        # the same way.
+        monkeypatch.setenv("PATH", "")
+        entry = trajectory_entry(synthetic_payload(), "2026-08-08T00:00:00")
+        assert entry["git_rev"] is None
 
 
 class TestMeasureEngineThroughput:

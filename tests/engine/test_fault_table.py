@@ -4,8 +4,10 @@ The contract under test: for every lowerable fault class, evaluating the
 lowered table representation over a geometry bucket produces *bit-identical*
 sessions to the behavioural object replay (the reference scheme), on
 randomized populations -- dense ones included -- while non-lowerable
-faults (retention timing, intermittent streams, intra-word coupling)
-stay on the exact behavioural lane via the taint partition.
+faults (legacy-stream intermittent faults, intra-word coupling) stay on
+the exact behavioural lane via the taint partition.  The stateful-but-
+analytic kinds (counter-based intermittent/SEU, retention decay) lower
+too, draw counters and decay clocks evaluated in closed form.
 
 The plan-cache tests pin the second half of the dense-regime work: session
 element plans are memoized across campaigns sharing a (march, geometry)
@@ -24,7 +26,7 @@ from repro.engine.session import (
     run_session,
     session_step_plans,
 )
-from repro.faults.base import KIND_CF_ST, KIND_STUCK
+from repro.faults.base import KIND_CF_ST, KIND_DRF, KIND_INT_READ, KIND_STUCK
 from repro.faults.coupling import (
     IdempotentCouplingFault,
     InversionCouplingFault,
@@ -37,7 +39,7 @@ from repro.faults.dynamic import (
     WriteDisturbFault,
 )
 from repro.faults.injector import FaultInjector
-from repro.faults.intermittent import IntermittentReadFault
+from repro.faults.intermittent import IntermittentReadFault, SoftErrorUpsetFault
 from repro.faults.retention_fault import DataRetentionFault
 from repro.faults.stuck_at import StuckAtFault
 from repro.faults.transition import TransitionFault
@@ -97,6 +99,17 @@ LOWERABLE_CLASSES = {
         int(rng.integers(2)),
         int(rng.integers(2)),
         bool(rng.integers(2)),
+    ),
+    "intermittent-read": lambda g, pick, rng: IntermittentReadFault(
+        pick(), float(rng.uniform(0.05, 0.6)), seed=int(rng.integers(2**31))
+    ),
+    "soft-error": lambda g, pick, rng: SoftErrorUpsetFault(
+        pick(), float(rng.uniform(0.05, 0.6)), seed=int(rng.integers(2**31))
+    ),
+    # Retention times short enough that decay fires mid-march on these
+    # small geometries (accesses land every few tens of ns).
+    "retention": lambda g, pick, rng: DataRetentionFault(
+        pick(), int(rng.integers(2)), retention_ns=float(rng.integers(5, 400) * 10)
     ),
 }
 
@@ -164,10 +177,18 @@ class TestLoweringProtocol:
         assert WriteDisturbFault(cell).vector_lowerable()
         assert WeakCellDefect(cell).vector_lowerable()
 
-    def test_sequential_classes_stay_behavioural(self):
+    def test_stateful_analytic_classes_lower(self):
         cell = CellRef(1, 0)
-        assert not DataRetentionFault(cell, 1).vector_lowerable()
-        assert not IntermittentReadFault(cell, 0.5).vector_lowerable()
+        assert DataRetentionFault(cell, 1).vector_lowerable()
+        assert IntermittentReadFault(cell, 0.5).vector_lowerable()
+        assert SoftErrorUpsetFault(cell, 0.5).vector_lowerable()
+
+    def test_legacy_stream_stays_behavioural(self):
+        cell = CellRef(1, 0)
+        legacy_read = IntermittentReadFault(cell, 0.5, legacy_stream=True)
+        legacy_seu = SoftErrorUpsetFault(cell, 0.5, legacy_stream=True)
+        assert not legacy_read.vector_lowerable()
+        assert not legacy_seu.vector_lowerable()
 
     def test_coupling_lowerable_only_inter_word(self):
         inter = InversionCouplingFault(CellRef(0, 1), CellRef(2, 1))
@@ -189,6 +210,21 @@ class TestLoweringProtocol:
         assert cf.kind == KIND_CF_ST
         assert cf.aggressor == CellRef(0, 1)
         assert (cf.aggressor_state, cf.value, cf.affects_write) == (0, 1, False)
+        retention = DataRetentionFault(CellRef(1, 2), 1, retention_ns=250.0)
+        drf = retention.lower()
+        assert (drf.kind, drf.value, drf.retention_ns) == (KIND_DRF, 1, 250.0)
+        assert drf.written_at_ns is None
+        assert drf.source is retention
+        fault = IntermittentReadFault(CellRef(0, 1), 0.25, seed=7)
+        fault._upset()  # consume one draw: counter_base must carry it
+        low = fault.lower()
+        assert (low.kind, low.probability, low.seed, low.counter_base) == (
+            KIND_INT_READ,
+            0.25,
+            7,
+            1,
+        )
+        assert low.source is fault
 
     def test_base_fault_defaults_conservative(self):
         from repro.faults.base import Fault
@@ -218,21 +254,24 @@ class TestPartition:
         memory = self.memory()
         FaultInjector().inject(
             memory,
-            [DataRetentionFault(CellRef(2, 1), 1), StuckAtFault(CellRef(3, 0), 0)],
+            [
+                IntermittentReadFault(CellRef(2, 1), 0.5, legacy_stream=True),
+                StuckAtFault(CellRef(3, 0), 0),
+            ],
         )
         lowered, tainted = partition_faults(memory)
         assert tainted == {2}
         assert {spec.victim.word for spec in lowered} == {3}
 
     def test_taint_propagates_across_coupling_edges(self):
-        # DRF on word 4 (the coupling's aggressor word) must drag the
-        # victim word 6 onto the behavioural lane with it -- and vice
-        # versa, a tainted victim word pins its aggressor word.
+        # A legacy-stream fault on word 4 (the coupling's aggressor word)
+        # must drag the victim word 6 onto the behavioural lane with it --
+        # and vice versa, a tainted victim word pins its aggressor word.
         memory = self.memory()
         FaultInjector().inject(
             memory,
             [
-                DataRetentionFault(CellRef(4, 1), 1),
+                SoftErrorUpsetFault(CellRef(4, 1), 0.5, legacy_stream=True),
                 InversionCouplingFault(CellRef(4, 2), CellRef(6, 0)),
             ],
         )
@@ -245,7 +284,7 @@ class TestPartition:
         FaultInjector().inject(
             memory,
             [
-                IntermittentReadFault(CellRef(0, 0), 0.5),
+                IntermittentReadFault(CellRef(0, 0), 0.5, legacy_stream=True),
                 IdempotentCouplingFault(CellRef(0, 1), CellRef(2, 1)),
                 StateCouplingFault(CellRef(2, 3), CellRef(7, 0)),
                 StuckAtFault(CellRef(5, 1), 1),
@@ -280,7 +319,7 @@ class TestPartition:
             memories[0],
             [
                 StuckAtFault(CellRef(1, 0), 1),
-                DataRetentionFault(CellRef(2, 0), 0),
+                IntermittentReadFault(CellRef(2, 0), 0.5, legacy_stream=True),
                 # Untainted inter-word coupling: aggressor word 6 carries
                 # only the watch and stays on the *clean* lane.
                 InversionCouplingFault(CellRef(6, 1), CellRef(4, 1)),
@@ -327,8 +366,17 @@ class TestMixedRoundTrip:
                 injector.inject(
                     memory,
                     [
-                        DataRetentionFault(pick(), int(rng.integers(2))),
+                        DataRetentionFault(
+                            pick(),
+                            int(rng.integers(2)),
+                            retention_ns=float(rng.integers(5, 200) * 10),
+                        ),
                         IntermittentReadFault(pick(), 0.4, seed=case),
+                        # A legacy-stream fault keeps the behavioural
+                        # replay lane exercised alongside the table lane.
+                        SoftErrorUpsetFault(
+                            pick(), 0.3, seed=case + 7, legacy_stream=True
+                        ),
                     ],
                 )
 

@@ -12,7 +12,7 @@ from repro.faults.intermittent import (
 )
 from repro.memory.geometry import CellRef, MemoryGeometry
 from repro.memory.sram import SRAM
-from repro.util.rng import SplitMix64Stream, mix_seed
+from repro.util.rng import SplitMix64Stream, counter_bernoulli, mix_seed
 
 
 class TestStreams:
@@ -71,6 +71,49 @@ class TestIntermittentReadFault:
         assert fault.fault_class.is_intermittent
 
 
+class TestCounterStream:
+    def test_draws_match_the_scalar_helper(self):
+        # The k-th decision is the pure function counter_bernoulli(seed,
+        # k, p) -- the contract the compiled fault table's vectorized
+        # evaluation relies on.
+        memory = SRAM(MemoryGeometry(4, 4, "ctr"))
+        fault = IntermittentReadFault(CellRef(1, 0), 0.5, seed=123)
+        fault.attach(memory)
+        observed = [memory.read(1) & 1 for _ in range(64)]
+        expected = [
+            int(counter_bernoulli(123, k, 0.5)) for k in range(64)
+        ]
+        assert observed == expected
+
+    def test_counter_resumes_after_partial_consumption(self):
+        # A fresh fault fast-forwarded to draw k agrees with a fault that
+        # consumed k draws live -- the property that lets the table lane
+        # hand counters back to the behavioural objects between sessions.
+        a = SoftErrorUpsetFault(CellRef(0, 0), 0.5, seed=9)
+        for _ in range(10):
+            a._upset()
+        b = SoftErrorUpsetFault(CellRef(0, 0), 0.5, seed=9)
+        b._draws = 10
+        assert [a._upset() for _ in range(20)] == [b._upset() for _ in range(20)]
+
+    def test_legacy_stream_restores_sequential_draws(self):
+        fault = IntermittentReadFault(
+            CellRef(0, 0), 0.5, seed=77, legacy_stream=True
+        )
+        stream = SplitMix64Stream(77)
+        expected = [stream.next_float() < 0.5 for _ in range(32)]
+        assert [fault._upset() for _ in range(32)] == expected
+
+    def test_legacy_and_counter_modes_differ(self):
+        legacy = IntermittentReadFault(
+            CellRef(0, 0), 0.5, seed=4, legacy_stream=True
+        )
+        counter = IntermittentReadFault(CellRef(0, 0), 0.5, seed=4)
+        assert [legacy._upset() for _ in range(64)] != [
+            counter._upset() for _ in range(64)
+        ]
+
+
 class TestSoftErrorUpsetFault:
     def test_upset_corrupts_stored_state(self):
         memory = SRAM(MemoryGeometry(4, 4, "seu"))
@@ -126,6 +169,55 @@ class TestSampling:
         population = sample_intermittent_population(self.GEOMETRY, 0.5, 0.3, seed=2)
         classes = {type(fault).__name__ for fault in population}
         assert classes == {"IntermittentReadFault", "SoftErrorUpsetFault"}
+
+    def test_class_mix_is_roughly_balanced(self):
+        # The class of each fault is a seeded per-cell selection
+        # (mix_seed(seed, 0x5E0, cell_index) % 2), which over a large
+        # population lands roughly half-and-half -- the distribution the
+        # docstring promises.
+        geometry = MemoryGeometry(128, 8, "dist")  # 1024 cells
+        population = sample_intermittent_population(geometry, 1.0, 0.3, seed=11)
+        assert len(population) == geometry.cells
+        seu = sum(
+            1 for f in population if type(f).__name__ == "SoftErrorUpsetFault"
+        )
+        share = seu / len(population)
+        assert 0.4 < share < 0.6
+
+    def test_class_choice_depends_only_on_seed_and_cell(self):
+        # Same seed, different rates: the faults present in both
+        # populations carry the same class and per-fault seed (selection
+        # is per cell index, not per list position).
+        small = {
+            f.victims[0]: (type(f).__name__, f.seed)
+            for f in sample_intermittent_population(self.GEOMETRY, 0.1, 0.3, seed=5)
+        }
+        large = {
+            f.victims[0]: (type(f).__name__, f.seed)
+            for f in sample_intermittent_population(self.GEOMETRY, 0.3, 0.3, seed=5)
+        }
+        for cell, identity in small.items():
+            assert large[cell] == identity
+
+    def test_exact_half_population_rounds_up(self):
+        # 16*8 cells * rate -> 2.5 faults: banker's rounding would give 2,
+        # the explicit shared half-up rule gives 3.
+        assert round(2.5) == 2  # the trap this pins against
+        population = sample_intermittent_population(
+            self.GEOMETRY, 2.5 / self.GEOMETRY.cells, 0.3, seed=1
+        )
+        assert len(population) == 3
+
+    def test_legacy_flag_threads_through_sampling(self):
+        population = sample_intermittent_population(
+            self.GEOMETRY, 0.1, 0.3, seed=3, legacy_stream=True
+        )
+        assert population
+        assert all(f.legacy_stream for f in population)
+        assert not any(f.vector_lowerable() for f in population)
+        default = sample_intermittent_population(self.GEOMETRY, 0.1, 0.3, seed=3)
+        assert all(not f.legacy_stream for f in default)
+        assert all(f.vector_lowerable() for f in default)
 
     def test_works_without_numpy(self):
         # The intermittent layer must not require the [fast] extra.

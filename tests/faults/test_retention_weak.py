@@ -73,6 +73,48 @@ class TestDataRetentionFault:
         memory.pause(800.0)
         assert memory.read(1) == 0b0001  # neither interval alone exceeded
 
+    def test_nwrc_rewrite_cannot_refresh_decay_clock(self, memory):
+        # Regression: an NWRC rewrite of the already-stored fragile value
+        # leaves the fragile-side bitline floating, so it cannot recharge
+        # the leaking node -- the decay clock must keep running from the
+        # original (normal) write, and the read after the retention time
+        # still sees the decayed value.
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(800.0)
+        memory.nwrc_write(1, 0b0001)  # floating bitline: no recharge
+        memory.pause(800.0)  # 1600 ns since the only real write
+        assert memory.read(1) == 0b0000
+
+    def test_read_exactly_at_retention_time_decays(self, memory):
+        # The decay comparison is >=: elapsed exactly equal to the
+        # retention time already loses the bit.  Accesses tick 10 ns each
+        # (write at t=10 sets the clock, the read itself ticks to
+        # t=1010), so a 990 ns pause lands the read at elapsed == 1000.
+        DataRetentionFault(
+            CellRef(1, 0), fragile_value=1, retention_ns=1_000.0
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(990.0)
+        assert memory.read(1) == 0b0000
+
+    def test_retention_one_ulp_above_elapsed_survives(self, memory):
+        # Same schedule, retention one float step larger than the exact
+        # 1000 ns elapsed: were the comparison a strict >, the previous
+        # test would pass for the wrong reason -- this pair pins >=.
+        import math
+
+        DataRetentionFault(
+            CellRef(1, 0),
+            fragile_value=1,
+            retention_ns=math.nextafter(1_000.0, math.inf),
+        ).attach(memory)
+        memory.write(1, 0b0001)
+        memory.pause(990.0)
+        assert memory.read(1) == 0b0001
+
     def test_drf0_polarity(self, memory):
         DataRetentionFault(
             CellRef(1, 0), fragile_value=0, retention_ns=1_000.0

@@ -151,7 +151,7 @@ class TestBench:
         assert all(row["speedup"] > 0 for row in rows)
         gated = {row["regime"]: row["gated"] for row in rows}
         assert gated == {
-            "screening": True, "diagnostic": True, "heavy-diagnostic": False,
+            "screening": True, "diagnostic": True, "heavy-diagnostic": True,
         }
         assert json.loads(out_path.read_text()) == payload
 

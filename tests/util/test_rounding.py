@@ -1,0 +1,35 @@
+"""The shared half-up population-count rounding rule and its boundaries."""
+
+from __future__ import annotations
+
+from repro.faults.population import expected_fault_count
+from repro.memory.geometry import MemoryGeometry
+from repro.util.rounding import round_half_up
+
+
+class TestRoundHalfUp:
+    def test_plain_values_round_to_nearest(self):
+        assert round_half_up(2.4) == 2
+        assert round_half_up(2.6) == 3
+        assert round_half_up(0.0) == 0
+        assert round_half_up(7.0) == 7
+
+    def test_exact_halves_always_round_up(self):
+        # Built-in round() sends ties to even (2.5 -> 2, 3.5 -> 4); the
+        # explicit convention is half *up*, odd and even targets alike.
+        assert round(2.5) == 2 and round(3.5) == 4  # the divergence pinned
+        assert round_half_up(0.5) == 1
+        assert round_half_up(1.5) == 2
+        assert round_half_up(2.5) == 3
+        assert round_half_up(3.5) == 4
+
+    def test_defect_population_count_uses_half_up(self):
+        # 8 words x 4 bits = 32 cells; 32 * rate / 2 cells-per-fault hits
+        # an exact .5 for rate = 5/32: banker's rounding would give 2.
+        geometry = MemoryGeometry(8, 4, "half")
+        assert expected_fault_count(geometry, 5.0 / 32.0, cells_per_fault=2) == 3
+
+    def test_case_study_count_unchanged(self):
+        # The paper's case-study population (exact product, no tie) is
+        # unaffected by the rule change.
+        assert expected_fault_count(MemoryGeometry(512, 100), 0.01) == 256
