@@ -1,0 +1,128 @@
+"""Streaming monitor throughput: sustained windows/sec after warm-up.
+
+Drives :class:`repro.streaming.StreamingMonitor` over one continuous
+stream and reports the *sustained* rate -- warm-up windows (pool spin-up,
+plan-cache population, importer costs) are consumed before the timer
+starts, so the number tracks steady-state monitoring capacity, not
+startup.  Emits one JSON document, and can append a trajectory record so
+future PRs see the trend::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_monitor.py \
+        [--quick] [--trajectory BENCH_trajectory.json]
+
+The measured configuration is the default 8-memory case-study stream
+(~3 events/window with occasional bursts) on the pre-planned backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.analysis.bench import append_trajectory, git_revision
+from repro.streaming import StreamingMonitor, StreamingSpec
+
+
+def measure_streaming(
+    windows: int,
+    warmup: int,
+    workers: int | None,
+    events_per_window: float,
+) -> dict:
+    """Run warm-up + measured windows on one uninterrupted stream."""
+    spec = StreamingSpec(events_per_window=events_per_window, master_seed=7)
+    monitor = StreamingMonitor(spec, windows=warmup + windows, workers=workers)
+    stream = monitor.windows()
+    for _ in range(warmup):
+        next(stream)
+    started = time.perf_counter()
+    measured = 0
+    for report in stream:
+        measured += 1
+    elapsed = time.perf_counter() - started
+    aggregator = monitor.aggregator
+    return {
+        "spec": spec.to_dict(),
+        "backend": monitor.spec.backend,
+        "workers": workers,
+        "warmup_windows": warmup,
+        "measured_windows": measured,
+        "elapsed_s": elapsed,
+        "windows_per_sec": measured / elapsed if elapsed > 0 else 0.0,
+        "events": aggregator.total_events,
+        "mean_events_per_window": (
+            aggregator.events_per_window.mean if aggregator.windows else None
+        ),
+        "detection_rate": aggregator.detection_rate,
+        "bursts_injected": aggregator.bursts_injected,
+        "bursts_detected": aggregator.bursts_detected,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-smoke configuration (20 measured windows, inline)",
+    )
+    parser.add_argument("--windows", type=int, default=100)
+    parser.add_argument("--warmup", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--events-per-window", type=float, default=3.0)
+    parser.add_argument("--out", help="also write the JSON to this path")
+    parser.add_argument(
+        "--trajectory", metavar="FILE", default=None,
+        help="append a record to this BENCH_trajectory.json",
+    )
+    parser.add_argument(
+        "--timestamp", default=None,
+        help="trajectory timestamp override (default: wall clock, UTC)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        results = measure_streaming(
+            windows=20, warmup=5, workers=1,
+            events_per_window=args.events_per_window,
+        )
+    else:
+        results = measure_streaming(
+            windows=args.windows, warmup=args.warmup, workers=args.workers,
+            events_per_window=args.events_per_window,
+        )
+    results["quick"] = args.quick
+    payload = json.dumps(results, indent=2)
+    print(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    if args.trajectory:
+        from datetime import datetime, timezone
+
+        timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        append_trajectory(
+            args.trajectory,
+            {
+                "timestamp": timestamp,
+                "git_rev": git_revision(),
+                "quick": args.quick,
+                "streaming": {
+                    "windows_per_sec": results["windows_per_sec"],
+                    "measured_windows": results["measured_windows"],
+                    "backend": results["backend"],
+                    "workers": results["workers"],
+                    "mean_events_per_window": results["mean_events_per_window"],
+                    "detection_rate": results["detection_rate"],
+                },
+            },
+        )
+        print(f"trajectory entry appended to {args.trajectory}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro campaign ...          # one SoC campaign end to end
     python -m repro fleet ...             # batch campaigns over a worker pool
     python -m repro scenario ...          # clustered/intermittent flow fleets
+    python -m repro monitor ...           # streaming online monitor (windowed)
     python -m repro bench ...             # reproducible throughput benchmarks
 """
 
@@ -418,6 +419,115 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+    import sys
+
+    from repro.engine import CheckpointError
+    from repro.streaming import StreamingMonitor, StreamingSpec
+
+    checkpointing = _resolve_checkpoint_args(args)
+    if isinstance(checkpointing, int):
+        return checkpointing
+    checkpoint, resume = checkpointing
+
+    spec = StreamingSpec(
+        soc=args.soc,
+        memories=args.memories,
+        heterogeneous=not args.homogeneous,
+        master_seed=args.seed,
+        backend=args.backend,
+        window_ns=args.window_ns,
+        events_per_window=args.events_per_window,
+        upset_probability=args.upset_probability,
+        seu_fraction=args.seu_fraction,
+        burst_probability=args.burst_probability,
+        burst_factor=args.burst_factor,
+    )
+    windows = None if args.forever else args.windows
+    # --metrics-out means per-window metrics here (JSONL), not telemetry
+    # metrics as in fleet/scenario -- only the explicit flags imply tracing.
+    telemetry = bool(args.telemetry or args.trace_out)
+    try:
+        monitor = StreamingMonitor(
+            spec,
+            windows=windows,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            epoch_windows=args.epoch_windows,
+            checkpoint=checkpoint,
+            resume=resume,
+            telemetry=telemetry,
+            retain=args.retain,
+        )
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
+    if not args.json:
+        horizon = "forever" if windows is None else f"{windows} windows"
+        print(
+            f"monitor: {horizon} of {spec.window_ns:g} ns on {spec.soc} "
+            f"({spec.memories} memories), ~{spec.events_per_window:g} "
+            f"events/window, backend={monitor.spec.backend}"
+        )
+        if resume and monitor.next_window:
+            print(f"  resuming at window {monitor.next_window}")
+    metrics_handle = (
+        open(args.metrics_out, "w", encoding="utf-8")
+        if args.metrics_out
+        else None
+    )
+    interrupted = False
+    stream = monitor.windows()
+    try:
+        for report in stream:
+            if metrics_handle is not None:
+                metrics_handle.write(json.dumps(report.to_json_dict()) + "\n")
+                metrics_handle.flush()
+            if not args.json:
+                note = ""
+                if report.burst_detected:
+                    note = "  << burst"
+                elif report.burst_injected:
+                    note = "  (burst injected)"
+                print(
+                    f"  window {report.index:>6}: {report.events} events "
+                    f"({report.seu_events} SEU), "
+                    f"{report.detected_events} detected, sweep "
+                    f"{format_duration_ns(report.sweep_time_ns)}{note}",
+                    flush=True,
+                )
+    except KeyboardInterrupt:
+        # The normal way to stop --forever: close the stream (terminates
+        # the epoch's pool immediately) and fall through to the summary.
+        interrupted = True
+    finally:
+        stream.close()
+        if metrics_handle is not None:
+            metrics_handle.close()
+    if args.json:
+        payload = {
+            "spec": monitor.spec.to_dict(),
+            **monitor.aggregator.to_json_dict(),
+        }
+        if monitor.telemetry_report is not None:
+            payload["telemetry"] = monitor.telemetry_report.to_json_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        if interrupted:
+            print("interrupted; stream stopped cleanly")
+        print("\n".join(monitor.aggregator.summary_lines()))
+        if monitor.telemetry_report is not None:
+            print("\n".join(monitor.telemetry_report.summary_lines()))
+    if args.trace_out and monitor.telemetry_report is not None:
+        from repro.telemetry.export import write_chrome_trace
+
+        write_chrome_trace(monitor.telemetry_report, args.trace_out)
+        if not args.json:
+            print(f"chrome trace written to {args.trace_out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import sys
@@ -573,6 +683,8 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from repro.streaming import DEFAULT_EPOCH_WINDOWS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fast diagnosis of distributed small embedded SRAMs "
@@ -774,6 +886,94 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--json", action="store_true", help="emit JSON stats")
     _add_telemetry_args(scenario)
     scenario.set_defaults(func=_cmd_scenario)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="streaming online monitor: windowed diagnosis sweeps over an "
+        "infinite simulated event timeline",
+    )
+    monitor.add_argument(
+        "--windows", type=int, default=50,
+        help="windows to monitor (ignored with --forever)",
+    )
+    monitor.add_argument(
+        "--forever", action="store_true",
+        help="stream until interrupted (Ctrl-C stops cleanly)",
+    )
+    monitor.add_argument(
+        "--window-ns", type=float, default=10_000.0,
+        help="simulated duration of one window",
+    )
+    monitor.add_argument(
+        "--events-per-window", type=float, default=3.0,
+        help="Poisson mean arrival count per window",
+    )
+    monitor.add_argument(
+        "--upset-probability", type=float, default=0.3,
+        help="per-access upset probability of materialized faults",
+    )
+    monitor.add_argument(
+        "--seu-fraction", type=float, default=0.5,
+        help="fraction of events that are SEUs (rest: intermittent reads)",
+    )
+    monitor.add_argument(
+        "--burst-probability", type=float, default=0.05,
+        help="per-window chance of an injected arrival burst",
+    )
+    monitor.add_argument(
+        "--burst-factor", type=float, default=4.0,
+        help="arrival-mean multiplier inside a burst window",
+    )
+    monitor.add_argument(
+        "--soc", choices=("buffer-cluster", "case-study"), default="case-study"
+    )
+    monitor.add_argument("--memories", type=int, default=8)
+    monitor.add_argument("--homogeneous", action="store_true")
+    monitor.add_argument("--seed", type=int, default=0, help="master seed")
+    monitor.add_argument(
+        "--backend",
+        choices=("reference", "numpy", "fast", "batched", "auto"),
+        default="auto",
+    )
+    monitor.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores - 1)"
+    )
+    monitor.add_argument(
+        "--chunk-size", type=int, default=None, help="windows per work unit"
+    )
+    monitor.add_argument(
+        "--epoch-windows", type=int, default=DEFAULT_EPOCH_WINDOWS,
+        help="windows per scheduling epoch (pool lifetime)",
+    )
+    monitor.add_argument(
+        "--retain", type=int, default=8,
+        help="ring-checkpoint slots and digest-ring length",
+    )
+    monitor.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="persist a ring of the last --retain window states into DIR",
+    )
+    monitor.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest window in --checkpoint DIR",
+    )
+    monitor.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="append one JSON object per finished window (JSON Lines)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true", help="emit the final aggregate as JSON"
+    )
+    monitor.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument sweeps and print per-window span attribution",
+    )
+    monitor.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the monitored sweeps as a Chrome trace_event JSON "
+        "(implies --telemetry)",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
 
     bench = sub.add_parser(
         "bench",

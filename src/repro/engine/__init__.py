@@ -46,7 +46,11 @@ from repro.engine.batched import (
     plan_session_buckets,
     run_batched_session,
 )
-from repro.engine.checkpoint import CheckpointError, CheckpointStore
+from repro.engine.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    RingCheckpointStore,
+)
 from repro.engine.fault_table import (
     BucketLanes,
     CompiledFaultTable,
@@ -70,6 +74,7 @@ __all__ = [
     "CampaignSummary",
     "CheckpointError",
     "CheckpointStore",
+    "RingCheckpointStore",
     "CompiledFaultTable",
     "FleetReport",
     "FleetScheduler",

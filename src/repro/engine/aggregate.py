@@ -8,6 +8,19 @@ Workers therefore reduce each campaign to a compact
 into running statistics (Welford mean/variance, extrema, histogram
 buckets) the moment they arrive, so parent-side memory stays O(1) in the
 number of campaigns.
+
+Zero-denominator convention (shared by the windowed streaming
+aggregates in :mod:`repro.streaming`):
+
+* **count-ratio rates** (yield, detection, escape, convergence,
+  cache-hit rates) return ``None`` when the denominator is 0 -- the rate
+  is *unknown*, and reporting 0.0 or 1.0 would bias downstream
+  aggregation of sparse windows;
+* **throughput over wall-clock time** (``campaigns_per_sec``,
+  windows/sec) returns ``0.0`` when no time was recorded -- sub-clock
+  sweeps round to "no measurable throughput" rather than dividing by
+  zero, and wall-clock fields are run metadata anyway (excluded from
+  deterministic content).
 """
 
 from __future__ import annotations
@@ -110,7 +123,17 @@ class StreamingStats(Record):
         self.maximum = max(self.maximum, value)
 
     def merge(self, other: "StreamingStats") -> None:
-        """Fold another accumulator in (parallel-merge form of Welford)."""
+        """Fold another accumulator in (parallel-merge form of Welford).
+
+        Empty operands are identity elements on either side (merging
+        empty windows must neither divide by zero nor poison the mean
+        with NaN from the ``inf - inf`` extrema), and the combined mean
+        is computed in the *symmetric* weighted form rather than as an
+        update against ``self``: every float operation is commutative in
+        its operands, so ``a.merge(b)`` and ``b.merge(a)`` agree
+        bit-for-bit -- windowed aggregation stays byte-deterministic no
+        matter which side of a merge a window lands on.
+        """
         if other.count == 0:
             return
         if self.count == 0:
@@ -122,18 +145,23 @@ class StreamingStats(Record):
             return
         total = self.count + other.count
         delta = other.mean - self.mean
-        self.m2 += other.m2 + delta * delta * self.count * other.count / total
-        self.mean += delta * other.count / total
+        self.m2 = self.m2 + other.m2 + delta * delta * (self.count * other.count / total)
+        self.mean = (self.count * self.mean + other.count * other.mean) / total
         self.count = total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
 
     @property
     def variance(self) -> float:
-        """Population variance (0 for fewer than two observations)."""
+        """Population variance (0 for fewer than two observations).
+
+        ``m2`` is clamped at 0: catastrophic cancellation in a long
+        merge chain of near-identical means can leave it a hair negative,
+        and propagating that into ``std`` would raise in ``math.sqrt``.
+        """
         if self.count < 2:
             return 0.0
-        return self.m2 / self.count
+        return max(self.m2, 0.0) / self.count
 
     @property
     def std(self) -> float:
@@ -149,6 +177,34 @@ class StreamingStats(Record):
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
         }
+
+    def state_dict(self) -> dict:
+        """Exact internal state, JSON-safe (for checkpoint resume).
+
+        Python floats round-trip exactly through JSON (``repr`` emits the
+        shortest string that parses back to the same double), so a
+        restored accumulator continues producing bit-identical merges.
+        The infinite extrema of an empty accumulator are stored as
+        ``None`` -- strict JSON has no ``Infinity`` literal.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": None if math.isinf(self.minimum) else self.minimum,
+            "max": None if math.isinf(self.maximum) else self.maximum,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingStats":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        return cls(
+            count=int(state["count"]),
+            mean=float(state["mean"]),
+            m2=float(state["m2"]),
+            minimum=math.inf if state["min"] is None else float(state["min"]),
+            maximum=-math.inf if state["max"] is None else float(state["max"]),
+        )
 
 
 #: Upper edges of the reduction-factor histogram buckets (the last bucket

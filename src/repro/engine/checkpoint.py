@@ -282,3 +282,159 @@ class CheckpointStore:
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         os.replace(temporary, path)
+
+
+def ring_digest(spec, retain: int) -> str:
+    """Content digest identifying one resumable *stream* identity.
+
+    Deliberately excludes worker count, chunk size and epoch layout:
+    the streaming monitor's windowed results are partition-independent,
+    so a stream may be resumed under any scheduling layout.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "kind": "ring",
+        "spec_type": type(spec).__name__,
+        "spec": spec.to_dict(),
+        "retain": retain,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class RingCheckpointStore:
+    """Bounded checkpoint ring for infinite streaming monitors.
+
+    A streaming run has no ``total_chunks`` -- it may never end -- so the
+    full-history :class:`CheckpointStore` layout cannot bound its disk
+    footprint.  The ring keeps the last ``retain`` windows: window ``w``
+    is published atomically to slot file ``w % retain``, overwriting the
+    record ``retain`` windows older.  Each record carries the window
+    index, the window's deterministic payload (kept for inspection and
+    digest history) and the monitor's *cumulative resumable state*
+    (exact aggregator/burst-detector internals), plus the stream digest
+    and a content checksum.  Resume loads :meth:`latest`, restores the
+    state byte-for-byte and continues at the next window -- the
+    remaining windows then reproduce an uninterrupted run's
+    ``deterministic_dict()`` exactly (pinned by the streaming test
+    suite).
+
+    Stale records (digest from another spec/ring shape) and corrupt
+    records (checksum mismatch) raise :class:`CheckpointError`, exactly
+    like the chunk store.
+    """
+
+    def __init__(self, root: str | os.PathLike, spec, retain: int = 8) -> None:
+        require(dataclasses.is_dataclass(spec), "checkpoint spec must be a dataclass record")
+        require(retain >= 1, "retain must be >= 1")
+        self.root = Path(root)
+        self.retain = retain
+        self.digest = ring_digest(spec, retain)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._adopt_manifest(spec)
+
+    def _adopt_manifest(self, spec) -> None:
+        path = self.root / _MANIFEST
+        if path.exists():
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as error:
+                raise CheckpointError(
+                    f"corrupt ring-checkpoint manifest {path}: {error}"
+                ) from error
+            recorded = manifest.get("digest")
+            if recorded != self.digest:
+                raise CheckpointError(
+                    f"stale ring checkpoint at {self.root}: it was written "
+                    f"for a different (spec, retain) -- digest {recorded!r} "
+                    f"!= expected {self.digest!r}.  Use a fresh --checkpoint "
+                    f"directory or rerun with the original spec."
+                )
+            return
+        CheckpointStore._write_json(
+            path,
+            {
+                "format": FORMAT_VERSION,
+                "kind": "ring",
+                "digest": self.digest,
+                "spec_type": type(spec).__name__,
+                "spec": spec.to_dict(),
+                "retain": self.retain,
+            },
+        )
+
+    @staticmethod
+    def peek_manifest(root: str | os.PathLike) -> dict | None:
+        """The manifest of an existing ring store, or ``None`` when absent."""
+        return CheckpointStore.peek_manifest(root)
+
+    def _slot_path(self, slot: int) -> Path:
+        return self.root / f"slot_{slot:05d}.json"
+
+    @staticmethod
+    def _record_checksum(window_index: int, payload: dict, state: dict) -> str:
+        content = canonical_json(
+            {"window": window_index, "payload": payload, "state": state}
+        )
+        return hashlib.sha256(content.encode("utf-8")).hexdigest()
+
+    def save(self, window_index: int, payload: dict, state: dict) -> None:
+        """Publish one finished window (and the cumulative state) atomically."""
+        require(window_index >= 0, "window_index must be >= 0")
+        tr = _tracer()
+        if tr.enabled:
+            started = time.perf_counter_ns()
+        CheckpointStore._write_json(
+            self._slot_path(window_index % self.retain),
+            {
+                "digest": self.digest,
+                "window": window_index,
+                "payload": payload,
+                "state": state,
+                "checksum": self._record_checksum(window_index, payload, state),
+            },
+        )
+        if tr.enabled:
+            tr.counters.add("checkpoint.ring.save.ns", time.perf_counter_ns() - started)
+            tr.counters.add("checkpoint.ring.saves")
+
+    def _load_slot(self, path: Path) -> dict:
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise CheckpointError(f"corrupt ring-checkpoint slot {path}: {error}") from error
+        if record.get("digest") != self.digest:
+            raise CheckpointError(
+                f"stale ring-checkpoint slot {path}: digest "
+                f"{record.get('digest')!r} != expected {self.digest!r}"
+            )
+        window = record.get("window")
+        if (
+            not isinstance(window, int)
+            or not isinstance(record.get("payload"), dict)
+            or not isinstance(record.get("state"), dict)
+            or record.get("checksum")
+            != self._record_checksum(window, record["payload"], record["state"])
+        ):
+            raise CheckpointError(
+                f"corrupt ring-checkpoint slot {path}: record checksum mismatch"
+            )
+        return record
+
+    def records(self) -> list[dict]:
+        """Every retained window record, oldest first."""
+        found = []
+        for slot in range(self.retain):
+            path = self._slot_path(slot)
+            if path.exists():
+                found.append(self._load_slot(path))
+        return sorted(found, key=lambda record: record["window"])
+
+    def latest(self) -> dict | None:
+        """The newest retained window record, or ``None`` when empty.
+
+        The returned mapping has ``window`` (index), ``payload`` (the
+        window's deterministic content) and ``state`` (the cumulative
+        monitor state to restore before computing window ``window + 1``).
+        """
+        records = self.records()
+        return records[-1] if records else None

@@ -316,6 +316,9 @@ class FleetScheduler:
         self.workers = self._resolve_workers(workers)
         self.telemetry = bool(telemetry)
         self._telemetry_report: TelemetryReport | None = None
+        #: Telemetry merged by the last :meth:`stream` consumption (also
+        #: set on early close); ``None`` until a stream ends.
+        self.last_telemetry: TelemetryReport | None = None
         if chunk_size is None and checkpoint is not None:
             # The implicit default below depends on the worker count (and
             # so on the machine); a resume must reproduce the original
@@ -415,6 +418,56 @@ class FleetScheduler:
             report.telemetry = telemetry_report
         return report
 
+    def stream(
+        self, progress: Callable[[int, int], None] | None = None
+    ) -> Iterator[list[CampaignSummary]]:
+        """Yield chunk results in submission order, one chunk at a time.
+
+        The iterator form of :meth:`run`: no terminal report is built,
+        so long-running consumers (the streaming monitor) aggregate
+        however they like and may stop whenever they like --
+        ``break``-ing out (or calling ``close()``) is the *normal* way
+        to end consumption, and tears the worker pool down immediately
+        without draining in-flight chunks and without orphaning
+        workers.  Checkpointing and resume behave exactly as in
+        :meth:`run`.  With ``telemetry=True`` the merged
+        :class:`~repro.telemetry.report.TelemetryReport` is published on
+        ``self.last_telemetry`` once the stream ends (fully consumed or
+        closed early).
+        """
+        chunks = chunked_indices(self.spec.campaigns, self.chunk_size)
+        parent_tracer: Tracer | None = None
+        previous_tracer = None
+        if self.telemetry:
+            self._telemetry_report = TelemetryReport()
+            parent_tracer = Tracer()
+            previous_tracer = set_tracer(parent_tracer)
+        self.last_telemetry = None
+        started = time.perf_counter()
+        done = 0
+        inner = self._stream_chunks(chunks)
+        try:
+            for chunk in inner:
+                yield chunk
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, self.spec.campaigns)
+        finally:
+            inner.close()
+            if previous_tracer is not None:
+                set_tracer(previous_tracer)
+            if parent_tracer is not None:
+                telemetry_report = self._telemetry_report
+                self._telemetry_report = None
+                counters = parent_tracer.counters
+                counters.add("fleet.workers", self.workers)
+                counters.add(
+                    "fleet.elapsed.ns",
+                    int((time.perf_counter() - started) * 1e9),
+                )
+                telemetry_report.merge_tracer(parent_tracer)
+                self.last_telemetry = telemetry_report
+
     def _stream_chunks(
         self, chunks: list[tuple[int, ...]]
     ) -> Iterator[list[CampaignSummary]]:
@@ -450,6 +503,21 @@ class FleetScheduler:
                 yield ranks[index], summaries
 
         pending_ordered = reorder_chunks(completions(), len(pending))
+
+        def next_pending():
+            # A pool that stops producing before every submitted chunk
+            # came back is a worker-protocol violation; surface it as a
+            # clear error instead of letting the bare StopIteration turn
+            # into PEP 479's opaque "generator raised StopIteration".
+            try:
+                return next(pending_ordered)
+            except StopIteration:
+                raise RuntimeError(
+                    f"worker pool ended early: expected {len(pending)} "
+                    f"chunk results, the pool stopped producing before the "
+                    f"head-of-line chunk arrived"
+                ) from None
+
         try:
             for index, chunk in enumerate(chunks):
                 if index in loaded:
@@ -459,19 +527,29 @@ class FleetScheduler:
                     # this equals execution time; with a pool it is the
                     # scheduler's idle wait for the head-of-line chunk).
                     wait_started = time.perf_counter_ns()
-                    result = next(pending_ordered)
+                    result = next_pending()
                     tr.counters.add(
                         "fleet.queue_wait.ns",
                         time.perf_counter_ns() - wait_started,
                     )
                     yield result
                 else:
-                    yield next(pending_ordered)
+                    yield next_pending()
+            # Only reached on full consumption: a consumer that breaks
+            # out of the stream raises GeneratorExit at the ``yield``
+            # above and skips straight to ``finally`` -- early close is a
+            # supported exit, never a completeness violation.
             for _ in pending_ordered:  # runs reorder_chunks' completeness check
                 raise ValueError("chunk stream yielded more chunks than submitted")
         finally:
-            pending_ordered.close()
+            # Teardown order matters for early close: shut the executor
+            # first (GeneratorExit lands in its pool loop, which
+            # *terminates* the pool rather than draining remaining
+            # results), then drop the ordering buffer.  An abandoned
+            # stream therefore never blocks on in-flight chunks and
+            # never orphans workers.
             executor.close()
+            pending_ordered.close()
 
     def _execute_pending(
         self,

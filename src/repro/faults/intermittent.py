@@ -50,7 +50,7 @@ from repro.faults.base import (
 from repro.memory.geometry import CellRef, MemoryGeometry
 from repro.util.rng import SplitMix64Stream, counter_bernoulli, mix_seed
 from repro.util.rounding import round_half_up
-from repro.util.validation import require_in_range
+from repro.util.validation import require, require_in_range
 
 
 class _PerAccessUpset(CellFault):
@@ -157,6 +157,39 @@ class SoftErrorUpsetFault(_PerAccessUpset):
 
 #: Intermittent-class constructors in sampling order.
 INTERMITTENT_CLASSES = (IntermittentReadFault, SoftErrorUpsetFault)
+
+
+#: Wire labels for streamed arrival events (stable across releases: they
+#: appear in per-window metrics JSON and in ring-checkpoint payloads).
+EVENT_KIND_SEU = "seu"
+EVENT_KIND_INT_READ = "int-read"
+EVENT_KINDS = (EVENT_KIND_SEU, EVENT_KIND_INT_READ)
+
+_EVENT_CLASSES = {
+    EVENT_KIND_SEU: SoftErrorUpsetFault,
+    EVENT_KIND_INT_READ: IntermittentReadFault,
+}
+
+
+def fault_for_event(
+    kind: str,
+    cell: CellRef,
+    upset_probability: float,
+    seed: int,
+) -> CellFault:
+    """Materialize the fault model of one streamed arrival event.
+
+    The streaming timeline (:mod:`repro.streaming.timeline`) describes
+    events as plain records -- kind label, victim cell, per-event seed --
+    so they serialize into metrics/checkpoints; this factory is the
+    single place an event becomes an injectable fault (always
+    counter-mode, hence vector-lowerable on every backend).
+    """
+    require(
+        kind in _EVENT_CLASSES,
+        f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}",
+    )
+    return _EVENT_CLASSES[kind](cell, upset_probability, seed=seed)
 
 
 def sample_intermittent_population(

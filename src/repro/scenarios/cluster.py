@@ -120,3 +120,24 @@ def assign_rates(
         placement.memory_name: field.rate_for(placement)
         for placement in floorplan.placements
     }
+
+
+def arrival_weights(
+    field: ClusterField, floorplan: Floorplan
+) -> dict[str, float]:
+    """Normalized per-memory event-arrival weights (sum to 1).
+
+    The streaming event timeline places each SEU/intermittent arrival on
+    one memory with probability proportional to the intensity field at
+    that memory's placement -- the same clustered geometry that drives
+    defect rates also shapes *burst* arrivals.  A degenerate all-zero
+    field falls back to uniform weights so the timeline never divides by
+    zero.
+    """
+    rates = assign_rates(field, floorplan)
+    require(bool(rates), "arrival_weights needs at least one placement")
+    total = sum(rates.values())
+    if total <= 0.0:
+        uniform = 1.0 / len(rates)
+        return {name: uniform for name in rates}
+    return {name: rate / total for name, rate in rates.items()}

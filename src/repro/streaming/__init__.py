@@ -1,0 +1,41 @@
+"""Streaming online monitoring: campaigns as an infinite event timeline.
+
+The batch fleet answers "what did this population of campaigns
+measure?"; this package answers "what is the fleet seeing *right now*?"
+-- SEU/intermittent arrivals stream in on a simulated timeline
+(:mod:`~repro.streaming.timeline`), periodic diagnosis sweeps run over
+the affected memories window by window, and aggregation is windowed and
+memory-bounded (:mod:`~repro.streaming.window`), driven through the
+iterator API of :class:`~repro.streaming.monitor.StreamingMonitor`.
+"""
+
+from repro.streaming.monitor import (
+    DEFAULT_EPOCH_WINDOWS,
+    StreamingMonitor,
+    StreamingSpec,
+    run_monitor,
+    run_window_chunk,
+)
+from repro.streaming.timeline import EventTimeline, TimelineEvent
+from repro.streaming.window import (
+    BurstDetector,
+    WindowAggregator,
+    WindowReport,
+    validate_window_metrics,
+    validate_window_metrics_line,
+)
+
+__all__ = [
+    "DEFAULT_EPOCH_WINDOWS",
+    "BurstDetector",
+    "EventTimeline",
+    "StreamingMonitor",
+    "StreamingSpec",
+    "TimelineEvent",
+    "WindowAggregator",
+    "WindowReport",
+    "run_monitor",
+    "run_window_chunk",
+    "validate_window_metrics",
+    "validate_window_metrics_line",
+]

@@ -1,0 +1,252 @@
+"""Deterministic, seekable SEU/intermittent arrival timeline.
+
+Gomi et al. (arXiv:2504.08305) characterize soft errors *event-wise*: a
+scanner sweeps a 55-nm SRAM continuously and records each upset as it
+lands.  The streaming workload models that regime: an infinite simulated
+timeline of arrival events, partitioned into fixed-duration *windows*,
+drawn over the fleet's floorplan.
+
+Determinism contract
+--------------------
+The events of window ``w`` are a pure function of ``(spec, w)``: every
+draw comes from private splitmix64 streams keyed by
+``mix_seed(master_seed, label, w)`` (:mod:`repro.util.rng`), never from
+sequential state carried across windows.  That makes the timeline
+
+* **seekable** -- ``events_for_window(10**9)`` costs the same as
+  ``events_for_window(0)``; a resumed monitor jumps straight to its next
+  window;
+* **partition-independent** -- worker count, chunking and epoch layout
+  cannot change any window's events;
+* **replayable** -- the same spec regenerates the identical event record,
+  so metrics and checkpoints never need to store raw events.
+
+Each window draws an event count (Poisson with mean
+``events_per_window``, optionally inflated by a burst), then places each
+event on one memory (probability proportional to the clustered intensity
+field evaluated at the memory's floorplan placement, scaled by its cell
+count), one uniform cell, one kind (SEU vs intermittent read), and one
+arrival time *strictly inside* the window.  Burst windows additionally
+concentrate arrivals on a single seeded "strike" memory -- the spatial
+signature the burst detector looks for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.faults.intermittent import EVENT_KIND_INT_READ, EVENT_KIND_SEU
+from repro.util.records import Record
+from repro.util.rng import SplitMix64Stream, mix_seed
+from repro.util.validation import require, require_in_range, require_positive
+
+#: Stream labels separating the per-window draw families.
+_WINDOW_STREAM = 0x57E0
+_BURST_STREAM = 0x57B5
+_FAULT_SEED_STREAM = 0x57F1
+
+
+@dataclass(frozen=True)
+class TimelineEvent(Record):
+    """One arrival event on the simulated timeline."""
+
+    #: Window the event belongs to (``window_of(time_ns)`` agrees).
+    window: int
+    #: Draw order within the window (stable tiebreak for equal times).
+    sequence: int
+    #: Absolute arrival time; always in ``[window_start, window_end)``.
+    time_ns: float
+    #: Name of the struck memory instance.
+    memory: str
+    #: Linear cell index within that memory's geometry.
+    cell_index: int
+    #: Event kind label (see :data:`repro.faults.intermittent.EVENT_KINDS`).
+    kind: str
+    #: Private seed of the fault model this event materializes into.
+    seed: int
+
+
+class EventTimeline:
+    """Seekable per-window event generator over a set of placed memories.
+
+    Parameters
+    ----------
+    cells_by_memory:
+        ``name -> cell count`` of every memory on the floorplan.
+    weights:
+        Normalized spatial arrival weights per memory name (see
+        :func:`repro.scenarios.cluster.arrival_weights`).
+    window_ns / events_per_window:
+        Window duration and the Poisson mean arrival count per window.
+    master_seed:
+        Root of every derived stream.
+    burst_probability / burst_factor:
+        Per-window chance of a burst, and the factor it applies to the
+        arrival mean; burst arrivals concentrate on one seeded memory.
+    seu_fraction:
+        Probability an event is an SEU (the rest are intermittent reads).
+    upset_probability:
+        Recorded for consumers materializing faults; not drawn from here.
+    """
+
+    def __init__(
+        self,
+        cells_by_memory: dict[str, int],
+        weights: dict[str, float],
+        window_ns: float,
+        events_per_window: float,
+        master_seed: int = 0,
+        burst_probability: float = 0.0,
+        burst_factor: float = 4.0,
+        seu_fraction: float = 0.5,
+    ) -> None:
+        require(bool(cells_by_memory), "timeline needs at least one memory")
+        require(
+            set(weights) == set(cells_by_memory),
+            "weights and cells_by_memory must cover the same memory names",
+        )
+        require_positive(window_ns, "window_ns")
+        require(events_per_window >= 0.0, "events_per_window must be >= 0")
+        require_in_range(burst_probability, 0.0, 1.0, "burst_probability")
+        require(burst_factor >= 1.0, "burst_factor must be >= 1")
+        require_in_range(seu_fraction, 0.0, 1.0, "seu_fraction")
+        self.window_ns = float(window_ns)
+        self.events_per_window = float(events_per_window)
+        self.master_seed = int(master_seed)
+        self.burst_probability = float(burst_probability)
+        self.burst_factor = float(burst_factor)
+        self.seu_fraction = float(seu_fraction)
+        # Selection order is sorted by *name* so relabeling-invariant
+        # callers (which key everything by name already) get draws
+        # independent of bank ordering.
+        self._names = sorted(cells_by_memory)
+        self._cells = {name: int(cells_by_memory[name]) for name in self._names}
+        # Arrival probability ~ spatial intensity x area (cell count).
+        combined = [weights[name] * self._cells[name] for name in self._names]
+        total = sum(combined)
+        if total <= 0.0:
+            combined = [float(self._cells[name]) for name in self._names]
+            total = sum(combined)
+        self._cumulative: list[float] = []
+        running = 0.0
+        for value in combined:
+            running += value / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    # ------------------------------------------------------------------ #
+    # Window geometry                                                    #
+    # ------------------------------------------------------------------ #
+    def window_start_ns(self, window: int) -> float:
+        """Absolute start time of one window."""
+        return window * self.window_ns
+
+    def window_of(self, time_ns: float) -> int:
+        """The window an absolute time belongs to.
+
+        Windows are half-open ``[start, end)``: a time landing exactly on
+        an edge belongs to the *later* window.  Generated events always
+        satisfy ``window_of(event.time_ns) == event.window`` (their
+        in-window offset is a 53-bit uniform in ``[0, 1)`` scaled by the
+        duration, so it never reaches the end edge).
+        """
+        require(time_ns >= 0.0, "time_ns must be >= 0")
+        return int(time_ns // self.window_ns)
+
+    # ------------------------------------------------------------------ #
+    # Draws                                                              #
+    # ------------------------------------------------------------------ #
+    def burst_in_window(self, window: int) -> bool:
+        """Whether ``window`` carries an injected burst (pure function)."""
+        if self.burst_probability <= 0.0:
+            return False
+        stream = SplitMix64Stream(
+            mix_seed(self.master_seed, _BURST_STREAM, window)
+        )
+        return stream.next_float() < self.burst_probability
+
+    def _burst_memory(self, window: int) -> str:
+        """The seeded strike memory a burst concentrates on."""
+        stream = SplitMix64Stream(
+            mix_seed(self.master_seed, _BURST_STREAM, window, 1)
+        )
+        return self._pick_memory(stream.next_float())
+
+    def _pick_memory(self, uniform: float) -> str:
+        for name, edge in zip(self._names, self._cumulative):
+            if uniform < edge:
+                return name
+        return self._names[-1]
+
+    @staticmethod
+    def _poisson(stream: SplitMix64Stream, mean: float) -> int:
+        """Inverse-CDF Poisson draw from one uniform."""
+        if mean <= 0.0:
+            return 0
+        uniform = stream.next_float()
+        probability = math.exp(-mean)
+        cumulative = probability
+        count = 0
+        # Bounded walk: the loop ends once the CDF passes the uniform
+        # (numerically guaranteed to terminate -- the tail underflows to
+        # a zero increment long before the guard below).
+        while uniform >= cumulative and count < 64 + int(8 * mean):
+            count += 1
+            probability *= mean / count
+            cumulative += probability
+        return count
+
+    def events_for_window(self, window: int) -> tuple[TimelineEvent, ...]:
+        """All events of one window, in arrival-time order."""
+        require(window >= 0, "window must be >= 0")
+        stream = SplitMix64Stream(
+            mix_seed(self.master_seed, _WINDOW_STREAM, window)
+        )
+        mean = self.events_per_window
+        burst = self.burst_in_window(window)
+        burst_memory = None
+        if burst:
+            mean *= self.burst_factor
+            burst_memory = self._burst_memory(window)
+        count = self._poisson(stream, mean)
+        start = self.window_start_ns(window)
+        events = []
+        for sequence in range(count):
+            memory_uniform = stream.next_float()
+            cell_uniform = stream.next_float()
+            kind_uniform = stream.next_float()
+            time_uniform = stream.next_float()
+            if burst_memory is not None and sequence % 2 == 0:
+                # Bursts strike spatially: every other arrival lands on
+                # the strike memory, the rest keep the background field.
+                memory = burst_memory
+            else:
+                memory = self._pick_memory(memory_uniform)
+            cells = self._cells[memory]
+            events.append(
+                TimelineEvent(
+                    window=window,
+                    sequence=sequence,
+                    time_ns=start + time_uniform * self.window_ns,
+                    memory=memory,
+                    cell_index=int(cell_uniform * cells) % cells,
+                    kind=(
+                        EVENT_KIND_SEU
+                        if kind_uniform < self.seu_fraction
+                        else EVENT_KIND_INT_READ
+                    ),
+                    seed=mix_seed(
+                        self.master_seed, _FAULT_SEED_STREAM, window, sequence
+                    ),
+                )
+            )
+        return tuple(sorted(events, key=lambda e: (e.time_ns, e.sequence)))
+
+    def iter_events(self, start_window: int = 0) -> Iterator[TimelineEvent]:
+        """Infinite event iterator from ``start_window`` onward."""
+        window = start_window
+        while True:
+            yield from self.events_for_window(window)
+            window += 1

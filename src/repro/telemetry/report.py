@@ -79,6 +79,32 @@ class TelemetryReport:
         """Convenience: merge a live tracer's snapshot."""
         self.merge_snapshot(tracer.snapshot())
 
+    def merge_report(self, other: "TelemetryReport") -> None:
+        """Fold another merged report in.
+
+        The streaming monitor schedules an unbounded run as a sequence of
+        bounded epochs, each producing its own report via
+        :meth:`~repro.engine.fleet.FleetScheduler.stream`; this folds the
+        epoch reports into the monitor's cumulative one.
+        """
+        self.processes |= other.processes
+        self.counters.merge(other.counters.to_dict())
+        for name, stats in other.span_stats.items():
+            merged = self.span_stats.get(name)
+            if merged is None:
+                self.span_stats[name] = list(stats)
+            else:
+                merged[0] += stats[0]
+                merged[1] += stats[1]
+                merged[2] = min(merged[2], stats[2])
+                merged[3] = max(merged[3], stats[3])
+        self.dropped_spans += other.dropped_spans
+        for pid, span in other.spans:
+            if len(self.spans) < MAX_REPORT_SPANS:
+                self.spans.append((pid, span))
+            else:
+                self.dropped_spans += 1
+
     # ------------------------------------------------------------------ #
     # Derived views                                                      #
     # ------------------------------------------------------------------ #
@@ -134,12 +160,37 @@ class TelemetryReport:
             "checkpoint_load_s": get("checkpoint.load.ns") / 1e9,
         }
 
+    def stream_stats(self) -> dict:
+        """Streaming-monitor derived metrics (per-window attribution).
+
+        Derived from the ``stream.window`` spans each worker emits per
+        diagnosed window and the ``stream.*`` counters; all zeros/None
+        for non-streaming runs.
+        """
+        get = self.counters.get
+        sweep = self.span_stats.get("stream.window")
+        windows = int(get("stream.windows"))
+        return {
+            "windows": windows,
+            "empty_windows": int(get("stream.windows_empty")),
+            "events": int(get("stream.events")),
+            "detected_events": int(get("stream.detected")),
+            "sweep_time_s": sweep[1] / 1e9 if sweep else 0.0,
+            "mean_window_s": (
+                sweep[1] / sweep[0] / 1e9 if sweep and sweep[0] else None
+            ),
+            "max_window_s": sweep[3] / 1e9 if sweep else None,
+        }
+
     # ------------------------------------------------------------------ #
     # Rendering                                                          #
     # ------------------------------------------------------------------ #
     def to_json_dict(self) -> dict:
         """The flat metrics document (``--metrics-out`` / ``--json``)."""
+        stream = self.stream_stats()
+        extra = {"stream": stream} if stream["windows"] else {}
         return {
+            **extra,
             "processes": len(self.processes),
             "counters": self.counters.to_dict(),
             "span_stats": {
@@ -196,6 +247,15 @@ class TelemetryReport:
                     f"  checkpoint I/O  : save {fleet['checkpoint_save_s']:.3f} s, "
                     f"load {fleet['checkpoint_load_s']:.3f} s"
                 )
+        stream = self.stream_stats()
+        if stream["windows"]:
+            mean = stream["mean_window_s"]
+            lines.append(
+                f"  stream          : {stream['windows']} windows "
+                f"({stream['empty_windows']} empty), {stream['events']} events "
+                f"({stream['detected_events']} detected), mean sweep "
+                f"{'n/a' if mean is None else f'{mean * 1e3:.2f} ms'}"
+            )
         hits = self.counters.get("plan_cache.hits")
         misses = self.counters.get("plan_cache.misses")
         if hits or misses:

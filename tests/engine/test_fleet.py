@@ -408,3 +408,171 @@ class TestFleetReport:
             FleetSpec(campaigns=0)
         with pytest.raises(ValueError):
             FleetSpec(defect_rate=1.5)
+
+
+class TestStreamingStatsMergeEdges:
+    """Empty/singleton merges: no ZeroDivisionError, no NaN, exact symmetry."""
+
+    def test_empty_merge_empty_is_identity(self):
+        left, right = StreamingStats(), StreamingStats()
+        left.merge(right)
+        assert left.count == 0
+        assert left.mean == 0.0 and left.m2 == 0.0
+        assert math.isinf(left.minimum) and math.isinf(left.maximum)
+        assert left.std == 0.0  # no sqrt(NaN), no division by zero
+
+    def test_empty_merge_populated_copies_exactly(self):
+        left, right = StreamingStats(), StreamingStats()
+        for value in (2.0, 5.0, 11.0):
+            right.add(value)
+        left.merge(right)
+        assert left.to_dict() == right.to_dict()
+        assert not math.isnan(left.mean)
+
+    def test_populated_merge_empty_is_noop(self):
+        left, right = StreamingStats(), StreamingStats()
+        for value in (2.0, 5.0, 11.0):
+            left.add(value)
+        before = left.to_dict()
+        left.merge(right)
+        assert left.to_dict() == before
+        assert not math.isnan(left.mean) and not math.isnan(left.std)
+
+    def test_singleton_merge_singleton(self):
+        left, right = StreamingStats(), StreamingStats()
+        left.add(3.0)
+        right.add(7.0)
+        left.merge(right)
+        assert left.count == 2
+        assert left.mean == pytest.approx(5.0)
+        assert left.std == pytest.approx(2.0)
+        assert (left.minimum, left.maximum) == (3.0, 7.0)
+
+    def test_merge_is_bitwise_swap_symmetric(self):
+        a, b = StreamingStats(), StreamingStats()
+        for value in (0.1, 0.2, 0.30000000000000004, -7.25):
+            a.add(value)
+        for value in (1e16, 1.0, -1e16):
+            b.add(value)
+        ab = StreamingStats.from_state(a.state_dict())
+        ab.merge(b)
+        ba = StreamingStats.from_state(b.state_dict())
+        ba.merge(a)
+        # Bit-for-bit, not approx: windowed aggregation relies on it.
+        assert ab.state_dict() == ba.state_dict()
+
+    def test_variance_clamps_cancellation_noise(self):
+        stats = StreamingStats(count=3, mean=1.0, m2=-1e-18, minimum=1.0, maximum=1.0)
+        assert stats.variance == 0.0
+        assert stats.std == 0.0  # must not raise math domain error
+
+    def test_state_roundtrip_empty_and_populated(self):
+        empty = StreamingStats()
+        assert StreamingStats.from_state(empty.state_dict()).to_dict() == empty.to_dict()
+        stats = StreamingStats()
+        for value in (1.5, -2.25, 9.0):
+            stats.add(value)
+        restored = StreamingStats.from_state(stats.state_dict())
+        assert restored.state_dict() == stats.state_dict()
+
+
+class TestZeroDenominatorRates:
+    """Rate aggregates on empty reports: count ratios None, throughput 0.0."""
+
+    def test_throughput_is_zero_without_elapsed(self):
+        report = FleetReport()
+        assert report.campaigns_per_sec == 0.0
+        report.elapsed_s = 0.0
+        assert report.campaigns_per_sec == 0.0
+
+    def test_count_ratios_are_none_on_empty_denominators(self):
+        report = FleetReport()
+        assert report.yield_rate is None
+        assert report.retest_convergence is None
+        assert report.intermittent_detection_rate is None
+        assert report.plan_cache_hit_rate is None
+
+    def test_empty_report_serializes_without_error(self):
+        payload = FleetReport().to_json_dict()
+        assert payload["campaigns"] == 0
+        deterministic = FleetReport().deterministic_dict()
+        assert "elapsed_s" not in deterministic
+
+
+def _first_chunk_only(stream):
+    """Consume exactly one chunk from a scheduler stream, then abandon it."""
+    for chunk in stream:
+        return list(chunk)
+    return []
+
+
+class TestEarlyConsumerExit:
+    """A consumer breaking out of the chunk stream must shut down cleanly."""
+
+    def test_inline_stream_early_break(self):
+        scheduler = FleetScheduler(SPEC, workers=1, chunk_size=1)
+        stream = scheduler.stream()
+        first = _first_chunk_only(stream)
+        stream.close()
+        assert [summary.index for summary in first] == [0]
+
+    def test_pooled_stream_early_break_leaves_no_workers(self):
+        before = set(multiprocessing.active_children())
+        scheduler = FleetScheduler(SPEC, workers=2, chunk_size=1)
+        stream = scheduler.stream()
+        first = _first_chunk_only(stream)
+        stream.close()
+        assert [summary.index for summary in first] == [0]
+        _assert_no_orphaned_workers(before)
+
+    def test_stream_yields_chunks_in_submission_order(self):
+        scheduler = FleetScheduler(
+            SPEC, workers=2, chunk_size=1,
+            chunk_runner=_reversed_finish_chunk_runner,
+        )
+        indices = [s.index for chunk in scheduler.stream() for s in chunk]
+        assert indices == list(range(SPEC.campaigns))
+
+    def test_full_stream_consumption_matches_run(self):
+        streamed = FleetReport()
+        scheduler = FleetScheduler(SPEC, workers=1, chunk_size=2)
+        for chunk in scheduler.stream():
+            for summary in chunk:
+                streamed.add(summary)
+        batch = run_fleet(SPEC, workers=1, chunk_size=2)
+        assert streamed.deterministic_dict() == batch.deterministic_dict()
+
+    def test_premature_pool_exhaustion_raises_clear_error(self, monkeypatch):
+        scheduler = FleetScheduler(SPEC, workers=1, chunk_size=1)
+
+        def dead_pool(pending, chunks):
+            # A pool that stops producing before any chunk comes back.
+            return
+            yield  # pragma: no cover - makes this a (closable) generator
+
+        monkeypatch.setattr(scheduler, "_execute_pending", dead_pool)
+        stream = scheduler._stream_chunks(chunked_indices(SPEC.campaigns, 1))
+        # The ordering buffer's completeness check names the problem
+        # instead of surfacing PEP 479's opaque "generator raised
+        # StopIteration".
+        with pytest.raises(ValueError, match="missing chunk results"):
+            next(stream)
+
+    def test_exhausted_ordering_buffer_raises_clear_error(self, monkeypatch):
+        import repro.engine.fleet as fleet_module
+
+        original = fleet_module.reorder_chunks
+
+        def one_then_stop(completions, expected):
+            # An ordering buffer that silently ends after one chunk --
+            # the defensive guard behind it must raise, not StopIteration.
+            for item in original(completions, expected):
+                yield item
+                return
+
+        scheduler = FleetScheduler(SPEC, workers=1, chunk_size=1)
+        monkeypatch.setattr(fleet_module, "reorder_chunks", one_then_stop)
+        stream = scheduler._stream_chunks(chunked_indices(SPEC.campaigns, 1))
+        next(stream)
+        with pytest.raises(RuntimeError, match="worker pool ended early"):
+            next(stream)

@@ -1,0 +1,1 @@
+"""Test package (unique module namespace for pytest collection)."""

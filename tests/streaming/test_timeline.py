@@ -1,0 +1,173 @@
+"""Event-timeline determinism, seekability and window geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.intermittent import EVENT_KIND_INT_READ, EVENT_KIND_SEU
+from repro.streaming import EventTimeline
+
+CELLS = {"alpha": 64, "beta": 48, "gamma": 96}
+WEIGHTS = {"alpha": 0.5, "beta": 0.2, "gamma": 0.3}
+
+
+def timeline(**overrides) -> EventTimeline:
+    config = dict(
+        cells_by_memory=CELLS,
+        weights=WEIGHTS,
+        window_ns=1000.0,
+        events_per_window=3.0,
+        master_seed=17,
+    )
+    config.update(overrides)
+    return EventTimeline(**config)
+
+
+class TestDeterminism:
+    def test_windows_are_pure_functions(self):
+        assert timeline().events_for_window(5) == timeline().events_for_window(5)
+
+    def test_seek_matches_sequential_iteration(self):
+        tl = timeline()
+        sequential = []
+        iterator = tl.iter_events(start_window=0)
+        for event in iterator:
+            if event.window >= 4:
+                break
+            sequential.append(event)
+        seeked = [
+            event
+            for window in range(4)
+            for event in timeline().events_for_window(window)
+        ]
+        assert sequential == seeked
+
+    def test_far_window_is_directly_addressable(self):
+        # Seekability: no cheaper-path dependence on earlier windows.
+        far = 10**9
+        events = timeline().events_for_window(far)
+        assert events == timeline().events_for_window(far)
+        for event in events:
+            assert event.window == far
+
+    def test_master_seed_changes_the_draws(self):
+        windows = range(12)
+        a = [timeline(master_seed=1).events_for_window(w) for w in windows]
+        b = [timeline(master_seed=2).events_for_window(w) for w in windows]
+        assert a != b
+
+
+class TestWindowGeometry:
+    def test_edge_time_belongs_to_the_later_window(self):
+        tl = timeline()
+        # Half-open windows: an arrival exactly on the boundary is the
+        # first instant of the *next* window, on every backend and
+        # worker layout (assignment happens here, before any sweep).
+        for k in (0, 1, 7, 12345):
+            assert tl.window_of(k * tl.window_ns) == k
+        assert tl.window_of(3 * tl.window_ns - 1e-9) == 2
+
+    def test_events_stay_strictly_inside_their_window(self):
+        tl = timeline(events_per_window=6.0)
+        for window in range(20):
+            start = tl.window_start_ns(window)
+            for event in tl.events_for_window(window):
+                assert start <= event.time_ns < start + tl.window_ns
+                assert tl.window_of(event.time_ns) == window
+
+    def test_events_sorted_by_arrival_time(self):
+        for window in range(10):
+            events = timeline(events_per_window=6.0).events_for_window(window)
+            times = [event.time_ns for event in events]
+            assert times == sorted(times)
+
+    def test_zero_mean_draws_nothing(self):
+        tl = timeline(events_per_window=0.0)
+        assert all(tl.events_for_window(w) == () for w in range(50))
+
+
+class TestKindsAndPlacement:
+    def test_seu_fraction_extremes(self):
+        all_seu = timeline(seu_fraction=1.0)
+        all_int = timeline(seu_fraction=0.0)
+        for window in range(10):
+            for event in all_seu.events_for_window(window):
+                assert event.kind == EVENT_KIND_SEU
+            for event in all_int.events_for_window(window):
+                assert event.kind == EVENT_KIND_INT_READ
+
+    def test_cell_indices_in_geometry_range(self):
+        tl = timeline(events_per_window=5.0)
+        for window in range(20):
+            for event in tl.events_for_window(window):
+                assert 0 <= event.cell_index < CELLS[event.memory]
+
+    def test_zero_weights_fall_back_to_cell_counts(self):
+        tl = timeline(weights={name: 0.0 for name in CELLS})
+        seen = {
+            event.memory
+            for window in range(40)
+            for event in tl.events_for_window(window)
+        }
+        assert seen  # draws still land somewhere sensible
+        assert seen <= set(CELLS)
+
+
+class TestBursts:
+    def test_burst_flag_is_deterministic(self):
+        tl = timeline(burst_probability=0.3)
+        flags = [tl.burst_in_window(w) for w in range(64)]
+        assert flags == [timeline(burst_probability=0.3).burst_in_window(w) for w in range(64)]
+        assert any(flags) and not all(flags)
+
+    def test_certain_burst_concentrates_on_strike_memory(self):
+        tl = timeline(
+            events_per_window=4.0, burst_probability=1.0, burst_factor=6.0
+        )
+        for window in range(5):
+            assert tl.burst_in_window(window)
+            events = tl.events_for_window(window)
+            assert events, "a x6 burst over mean 4 cannot be empty"
+            by_sequence = sorted(events, key=lambda e: e.sequence)
+            strike = {e.memory for e in by_sequence if e.sequence % 2 == 0}
+            assert len(strike) == 1  # every even draw hits one memory
+
+    def test_burst_inflates_the_arrival_mean(self):
+        windows = range(200)
+        base = sum(
+            len(timeline().events_for_window(w)) for w in windows
+        )
+        bursty = sum(
+            len(
+                timeline(
+                    burst_probability=1.0, burst_factor=4.0
+                ).events_for_window(w)
+            )
+            for w in windows
+        )
+        assert bursty > 2 * base
+
+
+class TestValidation:
+    def test_weights_must_cover_the_memories(self):
+        with pytest.raises(ValueError):
+            EventTimeline(
+                cells_by_memory=CELLS,
+                weights={"alpha": 1.0},
+                window_ns=1000.0,
+                events_per_window=1.0,
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            timeline(window_ns=0.0)
+        with pytest.raises(ValueError):
+            timeline(events_per_window=-1.0)
+        with pytest.raises(ValueError):
+            timeline(burst_probability=1.5)
+        with pytest.raises(ValueError):
+            timeline(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            timeline().events_for_window(-1)
+        with pytest.raises(ValueError):
+            timeline().window_of(-1.0)
