@@ -341,6 +341,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         cluster_peak_rate=args.cluster_peak_rate,
         intermittent_rate=args.intermittent_rate,
         upset_probability=args.upset_probability,
+        ecc=args.ecc,
+        spare_rows=args.spare_rows,
+        spare_cols=args.spare_cols,
     )
     overrides.update(
         (key, value) for key, value in optional.items() if value is not None
@@ -856,6 +859,19 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--upset-probability", type=float, default=None,
         help="per-access upset probability of intermittent faults",
+    )
+    scenario.add_argument(
+        "--ecc", choices=("secded",), default=None,
+        help="run every diagnosis session behind an on-die ECC layer",
+    )
+    scenario.add_argument(
+        "--spare-rows", type=int, default=None,
+        help="BISR spare rows per memory (with --spare-cols, replaces "
+        "word-spare repair)",
+    )
+    scenario.add_argument(
+        "--spare-cols", type=int, default=None,
+        help="BISR spare columns per memory",
     )
     scenario.add_argument("--max-retest-rounds", type=int, default=3)
     scenario.add_argument("--no-baseline", action="store_true")

@@ -101,14 +101,27 @@ def _must_repair(
         return rows, cols, remaining, True
 
 
+class _BudgetExhausted(Exception):
+    """Raised when branch-and-bound exceeds its node budget."""
+
+
 def _branch(
     cells: list[CellRef],
     rows: set[int],
     cols: set[int],
     rows_left: int,
     cols_left: int,
+    nodes: list[int],
 ) -> tuple[set[int], set[int]] | None:
-    """Exact branch-and-bound over the sparse residue."""
+    """Exact branch-and-bound over the sparse residue.
+
+    ``nodes`` is a single-element mutable node budget; dense residues
+    whose search would blow past it abort via :class:`_BudgetExhausted`
+    and the caller falls back to the greedy allocator.
+    """
+    if nodes[0] <= 0:
+        raise _BudgetExhausted
+    nodes[0] -= 1
     cells = [c for c in cells if c.word not in rows and c.bit not in cols]
     if not cells:
         return rows, cols
@@ -117,27 +130,84 @@ def _branch(
     cell = cells[0]
     if rows_left > 0:
         solution = _branch(
-            cells[1:], rows | {cell.word}, cols, rows_left - 1, cols_left
+            cells[1:], rows | {cell.word}, cols, rows_left - 1, cols_left, nodes
         )
         if solution is not None:
             return solution
     if cols_left > 0:
         solution = _branch(
-            cells[1:], rows, cols | {cell.bit}, rows_left, cols_left - 1
+            cells[1:], rows, cols | {cell.bit}, rows_left, cols_left - 1, nodes
         )
         if solution is not None:
             return solution
     return None
 
 
+def _greedy(
+    cells: set[CellRef],
+    rows: set[int],
+    cols: set[int],
+    budget: RedundancyBudget,
+) -> tuple[set[int], set[int], set[CellRef]]:
+    """Largest-cover-first fallback when the exact search is cut off.
+
+    Repeatedly spends whichever single spare (row or column) covers the
+    most still-uncovered cells; ties break toward rows, then the lowest
+    index, so the result is deterministic.  Returns the extended
+    allocation plus the uncovered residue (empty on success).
+    """
+    rows = set(rows)
+    cols = set(cols)
+    remaining = {
+        c for c in cells if c.word not in rows and c.bit not in cols
+    }
+    while remaining:
+        rows_left = budget.spare_rows - len(rows)
+        cols_left = budget.spare_cols - len(cols)
+        if rows_left <= 0 and cols_left <= 0:
+            break
+        by_row: dict[int, int] = {}
+        by_col: dict[int, int] = {}
+        for cell in remaining:
+            by_row[cell.word] = by_row.get(cell.word, 0) + 1
+            by_col[cell.bit] = by_col.get(cell.bit, 0) + 1
+        best_row = (
+            min(by_row, key=lambda r: (-by_row[r], r)) if rows_left > 0 else None
+        )
+        best_col = (
+            min(by_col, key=lambda c: (-by_col[c], c)) if cols_left > 0 else None
+        )
+        row_gain = by_row[best_row] if best_row is not None else -1
+        col_gain = by_col[best_col] if best_col is not None else -1
+        if row_gain >= col_gain:
+            rows.add(best_row)
+            remaining = {c for c in remaining if c.word != best_row}
+        else:
+            cols.add(best_col)
+            remaining = {c for c in remaining if c.bit != best_col}
+    return rows, cols, remaining
+
+
+#: Default node budget for the exact final-repair search.  Far above what
+#: the sparse post-must-repair residues of real campaigns need, while
+#: bounding the worst case (the problem is NP-complete) to milliseconds.
+DEFAULT_BRANCH_NODES = 50_000
+
+
 def allocate_redundancy(
     failing_cells: set[CellRef] | list[CellRef],
     budget: RedundancyBudget,
+    max_nodes: int = DEFAULT_BRANCH_NODES,
 ) -> RedundancyPlan:
     """Allocate spare rows/columns to cover every failing cell.
 
-    Returns an infeasible plan (with the uncovered residue) when the
-    budget cannot cover the failure pattern.
+    Runs must-repair analysis to a fixed point, then solves the sparse
+    residue exactly by branch-and-bound; residues dense enough to exceed
+    ``max_nodes`` search nodes fall back to a greedy largest-cover-first
+    allocation (which may miss feasible patterns an exhaustive search
+    would cover, but never mislabels an infeasible one as covered).
+    Returns an infeasible plan (with the uncovered residue) when no
+    allocation within budget covers the failure pattern.
     """
     cells = set(failing_cells)
     if not cells:
@@ -148,16 +218,48 @@ def allocate_redundancy(
         return RedundancyPlan(
             repair_rows=rows, repair_cols=cols, feasible=False, uncovered=remaining
         )
-    solution = _branch(
-        sorted(remaining),
-        rows,
-        cols,
-        budget.spare_rows - len(rows),
-        budget.spare_cols - len(cols),
-    )
+    try:
+        solution = _branch(
+            sorted(remaining),
+            rows,
+            cols,
+            budget.spare_rows - len(rows),
+            budget.spare_cols - len(cols),
+            [max_nodes],
+        )
+    except _BudgetExhausted:
+        greedy_rows, greedy_cols, uncovered = _greedy(remaining, rows, cols, budget)
+        if uncovered:
+            return RedundancyPlan(
+                repair_rows=greedy_rows,
+                repair_cols=greedy_cols,
+                feasible=False,
+                uncovered=uncovered,
+            )
+        return RedundancyPlan(repair_rows=greedy_rows, repair_cols=greedy_cols)
     if solution is None:
         return RedundancyPlan(
             repair_rows=rows, repair_cols=cols, feasible=False, uncovered=remaining
         )
     final_rows, final_cols = solution
     return RedundancyPlan(repair_rows=final_rows, repair_cols=final_cols)
+
+
+def unrepaired_must_repair_rows(
+    failing_cells: set[CellRef], budget: RedundancyBudget
+) -> set[int]:
+    """Must-repair rows the given residue leaves without a spare.
+
+    A row whose distinct failing columns outnumber the column-spare
+    budget *must* take a spare row; any such row still failing after a
+    repair pass is an unrepairable defect under that strategy.  Used to
+    compare repair strategies on dense defect patterns.
+    """
+    by_row: dict[int, set[int]] = {}
+    for cell in failing_cells:
+        by_row.setdefault(cell.word, set()).add(cell.bit)
+    return {
+        row
+        for row, columns in by_row.items()
+        if len(columns) > budget.spare_cols
+    }

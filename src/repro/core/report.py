@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.ecc.observer import EccMemorySummary
 from repro.faults.injector import FaultInjector
 from repro.march.simulator import FailureRecord
 from repro.memory.geometry import CellRef
@@ -43,6 +44,9 @@ class ProposedReport(Record):
     nwrc_ops: int = 0
     #: True when a go/no-go session stopped before running every element.
     aborted_early: bool = False
+    #: Per-memory ECC decoder summaries; ``None`` when the session ran
+    #: without an on-die ECC layer (failures are then raw observations).
+    ecc: dict[str, EccMemorySummary] | None = None
 
     @property
     def time_ns(self) -> float:
@@ -58,6 +62,33 @@ class ProposedReport(Record):
     def passed(self) -> bool:
         """True when no memory produced a mismatch."""
         return self.total_failures == 0
+
+    def ecc_corrected_cells(self, memory_name: str) -> set[CellRef]:
+        """Cells the ECC decoder corrected in one memory (empty w/o ECC)."""
+        if not self.ecc or memory_name not in self.ecc:
+            return set()
+        return self.ecc[memory_name].corrected_cellrefs()
+
+    @property
+    def ecc_masked_reads(self) -> int:
+        """Mismatching reads the ECC layer hid from the comparator."""
+        if not self.ecc:
+            return 0
+        return sum(s.masked_reads for s in self.ecc.values())
+
+    @property
+    def ecc_corrected_reads(self) -> int:
+        """Reads where the ECC decoder asserted its corrected flag."""
+        if not self.ecc:
+            return 0
+        return sum(s.corrected_reads for s in self.ecc.values())
+
+    @property
+    def ecc_uncorrectable_reads(self) -> int:
+        """Reads the ECC decoder flagged uncorrectable."""
+        if not self.ecc:
+            return 0
+        return sum(s.uncorrectable_reads for s in self.ecc.values())
 
     def detected_cells(self, memory_name: str) -> set[CellRef]:
         """Cells implicated by failures in one memory."""

@@ -28,6 +28,8 @@ from repro.core.nwrtm import NwrtmController
 from repro.core.psc import ParallelToSerialConverter
 from repro.core.report import ProposedReport
 from repro.core.spc import SerialToParallelConverter
+from repro.ecc.code import secded_code
+from repro.ecc.observer import EccConfig, EccMemorySummary, EccObserver
 from repro.march.algorithm import MarchStep, PauseStep
 from repro.march.library import march_cw_nw
 from repro.memory.bank import MemoryBank
@@ -55,6 +57,13 @@ class FastDiagnosisScheme:
         comparator expects the low ones -- the coverage-loss scenario.
     drf_screening:
         Whether the NWRTM wire is routed (Sec. 3.4).
+    ecc:
+        Optional :class:`repro.ecc.EccConfig`.  When set, every word read
+        passes through an on-die SEC-DED decoder *before* the PSC captures
+        it, so the comparator -- like a real tester -- only sees
+        post-correction data.  Single-bit upsets are silently repaired
+        (and logged per cell), multi-bit patterns flow through raw or
+        miscorrected per the extended-Hamming rules.
     """
 
     def __init__(
@@ -65,6 +74,7 @@ class FastDiagnosisScheme:
         msb_first: bool = True,
         drf_screening: bool = True,
         monitor=None,
+        ecc: EccConfig | None = None,
     ) -> None:
         require_positive(period_ns, "period_ns")
         self.bank = bank
@@ -88,6 +98,29 @@ class FastDiagnosisScheme:
             m.name: LocalAddressGenerator(m.words, self.controller_words) for m in bank
         }
         self.comparators = {m.name: ComparatorArray(m.name, m.bits) for m in bank}
+        self.ecc = ecc
+        self._ecc_codes = (
+            {m.name: secded_code(m.bits) for m in bank} if ecc else {}
+        )
+        #: Per-memory decoder bookkeeping for the *current* session; reset
+        #: by :meth:`begin_ecc` (empty when no ECC layer is configured).
+        self.ecc_observers: dict[str, EccObserver] = {}
+
+    def begin_ecc(self) -> None:
+        """Start a session's ECC bookkeeping with fresh observers."""
+        self.ecc_observers = {
+            name: EccObserver(name, code)
+            for name, code in self._ecc_codes.items()
+        }
+
+    def ecc_summaries(self) -> dict[str, EccMemorySummary] | None:
+        """Freeze the current observers, or ``None`` without ECC."""
+        if self.ecc is None:
+            return None
+        return {
+            name: observer.summary()
+            for name, observer in self.ecc_observers.items()
+        }
 
     # ------------------------------------------------------------------ #
     # Public API                                                         #
@@ -115,6 +148,7 @@ class FastDiagnosisScheme:
         )
         for comparator in self.comparators.values():
             comparator.reset()
+        self.begin_ecc()
         report = ProposedReport(
             algorithm_name=algorithm.name,
             controller_words=self.controller_words,
@@ -142,6 +176,7 @@ class FastDiagnosisScheme:
             )
         report.nwrc_ops = self.nwrtm.nwrc_ops
         report.deliveries = self.background_gen.deliveries
+        report.ecc = self.ecc_summaries()
         if self.monitor is not None:
             self.monitor.on_session_end()
         return report
@@ -255,11 +290,20 @@ class FastDiagnosisScheme:
             generator = self.address_gens[memory.name]
             local = generator.local_address(controller_address)
             observed = memory.read(local)
-            observations[memory.name] = (
-                observed,
-                local,
-                generator.has_wrapped(step_pos),
-            )
+            wrapped = generator.has_wrapped(step_pos)
+            observer = self.ecc_observers.get(memory.name)
+            if observer is not None:
+                # On-die ECC sits inside the macro: decode (and possibly
+                # correct) before the PSC latches the response.
+                expected = self.comparators[memory.name].expected_word(
+                    element,
+                    op_index,
+                    step.background & mask(memory.bits),
+                    wrapped,
+                )
+                if observed != expected:
+                    observed = observer.observe(local, expected, observed)
+            observations[memory.name] = (observed, local, wrapped)
         if self.monitor is not None:
             self.monitor.on_capture()
 

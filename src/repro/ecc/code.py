@@ -1,0 +1,133 @@
+"""Extended-Hamming SEC-DED code over memory words (pure Python).
+
+The model is encode-on-write / correct-on-read with the check bits held in
+fault-free side storage: every delivered write stores the word *and* its
+check bits, every read runs the decoder over the stored pair.  Because the
+march comparator's expected word is exactly the last delivered write, the
+decoder's error pattern is ``e = expected ^ observed`` -- the data-bit
+error alone -- which makes the whole layer a pure function of the
+pre-correction mismatch.  That purity is what keeps the three engine
+backends bit-exact: they already agree on every mismatching read, and the
+decoder maps identical inputs to identical outputs.
+
+Decode contract (``s`` = Hamming syndrome, ``p`` = overall parity of
+``e``), following the standard extended-Hamming rules:
+
+* ``p`` odd, ``s`` names a data bit -> single-bit correction: flip it.  If
+  the corrected word now matches the expectation the mismatch is *masked*
+  (the tester sees a clean read); otherwise the decoder miscorrected and
+  the observed word changes but still fails.
+* ``p`` odd, ``s`` names a check/parity bit (zero or a power of two) ->
+  the "error" decodes into the check storage; data passes unchanged.
+* ``p`` odd, ``s`` names no bit -> uncorrectable (weight >= 3 alias).
+* ``p`` even, ``s`` nonzero -> classic double-error detection: flagged
+  uncorrectable, data passes unchanged.
+* ``p`` even, ``s`` zero -> the error aliases onto a codeword (weight >= 4
+  in the full code); the decoder stays silent and the raw mismatch flows
+  through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.records import Record
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class EccObservation(Record):
+    """Decoder outcome for one mismatching read.
+
+    ``word`` is the post-correction data word the comparator should see;
+    the flags classify the decode for the observer's counters.
+    """
+
+    #: Data word after the decoder ran (equals the raw read unless a
+    #: data-bit correction fired).
+    word: int
+    #: Data bit the decoder flipped, or ``None``.
+    corrected_bit: int | None
+    #: True when the correction restored the expected word (the mismatch
+    #: never reaches the comparator).
+    masked: bool
+    #: True when the decoder flagged the read uncorrectable (DED or
+    #: syndrome alias).
+    uncorrectable: bool
+    #: True when the decode resolved into the check/parity storage.
+    check_corrected: bool
+
+
+class SecDedCode:
+    """Extended-Hamming SEC-DED layout for one data width.
+
+    Data bit ``j`` sits at the ``j``-th non-power-of-two Hamming position;
+    its syndrome column is that position's binary expansion.  An overall
+    parity bit extends plain Hamming to SEC-DED.  Widths above 64 bits are
+    supported -- positions simply keep counting.
+    """
+
+    def __init__(self, data_bits: int) -> None:
+        require_positive(data_bits, "data_bits")
+        self.data_bits = data_bits
+        positions: list[int] = []
+        position = 0
+        while len(positions) < data_bits:
+            position += 1
+            if position & (position - 1):  # skip the check-bit powers of two
+                positions.append(position)
+        #: Hamming position (= syndrome column) of each data bit.
+        self.positions: tuple[int, ...] = tuple(positions)
+        #: Width of the Hamming syndrome in bits.
+        self.syndrome_bits = positions[-1].bit_length()
+        #: Total check overhead: syndrome bits plus the overall parity bit.
+        self.check_bits = self.syndrome_bits + 1
+        self._bit_for_position = {p: j for j, p in enumerate(positions)}
+        self._check_positions = frozenset(
+            1 << k for k in range(self.syndrome_bits)
+        )
+
+    def syndrome(self, error: int) -> int:
+        """Hamming syndrome of a data-bit error pattern."""
+        syndrome = 0
+        while error:
+            low = error & -error
+            syndrome ^= self.positions[low.bit_length() - 1]
+            error ^= low
+        return syndrome
+
+    def observe(self, expected: int, observed: int) -> EccObservation:
+        """Decode one read against the comparator's expected word."""
+        error = expected ^ observed
+        if error == 0:
+            return EccObservation(observed, None, False, False, False)
+        syndrome = 0
+        parity = 0
+        remaining = error
+        while remaining:
+            low = remaining & -remaining
+            syndrome ^= self.positions[low.bit_length() - 1]
+            parity ^= 1
+            remaining ^= low
+        if parity:
+            data_bit = self._bit_for_position.get(syndrome)
+            if data_bit is not None:
+                word = observed ^ (1 << data_bit)
+                return EccObservation(
+                    word, data_bit, word == expected, False, False
+                )
+            if syndrome == 0 or syndrome in self._check_positions:
+                return EccObservation(observed, None, False, False, True)
+            return EccObservation(observed, None, False, True, False)
+        return EccObservation(observed, None, False, syndrome != 0, False)
+
+
+_CODES: dict[int, SecDedCode] = {}
+
+
+def secded_code(data_bits: int) -> SecDedCode:
+    """Shared :class:`SecDedCode` instance for one data width."""
+    code = _CODES.get(data_bits)
+    if code is None:
+        code = _CODES[data_bits] = SecDedCode(data_bits)
+    return code

@@ -1,0 +1,169 @@
+"""Lane-plane vectorized SEC-DED decode for the numpy/batched engines.
+
+The fast backends keep memory state as ``uint64`` lane planes, so the
+decoder works the same way: each Hamming syndrome bit has a column mask
+per lane (the data bits whose position has that syndrome bit set), the
+syndrome is assembled from XOR-reduction parities of ``error & mask``,
+and a small ``2**m`` lookup maps syndromes back to data bits.  The
+classification rules mirror :meth:`repro.ecc.code.SecDedCode.observe`
+exactly -- bit-exactness across backends reduces to both paths computing
+the same pure function of the error pattern.
+
+Only mismatching reads reach the decoder (``error == 0`` produces no
+event), so call sites feed the already-filtered mismatch rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.code import SecDedCode
+from repro.engine.packing import lanes_for, np
+
+
+def _parity(block) -> "np.ndarray":
+    """Per-row XOR-reduction parity of ``(n, lanes)`` uint64 planes."""
+    folded = block[:, 0].copy()
+    for lane in range(1, block.shape[1]):
+        folded ^= block[:, lane]
+    for shift in (32, 16, 8, 4, 2, 1):
+        folded ^= folded >> np.uint64(shift)
+    return folded & np.uint64(1)
+
+
+@dataclass
+class VectorDecode:
+    """Bulk decode of ``n`` mismatching reads (parallel arrays)."""
+
+    #: Data bit flipped per row, ``-1`` when no data correction fired.
+    corrected_bit: "np.ndarray"
+    #: Correction restored the expected word; drop the mismatch.
+    masked: "np.ndarray"
+    #: Decoder flagged the read uncorrectable.
+    uncorrectable: "np.ndarray"
+    #: Decode resolved into the check/parity storage.
+    check_corrected: "np.ndarray"
+
+
+class VectorSecDed:
+    """Vectorized twin of :class:`repro.ecc.code.SecDedCode`."""
+
+    def __init__(self, code: SecDedCode) -> None:
+        self.code = code
+        self.lanes = lanes_for(code.data_bits)
+        bits = code.syndrome_bits
+        planes = np.zeros((bits, self.lanes), dtype=np.uint64)
+        for data_bit, position in enumerate(code.positions):
+            lane, offset = divmod(data_bit, 64)
+            for k in range(bits):
+                if position >> k & 1:
+                    planes[k, lane] |= np.uint64(1) << np.uint64(offset)
+        #: ``planes[k]`` masks the data bits whose syndrome column has bit k.
+        self.planes = planes
+        lookup = np.full(1 << bits, -1, dtype=np.int64)
+        for data_bit, position in enumerate(code.positions):
+            lookup[position] = data_bit
+        #: Syndrome -> data bit (``-1`` when the syndrome names no data bit).
+        self.data_bit_for = lookup
+        check = np.zeros(1 << bits, dtype=bool)
+        check[0] = True  # overall-parity-bit "correction"
+        for k in range(bits):
+            check[1 << k] = True
+        #: Syndromes that decode into check/parity storage.
+        self.check_syndrome = check
+
+    def decode(self, error) -> VectorDecode:
+        """Classify ``(n, lanes)`` nonzero error patterns in bulk."""
+        rows = error.shape[0]
+        syndrome = np.zeros(rows, dtype=np.int64)
+        for k in range(self.code.syndrome_bits):
+            syndrome |= _parity(error & self.planes[k]).astype(np.int64) << k
+        overall_odd = _parity(error).astype(bool)
+        named = self.data_bit_for[syndrome]
+        single = overall_odd & (named >= 0)
+        corrected_bit = np.where(single, named, np.int64(-1))
+        masked = np.zeros(rows, dtype=bool)
+        hits = np.nonzero(single)[0]
+        if hits.size:
+            bits = named[hits]
+            pattern = np.zeros((hits.size, error.shape[1]), dtype=np.uint64)
+            pattern[np.arange(hits.size), bits >> 6] = np.uint64(1) << (
+                bits & 63
+            ).astype(np.uint64)
+            masked[hits] = (error[hits] == pattern).all(axis=1)
+        in_check = self.check_syndrome[syndrome]
+        check_corrected = overall_odd & (named < 0) & in_check
+        uncorrectable = (overall_odd & (named < 0) & ~in_check) | (
+            ~overall_odd & (syndrome != 0)
+        )
+        return VectorDecode(corrected_bit, masked, uncorrectable, check_corrected)
+
+
+class BucketEcc:
+    """Lane-plane decoder plus the per-member observers of one bucket.
+
+    The batched tier stacks same-geometry memories, so one
+    :class:`VectorSecDed` serves the whole bucket; decode results are
+    recorded into the observer of whichever member each mismatching row
+    belongs to.
+    """
+
+    __slots__ = ("vcode", "observers")
+
+    def __init__(self, bits: int, observers) -> None:
+        self.vcode = vector_secded(bits)
+        self.observers = observers
+
+    def decode_rows(self, members, addresses, error) -> tuple:
+        """Bulk-decode stacked mismatches; see :func:`decode_mismatches`."""
+        outcome = self.vcode.decode(error)
+        bits = outcome.corrected_bit
+        observers = self.observers
+        for index in range(len(members)):
+            bit = int(bits[index])
+            observers[int(members[index])].record(
+                int(addresses[index]),
+                None if bit < 0 else bit,
+                bool(outcome.masked[index]),
+                bool(outcome.uncorrectable[index]),
+                bool(outcome.check_corrected[index]),
+            )
+        return ~outcome.masked, bits
+
+
+def decode_mismatches(observer, addresses, error) -> tuple:
+    """Bulk-decode mismatching rows, recording every event.
+
+    ``addresses[i]`` / ``error[i]`` describe one mismatching read of the
+    observer's memory.  Every decoder outcome is folded into ``observer``
+    (same accounting as the scalar path); returns ``(keep,
+    corrected_bit)`` -- a boolean row filter of mismatches that survive
+    correction and the per-row flipped data bit (``-1`` when none), from
+    which callers rebuild the post-correction word.
+    """
+    vcode = vector_secded(observer.code.data_bits)
+    outcome = vcode.decode(error)
+    bits = outcome.corrected_bit
+    for index in range(len(addresses)):
+        bit = int(bits[index])
+        observer.record(
+            int(addresses[index]),
+            None if bit < 0 else bit,
+            bool(outcome.masked[index]),
+            bool(outcome.uncorrectable[index]),
+            bool(outcome.check_corrected[index]),
+        )
+    return ~outcome.masked, bits
+
+
+_VECTOR_CODES: dict[int, VectorSecDed] = {}
+
+
+def vector_secded(data_bits: int) -> VectorSecDed:
+    """Shared :class:`VectorSecDed` instance for one data width."""
+    vcode = _VECTOR_CODES.get(data_bits)
+    if vcode is None:
+        from repro.ecc.code import secded_code
+
+        vcode = _VECTOR_CODES[data_bits] = VectorSecDed(secded_code(data_bits))
+    return vcode

@@ -66,6 +66,16 @@ class CampaignSummary(Record):
     #: Intermittent faults injected at burn-in / detected there.
     intermittent_faults: int | None = None
     intermittent_detected: int | None = None
+    #: Escapes attributable to ECC masking (None without an ECC layer).
+    ecc_masked_escaped: int | None = None
+    ecc_masked_escape_rate: float | None = None
+    #: Decoder activity summed over the flow's sessions.
+    ecc_corrected_reads: int | None = None
+    ecc_uncorrectable_reads: int | None = None
+    #: BISR repair yield and committed spares (None for word-spare flows).
+    repair_yield: float | None = None
+    repaired_rows: int | None = None
+    repaired_cols: int | None = None
     #: Session plan-cache traffic attributed to this campaign (run-side
     #: performance metadata; excluded from deterministic report content).
     plan_cache_hits: int | None = None
@@ -250,6 +260,15 @@ class FleetReport(Record):
     retest_converged_count: int = 0
     intermittent_injected: int = 0
     intermittent_detected: int = 0
+    # ECC + BISR aggregates (zero/empty unless campaigns ran with them).
+    ecc_campaigns: int = 0
+    ecc_masked_escape: StreamingStats = field(default_factory=StreamingStats)
+    ecc_masked_escaped_total: int = 0
+    ecc_corrected_total: int = 0
+    ecc_uncorrectable_total: int = 0
+    repair_yield_stats: StreamingStats = field(default_factory=StreamingStats)
+    repaired_rows_total: int = 0
+    repaired_cols_total: int = 0
     # Session plan-cache traffic (run metadata, like ``elapsed_s``: the
     # counts depend on worker layout and resume state, never on results).
     plan_cache_hits: int = 0
@@ -318,6 +337,18 @@ class FleetReport(Record):
                 self.retest_converged_count += 1
             self.intermittent_injected += summary.intermittent_faults or 0
             self.intermittent_detected += summary.intermittent_detected or 0
+            if summary.ecc_masked_escape_rate is not None:
+                self.ecc_campaigns += 1
+                self.ecc_masked_escape.add(summary.ecc_masked_escape_rate)
+                self.ecc_masked_escaped_total += summary.ecc_masked_escaped or 0
+                self.ecc_corrected_total += summary.ecc_corrected_reads or 0
+                self.ecc_uncorrectable_total += (
+                    summary.ecc_uncorrectable_reads or 0
+                )
+            if summary.repair_yield is not None:
+                self.repair_yield_stats.add(summary.repair_yield)
+            self.repaired_rows_total += summary.repaired_rows or 0
+            self.repaired_cols_total += summary.repaired_cols or 0
 
     @property
     def retest_convergence(self) -> float | None:
@@ -380,6 +411,20 @@ class FleetReport(Record):
                 "intermittent_detected": self.intermittent_detected,
                 "intermittent_detection_rate": self.intermittent_detection_rate,
             }
+            if self.ecc_campaigns:
+                payload["scenario"]["ecc"] = {
+                    "campaigns": self.ecc_campaigns,
+                    "masked_escape_rate": self.ecc_masked_escape.to_dict(),
+                    "masked_escaped": self.ecc_masked_escaped_total,
+                    "corrected_reads": self.ecc_corrected_total,
+                    "uncorrectable_reads": self.ecc_uncorrectable_total,
+                }
+            if self.repair_yield_stats.count or self.repaired_rows_total or self.repaired_cols_total:
+                payload["scenario"]["repair_yield"] = (
+                    self.repair_yield_stats.to_dict()
+                )
+                payload["scenario"]["repaired_rows"] = self.repaired_rows_total
+                payload["scenario"]["repaired_cols"] = self.repaired_cols_total
         return payload
 
     def deterministic_dict(self) -> dict:
@@ -469,6 +514,28 @@ class FleetReport(Record):
                 lines.append(
                     f"  escape rate     : mean {self.escape_rate.mean:.1%} "
                     f"(max {self.escape_rate.maximum:.1%})"
+                )
+            if self.ecc_campaigns:
+                # The diagnosis gap: an analytic raw-observation model
+                # predicts escape_rate - masked_escape_rate; the masked
+                # share is what the on-die correction hides from it.
+                lines.append(
+                    f"  ecc             : {self.ecc_corrected_total} corrected "
+                    f"reads ({self.ecc_uncorrectable_total} uncorrectable) "
+                    f"over {self.ecc_campaigns} campaigns"
+                )
+                lines.append(
+                    f"  masked escapes  : mean rate "
+                    f"{self.ecc_masked_escape.mean:.2%} "
+                    f"({self.ecc_masked_escaped_total} faults) -- gap by which "
+                    f"raw-observation analysis overestimates localization"
+                )
+            if self.repair_yield_stats.count:
+                lines.append(
+                    f"  bisr yield      : mean {self.repair_yield_stats.mean:.1%} "
+                    f"(min {self.repair_yield_stats.minimum:.1%}), "
+                    f"{self.repaired_rows_total} spare rows + "
+                    f"{self.repaired_cols_total} cols committed"
                 )
             if self.assigned_rate.count:
                 lines.append(

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 from repro.core.report import ProposedReport
 from repro.core.scheme import FastDiagnosisScheme
+from repro.ecc.vector import BucketEcc
 from repro.engine.backends import NumpyBackend, register_backend, vector_capable
 from repro.engine.fault_table import TableEvaluator, lower_bucket
 from repro.engine.kernel import (
@@ -283,8 +284,14 @@ def _run_bucket_session(
     sweep = BucketSweep(
         memories[0].words, scheme.controller_words, lanes_split.replay_masks
     )
+    ecc = None
+    if scheme.ecc is not None:
+        ecc = BucketEcc(
+            memories[0].bits,
+            [scheme.ecc_observers[memory.name] for memory in memories],
+        )
     evaluator = (
-        TableEvaluator(lanes_split.table, sweep, states)
+        TableEvaluator(lanes_split.table, sweep, states, ecc)
         if lanes_split.table is not None
         else None
     )
@@ -314,6 +321,7 @@ def _run_bucket_session(
             sweep,
             evaluator,
             tracker,
+            ecc,
         )
         if tr.enabled:
             with tr.span(
@@ -347,6 +355,7 @@ def run_element_batched(
     sweep_plan: BucketSweep,
     evaluator: "TableEvaluator | None" = None,
     tracker: CleanWordTracker | None = None,
+    ecc: "BucketEcc | None" = None,
 ) -> list[list[FailureRecord]]:
     """Execute one element over a same-geometry stack of memories.
 
@@ -356,7 +365,10 @@ def run_element_batched(
     fault table (:mod:`repro.engine.fault_table`), evaluated inside the
     same block decomposition as the clean rows; ``tracker`` (one per
     bucket session) skips clean compares that provably cannot mismatch.
-    Returns one reference-ordered failure list per memory, exactly what
+    ``ecc`` (the bucket's stacked SEC-DED decoder, also held by the
+    evaluator) filters clean-path mismatches through the on-die
+    correction before records form.  Returns one reference-ordered
+    failure list per memory, exactly what
     :func:`repro.engine.kernel.run_element` would produce memory by
     memory.
     """
@@ -405,7 +417,12 @@ def run_element_batched(
         if dirty_positions[member]:
             records[member].extend(
                 replay_dirty_positions(
-                    memory, plan, dirty_positions[member], base_cycles, per_address
+                    memory,
+                    plan,
+                    dirty_positions[member],
+                    base_cycles,
+                    per_address,
+                    ecc.observers[member] if ecc is not None else None,
                 )
             )
         timebase.tick(base_cycles + sweep * per_address - timebase.cycles)
@@ -471,7 +488,22 @@ def run_element_batched(
                         if telem:
                             counters.add("clean.compares_skipped", block_clean)
                     if mismatch is not None and mismatch.any():
-                        for member, hit in zip(*np.nonzero(mismatch)):
+                        member_hits, row_hits = np.nonzero(mismatch)
+                        keep = corrected = None
+                        if ecc is not None:
+                            hit_rows = (
+                                row_hits if full else block_rows[row_hits]
+                            )
+                            keep, corrected = ecc.decode_rows(
+                                member_hits,
+                                hit_rows,
+                                states[member_hits, hit_rows] ^ expected_lanes,
+                            )
+                        for index, (member, hit) in enumerate(
+                            zip(member_hits, row_hits)
+                        ):
+                            if keep is not None and not keep[index]:
+                                continue
                             member = int(member)
                             row = int(block_rows[hit]) if not full else int(hit)
                             position = (
@@ -479,6 +511,9 @@ def run_element_batched(
                                 if full
                                 else int(block_positions[hit])
                             )
+                            observed = lanes_to_word(states[member, row])
+                            if corrected is not None and corrected[index] >= 0:
+                                observed ^= 1 << int(corrected[index])
                             records[member].append(
                                 (
                                     position,
@@ -490,7 +525,7 @@ def run_element_batched(
                                         op_index,
                                         row,
                                         expected,
-                                        lanes_to_word(states[member, row]),
+                                        observed,
                                     ),
                                 )
                             )

@@ -501,8 +501,13 @@ class TableEvaluator:
     the block with :meth:`end_block` (deferred coupling flips).
     """
 
-    def __init__(self, table: CompiledFaultTable, sweep_plan, states) -> None:
+    def __init__(
+        self, table: CompiledFaultTable, sweep_plan, states, ecc=None
+    ) -> None:
         self.table = table
+        #: Optional :class:`repro.ecc.vector.BucketEcc` decoding read
+        #: mismatches before they become failure hits.
+        self._ecc = ecc
         self.words = table.words
         # The bucket's stacked state, bound once per session: the flat
         # (n_mem * words, lanes) view turns every gather/scatter into a
@@ -815,15 +820,30 @@ class TableEvaluator:
         mismatch = (observed != expected_lanes).any(axis=1)
         if not mismatch.any():
             return ()
+        hit_idx = np.nonzero(mismatch)[0]
+        rows = idx[hit_idx]
+        ecc = self._ecc
+        keep = corrected = None
+        if ecc is not None:
+            keep, corrected = ecc.decode_rows(
+                table.rows_member[rows],
+                table.rows_word[rows],
+                observed[hit_idx] ^ expected_lanes,
+            )
         hits = []
-        for hit in np.nonzero(mismatch)[0]:
-            row = idx[hit]
+        for index, hit in enumerate(hit_idx):
+            if keep is not None and not keep[index]:
+                continue
+            row = rows[index]
+            word = lanes_to_word(observed[hit])
+            if corrected is not None and corrected[index] >= 0:
+                word ^= 1 << int(corrected[index])
             hits.append(
                 (
                     int(table.rows_member[row]),
                     int(table.rows_word[row]),
                     int(ctx.positions[hit]),
-                    lanes_to_word(observed[hit]),
+                    word,
                 )
             )
         return hits

@@ -31,6 +31,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.ecc.vector import decode_mismatches
 from repro.engine.packing import (
     lanes_for,
     lanes_to_word,
@@ -182,6 +183,7 @@ def replay_dirty_rows(
     local_rows,
     base_cycles: int,
     per_address: int,
+    ecc=None,
 ) -> list[tuple[int, int, FailureRecord]]:
     """Behavioural replay of fault-hooked rows in exact sweep order.
 
@@ -196,6 +198,7 @@ def replay_dirty_rows(
         positions[dirty_mask[local_rows]].tolist(),
         base_cycles,
         per_address,
+        ecc,
     )
 
 
@@ -205,6 +208,7 @@ def replay_dirty_positions(
     dirty_positions: list[int],
     base_cycles: int,
     per_address: int,
+    ecc=None,
 ) -> list[tuple[int, int, FailureRecord]]:
     """:func:`replay_dirty_rows` with the sweep positions pre-resolved.
 
@@ -218,6 +222,11 @@ def replay_dirty_positions(
     :meth:`~repro.memory.sram.SRAM.replay_write`), which is exact because
     every caller of the vector path has already established the
     fault-free-decoder/mux, no-tracing preconditions.
+
+    ``ecc`` is the memory's :class:`repro.ecc.observer.EccObserver` (or
+    ``None`` for raw observation): each mismatch is decoded scalar-wise --
+    the replay lane is scalar anyway -- and masked mismatches produce no
+    record.
     """
     tr = _tracer()
     if tr.enabled and dirty_positions:
@@ -255,6 +264,10 @@ def replay_dirty_positions(
                     tick(extra_ticks)
                 expected = expected_wrapped if wrapped else expected_plain
                 if observed != expected:
+                    if ecc is not None:
+                        observed = ecc.observe(local, expected, observed)
+                        if observed == expected:
+                            continue
                     records.append(
                         (
                             position,
@@ -274,11 +287,15 @@ def run_element(
     dirty_mask,
     plan: ElementPlan,
     lanes: int,
+    ecc=None,
 ) -> list[FailureRecord]:
     """Execute one element; returns its failures in reference order.
 
     ``state`` is the packed ``(words, lanes)`` array -- authoritative for
     clean rows only (dirty rows live in the memory's behavioural state).
+    With ``ecc`` (the memory's observer) set, clean-path mismatches go
+    through the lane-plane SEC-DED decoder in bulk and masked rows are
+    dropped before records form.
     """
     words = memory.words
     sweep = plan.sweep_length
@@ -306,7 +323,8 @@ def run_element(
             replay_words = int(dirty_mask[local_rows].sum())
         records.extend(
             replay_dirty_rows(
-                memory, dirty_mask, plan, positions, local_rows, base_cycles, per_address
+                memory, dirty_mask, plan, positions, local_rows, base_cycles,
+                per_address, ecc,
             )
         )
 
@@ -339,8 +357,20 @@ def run_element(
                     expected_lanes = word_to_lanes(expected, lanes)
                     mismatch = (state[rows] != expected_lanes).any(axis=1)
                     if mismatch.any():
-                        for hit in np.nonzero(mismatch)[0]:
+                        hits = np.nonzero(mismatch)[0]
+                        keep = corrected = None
+                        if ecc is not None:
+                            hit_rows = rows[hits]
+                            keep, corrected = decode_mismatches(
+                                ecc, hit_rows, state[hit_rows] ^ expected_lanes
+                            )
+                        for index, hit in enumerate(hits):
+                            if keep is not None and not keep[index]:
+                                continue
                             row = int(rows[hit])
+                            observed = lanes_to_word(state[row])
+                            if corrected is not None and corrected[index] >= 0:
+                                observed ^= 1 << int(corrected[index])
                             records.append(
                                 (
                                     int(block_positions[hit]),
@@ -352,7 +382,7 @@ def run_element(
                                         op_index,
                                         row,
                                         expected,
-                                        lanes_to_word(state[row]),
+                                        observed,
                                     ),
                                 )
                             )
@@ -366,7 +396,9 @@ def run_element(
     return [record for _, _, record in records]
 
 
-def run_element_slow(memory: SRAM, plan: ElementPlan) -> list[FailureRecord]:
+def run_element_slow(
+    memory: SRAM, plan: ElementPlan, ecc=None
+) -> list[FailureRecord]:
     """Pure-Python fallback executing a plan exactly like the reference.
 
     Used for memories the vector path cannot represent (decoder or
@@ -391,6 +423,10 @@ def run_element_slow(memory: SRAM, plan: ElementPlan) -> list[FailureRecord]:
                     op_plan.expected_wrapped if wrapped else op_plan.expected_plain
                 )
                 if observed != expected:
+                    if ecc is not None:
+                        observed = ecc.observe(local, expected, observed)
+                        if observed == expected:
+                            continue
                     records.append(
                         _record(memory, plan, op_plan, op_index, local, expected, observed)
                     )

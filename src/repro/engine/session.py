@@ -118,6 +118,7 @@ def begin_session(scheme: FastDiagnosisScheme):
     )
     for comparator in scheme.comparators.values():
         comparator.reset()
+    scheme.begin_ecc()
     report = ProposedReport(
         algorithm_name=algorithm.name,
         controller_words=scheme.controller_words,
@@ -164,6 +165,7 @@ def finish_session(
     scheme.nwrtm.nwrc_ops += nwrc_ops
     report.deliveries = scheme.background_gen.deliveries
     report.nwrc_ops = scheme.nwrtm.nwrc_ops
+    report.ecc = scheme.ecc_summaries()
     return report
 
 
@@ -309,6 +311,7 @@ def _run_memory_session(
     vector = vector_capable(memory)
     if vector:
         state, clean_mask, dirty_mask, lanes = pack_memory(memory)
+    ecc = scheme.ecc_observers.get(memory.name)
 
     tr = _tracer()
     failures: list[FailureRecord] = []
@@ -322,16 +325,18 @@ def _run_memory_session(
             ):
                 if vector:
                     failures.extend(
-                        run_element(memory, state, clean_mask, dirty_mask, plan, lanes)
+                        run_element(
+                            memory, state, clean_mask, dirty_mask, plan, lanes, ecc
+                        )
                     )
                 else:
-                    failures.extend(run_element_slow(memory, plan))
+                    failures.extend(run_element_slow(memory, plan, ecc))
         elif vector:
             failures.extend(
-                run_element(memory, state, clean_mask, dirty_mask, plan, lanes)
+                run_element(memory, state, clean_mask, dirty_mask, plan, lanes, ecc)
             )
         else:
-            failures.extend(run_element_slow(memory, plan))
+            failures.extend(run_element_slow(memory, plan, ecc))
 
     if vector:
         sync_clean_rows(memory, state, clean_mask)

@@ -88,10 +88,19 @@ class MarchResult(Record):
 
 
 class MarchSimulator:
-    """Runs March algorithms against behavioural SRAMs."""
+    """Runs March algorithms against behavioural SRAMs.
 
-    def __init__(self, stop_on_first_failure: bool = False) -> None:
+    ``ecc`` optionally inserts an on-die SEC-DED decode between each word
+    read and the comparison (see :mod:`repro.ecc`): the recorded failures
+    are then post-correction observations, as a real tester would see
+    them.  One observer per (memory, run) is kept in ``ecc_observers``.
+    """
+
+    def __init__(self, stop_on_first_failure: bool = False, ecc=None) -> None:
         self.stop_on_first_failure = stop_on_first_failure
+        self.ecc = ecc
+        #: Observer of the most recent ``run()`` per memory name.
+        self.ecc_observers: dict[str, object] = {}
 
     def run(self, memory: SRAM, algorithm: MarchAlgorithm) -> MarchResult:
         """Apply ``algorithm`` to ``memory`` and collect failures.
@@ -106,13 +115,20 @@ class MarchSimulator:
             f"algorithm width {algorithm.bits} != memory width {memory.bits}",
         )
         result = MarchResult(algorithm.name, memory.name)
+        observer = None
+        if self.ecc is not None:
+            from repro.ecc.code import secded_code
+            from repro.ecc.observer import EccObserver
+
+            observer = EccObserver(memory.name, secded_code(memory.bits))
+            self.ecc_observers[memory.name] = observer
         start_cycles = memory.timebase.cycles
         start_ns = memory.now_ns
         for step_index, step in enumerate(algorithm.steps):
             if isinstance(step, PauseStep):
                 memory.pause(step.duration_ns)
                 continue
-            if self._run_step(memory, step, step_index, result):
+            if self._run_step(memory, step, step_index, result, observer):
                 break
         result.cycles = memory.timebase.cycles - start_cycles
         result.elapsed_ns = memory.now_ns - start_ns
@@ -124,6 +140,7 @@ class MarchSimulator:
         step: MarchStep,
         step_index: int,
         result: MarchResult,
+        observer=None,
     ) -> bool:
         """Run one element; returns True when the run should stop early."""
         element = step.element
@@ -133,6 +150,8 @@ class MarchSimulator:
                 word = op.word_for(step.background, bits)
                 if op.is_read:
                     observed = memory.read(address)
+                    if observer is not None and observed != word:
+                        observed = observer.observe(address, word, observed)
                     if observed != word:
                         result.failures.append(
                             FailureRecord(

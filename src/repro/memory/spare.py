@@ -9,6 +9,8 @@ defective row entirely.
 
 from __future__ import annotations
 
+from bisect import insort
+
 from repro.util.validation import require, require_positive
 
 
@@ -22,6 +24,10 @@ class SpareBank:
         self.bits = bits
         self._storage: list[int] = [0] * spare_words
         self._remap: dict[int, int] = {}
+        # Explicit free-list (kept sorted, lowest slot first): allocating
+        # from ``self.used`` would hand out a colliding slot index as soon
+        # as any earlier allocation had been released.
+        self._free: list[int] = list(range(spare_words))
 
     @property
     def used(self) -> int:
@@ -31,7 +37,7 @@ class SpareBank:
     @property
     def available(self) -> int:
         """Number of spares still free."""
-        return self.spare_words - self.used
+        return len(self._free)
 
     def is_remapped(self, address: int) -> bool:
         """Whether ``address`` has been repaired onto a spare."""
@@ -45,9 +51,22 @@ class SpareBank:
         """
         if address in self._remap:
             return True
-        if self.available == 0:
+        if not self._free:
             return False
-        self._remap[address] = self.used
+        self._remap[address] = self._free.pop(0)
+        return True
+
+    def release(self, address: int) -> bool:
+        """Undo the repair of ``address``, returning its slot to the pool.
+
+        Returns ``False`` when the address was not remapped.  The slot's
+        storage is cleared before reuse.
+        """
+        slot = self._remap.pop(address, None)
+        if slot is None:
+            return False
+        self._storage[slot] = 0
+        insort(self._free, slot)
         return True
 
     def read(self, address: int) -> int:
@@ -69,6 +88,7 @@ class SpareBank:
         """Release all spares."""
         self._storage = [0] * self.spare_words
         self._remap.clear()
+        self._free = list(range(self.spare_words))
 
     def __repr__(self) -> str:
         return f"SpareBank(spares={self.spare_words}, used={self.used})"

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 
 from repro.baseline.scheme import BaselineReport, HuangJoneScheme
 from repro.core.campaign import DiagnosisCampaign
-from repro.core.repair import RepairController
+from repro.core.redundancy import RedundancyBudget
+from repro.core.repair import BisrController, RepairController
 from repro.core.report import ProposedReport
 from repro.core.scheme import FastDiagnosisScheme
 from repro.engine.aggregate import CampaignSummary
@@ -57,10 +58,14 @@ class StageOutcome(Record):
     failures: int | None = None
     #: Session time of a diagnosis stage.
     time_ns: float | None = None
-    #: Words remapped by a repair stage.
+    #: Words remapped by a word-spare repair stage.
     repaired_words: int | None = None
     #: Faults detached by a repair stage.
     detached_faults: int | None = None
+    #: Spare rows committed by a BISR repair stage.
+    repaired_rows: int | None = None
+    #: Spare columns committed by a BISR repair stage.
+    repaired_cols: int | None = None
 
 
 @dataclass
@@ -83,6 +88,35 @@ class ScenarioCampaignReport(Record):
     intermittent_faults: int = 0
     intermittent_detected: int = 0
     localization_rate: float = 0.0
+    #: Whether the flow's sessions ran behind an on-die ECC layer.
+    ecc_enabled: bool = False
+    #: Decoder corrections / masked mismatches / uncorrectable reads
+    #: summed over every session of the flow.
+    ecc_corrected_reads: int = 0
+    ecc_masked_reads: int = 0
+    ecc_uncorrectable_reads: int = 0
+    #: Escaped manufacturing faults whose victims the decoder corrected
+    #: somewhere in the flow -- escapes attributable to ECC masking.
+    ecc_masked_escaped: int = 0
+    #: BISR repair yield (covered / repair-needing memories); ``None``
+    #: for word-spare flows or when no memory needed repair.
+    repair_yield: float | None = None
+    #: Total spare rows/columns the BISR allocator committed.
+    repaired_rows: int = 0
+    repaired_cols: int = 0
+
+    @property
+    def ecc_masked_escape_rate(self) -> float | None:
+        """Fraction of injected faults that escaped *because of* ECC.
+
+        ``None`` without an ECC layer (the distinction raw flows cannot
+        express); 0.0 when ECC ran but hid nothing that escaped.
+        """
+        if not self.ecc_enabled:
+            return None
+        if self.injected_faults == 0:
+            return 0.0
+        return self.ecc_masked_escaped / self.injected_faults
 
     @property
     def reduction_factor(self) -> float | None:
@@ -118,16 +152,34 @@ class ScenarioCampaignReport(Record):
                     f"  {stage.stage:<8}: {stage.failures} failing reads "
                     f"({format_duration_ns(stage.time_ns or 0.0)})"
                 )
-            else:
+            elif stage.repaired_words is not None:
                 lines.append(
                     f"  {stage.stage:<8}: {stage.repaired_words} words "
                     f"repaired, {stage.detached_faults} faults detached"
+                )
+            else:
+                lines.append(
+                    f"  {stage.stage:<8}: {stage.repaired_rows} spare rows + "
+                    f"{stage.repaired_cols} spare cols, "
+                    f"{stage.detached_faults} faults detached"
                 )
         verdict = "converged" if self.retest_converged else "NOT converged"
         lines.append(
             f"  flow     : {verdict} after {self.retest_rounds} repair "
             f"round(s), escape rate {self.escape_rate:.1%}"
         )
+        if self.ecc_enabled:
+            lines.append(
+                f"  ecc      : {self.ecc_corrected_reads} corrected reads "
+                f"({self.ecc_masked_reads} masked, "
+                f"{self.ecc_uncorrectable_reads} uncorrectable), "
+                f"masked-escape rate {self.ecc_masked_escape_rate:.1%}"
+            )
+        if self.repair_yield is not None:
+            lines.append(
+                f"  bisr     : yield {self.repair_yield:.1%} "
+                f"({self.repaired_rows} rows + {self.repaired_cols} cols)"
+            )
         if self.reduction_factor is not None:
             lines.append(f"  reduction: {self.reduction_factor:.1f}x")
         if self.intermittent_faults:
@@ -192,7 +244,9 @@ def run_scenario_campaign(
         sampler=clustered_sampler(spec, rates, seed),
     )
     bank, injector = campaign.faulty_bank()
-    scheme = FastDiagnosisScheme(bank, period_ns=spec.period_ns)
+    scheme = FastDiagnosisScheme(
+        bank, period_ns=spec.period_ns, ecc=spec.build_ecc()
+    )
     report = ScenarioCampaignReport(
         scenario=spec.name,
         soc_name=soc.name,
@@ -200,11 +254,25 @@ def run_scenario_campaign(
         seed=seed,
         assigned_rates=rates,
         injected_faults=injector.total,
+        ecc_enabled=spec.ecc is not None,
     )
+    # Union of the cells the decoder corrected anywhere in the flow --
+    # the candidates for ECC-masked escapes.
+    ecc_corrected: dict[str, set[CellRef]] = {m.name: set() for m in bank}
+
+    def fold_ecc(session: ProposedReport) -> None:
+        if not session.ecc:
+            return
+        for name, summary in session.ecc.items():
+            ecc_corrected[name] |= summary.corrected_cellrefs()
+        report.ecc_corrected_reads += session.ecc_corrected_reads
+        report.ecc_masked_reads += session.ecc_masked_reads
+        report.ecc_uncorrectable_reads += session.ecc_uncorrectable_reads
 
     # Stage 1: initial test (+ the baseline twin for measured R).
     proposed = campaign.diagnose_proposed(scheme)
     report.proposed = proposed
+    fold_ecc(proposed)
     report.stages.append(
         StageOutcome(
             "test", 0, failures=proposed.total_failures, time_ns=proposed.time_ns
@@ -220,26 +288,50 @@ def run_scenario_campaign(
             baseline_injector,
         )
 
-    # Stage 2/3: repair -> retest until clean or out of rounds.
-    controller = RepairController(bank, spec.spares_per_memory)
+    # Stage 2/3: repair -> retest until clean or out of rounds.  With a
+    # row/column budget the BISR allocator replaces word-spare remapping.
+    bisr: BisrController | None = None
+    if spec.use_bisr:
+        bisr = BisrController(
+            bank, RedundancyBudget(spec.spare_rows, spec.spare_cols)
+        )
+        controller: BisrController | RepairController = bisr
+    else:
+        controller = RepairController(bank, spec.spares_per_memory)
     last = proposed
     converged = proposed.passed
     while not converged and report.retest_rounds < spec.max_retest_rounds:
         repair = controller.apply(last)
         report.retest_rounds += 1
-        report.stages.append(
-            StageOutcome(
-                "repair",
-                report.retest_rounds,
-                repaired_words=repair.total_repaired_words,
-                detached_faults=repair.detached_faults,
+        if bisr is not None:
+            progress = repair.total_new_spares
+            report.repaired_rows += repair.total_new_rows
+            report.repaired_cols += repair.total_new_cols
+            report.stages.append(
+                StageOutcome(
+                    "repair",
+                    report.retest_rounds,
+                    detached_faults=repair.detached_faults,
+                    repaired_rows=repair.total_new_rows,
+                    repaired_cols=repair.total_new_cols,
+                )
             )
-        )
-        if repair.total_repaired_words == 0:
+        else:
+            progress = repair.total_repaired_words
+            report.stages.append(
+                StageOutcome(
+                    "repair",
+                    report.retest_rounds,
+                    repaired_words=repair.total_repaired_words,
+                    detached_faults=repair.detached_faults,
+                )
+            )
+        if progress == 0:
             # Spares exhausted or peripheral defects: another retest
             # cannot change the outcome, so the flow stalls unconverged.
             break
         last = campaign.diagnose_proposed(scheme)
+        fold_ecc(last)
         for memory in bank:
             detected[memory.name] |= last.detected_cells(memory.name)
         report.stages.append(
@@ -252,9 +344,17 @@ def run_scenario_campaign(
         )
         converged = last.passed
     report.retest_converged = converged
+    if bisr is not None:
+        report.repair_yield = bisr.repair_yield()
 
     # Stage 4: burn-in re-diagnosis with the intermittent layer attached.
+    # The stage gets its own round number (it follows every repair/retest
+    # round) and its *own* detection set: an intermittent fault only
+    # counts as detected when the burn-in session itself saw one of its
+    # victims, not when a manufacturing fault already failed that cell in
+    # an earlier stage.
     intermittent: dict[str, list[Fault]] = {}
+    burn_detected: dict[str, set[CellRef]] = {}
     if spec.burn_in:
         for memory in bank:
             population = burn_in_population(spec, memory, seed)
@@ -262,35 +362,46 @@ def run_scenario_campaign(
             for fault in population:
                 fault.attach(memory)
         burn = campaign.diagnose_proposed(scheme)
+        fold_ecc(burn)
         report.stages.append(
             StageOutcome(
                 "burn-in",
-                report.retest_rounds,
+                report.retest_rounds + 1,
                 failures=burn.total_failures,
                 time_ns=burn.time_ns,
             )
         )
         for memory in bank:
-            detected[memory.name] |= burn.detected_cells(memory.name)
+            burn_detected[memory.name] = burn.detected_cells(memory.name)
+            detected[memory.name] |= burn_detected[memory.name]
 
     # Escape accounting: manufacturing faults never localized by any
-    # session of the flow, and intermittent detection at burn-in.
+    # session of the flow, and intermittent detection at burn-in.  Under
+    # ECC, an escape whose victims the decoder corrected somewhere in the
+    # flow is an *ECC-masked* escape -- the defect fired, the on-die
+    # correction hid it from every session.
     total = 0
     escaped = 0
+    masked_escaped = 0
     for name in injector.memories():
         seen = detected.get(name, set())
+        corrected = ecc_corrected.get(name, set())
         for fault in injector.faults_for(name):
             total += 1
-            if not seen & set(fault.victims):
+            victims = set(fault.victims)
+            if not seen & victims:
                 escaped += 1
+                if corrected & victims:
+                    masked_escaped += 1
     report.escaped_faults = escaped
+    report.ecc_masked_escaped = masked_escaped
     report.localization_rate = 1.0 if total == 0 else 1.0 - escaped / total
     report.intermittent_faults = sum(len(f) for f in intermittent.values())
     report.intermittent_detected = sum(
         1
         for name, faults in intermittent.items()
         for fault in faults
-        if detected.get(name, set()) & set(fault.victims)
+        if burn_detected.get(name, set()) & set(fault.victims)
     )
     return report
 
@@ -320,6 +431,19 @@ def summarize_scenario_campaign(
         retest_converged=report.retest_converged,
         intermittent_faults=report.intermittent_faults,
         intermittent_detected=report.intermittent_detected,
+        ecc_masked_escaped=(
+            report.ecc_masked_escaped if report.ecc_enabled else None
+        ),
+        ecc_masked_escape_rate=report.ecc_masked_escape_rate,
+        ecc_corrected_reads=(
+            report.ecc_corrected_reads if report.ecc_enabled else None
+        ),
+        ecc_uncorrectable_reads=(
+            report.ecc_uncorrectable_reads if report.ecc_enabled else None
+        ),
+        repair_yield=report.repair_yield,
+        repaired_rows=report.repaired_rows or None,
+        repaired_cols=report.repaired_cols or None,
     )
 
 

@@ -88,6 +88,19 @@ class ScenarioSpec(Record):
     #: Whether to run the burn-in re-diagnosis stage.
     burn_in: bool = True
 
+    # ECC + BISR co-simulation -------------------------------------------
+    #: On-die ECC scheme applied to every word read of every diagnosis
+    #: session (``None`` = raw observation, ``"secded"`` = extended
+    #: Hamming).  Failures and escapes are then *post-correction*.
+    ecc: str | None = None
+    #: Spare rows per memory for the BISR allocator.  When either
+    #: ``spare_rows`` or ``spare_cols`` is nonzero, the flow's repair
+    #: stage uses row/column redundancy (must-repair + exact/greedy
+    #: allocation) instead of word-spare remapping.
+    spare_rows: int = 0
+    #: Spare columns per memory for the BISR allocator.
+    spare_cols: int = 0
+
     def __post_init__(self) -> None:
         require(bool(self.name), "scenario needs a name")
         require(
@@ -129,6 +142,13 @@ class ScenarioSpec(Record):
                 f"defect_weights needs one weight per defect class "
                 f"({len(DefectType)}), got {len(self.defect_weights)}",
             )
+        if self.ecc is not None:
+            require(
+                self.ecc == "secded",
+                f"unknown ECC scheme {self.ecc!r}; expected 'secded'",
+            )
+        require(self.spare_rows >= 0, "spare_rows must be >= 0")
+        require(self.spare_cols >= 0, "spare_cols must be >= 0")
 
     # ------------------------------------------------------------------ #
     # Materialization                                                    #
@@ -161,6 +181,19 @@ class ScenarioSpec(Record):
             heterogeneous=self.heterogeneous,
             period_ns=self.period_ns,
         )
+
+    def build_ecc(self):
+        """Materialize the ECC config (``None`` = raw observation)."""
+        if self.ecc is None:
+            return None
+        from repro.ecc.observer import EccConfig
+
+        return EccConfig(scheme=self.ecc)
+
+    @property
+    def use_bisr(self) -> bool:
+        """Whether the repair stage runs the row/column BISR allocator."""
+        return self.spare_rows > 0 or self.spare_cols > 0
 
     def build_profile(self) -> DefectProfile | None:
         """Materialize the defect-class profile (``None`` = paper default)."""

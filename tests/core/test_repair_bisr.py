@@ -1,0 +1,193 @@
+"""Repair detach semantics, the BISR controller and strategy comparison.
+
+The detach regression needs a fault whose victims span *two* words --
+no library fault class has more than one victim cell, so a small custom
+:class:`~repro.faults.base.CellFault` subclass provides one.
+"""
+
+import pytest
+
+from repro.core.redundancy import (
+    RedundancyBudget,
+    allocate_redundancy,
+    unrepaired_must_repair_rows,
+)
+from repro.core.repair import BisrController, RepairController
+from repro.core.scheme import FastDiagnosisScheme
+from repro.faults.base import CellFault, FaultClass
+from repro.faults.injector import FaultInjector
+from repro.faults.stuck_at import StuckAtFault
+from repro.memory.bank import MemoryBank
+from repro.memory.geometry import CellRef, MemoryGeometry
+from repro.memory.sram import SRAM
+
+
+class TwinStuckFault(CellFault):
+    """One defect forcing *two* victim cells (different words) to 1."""
+
+    def __init__(self, first: CellRef, second: CellRef) -> None:
+        self.fault_class = FaultClass.SAF1
+        self.victims = (first, second)
+
+    def on_read(self, memory, word, bit, stored_bit):
+        """Read back 1 regardless of the stored bit."""
+        return 1
+
+    def on_write(self, memory, word, bit, old_bit, new_bit):
+        """The cell is stuck: writes cannot clear it."""
+        return 1
+
+
+def diagnose(bank):
+    return FastDiagnosisScheme(bank).diagnose()
+
+
+class TestDetachSemantics:
+    def build(self):
+        memory = SRAM(MemoryGeometry(16, 4, "m"))
+        bank = MemoryBank([memory])
+        fault = TwinStuckFault(CellRef(3, 1), CellRef(9, 2))
+        FaultInjector().inject(memory, fault)
+        return bank, memory, fault
+
+    def test_partial_word_repair_keeps_fault_attached(self):
+        """Repairing one of the two victim words must NOT detach the
+        fault: the other word still reads corrupted, and detaching would
+        silently erase a live defect from the verification re-run."""
+        bank, memory, fault = self.build()
+        report = diagnose(bank)
+        assert {f.address for f in report.failures["m"]} >= {3, 9}
+        result = RepairController(bank, spares_per_memory=1).apply(report)
+        assert result.repaired["m"] == {3}
+        assert result.out_of_spares["m"] == {9}
+        assert result.detached_faults == 0
+        assert fault in memory.cell_faults
+        assert not diagnose(bank).passed
+
+    def test_full_victim_repair_detaches(self):
+        bank, memory, fault = self.build()
+        report = diagnose(bank)
+        result = RepairController(bank, spares_per_memory=4).apply(report)
+        assert result.repaired["m"] >= {3, 9}
+        assert result.detached_faults == 1
+        assert fault not in memory.cell_faults
+        assert diagnose(bank).passed
+
+    def test_aggressor_only_repair_keeps_fault_attached(self):
+        """A fault whose victim word is unrepaired stays attached even if
+        its aggressor word is remapped (conservative: the victim cell is
+        still in the array)."""
+        from repro.faults.coupling import IdempotentCouplingFault
+
+        memory = SRAM(MemoryGeometry(16, 4, "m"))
+        bank = MemoryBank([memory])
+        fault = IdempotentCouplingFault(CellRef(2, 0), CellRef(11, 3))
+        FaultInjector().inject(memory, fault)
+        assert RepairController(bank, 4)._detach_word_faults(memory, {2}) == 0
+        assert fault in memory.cell_faults
+
+
+class TestBisrController:
+    def build(self, budget, faults):
+        memory = SRAM(MemoryGeometry(16, 6, "m"))
+        bank = MemoryBank([memory])
+        FaultInjector().inject(memory, faults)
+        return bank, memory, BisrController(bank, budget)
+
+    def test_row_repair_detaches_and_verifies_clean(self):
+        bank, memory, bisr = self.build(
+            RedundancyBudget(2, 1),
+            [StuckAtFault(CellRef(4, b), 1) for b in range(4)],
+        )
+        result = bisr.apply(diagnose(bank))
+        assert result.new_rows["m"] == {4}
+        assert result.detached_faults == 4
+        assert bisr.repair_yield() == 1.0
+        assert diagnose(bank).passed
+
+    def test_residual_only_resolved_across_rounds(self):
+        """A second pass solves only cells not already covered, and a
+        pass with nothing new commits zero spares."""
+        bank, memory, bisr = self.build(
+            RedundancyBudget(2, 0), [StuckAtFault(CellRef(1, 1), 1)]
+        )
+        first = bisr.apply(diagnose(bank))
+        assert first.total_new_spares == 1
+        StuckAtFault(CellRef(7, 2), 0).attach(memory)
+        second = bisr.apply(diagnose(bank))
+        assert second.new_rows["m"] == {7}
+        assert bisr.rows["m"] == {1, 7}
+        third = bisr.apply(diagnose(bank))
+        assert third.total_new_spares == 0
+
+    def test_budget_exhaustion_marks_infeasible(self):
+        bank, memory, bisr = self.build(
+            RedundancyBudget(1, 0),
+            [StuckAtFault(CellRef(w, 0), 1) for w in (2, 5, 9)],
+        )
+        bisr.apply(diagnose(bank))
+        assert "m" in bisr.infeasible
+        assert bisr.repair_yield() == 0.0
+        assert not diagnose(bank).passed
+
+    def test_yield_none_on_clean_bank(self):
+        memory = SRAM(MemoryGeometry(8, 4, "m"))
+        bank = MemoryBank([memory])
+        bisr = BisrController(bank, RedundancyBudget(1, 1))
+        result = bisr.apply(diagnose(bank))
+        assert result.total_new_spares == 0
+        assert bisr.repair_yield() is None
+
+
+#: Pinned dense-defect fixture: two full-row defects (word-line shorts,
+#: more failing columns than any column budget -- must-repair rows) plus
+#: a bit-line defect failing column 2 across six scattered words.
+DENSE_CELLS = frozenset(
+    {CellRef(3, b) for b in range(6)}
+    | {CellRef(10, b) for b in range(6)}
+    | {CellRef(w, 2) for w in (0, 1, 5, 7, 12, 13)}
+)
+DENSE_BUDGET = RedundancyBudget(spare_rows=2, spare_cols=1)
+#: Post-repair evaluation: with every spare spent, any row still failing
+#: is an unrepaired must-repair row (``> 0`` failing columns).
+EXHAUSTED = RedundancyBudget(spare_rows=0, spare_cols=0)
+
+
+def greedy_word_remap(cells, spares):
+    """The word-spare baseline: remap failing words largest-first until
+    the pool runs dry; returns the words it repaired."""
+    by_word: dict[int, int] = {}
+    for cell in cells:
+        by_word[cell.word] = by_word.get(cell.word, 0) + 1
+    ranked = sorted(by_word, key=lambda w: (-by_word[w], w))
+    return set(ranked[:spares])
+
+
+class TestMustRepairBeatsGreedyRemap:
+    def test_dense_fixture_must_repair_rows(self):
+        assert unrepaired_must_repair_rows(DENSE_CELLS, DENSE_BUDGET) == {3, 10}
+
+    def test_solver_covers_where_word_remap_cannot(self):
+        """The must-repair solver spends 2 rows + 1 column and covers the
+        whole dense pattern; the word-remap baseline given the same
+        number of spare elements (3 words) pays for the bit-line defect
+        word by word and strands most of it -- strictly more rows left
+        needing repair once every spare is spent."""
+        plan = allocate_redundancy(DENSE_CELLS, DENSE_BUDGET)
+        assert plan.feasible
+        assert plan.repair_rows == {3, 10}
+        assert plan.repair_cols == {2}
+        residue_solver = {c for c in DENSE_CELLS if not plan.covers(c)}
+        assert residue_solver == set()
+
+        spares = DENSE_BUDGET.spare_rows + DENSE_BUDGET.spare_cols
+        repaired_words = greedy_word_remap(DENSE_CELLS, spares)
+        assert repaired_words >= {3, 10}  # heaviest words rank first
+        residue_remap = {c for c in DENSE_CELLS if c.word not in repaired_words}
+        assert residue_remap  # the baseline strands the bit-line defect
+
+        solver_unrepaired = unrepaired_must_repair_rows(residue_solver, EXHAUSTED)
+        remap_unrepaired = unrepaired_must_repair_rows(residue_remap, EXHAUSTED)
+        assert solver_unrepaired == set()
+        assert len(remap_unrepaired) == 5
+        assert len(solver_unrepaired) < len(remap_unrepaired)

@@ -1,0 +1,1 @@
+"""Tests for the SEC-DED observation layer."""

@@ -1,0 +1,131 @@
+"""Unit tests for the scalar SEC-DED code and the per-session observer.
+
+The decode-contract cases below pin the extended-Hamming rules with
+hand-computed syndromes for an 8-bit word, whose data bits sit at Hamming
+positions 3, 5, 6, 7, 9, 10, 11, 12:
+
+* bits {0, 1, 2} have positions 3 ^ 5 ^ 6 = 0 with odd parity -> the
+  decode resolves into the overall parity bit;
+* bits {0, 1} give syndrome 6 with even parity -> double-error detection;
+* bits {0, 1, 7} give syndrome 3 ^ 5 ^ 12 = 10, the position of data
+  bit 5, with odd parity -> a miscorrection that flips an innocent bit;
+* bits {0, 1, 5, 7} give syndrome 0 with even parity -> the error aliases
+  onto a codeword and passes silently.
+"""
+
+import pytest
+
+from repro.ecc import EccConfig, EccObserver, SecDedCode, secded_code
+
+
+class TestLayout:
+    def test_positions_skip_powers_of_two(self):
+        code = SecDedCode(8)
+        assert code.positions == (3, 5, 6, 7, 9, 10, 11, 12)
+        assert code.syndrome_bits == 4
+        assert code.check_bits == 5
+
+    @pytest.mark.parametrize(
+        "data_bits,check_bits",
+        [(1, 3), (4, 4), (8, 5), (11, 5), (26, 6), (32, 7), (64, 8), (120, 8)],
+    )
+    def test_check_overhead(self, data_bits, check_bits):
+        """Standard (extended) Hamming overhead for common widths."""
+        assert SecDedCode(data_bits).check_bits == check_bits
+
+    def test_wide_words_keep_counting(self):
+        code = SecDedCode(70)
+        assert len(code.positions) == 70
+        assert len(set(code.positions)) == 70
+        assert all(p & (p - 1) for p in code.positions)
+
+    def test_cache_shares_instances(self):
+        assert secded_code(16) is secded_code(16)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            SecDedCode(0)
+
+
+class TestDecodeContract:
+    def test_clean_read_is_a_non_event(self):
+        outcome = secded_code(8).observe(0xA5, 0xA5)
+        assert outcome.word == 0xA5
+        assert outcome.corrected_bit is None
+        assert not (outcome.masked or outcome.uncorrectable or outcome.check_corrected)
+
+    @pytest.mark.parametrize("bit", range(8))
+    def test_single_bit_error_is_masked(self, bit):
+        code = secded_code(8)
+        expected = 0b1011_0010
+        outcome = code.observe(expected, expected ^ (1 << bit))
+        assert outcome.word == expected
+        assert outcome.corrected_bit == bit
+        assert outcome.masked
+        assert not outcome.uncorrectable
+
+    def test_double_error_detected_not_corrected(self):
+        code = secded_code(8)
+        outcome = code.observe(0x00, 0b11)  # bits {0, 1}: syndrome 6, even
+        assert outcome.uncorrectable
+        assert outcome.word == 0b11
+        assert outcome.corrected_bit is None
+
+    def test_triple_error_can_resolve_into_check_storage(self):
+        code = secded_code(8)
+        outcome = code.observe(0x00, 0b111)  # bits {0, 1, 2}: syndrome 0, odd
+        assert outcome.check_corrected
+        assert outcome.word == 0b111
+        assert not outcome.masked and not outcome.uncorrectable
+
+    def test_triple_error_can_miscorrect_an_innocent_bit(self):
+        code = secded_code(8)
+        observed = 0b1000_0011  # bits {0, 1, 7}: syndrome 10 = data bit 5
+        outcome = code.observe(0x00, observed)
+        assert outcome.corrected_bit == 5
+        assert outcome.word == observed ^ (1 << 5)
+        assert not outcome.masked  # still mismatches after the flip
+        assert not outcome.uncorrectable
+
+    def test_quadruple_error_can_alias_silently(self):
+        code = secded_code(8)
+        observed = 0b1010_0011  # bits {0, 1, 5, 7}: syndrome 0, even
+        outcome = code.observe(0x00, observed)
+        assert outcome.word == observed
+        assert not (outcome.masked or outcome.uncorrectable or outcome.check_corrected)
+
+    def test_syndrome_helper_matches_positions(self):
+        code = secded_code(8)
+        assert code.syndrome(0) == 0
+        assert code.syndrome(0b1) == 3
+        assert code.syndrome(0b11) == 3 ^ 5
+        assert code.syndrome(0xFF) == 3 ^ 5 ^ 6 ^ 7 ^ 9 ^ 10 ^ 11 ^ 12
+
+
+class TestObserver:
+    def test_counters_and_corrected_cells(self):
+        observer = EccObserver("m0", secded_code(8))
+        expected = 0x5A
+        assert observer.observe(3, expected, expected ^ 0x04) == expected
+        assert observer.observe(3, expected, expected ^ 0x04) == expected
+        assert observer.observe(7, expected, expected ^ 0x03) == expected ^ 0x03
+        summary = observer.summary()
+        assert summary.corrected_reads == 2
+        assert summary.masked_reads == 2
+        assert summary.uncorrectable_reads == 1
+        assert summary.corrected_cells == ((3, 2, 2),)
+        refs = summary.corrected_cellrefs()
+        assert {(ref.word, ref.bit) for ref in refs} == {(3, 2)}
+
+    def test_check_correction_counts_as_corrected(self):
+        observer = EccObserver("m0", secded_code(8))
+        observer.observe(0, 0x00, 0b111)
+        summary = observer.summary()
+        assert summary.corrected_reads == 1
+        assert summary.masked_reads == 0
+        assert summary.corrected_cells == ()
+
+    def test_config_validates_scheme(self):
+        assert EccConfig().scheme == "secded"
+        with pytest.raises(ValueError):
+            EccConfig(scheme="bch")

@@ -545,3 +545,74 @@ class TestAggregateParity:
             )
         assert reports["numpy"] == reports["reference"]
         assert reports["batched"] == reports["reference"]
+
+
+@pytest.mark.parametrize("case_index", range(CASES))
+class TestDifferentialFuzzSecDed:
+    """reference == numpy == batched behind the SEC-DED observation layer.
+
+    ECC sessions must agree on the *post-correction* failure sets and on
+    every decoder counter: the layer is a pure function of the
+    pre-correction mismatch, so any divergence here means a backend saw a
+    different raw mismatch or classified it differently.  Cases reuse the
+    bucket-stacking generator (so wrapping geometry buckets hit the
+    batched tier's block evaluation) with dense-enough populations that
+    multi-bit words exercise the DED/miscorrection branches, not just the
+    masked single-bit path.
+    """
+
+    @staticmethod
+    def draw(case_index):
+        geometries, _, algorithm, seed = draw_bucketed_case(case_index)
+        rng = make_rng(0xECC2 + case_index)
+        defect_rate = float(rng.uniform(0.02, 0.15))
+        return geometries, defect_rate, algorithm, seed
+
+    def test_proposed_session_three_way(self, case_index):
+        from repro.ecc import EccConfig
+
+        geometries, defect_rate, algorithm, seed = self.draw(case_index)
+        banks = {
+            backend: build_bank(geometries, defect_rate, seed)[0]
+            for backend in ("reference", "numpy", "batched")
+        }
+        reference = FastDiagnosisScheme(
+            banks["reference"], algorithm_factory=algorithm, ecc=EccConfig()
+        ).diagnose()
+        assert reference.ecc is not None
+        for backend in ("numpy", "batched"):
+            fast = run_session(
+                FastDiagnosisScheme(
+                    banks[backend], algorithm_factory=algorithm, ecc=EccConfig()
+                ),
+                backend=backend,
+            )
+            assert fast.failures == reference.failures, backend
+            assert fast.ecc == reference.ecc, backend
+            assert fast.cycles == reference.cycles, backend
+            assert fast.time_ns == reference.time_ns, backend
+            assert_states_equal(banks["reference"], banks[backend])
+
+    def test_ecc_masks_single_bit_words(self, case_index):
+        """Against the same bank, an ECC session never fails a word whose
+        mismatch was a correctable single-bit error: its failure count is
+        bounded by the raw session's, with the difference showing up in
+        the decoder's masked-read counter."""
+        from repro.ecc import EccConfig
+
+        geometries, defect_rate, algorithm, seed = self.draw(case_index)
+        raw_bank, _ = build_bank(geometries, defect_rate, seed)
+        ecc_bank, _ = build_bank(geometries, defect_rate, seed)
+        raw = run_session(
+            FastDiagnosisScheme(raw_bank, algorithm_factory=algorithm),
+            backend="numpy",
+        )
+        ecc = run_session(
+            FastDiagnosisScheme(
+                ecc_bank, algorithm_factory=algorithm, ecc=EccConfig()
+            ),
+            backend="numpy",
+        )
+        assert ecc.total_failures <= raw.total_failures
+        masked = sum(s.masked_reads for s in ecc.ecc.values())
+        assert raw.total_failures - ecc.total_failures == masked

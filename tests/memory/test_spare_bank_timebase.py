@@ -45,6 +45,33 @@ class TestSpareBank:
         assert bank.available == 1
         assert not bank.is_remapped(0)
 
+    def test_release_returns_slot(self):
+        bank = SpareBank(1, 8)
+        bank.allocate(4)
+        bank.write(4, 0x55)
+        assert bank.release(4)
+        assert not bank.is_remapped(4)
+        assert bank.available == 1
+        assert bank.allocate(9)
+        assert bank.read(9) == 0  # released storage was cleared
+        assert not bank.release(4)  # double release is a no-op failure
+
+    def test_slots_stay_unique_through_release_cycles(self):
+        """Allocating after a release must never hand two live addresses
+        the same backing slot (the bug a used-counter allocator has)."""
+        bank = SpareBank(3, 8)
+        for address in (10, 11, 12):
+            assert bank.allocate(address)
+        bank.release(10)
+        assert bank.allocate(13)
+        bank.write(11, 0x11)
+        bank.write(12, 0x22)
+        bank.write(13, 0x33)
+        assert (bank.read(11), bank.read(12), bank.read(13)) == (0x11, 0x22, 0x33)
+        slots = {bank._remap[a] for a in (11, 12, 13)}
+        assert len(slots) == 3
+        assert bank.available == 0 and not bank.allocate(14)
+
 
 class TestMemoryBank:
     def test_sizing_queries(self, hetero_bank):

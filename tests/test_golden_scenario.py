@@ -236,3 +236,58 @@ class TestScenarioCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["scenario", "--preset", "nonsense"])
         assert excinfo.value.code == 2
+
+
+class TestEccBisrCli:
+    ARGS = [
+        "scenario",
+        "--soc", "buffer-cluster",
+        "--campaigns", "1",
+        "--workers", "1",
+        "--base-defect-rate", "0.01",
+        "--clusters", "1",
+        "--cluster-peak-rate", "0.02",
+        "--intermittent-rate", "0.0",
+        "--no-burn-in",
+        "--ecc", "secded",
+        "--spare-rows", "4",
+        "--spare-cols", "2",
+    ]
+
+    def test_json_carries_ecc_and_repair_aggregates(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["ecc"] == "secded"
+        assert payload["spec"]["spare_rows"] == 4
+        assert payload["spec"]["spare_cols"] == 2
+        scenario = payload["scenario"]
+        ecc = scenario["ecc"]
+        assert ecc["campaigns"] == 1
+        assert ecc["corrected_reads"] > 0
+        assert ecc["masked_escape_rate"]["count"] == 1
+        assert 0.0 <= ecc["masked_escape_rate"]["mean"] <= 1.0
+        assert "repair_yield" in scenario
+        assert scenario["repaired_rows"] + scenario["repaired_cols"] > 0
+
+    def test_raw_run_omits_the_ecc_block(self, capsys):
+        args = [a for a in self.ARGS if a not in ("--ecc", "secded")]
+        assert main([*args, "--json"]) == 0
+        scenario = json.loads(capsys.readouterr().out)["scenario"]
+        assert "ecc" not in scenario
+
+    def test_text_mode_prints_the_diagnosis_gap(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "masked escapes" in out
+        assert "bisr yield" in out
+
+    def test_backends_agree_behind_ecc(self, capsys):
+        payloads = []
+        for backend in ("reference", "numpy", "batched"):
+            assert main([*self.ARGS, "--backend", backend, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            payload.pop("elapsed_s")
+            payload.pop("campaigns_per_sec")
+            payload["spec"].pop("backend")
+            payloads.append(payload)
+        assert payloads[0] == payloads[1] == payloads[2]
