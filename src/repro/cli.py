@@ -215,6 +215,59 @@ def _resolve_checkpoint_args(args: argparse.Namespace) -> tuple[str | None, bool
     return args.checkpoint, args.resume
 
 
+#: Exit code of an interrupted checkpointed run (128 + SIGINT), distinct
+#: from success (0) and usage/checkpoint errors (2) so wrappers can
+#: resume automatically.
+EXIT_INTERRUPTED = 130
+
+
+def _resolve_retry_args(args: argparse.Namespace):
+    """Build the (retry policy | None, failure mode) pair from CLI flags."""
+    from repro.engine import ChunkRetryPolicy
+
+    retry = None
+    if args.max_retries is not None or args.chunk_timeout is not None:
+        defaults = ChunkRetryPolicy()
+        retry = ChunkRetryPolicy(
+            max_attempts=(
+                args.max_retries + 1
+                if args.max_retries is not None
+                else defaults.max_attempts
+            ),
+            chunk_timeout_s=args.chunk_timeout,
+        )
+    return retry, args.on_chunk_failure
+
+
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact command that resumes this interrupted run."""
+    import shlex
+
+    argv = list(getattr(args, "argv", None) or [])
+    if "--resume" not in argv:
+        argv.append("--resume")
+    return "python -m repro " + " ".join(shlex.quote(token) for token in argv)
+
+
+def _report_chunk_interrupt(args: argparse.Namespace, checkpoint: str) -> int:
+    """Post-interrupt report for a checkpointed fleet/scenario run."""
+    import sys
+    from pathlib import Path
+
+    from repro.engine import CheckpointStore
+
+    persisted = len(list(Path(checkpoint).glob("chunk_*.json")))
+    manifest = CheckpointStore.peek_manifest(checkpoint)
+    total = manifest.get("total_chunks") if manifest else None
+    span = f"{persisted} of {total}" if isinstance(total, int) else f"{persisted}"
+    print(
+        f"\ninterrupted: {span} chunks persisted in {checkpoint}",
+        file=sys.stderr,
+    )
+    print(f"resume with: {_resume_command(args)}", file=sys.stderr)
+    return EXIT_INTERRUPTED
+
+
 def _telemetry_requested(args: argparse.Namespace) -> bool:
     """True when telemetry collection is on (export flags imply it)."""
     return bool(
@@ -251,6 +304,17 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if isinstance(checkpointing, int):
         return checkpointing
     checkpoint, resume = checkpointing
+    retry, on_chunk_failure = _resolve_retry_args(args)
+    chunk_runner = None
+    if args.chaos:
+        from repro.testing import ChaosChunkRunner, parse_chaos_spec
+
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        chunk_runner = ChaosChunkRunner(chaos)
 
     spec = FleetSpec(
         soc=args.soc,
@@ -288,10 +352,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             resume=resume,
             telemetry=_telemetry_requested(args),
+            retry=retry,
+            on_chunk_failure=on_chunk_failure,
+            chunk_runner=chunk_runner,
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        if checkpoint:
+            # Finished chunks are already on disk; tell the operator how
+            # much survived and exactly how to pick the run back up.
+            return _report_chunk_interrupt(args, checkpoint)
+        raise
     if args.json:
         payload = {"spec": spec.to_dict(), **report.to_json_dict()}
         print(json.dumps(payload, indent=2))
@@ -397,6 +470,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         def progress(done: int, total: int) -> None:
             print(f"  {done}/{total} campaigns done", flush=True)
 
+    retry, on_chunk_failure = _resolve_retry_args(args)
     try:
         report = run_scenario_fleet(
             spec,
@@ -406,10 +480,16 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             checkpoint=checkpoint,
             resume=resume,
             telemetry=_telemetry_requested(args),
+            retry=retry,
+            on_chunk_failure=on_chunk_failure,
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        if checkpoint:
+            return _report_chunk_interrupt(args, checkpoint)
+        raise
     if args.json:
         payload = {"spec": spec.to_dict(), **report.to_json_dict()}
         print(json.dumps(payload, indent=2))
@@ -451,6 +531,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     # --metrics-out means per-window metrics here (JSONL), not telemetry
     # metrics as in fleet/scenario -- only the explicit flags imply tracing.
     telemetry = bool(args.telemetry or args.trace_out)
+    retry, on_chunk_failure = _resolve_retry_args(args)
     try:
         monitor = StreamingMonitor(
             spec,
@@ -462,6 +543,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             resume=resume,
             telemetry=telemetry,
             retain=args.retain,
+            retry=retry,
+            on_chunk_failure=on_chunk_failure,
         )
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
@@ -528,6 +611,16 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         write_chrome_trace(monitor.telemetry_report, args.trace_out)
         if not args.json:
             print(f"chrome trace written to {args.trace_out}")
+    if interrupted and checkpoint:
+        # A checkpointed interrupt is resumable: report what survived
+        # and how to continue, and exit with the distinct interrupt code.
+        print(
+            f"interrupted: {monitor.next_window} windows completed; ring "
+            f"checkpoint in {checkpoint} holds the newest state",
+            file=sys.stderr,
+        )
+        print(f"resume with: {_resume_command(args)}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     return 0
 
 
@@ -663,6 +756,27 @@ def _cmd_area(args: argparse.Namespace) -> int:
     ]
     print(format_table(rows))
     return 0
+
+
+def _add_fault_tolerance_args(parser: argparse.ArgumentParser) -> None:
+    """Retry/quarantine flags shared by the fleet-shaped subcommands."""
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-run a failed chunk up to N times before giving up "
+        "(default: 2 retries; deterministic exponential backoff)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-chunk wall-clock deadline; a worker exceeding it is "
+        "terminated and the chunk retried (pooled runs only)",
+    )
+    parser.add_argument(
+        "--on-chunk-failure", choices=("raise", "quarantine"),
+        default="raise",
+        help="after retries are exhausted: 'raise' aborts the run "
+        "(default), 'quarantine' records the chunk in the report's "
+        "failures block and completes the rest of the fleet",
+    )
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -816,6 +930,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip chunks already present in --checkpoint DIR",
     )
     fleet.add_argument("--json", action="store_true", help="emit JSON stats")
+    _add_fault_tolerance_args(fleet)
+    fleet.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="deterministic fault injection for testing the supervisor: "
+        "comma-separated key=value pairs (seed, crash, exception, hang, "
+        "hang_s, corrupt, max_faults), e.g. 'seed=7,crash=0.4'",
+    )
     _add_telemetry_args(fleet)
     fleet.set_defaults(func=_cmd_fleet)
 
@@ -900,6 +1021,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip chunks already present in --checkpoint DIR",
     )
     scenario.add_argument("--json", action="store_true", help="emit JSON stats")
+    _add_fault_tolerance_args(scenario)
     _add_telemetry_args(scenario)
     scenario.set_defaults(func=_cmd_scenario)
 
@@ -989,6 +1111,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the monitored sweeps as a Chrome trace_event JSON "
         "(implies --telemetry)",
     )
+    _add_fault_tolerance_args(monitor)
     monitor.set_defaults(func=_cmd_monitor)
 
     bench = sub.add_parser(
@@ -1035,8 +1158,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
+    import sys
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Keep the raw tokens around so interrupt handlers can print the
+    # exact resume command.
+    args.argv = list(argv) if argv is not None else list(sys.argv[1:])
     return args.func(args)
 
 

@@ -64,6 +64,11 @@ from repro.engine.fleet import (
     run_campaign,
     run_fleet,
 )
+from repro.engine.supervisor import (
+    ChunkExecutionError,
+    ChunkFailure,
+    ChunkRetryPolicy,
+)
 from repro.engine.baseline_session import run_baseline_session
 from repro.engine.packing import HAVE_NUMPY
 from repro.engine.session import plan_cache_stats, reset_plan_cache, run_session
@@ -75,6 +80,9 @@ __all__ = [
     "CheckpointError",
     "CheckpointStore",
     "RingCheckpointStore",
+    "ChunkExecutionError",
+    "ChunkFailure",
+    "ChunkRetryPolicy",
     "CompiledFaultTable",
     "FleetReport",
     "FleetScheduler",

@@ -277,6 +277,14 @@ class FleetReport(Record):
     #: when the run was scheduled with telemetry enabled.  Run metadata:
     #: excluded from ``deterministic_dict()`` and never checkpointed.
     telemetry: object | None = None
+    #: Quarantined-chunk records from a degraded-mode run
+    #: (``on_chunk_failure="quarantine"``): one
+    #: ``{"chunk", "campaigns", "error_kinds"}`` entry per poison chunk,
+    #: sorted by chunk index.  Part of the *deterministic* content --
+    #: chaos injection is seeded, so the same disturbed run always loses
+    #: the same chunks -- and empty (absent from JSON) on a clean run,
+    #: keeping undisturbed payloads byte-identical to earlier releases.
+    failures: list = field(default_factory=list)
 
     @property
     def campaigns_per_sec(self) -> float:
@@ -398,6 +406,8 @@ class FleetReport(Record):
                 "hit_rate": self.plan_cache_hit_rate,
             },
         }
+        if self.failures:
+            payload["failures"] = [dict(entry) for entry in self.failures]
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry.to_json_dict()
         if self.scenario_campaigns:
@@ -501,6 +511,15 @@ class FleetReport(Record):
                 f"  plan cache      : {self.plan_cache_hit_rate:.1%} hit rate "
                 f"({self.plan_cache_hits} hits, "
                 f"{self.plan_cache_misses} misses)"
+            )
+        if self.failures:
+            lost = sum(len(entry["campaigns"]) for entry in self.failures)
+            kinds = sorted(
+                {kind for entry in self.failures for kind in entry["error_kinds"]}
+            )
+            lines.append(
+                f"  QUARANTINED     : {len(self.failures)} chunks "
+                f"({lost} campaigns lost; {', '.join(kinds)})"
             )
         if self.scenario_campaigns:
             flows = f"  scenario flows  : {self.scenario_campaigns} campaigns"

@@ -234,7 +234,7 @@ class CheckpointStore:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             raise CheckpointError(f"no checkpoint for chunk {chunk_index} at {path}")
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise CheckpointError(f"corrupt checkpoint chunk {path}: {error}") from error
         if payload.get("digest") != self.digest:
             raise CheckpointError(
@@ -272,6 +272,19 @@ class CheckpointStore:
             tr.counters.add("checkpoint.load.ns", time.perf_counter_ns() - started)
             tr.counters.add("checkpoint.loads")
         return loaded
+
+    def quarantine_chunk(self, chunk_index: int) -> Path:
+        """Set a corrupt/stale chunk file aside so the chunk re-runs.
+
+        The file is renamed to ``<name>.quarantined`` (atomically,
+        replacing any earlier quarantined copy) rather than deleted, so
+        the evidence survives for post-mortems while
+        :meth:`completed_chunks` stops reporting the chunk as done.
+        """
+        path = self._chunk_path(chunk_index)
+        target = path.with_suffix(path.suffix + ".quarantined")
+        os.replace(path, target)
+        return target
 
     @staticmethod
     def _write_json(path: Path, payload: dict) -> None:
@@ -400,7 +413,7 @@ class RingCheckpointStore:
     def _load_slot(self, path: Path) -> dict:
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
             raise CheckpointError(f"corrupt ring-checkpoint slot {path}: {error}") from error
         if record.get("digest") != self.digest:
             raise CheckpointError(
@@ -420,21 +433,36 @@ class RingCheckpointStore:
             )
         return record
 
-    def records(self) -> list[dict]:
-        """Every retained window record, oldest first."""
+    def records(self, recover: bool = False) -> list[dict]:
+        """Every retained window record, oldest first.
+
+        ``recover=True`` switches from fail-fast to salvage semantics:
+        a corrupt or stale slot is renamed to ``<name>.quarantined``
+        and skipped instead of raising, so a damaged ring still yields
+        every intact window (the monitor's quarantine mode resumes from
+        the newest survivor and recomputes the rest).
+        """
         found = []
         for slot in range(self.retain):
             path = self._slot_path(slot)
-            if path.exists():
+            if not path.exists():
+                continue
+            try:
                 found.append(self._load_slot(path))
+            except CheckpointError:
+                if not recover:
+                    raise
+                os.replace(path, path.with_suffix(path.suffix + ".quarantined"))
         return sorted(found, key=lambda record: record["window"])
 
-    def latest(self) -> dict | None:
+    def latest(self, recover: bool = False) -> dict | None:
         """The newest retained window record, or ``None`` when empty.
 
         The returned mapping has ``window`` (index), ``payload`` (the
         window's deterministic content) and ``state`` (the cumulative
         monitor state to restore before computing window ``window + 1``).
+        ``recover=True`` quarantines damaged slots instead of raising
+        (see :meth:`records`).
         """
-        records = self.records()
+        records = self.records(recover=recover)
         return records[-1] if records else None

@@ -40,6 +40,13 @@ from repro.core.campaign import DiagnosisCampaign
 from repro.engine.aggregate import CampaignSummary, FleetReport
 from repro.engine.checkpoint import CheckpointError, CheckpointStore, spec_digest
 from repro.engine.packing import HAVE_NUMPY
+from repro.engine.supervisor import (
+    ChunkExecutionError,
+    ChunkFailure,
+    ChunkRetryPolicy,
+    ChunkSupervisor,
+    set_current_attempt,
+)
 from repro.faults.defects import DefectProfile, DefectType
 from repro.memory.geometry import MemoryGeometry
 from repro.soc.case_study import case_study_soc
@@ -174,6 +181,10 @@ def chunked_indices(campaigns: int, chunk_size: int) -> list[tuple[int, ...]]:
     ]
 
 
+class IncompleteChunkStream(ValueError):
+    """The completion stream ended before every submitted chunk arrived."""
+
+
 def reorder_chunks(
     completions: Iterable[tuple[int, "list[CampaignSummary]"]],
     total_chunks: int,
@@ -205,11 +216,11 @@ def reorder_chunks(
         while next_index in buffered:
             yield buffered.pop(next_index)
             next_index += 1
-    require(
-        next_index == total_chunks and not buffered,
-        f"missing chunk results: got {next_index} of {total_chunks} "
-        f"contiguous chunks ({len(buffered)} stranded out of order)",
-    )
+    if next_index != total_chunks or buffered:
+        raise IncompleteChunkStream(
+            f"missing chunk results: got {next_index} of {total_chunks} "
+            f"contiguous chunks ({len(buffered)} stranded out of order)"
+        )
 
 
 def _run_indexed_chunk(
@@ -307,6 +318,8 @@ class FleetScheduler:
         checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
         resume: bool = False,
         telemetry: bool = False,
+        retry: ChunkRetryPolicy | None = None,
+        on_chunk_failure: str = "raise",
     ) -> None:
         # An ``auto`` backend is pinned here, before chunks fan out, so
         # every worker -- and the checkpoint digest -- sees one concrete
@@ -315,6 +328,17 @@ class FleetScheduler:
         self.chunk_runner: ChunkRunner = chunk_runner or run_chunk
         self.workers = self._resolve_workers(workers)
         self.telemetry = bool(telemetry)
+        require(
+            on_chunk_failure in ("raise", "quarantine"),
+            f"on_chunk_failure must be 'raise' or 'quarantine', "
+            f"got {on_chunk_failure!r}",
+        )
+        self.on_chunk_failure = on_chunk_failure
+        self.retry = retry if retry is not None else ChunkRetryPolicy()
+        #: :class:`~repro.engine.supervisor.ChunkFailure` records of the
+        #: chunks quarantined by the last run/stream (empty when strict
+        #: mode is active or nothing failed).
+        self.last_failures: list[ChunkFailure] = []
         self._telemetry_report: TelemetryReport | None = None
         #: Telemetry merged by the last :meth:`stream` consumption (also
         #: set on early close); ``None`` until a stream ends.
@@ -402,6 +426,13 @@ class FleetScheduler:
             if previous_tracer is not None:
                 set_tracer(previous_tracer)
         report.elapsed_s = time.perf_counter() - started
+        if self.last_failures:
+            report.failures = [
+                failure.block_entry()
+                for failure in sorted(
+                    self.last_failures, key=lambda f: f.chunk_index
+                )
+            ]
         if parent_tracer is not None:
             telemetry_report = self._telemetry_report
             self._telemetry_report = None
@@ -472,18 +503,39 @@ class FleetScheduler:
         self, chunks: list[tuple[int, ...]]
     ) -> Iterator[list[CampaignSummary]]:
         """Yield chunk results in submission order (deterministic)."""
+        self.last_failures = []
+        tr = _tracer()
         loaded: set[int] = set()
+        recovered: list[int] = []
         if self.checkpoint is not None and self.resume:
             loaded = set(self.checkpoint.completed_chunks())
+            if self.on_chunk_failure == "quarantine":
+                # Recovery path: a corrupt or stale chunk file fails the
+                # whole resume in strict mode; in quarantine mode the bad
+                # file is set aside and just that chunk re-runs.  Chunks
+                # are pure functions of (spec, indices), so the re-run
+                # reproduces the lost bytes exactly.
+                for index in sorted(loaded):
+                    try:
+                        self.checkpoint.load(index, expected_indices=chunks[index])
+                    except CheckpointError:
+                        self.checkpoint.quarantine_chunk(index)
+                        loaded.discard(index)
+                        recovered.append(index)
         pending = [
             (index, chunk)
             for index, chunk in enumerate(chunks)
             if index not in loaded
         ]
-        tr = _tracer()
         if tr.enabled:
             tr.counters.add("fleet.chunks", len(chunks))
             tr.counters.add("fleet.chunks_resumed", len(loaded))
+            # Fault-tolerance counters always exist under telemetry so
+            # metrics consumers need not special-case the happy path.
+            tr.counters.add("fleet.retries", 0)
+            tr.counters.add("fleet.respawns", 0)
+            tr.counters.add("fleet.quarantined", 0)
+            tr.counters.add("fleet.chunks_recovered", len(recovered))
         ranks = {index: rank for rank, (index, _) in enumerate(pending)}
         executor = self._execute_pending(pending, chunks)
         # Pending results arrive in completion order; reorder_chunks
@@ -503,20 +555,25 @@ class FleetScheduler:
                 yield ranks[index], summaries
 
         pending_ordered = reorder_chunks(completions(), len(pending))
+        delivered = [0]
 
-        def next_pending():
+        def next_pending(index, chunk):
             # A pool that stops producing before every submitted chunk
-            # came back is a worker-protocol violation; surface it as a
-            # clear error instead of letting the bare StopIteration turn
-            # into PEP 479's opaque "generator raised StopIteration".
+            # came back is a worker-protocol violation; surface it with
+            # the head-of-line chunk and the delivery counts instead of
+            # reorder_chunks' context-free completeness error (or, worse,
+            # PEP 479's opaque "generator raised StopIteration").
             try:
-                return next(pending_ordered)
-            except StopIteration:
+                result = next(pending_ordered)
+            except (StopIteration, IncompleteChunkStream) as error:
                 raise RuntimeError(
-                    f"worker pool ended early: expected {len(pending)} "
-                    f"chunk results, the pool stopped producing before the "
-                    f"head-of-line chunk arrived"
-                ) from None
+                    f"worker pool ended early: completed {delivered[0]} of "
+                    f"{len(pending)} expected chunk results; head-of-line "
+                    f"chunk {index} (campaigns {chunk[0]}..{chunk[-1]}) "
+                    f"never arrived"
+                ) from error
+            delivered[0] += 1
+            return result
 
         try:
             for index, chunk in enumerate(chunks):
@@ -527,14 +584,14 @@ class FleetScheduler:
                     # this equals execution time; with a pool it is the
                     # scheduler's idle wait for the head-of-line chunk).
                     wait_started = time.perf_counter_ns()
-                    result = next_pending()
+                    result = next_pending(index, chunk)
                     tr.counters.add(
                         "fleet.queue_wait.ns",
                         time.perf_counter_ns() - wait_started,
                     )
                     yield result
                 else:
-                    yield next_pending()
+                    yield next_pending(index, chunk)
             # Only reached on full consumption: a consumer that breaks
             # out of the stream raises GeneratorExit at the ``yield``
             # above and skips straight to ``finally`` -- early close is a
@@ -556,50 +613,115 @@ class FleetScheduler:
         pending: list[tuple[int, tuple[int, ...]]],
         chunks: list[tuple[int, ...]],
     ) -> Iterator[tuple[int, list[CampaignSummary], dict | None]]:
-        """Run the not-yet-persisted chunks, saving each as it completes."""
+        """Run the not-yet-persisted chunks, saving each as it completes.
+
+        Yields completion-order ``(chunk_index, summaries, snapshot)``
+        triples; a quarantined chunk yields an empty summary list and is
+        deliberately *not* persisted, so a later resume re-runs it.
+        """
         if not pending:
             return
         if self.workers <= 1 or len(pending) <= 1:
-            # Inline chunks run under the parent's tracer directly (no
-            # snapshot shipping), so spans nest into the parent timeline.
-            tr = _tracer()
-            for index, chunk in pending:
-                if tr.enabled:
-                    busy_started = time.perf_counter_ns()
-                    with tr.span(
-                        "fleet.chunk", "fleet", chunk=index, campaigns=len(chunk)
-                    ):
-                        summaries = self.chunk_runner(self.spec, chunk)
-                    tr.counters.add(
-                        "fleet.worker_busy.ns",
-                        time.perf_counter_ns() - busy_started,
-                    )
-                else:
-                    summaries = self.chunk_runner(self.spec, chunk)
-                self._persist(index, chunk, summaries)
-                yield index, summaries, None
+            yield from self._execute_inline(pending)
             return
         context = self._pool_context()
         worker = partial(
             _run_indexed_chunk, self.chunk_runner, self.spec, self.telemetry
         )
-        # imap_unordered lets the pool hand results back the moment they
-        # finish (no head-of-line blocking in the IPC queue); checkpoints
-        # are written here, in completion order, so an interrupt loses at
-        # most the chunks still in flight.
-        pool = context.Pool(processes=min(self.workers, len(pending)))
+        # One supervised process per chunk attempt (instead of a shared
+        # Pool): a worker that segfaults, OOMs or ``os._exit``s surfaces
+        # as pipe EOF and is respawned, rather than hanging the parent
+        # on a result that will never come.  Checkpoints are written
+        # here, in completion order, so an interrupt loses at most the
+        # chunks still in flight.
+        supervisor = ChunkSupervisor(
+            context=context,
+            workers=min(self.workers, len(pending)),
+            task=worker,
+            policy=self.retry,
+            jitter_seed=getattr(self.spec, "master_seed", 0),
+            quarantine=self.on_chunk_failure == "quarantine",
+            failures=self.last_failures,
+        )
         try:
-            for index, summaries, snapshot in pool.imap_unordered(worker, pending):
+            for index, summaries, snapshot in supervisor.results(pending):
+                if summaries is None:
+                    yield index, [], snapshot
+                    continue
                 self._persist(index, chunks[index], summaries)
                 yield index, summaries, snapshot
-            pool.close()
-        except BaseException:
-            # Worker failures and abandoned streams (GeneratorExit) both
-            # land here: terminate so no orphaned workers outlive the run.
-            pool.terminate()
-            raise
         finally:
-            pool.join()
+            tr = _tracer()
+            if tr.enabled:
+                tr.counters.add("fleet.retries", supervisor.retries)
+                tr.counters.add("fleet.respawns", supervisor.respawns)
+                tr.counters.add("fleet.quarantined", supervisor.quarantined)
+
+    def _execute_inline(
+        self, pending: list[tuple[int, tuple[int, ...]]]
+    ) -> Iterator[tuple[int, "list[CampaignSummary] | None", dict | None]]:
+        """Single-process execution with the same retry/quarantine story.
+
+        Inline chunks run under the parent's tracer directly (no
+        snapshot shipping), so spans nest into the parent timeline.
+        Crash and hang supervision need a separate process, so inline
+        mode retries only *exceptions* and ignores ``chunk_timeout_s``;
+        ``KeyboardInterrupt`` always propagates.
+        """
+        tr = _tracer()
+        for index, chunk in pending:
+            attempts: list[tuple[str, str]] = []
+            while True:
+                set_current_attempt(len(attempts))
+                try:
+                    if tr.enabled:
+                        busy_started = time.perf_counter_ns()
+                        with tr.span(
+                            "fleet.chunk", "fleet",
+                            chunk=index, campaigns=len(chunk),
+                        ):
+                            summaries = self.chunk_runner(self.spec, chunk)
+                        tr.counters.add(
+                            "fleet.worker_busy.ns",
+                            time.perf_counter_ns() - busy_started,
+                        )
+                    else:
+                        summaries = self.chunk_runner(self.spec, chunk)
+                except Exception as error:  # noqa: BLE001 -- retried below
+                    attempts.append(
+                        ("exception", f"{type(error).__name__}: {error}")
+                    )
+                    if len(attempts) < self.retry.max_attempts:
+                        if tr.enabled:
+                            tr.counters.add("fleet.retries", 1)
+                        time.sleep(
+                            self.retry.delay_s(
+                                getattr(self.spec, "master_seed", 0),
+                                index,
+                                len(attempts),
+                            )
+                        )
+                        continue
+                    failure = ChunkFailure(
+                        chunk_index=index,
+                        campaign_indices=tuple(chunk),
+                        error_kinds=tuple(kind for kind, _ in attempts),
+                        details=tuple(detail for _, detail in attempts),
+                    )
+                    if self.on_chunk_failure != "quarantine":
+                        raise ChunkExecutionError(failure) from error
+                    self.last_failures.append(failure)
+                    if tr.enabled:
+                        tr.counters.add("fleet.quarantined", 1)
+                    summaries = None
+                finally:
+                    set_current_attempt(0)
+                break
+            if summaries is None:
+                yield index, [], None
+                continue
+            self._persist(index, chunk, summaries)
+            yield index, summaries, None
 
     def _persist(
         self,
@@ -613,6 +735,16 @@ class FleetScheduler:
     @staticmethod
     def _pool_context():
         methods = multiprocessing.get_all_start_methods()
+        override = os.environ.get("REPRO_START_METHOD")
+        if override:
+            # Fork-unsafe environments (threaded embedders, macOS system
+            # frameworks) can force spawn/forkserver without code changes.
+            require(
+                override in methods,
+                f"REPRO_START_METHOD={override!r} is not a supported start "
+                f"method on this platform (available: {', '.join(methods)})",
+            )
+            return multiprocessing.get_context(override)
         # fork avoids re-importing the package per worker where available.
         return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
@@ -625,13 +757,19 @@ def run_fleet(
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     telemetry: bool = False,
+    retry: ChunkRetryPolicy | None = None,
+    on_chunk_failure: str = "raise",
+    chunk_runner: ChunkRunner | None = None,
 ) -> FleetReport:
     """Convenience wrapper: schedule ``spec`` and aggregate the results."""
     return FleetScheduler(
         spec,
         workers=workers,
         chunk_size=chunk_size,
+        chunk_runner=chunk_runner,
         checkpoint=checkpoint,
         resume=resume,
         telemetry=telemetry,
+        retry=retry,
+        on_chunk_failure=on_chunk_failure,
     ).run(progress)

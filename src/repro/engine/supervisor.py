@@ -1,0 +1,391 @@
+"""Supervised chunk execution: dead-worker detection, retry, quarantine.
+
+``multiprocessing.Pool`` is fail-silent in exactly the wrong way for a
+long-running fleet: a worker that dies mid-task (segfault, OOM kill,
+``os._exit``) takes its queued task down with it and
+``imap_unordered`` simply never yields the result -- the parent blocks
+forever.  The :class:`ChunkSupervisor` replaces the pool with one
+short-lived process per chunk attempt, each reporting over its own
+pipe, so the parent can distinguish the three failure shapes that
+matter:
+
+* ``exception`` -- the chunk runner raised; the worker reports the
+  error type and message over the pipe before exiting;
+* ``crash`` -- the worker died without reporting (pipe hit EOF); the
+  exit code is recorded and a replacement process is spawned;
+* ``timeout`` -- the chunk exceeded the policy's per-chunk deadline;
+  the worker is terminated.
+
+Failed chunks are retried under a :class:`ChunkRetryPolicy` --
+exponential backoff whose jitter derives from the repo's counter-based
+splitmix64 discipline (:func:`repro.util.rng.mix_seed` keyed on
+``(seed, chunk, attempt)``), never from wall-clock entropy -- so a
+chaos-injected run replays bit-for-bit.  A chunk that exhausts its
+attempts is *poison*: strict mode raises a structured
+:class:`ChunkExecutionError` carrying the full attempt history, while
+quarantine mode records a :class:`ChunkFailure` and lets the rest of
+the fleet complete.
+
+Chunks are pure functions of ``(spec, indices)``, so a retried chunk
+reproduces the exact bytes the first attempt would have produced --
+retries change scheduling, never results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Iterator
+
+from repro.util.records import Record
+from repro.util.rng import mix_seed
+from repro.util.validation import require, require_positive
+
+__all__ = [
+    "ChunkExecutionError",
+    "ChunkFailure",
+    "ChunkRetryPolicy",
+    "ChunkSupervisor",
+    "current_attempt",
+]
+
+#: Domain-separation label for retry jitter draws (``"RETR"``), keeping
+#: the backoff stream independent of every other splitmix64 consumer.
+_JITTER_LABEL = 0x52455452
+
+#: Parent poll granularity: the supervisor re-checks deadlines and the
+#: retry schedule at least this often while workers run.
+_POLL_S = 0.1
+
+#: Attempt number of the chunk currently executing in this process
+#: (0-based).  Set by the supervisor's worker entry point (and by the
+#: scheduler's inline path) before the chunk runner is invoked, so
+#: attempt-aware runners -- the chaos harness foremost -- can key
+#: injected faults on the attempt without threading it through the
+#: ``(spec, indices)`` chunk contract.
+_CURRENT_ATTEMPT = 0
+
+
+def current_attempt() -> int:
+    """0-based attempt number of the chunk running in this process."""
+    return _CURRENT_ATTEMPT
+
+
+def set_current_attempt(attempt: int) -> None:
+    """Record the attempt number for :func:`current_attempt` readers."""
+    global _CURRENT_ATTEMPT
+    _CURRENT_ATTEMPT = int(attempt)
+
+
+@dataclass(frozen=True)
+class ChunkRetryPolicy(Record):
+    """Retry/backoff/deadline policy for one fleet execution.
+
+    ``max_attempts`` counts every execution of a chunk, so ``1`` means
+    fail-fast (no retries).  Backoff for retry ``k`` (1-based) is
+    ``min(backoff_base_s * backoff_factor**(k-1), backoff_max_s)``
+    stretched by a deterministic jitter in ``[0, jitter]`` drawn from
+    ``mix_seed(seed, chunk, k)`` -- no wall-clock randomness, so two
+    runs of the same chaos scenario sleep the same schedule.
+    ``chunk_timeout_s`` (``None`` = unlimited) bounds one attempt's
+    wall-clock time under the supervisor; inline (``workers <= 1``)
+    execution cannot preempt a chunk and ignores it.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter: float = 0.5
+    chunk_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_attempts, "max_attempts")
+        require(self.backoff_base_s >= 0.0, "backoff_base_s must be >= 0")
+        require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        require(self.backoff_max_s >= 0.0, "backoff_max_s must be >= 0")
+        require(self.jitter >= 0.0, "jitter must be >= 0")
+        if self.chunk_timeout_s is not None:
+            require(self.chunk_timeout_s > 0.0, "chunk_timeout_s must be > 0")
+
+    def delay_s(self, seed: int, chunk_index: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of ``chunk_index``."""
+        require(attempt >= 1, "attempt must be >= 1")
+        delay = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if self.jitter > 0.0 and delay > 0.0:
+            unit = (
+                mix_seed(seed, _JITTER_LABEL, chunk_index, attempt) >> 11
+            ) / float(1 << 53)
+            delay *= 1.0 + self.jitter * unit
+        return delay
+
+
+@dataclass(frozen=True)
+class ChunkFailure(Record):
+    """Attempt history of one chunk that exhausted its retry budget."""
+
+    chunk_index: int
+    campaign_indices: tuple[int, ...]
+    #: One entry per attempt, in attempt order: ``exception`` (runner
+    #: raised), ``crash`` (worker died silently), ``timeout`` (deadline).
+    error_kinds: tuple[str, ...]
+    #: Human-readable detail per attempt (error message, exit code, ...).
+    details: tuple[str, ...]
+
+    def block_entry(self) -> dict:
+        """Deterministic entry for a report's ``failures`` block."""
+        return {
+            "chunk": self.chunk_index,
+            "campaigns": list(self.campaign_indices),
+            "error_kinds": list(self.error_kinds),
+        }
+
+
+class ChunkExecutionError(RuntimeError):
+    """A chunk failed every attempt its retry policy allowed.
+
+    Subclasses :class:`RuntimeError` (and embeds the original error
+    messages) so callers that matched the unwrapped worker exception
+    keep working; the structured history lives on :attr:`failure`.
+    """
+
+    def __init__(self, failure: ChunkFailure) -> None:
+        self.failure = failure
+        indices = failure.campaign_indices
+        span = (
+            f"{indices[0]}..{indices[-1]}" if indices else "none"
+        )
+        history = "; ".join(
+            f"attempt {number} [{kind}] {detail}"
+            for number, (kind, detail) in enumerate(
+                zip(failure.error_kinds, failure.details), start=1
+            )
+        )
+        super().__init__(
+            f"chunk {failure.chunk_index} (campaigns {span}) failed after "
+            f"{len(failure.error_kinds)} attempt(s): {history}"
+        )
+
+
+def _supervised_worker(conn, task: Callable, item, attempt: int) -> None:
+    """Worker entry point: run one chunk attempt, report over ``conn``.
+
+    Module-level (and argument-closed) so it pickles under the spawn
+    start method.  Reports ``("ok", summaries, snapshot)`` or
+    ``("error", type_name, message)``; a worker that dies before
+    sending anything is detected by the parent as EOF on the pipe.
+    """
+    set_current_attempt(attempt)
+    try:
+        try:
+            _chunk_index, summaries, snapshot = task(item)
+        except Exception as error:  # noqa: BLE001 -- shipped to the parent
+            conn.send(("error", type(error).__name__, str(error)))
+        else:
+            conn.send(("ok", summaries, snapshot))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    """One in-flight worker process and its reporting pipe."""
+
+    chunk_index: int
+    indices: tuple[int, ...]
+    attempt: int
+    process: object
+    conn: object
+    deadline: float | None = None
+
+
+@dataclass
+class ChunkSupervisor:
+    """Run pending chunks under supervision; see the module docstring.
+
+    ``task`` maps one ``(chunk_index, indices)`` item to a
+    ``(chunk_index, summaries, snapshot)`` triple (the scheduler passes
+    a pickled-by-reference partial of its chunk runner).  Consumption
+    happens through :meth:`results`, which yields completion-order
+    triples; a quarantined chunk yields ``summaries=None``.  The
+    counters (:attr:`retries`, :attr:`respawns`, :attr:`quarantined`)
+    and the :attr:`failures` list update as results stream out.
+    """
+
+    context: object
+    workers: int
+    task: Callable
+    policy: ChunkRetryPolicy
+    #: Seed for deterministic backoff jitter (the fleet's master seed).
+    jitter_seed: int = 0
+    #: Quarantine poison chunks instead of raising.
+    quarantine: bool = False
+    failures: list = field(default_factory=list)
+    retries: int = 0
+    respawns: int = 0
+    quarantined: int = 0
+
+    def results(
+        self, pending: list[tuple[int, tuple[int, ...]]]
+    ) -> Iterator[tuple[int, "list | None", dict | None]]:
+        """Yield ``(chunk_index, summaries, snapshot)`` in completion order."""
+        require(self.workers >= 1, "workers must be >= 1")
+        # Retry schedule: a heap of (not-before, tiebreak, chunk, indices,
+        # attempt).  Fresh chunks are runnable immediately in submission
+        # order; retries join with their backoff deadline.
+        sequence = 0
+        todo: list[tuple[float, int, int, tuple[int, ...], int]] = []
+        for chunk_index, indices in pending:
+            heapq.heappush(todo, (0.0, sequence, chunk_index, indices, 0))
+            sequence += 1
+        running: dict[object, _Running] = {}
+        history: dict[int, list[tuple[str, str]]] = {}
+        try:
+            while todo or running:
+                now = time.monotonic()
+                while todo and len(running) < self.workers and todo[0][0] <= now:
+                    _, _, chunk_index, indices, attempt = heapq.heappop(todo)
+                    self._spawn(running, chunk_index, indices, attempt)
+                timeout = self._poll_timeout(todo, running, now)
+                if not running:
+                    time.sleep(timeout)
+                    continue
+                ready = _connection_wait(list(running), timeout=timeout)
+                for conn in ready:
+                    entry = running.pop(conn)
+                    outcome = self._collect(entry)
+                    if outcome[0] == "ok":
+                        yield entry.chunk_index, outcome[1], outcome[2]
+                    else:
+                        sequence = yield from self._handle_failure(
+                            todo, history, entry, outcome[1], outcome[2], sequence
+                        )
+                now = time.monotonic()
+                for conn, entry in list(running.items()):
+                    if entry.deadline is not None and now >= entry.deadline:
+                        running.pop(conn)
+                        self._stop(entry)
+                        detail = (
+                            f"chunk exceeded the {self.policy.chunk_timeout_s:g}s "
+                            f"deadline; worker terminated"
+                        )
+                        sequence = yield from self._handle_failure(
+                            todo, history, entry, "timeout", detail, sequence
+                        )
+        finally:
+            # Early close (GeneratorExit) and strict-mode raises both land
+            # here: no in-flight worker may outlive the supervisor.
+            for entry in running.values():
+                entry.process.terminate()
+            for entry in running.values():
+                self._reap(entry)
+
+    def _spawn(
+        self,
+        running: dict,
+        chunk_index: int,
+        indices: tuple[int, ...],
+        attempt: int,
+    ) -> None:
+        parent_conn, child_conn = self.context.Pipe(duplex=False)
+        process = self.context.Process(
+            target=_supervised_worker,
+            args=(child_conn, self.task, (chunk_index, indices), attempt),
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's handle on the child end so a dead worker
+        # surfaces as EOF instead of a silently half-open pipe.
+        child_conn.close()
+        deadline = None
+        if self.policy.chunk_timeout_s is not None:
+            deadline = time.monotonic() + self.policy.chunk_timeout_s
+        running[parent_conn] = _Running(
+            chunk_index, indices, attempt, process, parent_conn, deadline
+        )
+
+    def _poll_timeout(self, todo: list, running: dict, now: float) -> float:
+        horizon = _POLL_S
+        if todo:
+            horizon = min(horizon, todo[0][0] - now)
+        for entry in running.values():
+            if entry.deadline is not None:
+                horizon = min(horizon, entry.deadline - now)
+        return max(0.0, horizon)
+
+    def _collect(self, entry: _Running) -> tuple:
+        """Read one finished worker's report; classify silent deaths."""
+        try:
+            message = entry.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        entry.process.join()
+        entry.conn.close()
+        if message is not None and message[0] == "ok":
+            return message
+        if message is not None:
+            return "error", "exception", f"{message[1]}: {message[2]}"
+        self.respawns += 1
+        return (
+            "error",
+            "crash",
+            f"worker exited with code {entry.process.exitcode} "
+            f"before reporting a result",
+        )
+
+    def _handle_failure(
+        self,
+        todo: list,
+        history: dict,
+        entry: _Running,
+        kind: str,
+        detail: str,
+        sequence: int,
+    ):
+        attempts = history.setdefault(entry.chunk_index, [])
+        attempts.append((kind, detail))
+        if len(attempts) < self.policy.max_attempts:
+            self.retries += 1
+            delay = self.policy.delay_s(
+                self.jitter_seed, entry.chunk_index, len(attempts)
+            )
+            heapq.heappush(
+                todo,
+                (
+                    time.monotonic() + delay,
+                    sequence,
+                    entry.chunk_index,
+                    entry.indices,
+                    len(attempts),
+                ),
+            )
+            return sequence + 1
+        failure = ChunkFailure(
+            chunk_index=entry.chunk_index,
+            campaign_indices=tuple(entry.indices),
+            error_kinds=tuple(kind for kind, _ in attempts),
+            details=tuple(detail for _, detail in attempts),
+        )
+        if not self.quarantine:
+            raise ChunkExecutionError(failure)
+        self.failures.append(failure)
+        self.quarantined += 1
+        yield entry.chunk_index, None, None
+        return sequence
+
+    def _stop(self, entry: _Running) -> None:
+        entry.process.terminate()
+        self._reap(entry)
+
+    @staticmethod
+    def _reap(entry: _Running) -> None:
+        entry.process.join(5.0)
+        if entry.process.is_alive():  # pragma: no cover -- SIGTERM ignored
+            entry.process.kill()
+            entry.process.join()
+        entry.conn.close()

@@ -19,6 +19,7 @@ from typing import Callable
 from repro.engine.aggregate import FleetReport
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.fleet import FleetScheduler
+from repro.engine.supervisor import ChunkRetryPolicy
 from repro.scenarios.flow import run_scenario_chunk
 from repro.scenarios.spec import ScenarioSpec
 
@@ -30,6 +31,8 @@ def scenario_scheduler(
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     telemetry: bool = False,
+    retry: "ChunkRetryPolicy | None" = None,
+    on_chunk_failure: str = "raise",
 ) -> FleetScheduler:
     """A fleet scheduler wired to execute scenario flows."""
     return FleetScheduler(
@@ -40,6 +43,8 @@ def scenario_scheduler(
         checkpoint=checkpoint,
         resume=resume,
         telemetry=telemetry,
+        retry=retry,
+        on_chunk_failure=on_chunk_failure,
     )
 
 
@@ -51,6 +56,8 @@ def run_scenario_fleet(
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     telemetry: bool = False,
+    retry: "ChunkRetryPolicy | None" = None,
+    on_chunk_failure: str = "raise",
 ) -> FleetReport:
     """Run every scenario campaign and aggregate the fleet report.
 
@@ -67,4 +74,6 @@ def run_scenario_fleet(
         checkpoint=checkpoint,
         resume=resume,
         telemetry=telemetry,
+        retry=retry,
+        on_chunk_failure=on_chunk_failure,
     ).run(progress)

@@ -48,6 +48,7 @@ from typing import Iterator
 from repro.core.scheme import FastDiagnosisScheme
 from repro.engine.checkpoint import RingCheckpointStore
 from repro.engine.fleet import FleetScheduler, plan_spec_backend
+from repro.engine.supervisor import ChunkRetryPolicy
 from repro.engine.session import run_session
 from repro.faults.intermittent import EVENT_KIND_SEU, fault_for_event
 from repro.scenarios.cluster import (
@@ -315,6 +316,8 @@ class StreamingMonitor:
         resume: bool = False,
         telemetry: bool = False,
         retain: int = 8,
+        retry: "ChunkRetryPolicy | None" = None,
+        on_chunk_failure: str = "raise",
     ) -> None:
         # Pin an ``auto`` backend once, before any worker sees the spec
         # (and before the ring digest is computed), exactly like the
@@ -340,11 +343,25 @@ class StreamingMonitor:
             self.checkpoint = RingCheckpointStore(
                 checkpoint, self.spec, retain=retain
             )
+        require(
+            on_chunk_failure in ("raise", "quarantine"),
+            f"on_chunk_failure must be 'raise' or 'quarantine', "
+            f"got {on_chunk_failure!r}",
+        )
+        self.retry = retry
+        self.on_chunk_failure = on_chunk_failure
+        #: Quarantined-window records from degraded-mode epochs: one
+        #: ``{"windows", "error_kinds"}`` entry per poison chunk.
+        self.failures: list[dict] = []
         self.aggregator = WindowAggregator(retain=retain)
         self.detector = BurstDetector()
         self.next_window = 0
         if resume:
-            latest = self.checkpoint.latest()
+            # Quarantine mode salvages a damaged ring (corrupt slots are
+            # set aside) instead of refusing to resume.
+            latest = self.checkpoint.latest(
+                recover=on_chunk_failure == "quarantine"
+            )
             if latest is not None:
                 self.aggregator = WindowAggregator.from_state(
                     latest["state"]["aggregator"]
@@ -391,6 +408,8 @@ class StreamingMonitor:
                 chunk_size=self.chunk_size,
                 chunk_runner=run_window_chunk,
                 telemetry=self.telemetry,
+                retry=self.retry,
+                on_chunk_failure=self.on_chunk_failure,
             )
             stream = scheduler.stream()
             try:
@@ -408,12 +427,29 @@ class StreamingMonitor:
                             )
                         self.next_window = report.index + 1
                         yield report
+                # Only reached when the epoch was fully consumed: advance
+                # past any *trailing* quarantined windows, which yielded
+                # no reports -- otherwise the next epoch would re-cover
+                # (and re-fail) the same base window forever.
+                self.next_window = max(
+                    self.next_window, epoch.base_window + count
+                )
             finally:
                 # Early close lands here via GeneratorExit: closing the
                 # scheduler stream terminates the epoch's pool without
                 # draining it, then its telemetry (complete or partial)
                 # folds into the cumulative report.
                 stream.close()
+                for failure in scheduler.last_failures:
+                    self.failures.append(
+                        {
+                            "windows": [
+                                epoch.base_window + local
+                                for local in failure.campaign_indices
+                            ],
+                            "error_kinds": list(failure.error_kinds),
+                        }
+                    )
                 if (
                     self.telemetry_report is not None
                     and scheduler.last_telemetry is not None

@@ -158,6 +158,11 @@ class TelemetryReport:
             "queue_wait_s": get("fleet.queue_wait.ns") / 1e9,
             "checkpoint_save_s": get("checkpoint.save.ns") / 1e9,
             "checkpoint_load_s": get("checkpoint.load.ns") / 1e9,
+            # Fault-tolerance accounting (supervised executor).
+            "retries": int(get("fleet.retries")),
+            "respawns": int(get("fleet.respawns")),
+            "quarantined": int(get("fleet.quarantined")),
+            "chunks_recovered": int(get("fleet.chunks_recovered")),
         }
 
     def stream_stats(self) -> dict:
@@ -246,6 +251,18 @@ class TelemetryReport:
                 lines.append(
                     f"  checkpoint I/O  : save {fleet['checkpoint_save_s']:.3f} s, "
                     f"load {fleet['checkpoint_load_s']:.3f} s"
+                )
+            if (
+                fleet["retries"]
+                or fleet["respawns"]
+                or fleet["quarantined"]
+                or fleet["chunks_recovered"]
+            ):
+                lines.append(
+                    f"  fault tolerance : {fleet['retries']} retries, "
+                    f"{fleet['respawns']} respawns, "
+                    f"{fleet['quarantined']} quarantined, "
+                    f"{fleet['chunks_recovered']} checkpoint chunks recovered"
                 )
         stream = self.stream_stats()
         if stream["windows"]:

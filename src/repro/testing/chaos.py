@@ -1,0 +1,215 @@
+"""Deterministic chaos harness: seeded crashes, exceptions, hangs and
+checkpoint corruption.
+
+Chaos testing is only trustworthy when a failing scenario can be
+replayed exactly, so every injection decision here is a pure function
+of ``(chaos seed, chunk, attempt)`` through the repo's counter-based
+splitmix64 discipline (:func:`repro.util.rng.mix_seed`) -- no
+wall-clock entropy, no process-dependent state.  Running the same
+:class:`ChaosSpec` against the same fleet kills the same workers at
+the same chunks, every time, on every machine.
+
+The central piece is :class:`ChaosChunkRunner`: a picklable wrapper
+around any chunk runner (:func:`repro.engine.fleet.run_chunk` by
+default) that consults the spec before delegating.  Faults are keyed
+on the chunk's *first campaign index* -- stable across worker counts
+and completion order -- and on the attempt number published by the
+supervisor (:func:`repro.engine.supervisor.current_attempt`), so a
+chunk that crashes on attempt 0 can deterministically succeed on its
+retry.  With ``max_faults_per_chunk`` at its default of 1, a chaos run
+under a retry policy with at least two attempts always completes, and
+-- because chunks are pure functions of ``(spec, indices)`` -- its
+:meth:`~repro.engine.aggregate.FleetReport.deterministic_dict` is
+byte-identical to the undisturbed run's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.engine.fleet import run_chunk
+from repro.engine.supervisor import current_attempt
+from repro.util.records import Record
+from repro.util.rng import mix_seed
+from repro.util.validation import require, require_in_range
+
+__all__ = [
+    "CHAOS_CRASH_EXIT_CODE",
+    "ChaosChunkRunner",
+    "ChaosError",
+    "ChaosSpec",
+    "corrupt_checkpoint_chunks",
+    "parse_chaos_spec",
+]
+
+#: Exit code of an injected worker crash -- distinctive enough that a
+#: genuine interpreter death (0, 1, signals) is never mistaken for one.
+CHAOS_CRASH_EXIT_CODE = 113
+
+#: Domain-separation labels for the chaos draw streams ("FALT"/"CORR").
+_FAULT_LABEL = 0x46414C54
+_CORRUPT_LABEL = 0x434F5252
+
+
+class ChaosError(RuntimeError):
+    """The exception kind raised by injected chunk failures."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec(Record):
+    """Seeded fault-injection plan for one fleet run.
+
+    One uniform draw per ``(chunk, attempt)`` is partitioned into
+    ``crash`` / ``exception`` / ``hang`` bands (in that order), so the
+    three rates must sum to at most 1.  ``corrupt_rate`` drives the
+    separate :func:`corrupt_checkpoint_chunks` stream.  A chunk stops
+    faulting once it has faulted ``max_faults_per_chunk`` times, which
+    bounds the attempts any chunk needs to ``max_faults_per_chunk + 1``.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    exception_rate: float = 0.0
+    hang_rate: float = 0.0
+    #: Injected hang duration; pair with a ``chunk_timeout_s`` well
+    #: below it so the supervisor's deadline, not the sleep, ends it.
+    hang_s: float = 3600.0
+    corrupt_rate: float = 0.0
+    max_faults_per_chunk: int = 1
+
+    def __post_init__(self) -> None:
+        require_in_range(self.crash_rate, 0.0, 1.0, "crash_rate")
+        require_in_range(self.exception_rate, 0.0, 1.0, "exception_rate")
+        require_in_range(self.hang_rate, 0.0, 1.0, "hang_rate")
+        require_in_range(self.corrupt_rate, 0.0, 1.0, "corrupt_rate")
+        require(
+            self.crash_rate + self.exception_rate + self.hang_rate <= 1.0,
+            "crash_rate + exception_rate + hang_rate must be <= 1",
+        )
+        require(self.hang_s > 0.0, "hang_s must be > 0")
+        require(
+            self.max_faults_per_chunk >= 0,
+            "max_faults_per_chunk must be >= 0",
+        )
+
+    def _uniform(self, label: int, *path: int) -> float:
+        return (mix_seed(self.seed, label, *path) >> 11) / float(1 << 53)
+
+    def fault_for(self, chunk_key: int, attempt: int) -> str | None:
+        """The fault injected into attempt ``attempt`` of a chunk.
+
+        ``chunk_key`` is any stable chunk identity (the wrapper uses the
+        first campaign index).  Returns ``"crash"``, ``"exception"``,
+        ``"hang"`` or ``None``.
+        """
+        if attempt >= self.max_faults_per_chunk:
+            return None
+        unit = self._uniform(_FAULT_LABEL, chunk_key, attempt)
+        if unit < self.crash_rate:
+            return "crash"
+        if unit < self.crash_rate + self.exception_rate:
+            return "exception"
+        if unit < self.crash_rate + self.exception_rate + self.hang_rate:
+            return "hang"
+        return None
+
+    def corrupts_chunk(self, chunk_index: int) -> bool:
+        """Whether the corruption stream selects this checkpoint chunk."""
+        return self._uniform(_CORRUPT_LABEL, chunk_index) < self.corrupt_rate
+
+
+def _first_index(indices) -> int:
+    return int(indices[0]) if len(indices) else 0
+
+
+@dataclass(frozen=True)
+class ChaosChunkRunner:
+    """Picklable chunk runner injecting the spec's faults, then delegating.
+
+    Frozen-dataclass wrapper (pickles by field values plus the inner
+    runner's module reference) so it rides through both fork and spawn
+    worker start methods unchanged.
+    """
+
+    chaos: ChaosSpec
+    inner: Callable = field(default=run_chunk)
+
+    def __call__(self, spec, indices):
+        fault = self.chaos.fault_for(_first_index(indices), current_attempt())
+        if fault == "crash":
+            # A hard death -- no exception, no atexit, no pipe message --
+            # exactly like a segfault or an OOM kill.
+            os._exit(CHAOS_CRASH_EXIT_CODE)
+        if fault == "exception":
+            raise ChaosError(
+                f"injected failure in chunk starting at campaign "
+                f"{_first_index(indices)} (attempt {current_attempt()})"
+            )
+        if fault == "hang":
+            time.sleep(self.chaos.hang_s)
+        return self.inner(spec, indices)
+
+
+def corrupt_checkpoint_chunks(root, chaos: ChaosSpec) -> list[int]:
+    """Deterministically damage the store's selected chunk files.
+
+    For every persisted ``chunk_*.json`` that the spec's corruption
+    stream selects, one byte (position drawn from the same stream) is
+    XOR-flipped in place -- enough to break the JSON or trip the
+    recorded checksum/digest, never enough to masquerade as a different
+    valid chunk.  Returns the corrupted chunk indices.
+    """
+    corrupted = []
+    for path in sorted(Path(root).glob("chunk_*.json")):
+        index = int(path.stem.split("_")[1])
+        if not chaos.corrupts_chunk(index):
+            continue
+        data = bytearray(path.read_bytes())
+        position = mix_seed(chaos.seed, _CORRUPT_LABEL, index, 1) % len(data)
+        # ^0x01 keeps the byte ASCII, so the damage is always a parse or
+        # checksum failure rather than an undecodable file.
+        data[position] ^= 0x01
+        path.write_bytes(bytes(data))
+        corrupted.append(index)
+    return corrupted
+
+
+#: ``--chaos`` key → ChaosSpec field (CLI spelling is the short form).
+_CHAOS_KEYS = {
+    "seed": ("seed", int),
+    "crash": ("crash_rate", float),
+    "exception": ("exception_rate", float),
+    "hang": ("hang_rate", float),
+    "hang_s": ("hang_s", float),
+    "corrupt": ("corrupt_rate", float),
+    "max_faults": ("max_faults_per_chunk", int),
+}
+
+
+def parse_chaos_spec(text: str) -> ChaosSpec:
+    """Parse a CLI ``--chaos`` value like ``seed=7,crash=0.5,corrupt=0.3``."""
+    kwargs = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, separator, value = token.partition("=")
+        key = key.strip().replace("-", "_")
+        if not separator or key not in _CHAOS_KEYS:
+            known = ", ".join(sorted(_CHAOS_KEYS))
+            raise ValueError(
+                f"bad --chaos token {token!r}: expected key=value with "
+                f"key one of {known}"
+            )
+        name, cast = _CHAOS_KEYS[key]
+        try:
+            kwargs[name] = cast(value.strip())
+        except ValueError as error:
+            raise ValueError(
+                f"bad --chaos value for {key!r}: {error}"
+            ) from error
+    return ChaosSpec(**kwargs)

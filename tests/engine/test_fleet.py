@@ -552,10 +552,14 @@ class TestEarlyConsumerExit:
 
         monkeypatch.setattr(scheduler, "_execute_pending", dead_pool)
         stream = scheduler._stream_chunks(chunked_indices(SPEC.campaigns, 1))
-        # The ordering buffer's completeness check names the problem
-        # instead of surfacing PEP 479's opaque "generator raised
+        # The scheduler names the head-of-line chunk and the delivery
+        # counts instead of surfacing PEP 479's opaque "generator raised
         # StopIteration".
-        with pytest.raises(ValueError, match="missing chunk results"):
+        with pytest.raises(
+            RuntimeError,
+            match=r"worker pool ended early: completed 0 of 4 expected "
+            r"chunk results; head-of-line chunk 0",
+        ):
             next(stream)
 
     def test_exhausted_ordering_buffer_raises_clear_error(self, monkeypatch):

@@ -1,0 +1,142 @@
+"""Streaming monitor under injected faults: retries, quarantine, ring salvage."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.streaming.monitor as monitor_module
+from repro.engine.checkpoint import CheckpointError
+from repro.engine.supervisor import ChunkRetryPolicy
+from repro.streaming import StreamingMonitor, StreamingSpec
+from repro.streaming.monitor import run_window_chunk
+from repro.testing import ChaosChunkRunner, ChaosSpec
+
+SPEC = StreamingSpec(
+    memories=4,
+    events_per_window=2.0,
+    master_seed=23,
+    burst_probability=0.1,
+    backend="auto",
+)
+
+RETRY = ChunkRetryPolicy(
+    max_attempts=3, backoff_base_s=0.01, backoff_max_s=0.05
+)
+
+
+def _payloads(spec: StreamingSpec, windows: int, **kwargs) -> list[str]:
+    monitor = StreamingMonitor(spec, windows=windows, **kwargs)
+    return [report.canonical_json() for report in monitor.windows()]
+
+
+def _inject(monkeypatch, chaos: ChaosSpec) -> None:
+    monkeypatch.setattr(
+        monitor_module,
+        "run_window_chunk",
+        ChaosChunkRunner(chaos, inner=run_window_chunk),
+    )
+
+
+class TestMonitorRetries:
+    def test_retried_windows_match_plain_stream(self, monkeypatch):
+        plain = _payloads(SPEC, 4, workers=2, chunk_size=1)
+        _inject(
+            monkeypatch,
+            ChaosSpec(seed=4, exception_rate=1.0, max_faults_per_chunk=1),
+        )
+        chaotic = _payloads(SPEC, 4, workers=2, chunk_size=1, retry=RETRY)
+        assert chaotic == plain
+
+    def test_worker_death_does_not_hang_the_stream(self, monkeypatch):
+        plain = _payloads(SPEC, 4, workers=2, chunk_size=1)
+        _inject(
+            monkeypatch,
+            ChaosSpec(seed=4, crash_rate=1.0, max_faults_per_chunk=1),
+        )
+        chaotic = _payloads(SPEC, 4, workers=2, chunk_size=1, retry=RETRY)
+        assert chaotic == plain
+
+
+class TestMonitorQuarantine:
+    def test_poison_windows_are_skipped_and_recorded(self, monkeypatch):
+        _inject(
+            monkeypatch,
+            ChaosSpec(seed=4, exception_rate=1.0, max_faults_per_chunk=99),
+        )
+        monitor = StreamingMonitor(
+            SPEC,
+            windows=4,
+            workers=2,
+            chunk_size=1,
+            epoch_windows=2,
+            retry=ChunkRetryPolicy(max_attempts=2, backoff_base_s=0.01),
+            on_chunk_failure="quarantine",
+        )
+        # Every window is poison: the stream must still terminate (the
+        # epoch cursor advances past trailing quarantined windows) and
+        # account for all four windows in the failure records.
+        assert list(monitor.windows()) == []
+        lost = sorted(
+            window
+            for failure in monitor.failures
+            for window in failure["windows"]
+        )
+        assert lost == [0, 1, 2, 3]
+        assert all(
+            failure["error_kinds"] == ["exception", "exception"]
+            for failure in monitor.failures
+        )
+
+    def test_strict_mode_still_raises(self, monkeypatch):
+        _inject(
+            monkeypatch,
+            ChaosSpec(seed=4, exception_rate=1.0, max_faults_per_chunk=99),
+        )
+        monitor = StreamingMonitor(
+            SPEC,
+            windows=4,
+            workers=2,
+            chunk_size=1,
+            retry=ChunkRetryPolicy(max_attempts=1),
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            list(monitor.windows())
+
+
+class TestRingSalvage:
+    def _run_checkpointed(self, tmp_path, windows: int, **kwargs) -> list[str]:
+        return _payloads(
+            SPEC, windows, checkpoint=tmp_path / "ring", **kwargs
+        )
+
+    def test_quarantine_resume_salvages_damaged_ring(self, tmp_path):
+        full = self._run_checkpointed(tmp_path, 6)
+        # Flip one byte in the newest record (window 5 lives in slot 5 of
+        # the default 8-slot ring): resume must fall back to the window-4
+        # survivor and recompute window 5 bit-exactly.
+        newest = tmp_path / "ring" / "slot_00005.json"
+        data = bytearray(newest.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        newest.write_bytes(bytes(data))
+        resumed = StreamingMonitor(
+            SPEC,
+            windows=6,
+            checkpoint=tmp_path / "ring",
+            resume=True,
+            on_chunk_failure="quarantine",
+        )
+        assert resumed.next_window == 5
+        tail = [report.canonical_json() for report in resumed.windows()]
+        assert tail == full[5:]
+        assert list((tmp_path / "ring").glob("*.quarantined"))
+
+    def test_strict_resume_refuses_damaged_ring(self, tmp_path):
+        self._run_checkpointed(tmp_path, 6)
+        for slot in sorted((tmp_path / "ring").glob("slot_*.json")):
+            data = bytearray(slot.read_bytes())
+            data[len(data) // 2] ^= 0x01
+            slot.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            StreamingMonitor(
+                SPEC, windows=6, checkpoint=tmp_path / "ring", resume=True
+            )
